@@ -1,0 +1,50 @@
+//! Criterion benchmarks for the gateway detectors — the runtime-cost
+//! side of Figure 3(b)'s comparison and the Sec. 4 scaling argument:
+//! the universal preamble runs one correlation regardless of registry
+//! size, the matched bank runs one per technology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use galiot_channel::{compose, snr_to_noise_power, TxEvent};
+use galiot_gateway::{EnergyDetector, MatchedFilterBank, PacketDetector, UniversalDetector};
+use galiot_phy::registry::Registry;
+use galiot_phy::TechId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FS: f64 = 1_000_000.0;
+
+fn capture() -> Vec<galiot_dsp::Cf32> {
+    let mut rng = StdRng::seed_from_u64(1);
+    let reg = Registry::prototype();
+    let xbee = reg.get(TechId::XBee).unwrap().clone();
+    let ev = TxEvent::new(xbee, vec![0x42; 10], 100_000);
+    let np = snr_to_noise_power(5.0, 0.0);
+    compose(&[ev], 500_000, FS, np, &mut rng).samples
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("detect_500k_samples");
+    g.sample_size(10);
+    let cap = capture();
+
+    let energy = EnergyDetector::default();
+    g.bench_function("energy", |b| b.iter(|| energy.detect(&cap, FS)));
+
+    for (label, reg) in [
+        ("3_techs", Registry::prototype()),
+        ("5_techs", Registry::extended()),
+    ] {
+        let universal = UniversalDetector::new(&reg, FS, 0.12);
+        g.bench_function(format!("universal_{label}"), |b| {
+            b.iter(|| universal.detect(&cap, FS))
+        });
+        let matched = MatchedFilterBank::new(reg, 0.18);
+        g.bench_function(format!("matched_bank_{label}"), |b| {
+            b.iter(|| matched.detect(&cap, FS))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the DSP substrate: the FFT and the
+//! FFT-based correlation that every detector is built on.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use galiot_dsp::corr::{xcorr_fft, xcorr_normalized};
+use galiot_dsp::fft::Fft;
+use galiot_dsp::Cf32;
+
+fn sig(n: usize) -> Vec<Cf32> {
+    (0..n)
+        .map(|i| Cf32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for &n in &[1024usize, 8192] {
+        let plan = Fft::new(n);
+        let data = sig(n);
+        g.bench_function(format!("forward_{n}"), |b| {
+            b.iter_batched(
+                || data.clone(),
+                |mut buf| plan.forward(&mut buf),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_xcorr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xcorr");
+    g.sample_size(20);
+    let capture = sig(262_144);
+    let template = sig(8_192);
+    g.bench_function("fft_256k_x_8k", |b| {
+        b.iter(|| xcorr_fft(&capture, &template))
+    });
+    g.bench_function("normalized_256k_x_8k", |b| {
+        b.iter(|| xcorr_normalized(&capture, &template))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_xcorr);
+criterion_main!(benches);

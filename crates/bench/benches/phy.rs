@@ -1,0 +1,37 @@
+//! Criterion micro-benchmarks for the PHY layers: per-technology
+//! modulation and demodulation throughput at the 1 Msps capture rate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use galiot_phy::registry::Registry;
+
+const FS: f64 = 1_000_000.0;
+
+fn bench_modulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modulate");
+    g.sample_size(20);
+    let reg = Registry::extended();
+    let payload = vec![0x5Au8; 12];
+    for tech in reg.techs() {
+        g.bench_function(tech.id().to_string(), |b| {
+            b.iter(|| tech.modulate(&payload, FS))
+        });
+    }
+    g.finish();
+}
+
+fn bench_demodulate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("demodulate");
+    g.sample_size(10);
+    let reg = Registry::extended();
+    let payload = vec![0x5Au8; 12];
+    for tech in reg.techs() {
+        let sig = tech.modulate(&payload, FS);
+        g.bench_function(tech.id().to_string(), |b| {
+            b.iter(|| tech.demodulate(&sig, FS).expect("clean decode"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_modulate, bench_demodulate);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation A2: the edge-vs-cloud split (paper, Sec. 4) and the
+//! backhaul-bandwidth argument.
+//!
+//! Runs mixed Poisson traffic through the full pipeline and reports:
+//! what fraction of frames the edge finished locally, what fraction of
+//! capture samples were shipped (vs streaming raw I/Q), and the same
+//! run with edge decoding disabled for comparison.
+
+use galiot_bench::{parse_args, pct, tsv_row};
+use galiot_channel::{compose, generate, snr_to_noise_power, TrafficParams};
+use galiot_core::{Galiot, GaliotConfig};
+use galiot_phy::registry::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FS: f64 = 1_000_000.0;
+
+fn main() {
+    let (trials, seed) = parse_args(4, 4);
+    let reg = Registry::prototype();
+    println!("# Ablation A2: edge-first decoding and backhaul savings");
+    println!("# ({trials} captures of 1 s Poisson traffic at 15 dB SNR, seed {seed})");
+    tsv_row(&[
+        "config",
+        "frames",
+        "edge_frames",
+        "shipped_segments",
+        "shipped_fraction",
+        "goodput_bps",
+    ]);
+
+    for edge in [true, false] {
+        let config = GaliotConfig { edge_decoding: edge, ..GaliotConfig::prototype() };
+        let system = Galiot::new(config, reg.clone());
+        let mut total = galiot_core::Metrics::default();
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed + t as u64);
+            // Sparse enough that isolated packets dominate — the
+            // regime the edge-first split is designed for.
+            let params = TrafficParams { rate_hz: 1.0, ..Default::default() };
+            let events = generate(&reg, &params, 1.0, FS, &mut rng);
+            let np = snr_to_noise_power(15.0, 0.0);
+            let cap = compose(&events, 1_000_000, FS, np, &mut rng);
+            let report = system.process_capture(&cap.samples);
+            total.merge(&report.metrics);
+        }
+        tsv_row(&[
+            if edge { "edge-first (paper)" } else { "ship-everything" }.to_string(),
+            total.total_decoded().to_string(),
+            total.edge_decoded.to_string(),
+            total.shipped_segments.to_string(),
+            pct(total.shipped_fraction(8)),
+            format!("{:.1}", total.goodput_bps(FS) / trials as f64),
+        ]);
+    }
+    println!();
+    println!("# Raw I/Q streaming would ship 100% (64 Mb/s at 1 Msps float,");
+    println!("# 16 Mb/s at 8-bit) — the detection+extraction stage is what");
+    println!("# makes a home uplink viable.");
+}

@@ -1,0 +1,86 @@
+//! Ablation A5 — the frequency-hopping gateway front end
+//! (paper, Sec. 6: "frequency hopping with a few frontends ... at the
+//! expense of more collisions on occasion").
+//!
+//! A narrower tuner time-multiplexed over K sub-bands costs detection:
+//! a packet transmitted while the tuner is parked elsewhere is gone.
+//! This measures detection ratio vs K on a registry whose technologies
+//! occupy distinct channels across the 1 MHz band.
+
+use galiot_bench::{parse_args, pct, tsv_row};
+use galiot_channel::{compose, snr_to_noise_power, TxEvent};
+use galiot_gateway::{
+    score_detections, FrontEndParams, HoppingFrontEnd, PacketDetector, RtlSdrFrontEnd,
+    UniversalDetector,
+};
+use galiot_phy::lora::{LoraParams, LoraPhy};
+use galiot_phy::registry::Registry;
+use galiot_phy::xbee::{XbeeParams, XbeePhy};
+use galiot_phy::zwave::{ZwaveParams, ZwavePhy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+const FS: f64 = 1_000_000.0;
+
+/// The prototype technologies spread across distinct channels of the
+/// capture band (the realistic multi-channel 868 MHz layout).
+fn spread_registry() -> Registry {
+    let mut reg = Registry::new();
+    reg.push(Arc::new(LoraPhy::new(LoraParams::default()))); // 0 Hz
+    reg.push(Arc::new(XbeePhy::new(XbeeParams {
+        center_offset_hz: -300_000.0,
+        ..Default::default()
+    })));
+    reg.push(Arc::new(ZwavePhy::new(ZwaveParams {
+        center_offset_hz: 300_000.0,
+        ..Default::default()
+    })));
+    reg
+}
+
+fn main() {
+    let (trials, seed) = parse_args(20, 7);
+    let reg = spread_registry();
+    let detector = UniversalDetector::auto(&reg, FS);
+    let dwell = 20_000; // 20 ms per hop
+
+    println!("# Ablation A5: hopping front end — detection vs number of sub-bands");
+    println!("# ({trials} single-packet trials at 10 dB SNR, {dwell}-sample dwells, seed {seed})");
+    tsv_row(&["subbands", "tuner_bandwidth_khz", "detected", "ratio"]);
+
+    for n_subbands in [1usize, 2, 4] {
+        let fe = HoppingFrontEnd::new(
+            RtlSdrFrontEnd::new(FrontEndParams::default()),
+            n_subbands,
+            dwell,
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hits = 0usize;
+        for _ in 0..trials {
+            let tech = reg.techs()[rng.gen_range(0..reg.len())].clone();
+            let start = rng.gen_range(5_000..120_000);
+            let ev = TxEvent::new(tech, vec![0x42; 8], start);
+            let np = snr_to_noise_power(10.0, 0.0);
+            let total = reg.max_frame_samples_for(FS, 8) + 140_000;
+            let cap = compose(&[ev], total, FS, np, &mut rng);
+            let digital = fe.digitize(&cap.samples, FS);
+            let truth: Vec<(usize, usize)> =
+                cap.truth.iter().map(|t| (t.start, t.len)).collect();
+            hits += score_detections(&detector.detect(&digital, FS), &truth, 2_048)
+                .iter()
+                .filter(|&&h| h)
+                .count();
+        }
+        tsv_row(&[
+            n_subbands.to_string(),
+            format!("{:.0}", FS / n_subbands as f64 / 1e3),
+            format!("{hits}/{trials}"),
+            pct(hits as f64 / trials as f64),
+        ]);
+    }
+    println!();
+    println!("# Expected shape: detection degrades as the tuner narrows — packets");
+    println!("# arriving while the tuner is parked elsewhere are simply never seen.");
+    println!("# The hardware saving (a cheaper narrowband ADC) buys exactly that loss.");
+}

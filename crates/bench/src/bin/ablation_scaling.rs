@@ -1,0 +1,77 @@
+//! Ablation A1: how detection cost and accuracy scale with the number
+//! of registered technologies (the paper's Sec. 4 claim: the universal
+//! preamble's complexity is "independent of n", while the matched bank
+//! grows linearly).
+//!
+//! Prints, for registries of growing size: the per-sample
+//! multiply-accumulate cost of each detector and the detection ratio on
+//! a fixed single-technology workload at 0 dB SNR.
+
+use galiot_bench::{parse_args, pct, tsv_row};
+use galiot_channel::{compose, snr_to_noise_power, TxEvent};
+use galiot_gateway::{
+    score_detections, EnergyDetector, MatchedFilterBank, PacketDetector, UniversalDetector,
+};
+use galiot_phy::registry::Registry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FS: f64 = 1_000_000.0;
+
+fn main() {
+    let (trials, seed) = parse_args(20, 3);
+    // The extended registry: every technology that fits the paper's
+    // 1 Msps capture (BLE needs >= 2 Msps, so it sits this one out).
+    let full = Registry::extended();
+    println!("# Ablation A1: detector cost and accuracy vs number of technologies");
+    println!("# ({trials} trials/row at 0 dB SNR, XBee workload, seed {seed})");
+    tsv_row(&[
+        "n_techs",
+        "universal_macs_per_sample",
+        "matched_macs_per_sample",
+        "energy_macs_per_sample",
+        "universal_detect",
+        "matched_detect",
+    ]);
+
+    for n in 1..=full.len() {
+        let mut reg = Registry::new();
+        for t in full.techs().iter().take(n) {
+            reg.push(t.clone());
+        }
+        let universal = UniversalDetector::auto(&reg, FS);
+        let matched = MatchedFilterBank::new(reg.clone(), 0.0);
+        let energy = EnergyDetector::default();
+
+        // Accuracy probe: a packet of the registry's first technology,
+        // so every row measures against a defined workload.
+        let probe = reg.techs()[0].clone();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut uni_hits = 0usize;
+        let mut mat_hits = 0usize;
+        for _ in 0..trials {
+            let start = rng.gen_range(10_000..60_000);
+            let ev = TxEvent::new(probe.clone(), vec![0x42; 8], start);
+            let np = snr_to_noise_power(0.0, 0.0);
+            let total = reg.max_frame_samples(FS) + 120_000;
+            let cap = compose(&[ev], total, FS, np, &mut rng);
+            let truth: Vec<(usize, usize)> =
+                cap.truth.iter().map(|t| (t.start, t.len)).collect();
+            let d = universal.detect(&cap.samples, FS);
+            uni_hits += score_detections(&d, &truth, 2_048).iter().filter(|&&h| h).count();
+            let d = matched.detect(&cap.samples, FS);
+            mat_hits += score_detections(&d, &truth, 2_048).iter().filter(|&&h| h).count();
+        }
+        tsv_row(&[
+            n.to_string(),
+            format!("{:.0}", universal.complexity_per_sample(FS)),
+            format!("{:.0}", matched.complexity_per_sample(FS)),
+            format!("{:.0}", energy.complexity_per_sample(FS)),
+            pct(uni_hits as f64 / trials as f64),
+            pct(mat_hits as f64 / trials as f64),
+        ]);
+    }
+    println!();
+    println!("# Expected shape: matched cost grows with n; universal cost is flat");
+    println!("# (set by the longest representative preamble, not by n).");
+}

@@ -1,0 +1,59 @@
+//! Figure 3(c): throughput of collision decoding in Low / Medium /
+//! High SNR regimes — strict successive interference cancellation
+//! (the strawman) vs GalioT's Algorithm 1 with kill filters.
+//!
+//! Collisions are comparable-power (within ±1 dB), full-time-overlap
+//! mixes of 2-3 prototype technologies. The paper reports throughput
+//! gains of 532.4% at low SNR, 818.36% at high SNR, and 745.96% on
+//! average (the "7.46x over SIC" headline).
+
+use galiot_bench::{parse_args, tsv_row};
+use galiot_core::experiment::throughput_bin;
+use galiot_phy::registry::Registry;
+
+const FS: f64 = 1_000_000.0;
+const REGIMES: [(&str, f32, f32); 3] = [
+    ("low (<5 dB)", 0.0, 5.0),
+    ("medium (5-20 dB)", 5.0, 20.0),
+    ("high (>20 dB)", 20.0, 30.0),
+];
+
+fn main() {
+    let (trials, seed) = parse_args(30, 2);
+    let reg = Registry::prototype();
+
+    println!("# Figure 3(c): collision-decoding throughput, SIC vs GalioT ({trials} trials/regime, seed {seed})");
+    tsv_row(&[
+        "snr_regime",
+        "sic_bps",
+        "galiot_bps",
+        "gain",
+        "sic_bits",
+        "galiot_bits",
+        "offered_bits",
+    ]);
+
+    let mut total_sic = 0usize;
+    let mut total_gal = 0usize;
+    for (i, (name, lo, hi)) in REGIMES.iter().enumerate() {
+        let p = throughput_bin(&reg, *lo, *hi, trials, FS, seed + 10 * i as u64);
+        tsv_row(&[
+            name.to_string(),
+            format!("{:.1}", p.sic_bps()),
+            format!("{:.1}", p.galiot_bps()),
+            format!("{:.2}x", p.gain()),
+            p.sic_bits.to_string(),
+            p.galiot_bits.to_string(),
+            p.offered_bits.to_string(),
+        ]);
+        total_sic += p.sic_bits;
+        total_gal += p.galiot_bits;
+    }
+
+    println!();
+    println!("# Headline (paper: 745.96% average throughput improvement, i.e. 7.46x)");
+    println!(
+        "overall: GalioT {total_gal} bits vs SIC {total_sic} bits -> {:.2}x",
+        total_gal as f64 / total_sic.max(1) as f64
+    );
+}

@@ -1,0 +1,236 @@
+//! The collision composer: lays any number of transmissions — across
+//! technologies, powers, offsets and impairments — onto one capture
+//! buffer, exactly the "wake up and transmit" air the paper's gateway
+//! listens to.
+
+use galiot_dsp::{db_to_lin, Cf32};
+use galiot_phy::registry::TechHandle;
+use galiot_phy::TechId;
+use rand::Rng;
+
+use crate::impair::Impairments;
+use crate::noise::add_awgn;
+
+/// One scheduled transmission.
+#[derive(Clone)]
+pub struct TxEvent {
+    /// The transmitting technology.
+    pub tech: TechHandle,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// Sample index at which the frame starts in the capture.
+    pub start: usize,
+    /// Received power relative to the 0 dB reference, in dB.
+    pub power_db: f32,
+    /// Channel impairments for this transmission.
+    pub impairments: Impairments,
+}
+
+impl TxEvent {
+    /// A transmission with a clean channel at reference power.
+    pub fn new(tech: TechHandle, payload: Vec<u8>, start: usize) -> Self {
+        TxEvent {
+            tech,
+            payload,
+            start,
+            power_db: 0.0,
+            impairments: Impairments::clean(),
+        }
+    }
+
+    /// Sets the relative received power in dB.
+    pub fn with_power_db(mut self, db: f32) -> Self {
+        self.power_db = db;
+        self
+    }
+
+    /// Sets the channel impairments.
+    pub fn with_impairments(mut self, imp: Impairments) -> Self {
+        self.impairments = imp;
+        self
+    }
+}
+
+/// Ground truth for one composed transmission, kept for scoring.
+#[derive(Clone, Debug)]
+pub struct TruthRecord {
+    /// The technology that transmitted.
+    pub tech: TechId,
+    /// The payload that was sent.
+    pub payload: Vec<u8>,
+    /// First sample of the frame in the capture.
+    pub start: usize,
+    /// Number of samples the frame occupies.
+    pub len: usize,
+    /// Received power relative to reference, dB.
+    pub power_db: f32,
+}
+
+/// A composed capture plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct Capture {
+    /// The complex baseband samples at the gateway rate.
+    pub samples: Vec<Cf32>,
+    /// Sample rate in Hz.
+    pub fs: f64,
+    /// What was actually transmitted (for scoring).
+    pub truth: Vec<TruthRecord>,
+    /// The AWGN power added (total I+Q), linear.
+    pub noise_power: f32,
+}
+
+impl Capture {
+    /// Whether two or more transmissions overlap in time anywhere.
+    pub fn has_collision(&self) -> bool {
+        for (i, a) in self.truth.iter().enumerate() {
+            for b in &self.truth[i + 1..] {
+                if a.start < b.start + b.len && b.start < a.start + a.len {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Composes transmissions into a capture of `total_len` samples at
+/// rate `fs`, then adds AWGN of power `noise_power` (use
+/// [`snr_to_noise_power`] to derive it from a target SNR).
+///
+/// # Panics
+/// Panics if an event's frame would run past `total_len` (the caller
+/// controls scheduling; silent truncation would corrupt ground truth).
+pub fn compose<R: Rng + ?Sized>(
+    events: &[TxEvent],
+    total_len: usize,
+    fs: f64,
+    noise_power: f32,
+    rng: &mut R,
+) -> Capture {
+    let mut samples = vec![Cf32::ZERO; total_len];
+    let mut truth = Vec::with_capacity(events.len());
+    for ev in events {
+        let mut sig = ev.tech.modulate(&ev.payload, fs);
+        ev.impairments.apply(&mut sig, fs);
+        let gain = db_to_lin(ev.power_db).sqrt();
+        assert!(
+            ev.start + sig.len() <= total_len,
+            "event at {} ({} samples) exceeds capture of {total_len}",
+            ev.start,
+            sig.len()
+        );
+        for (k, &s) in sig.iter().enumerate() {
+            samples[ev.start + k] += s * gain;
+        }
+        truth.push(TruthRecord {
+            tech: ev.tech.id(),
+            payload: ev.payload.clone(),
+            start: ev.start,
+            len: sig.len(),
+            power_db: ev.power_db + -ev.impairments.attenuation_db,
+        });
+    }
+    if noise_power > 0.0 {
+        add_awgn(&mut samples, noise_power, rng);
+    }
+    Capture { samples, fs, truth, noise_power }
+}
+
+/// Noise power that realizes `snr_db` for a unit-power signal at
+/// relative power `power_db` (signals from [`TxEvent`] are unit power
+/// before the dB gain).
+pub fn snr_to_noise_power(snr_db: f32, power_db: f32) -> f32 {
+    db_to_lin(power_db) / db_to_lin(snr_db)
+}
+
+/// Generates a random payload of `len` bytes.
+pub fn random_payload<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<u8> {
+    (0..len).map(|_| rng.gen()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galiot_dsp::power::mean_power;
+    use galiot_phy::lora::{LoraParams, LoraPhy};
+    use galiot_phy::xbee::{XbeeParams, XbeePhy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    const FS: f64 = 1_000_000.0;
+
+    fn lora() -> TechHandle {
+        Arc::new(LoraPhy::new(LoraParams::default()))
+    }
+
+    fn xbee() -> TechHandle {
+        Arc::new(XbeePhy::new(XbeeParams::default()))
+    }
+
+    #[test]
+    fn single_event_composes_and_decodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let ev = TxEvent::new(xbee(), vec![1, 2, 3], 5_000);
+        let cap = compose(&[ev], 40_000, FS, 0.0, &mut rng);
+        assert!(!cap.has_collision());
+        assert_eq!(cap.truth.len(), 1);
+        let frame = xbee().demodulate(&cap.samples, FS).expect("decode");
+        assert_eq!(frame.payload, vec![1, 2, 3]);
+        assert!(frame.start.abs_diff(5_000) <= 2);
+    }
+
+    #[test]
+    fn power_scaling_is_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ev = TxEvent::new(xbee(), vec![0xAA; 10], 0).with_power_db(-20.0);
+        let cap = compose(&[ev], 30_000, FS, 0.0, &mut rng);
+        let truth = &cap.truth[0];
+        let p = mean_power(&cap.samples[truth.start..truth.start + truth.len]);
+        assert!((p - 0.01).abs() < 0.002, "power {p}");
+    }
+
+    #[test]
+    fn overlap_detection() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = TxEvent::new(xbee(), vec![1], 0);
+        let b = TxEvent::new(lora(), vec![2], 1_000);
+        let cap = compose(&[a, b], 200_000, FS, 0.0, &mut rng);
+        assert!(cap.has_collision());
+
+        let a = TxEvent::new(xbee(), vec![1], 0);
+        let far = 150_000;
+        let b = TxEvent::new(xbee(), vec![2], far);
+        let cap = compose(&[a, b], 200_000, FS, 0.0, &mut rng);
+        assert!(!cap.has_collision());
+    }
+
+    #[test]
+    fn noise_power_is_added() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cap = compose(&[], 100_000, FS, 0.5, &mut rng);
+        assert!((mean_power(&cap.samples) - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn snr_noise_power_formula() {
+        // 0 dB signal at 10 dB SNR -> noise 0.1.
+        assert!((snr_to_noise_power(10.0, 0.0) - 0.1).abs() < 1e-6);
+        // -10 dB signal at 0 dB SNR -> noise 0.1.
+        assert!((snr_to_noise_power(0.0, -10.0) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capture")]
+    fn overrun_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let ev = TxEvent::new(xbee(), vec![0; 50], 1_000);
+        let _ = compose(&[ev], 2_000, FS, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn random_payload_has_len() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(random_payload(17, &mut rng).len(), 17);
+    }
+}

@@ -1,0 +1,144 @@
+//! Deterministic channel impairments: carrier-frequency offset, phase,
+//! attenuation and multipath.
+//!
+//! Low-power IoT transmitters run on cheap crystals (tens of ppm) and
+//! are completely asynchronous to the gateway, so every arriving packet
+//! carries its own CFO, phase and power — the impairments the paper's
+//! demodulators must survive.
+
+use galiot_dsp::mix::mix_in_place;
+use galiot_dsp::{db_to_lin, Cf32};
+
+/// Impairments applied to one transmission on its way to the gateway.
+#[derive(Clone, Debug)]
+pub struct Impairments {
+    /// Carrier frequency offset, Hz (transmitter crystal error).
+    pub cfo_hz: f64,
+    /// Random carrier phase, radians.
+    pub phase: f32,
+    /// Path attenuation in dB (>= 0 attenuates).
+    pub attenuation_db: f32,
+    /// Multipath: complex tap gains at 1-sample spacing; empty or
+    /// `[1.0]` means a pure line-of-sight channel.
+    pub multipath: Vec<Cf32>,
+}
+
+impl Default for Impairments {
+    fn default() -> Self {
+        Impairments {
+            cfo_hz: 0.0,
+            phase: 0.0,
+            attenuation_db: 0.0,
+            multipath: Vec::new(),
+        }
+    }
+}
+
+impl Impairments {
+    /// A clean channel (no impairments).
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// A typical low-cost transmitter: `ppm` crystal error at carrier
+    /// `carrier_hz`, random-looking fixed phase.
+    pub fn crystal(ppm: f64, carrier_hz: f64) -> Self {
+        Impairments {
+            cfo_hz: ppm * 1e-6 * carrier_hz,
+            phase: 2.4,
+            ..Default::default()
+        }
+    }
+
+    /// Applies the impairments to a signal in place (sample rate `fs`).
+    pub fn apply(&self, signal: &mut Vec<Cf32>, fs: f64) {
+        if !self.multipath.is_empty() && self.multipath != [Cf32::ONE] {
+            let taps = &self.multipath;
+            let n = signal.len();
+            let mut out = vec![Cf32::ZERO; n];
+            for (d, &g) in taps.iter().enumerate() {
+                if g == Cf32::ZERO {
+                    continue;
+                }
+                for i in d..n {
+                    out[i] += signal[i - d] * g;
+                }
+            }
+            *signal = out;
+        }
+        let gain = db_to_lin(-self.attenuation_db).sqrt();
+        if self.cfo_hz != 0.0 || self.phase != 0.0 {
+            mix_in_place(signal, self.cfo_hz, fs, self.phase as f64);
+        }
+        if (gain - 1.0).abs() > 1e-9 {
+            for z in signal.iter_mut() {
+                *z *= gain;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galiot_dsp::mix::estimate_tone_freq;
+    use galiot_dsp::power::mean_power;
+
+    fn tone(n: usize) -> Vec<Cf32> {
+        (0..n).map(|i| Cf32::cis(i as f32 * 0.1)).collect()
+    }
+
+    #[test]
+    fn clean_is_identity() {
+        let mut sig = tone(256);
+        let orig = sig.clone();
+        Impairments::clean().apply(&mut sig, 1e6);
+        assert_eq!(sig, orig);
+    }
+
+    #[test]
+    fn attenuation_scales_power() {
+        let mut sig = tone(1000);
+        Impairments { attenuation_db: 20.0, ..Default::default() }.apply(&mut sig, 1e6);
+        assert!((mean_power(&sig) - 0.01).abs() < 1e-4);
+    }
+
+    #[test]
+    fn cfo_shifts_frequency() {
+        let fs = 1e6;
+        let mut sig = vec![Cf32::ONE; 4096];
+        Impairments { cfo_hz: 12_345.0, ..Default::default() }.apply(&mut sig, fs);
+        let est = estimate_tone_freq(&sig, fs);
+        assert!((est - 12_345.0).abs() < 100.0, "estimated {est}");
+    }
+
+    #[test]
+    fn phase_rotates_samples() {
+        let mut sig = vec![Cf32::ONE; 4];
+        Impairments { phase: std::f32::consts::FRAC_PI_2, ..Default::default() }
+            .apply(&mut sig, 1e6);
+        for z in &sig {
+            assert!(z.re.abs() < 1e-5 && (z.im - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn crystal_cfo_scales_with_ppm() {
+        let imp = Impairments::crystal(20.0, 868e6);
+        assert!((imp.cfo_hz - 17_360.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn multipath_spreads_impulse() {
+        let mut sig = vec![Cf32::ZERO; 16];
+        sig[4] = Cf32::ONE;
+        Impairments {
+            multipath: vec![Cf32::ONE, Cf32::ZERO, Cf32::from_re(0.5)],
+            ..Default::default()
+        }
+        .apply(&mut sig, 1e6);
+        assert!((sig[4].re - 1.0).abs() < 1e-6);
+        assert!((sig[6].re - 0.5).abs() < 1e-6);
+        assert!(sig[5].abs() < 1e-6);
+    }
+}

@@ -1,0 +1,21 @@
+//! # galiot-channel — the simulated air between IoT nodes and gateway
+//!
+//! The paper's prototype received real 868 MHz transmissions through an
+//! RTL-SDR; this crate is the substitution (see DESIGN.md): calibrated
+//! AWGN ([`noise`]), per-transmitter impairments — CFO, phase,
+//! attenuation, multipath ([`impair`]) — a collision composer with
+//! ground-truth records ([`collide`]), and Poisson "wake up and
+//! transmit" traffic generation ([`traffic`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collide;
+pub mod impair;
+pub mod noise;
+pub mod traffic;
+
+pub use collide::{compose, random_payload, snr_to_noise_power, Capture, TruthRecord, TxEvent};
+pub use impair::Impairments;
+pub use noise::{add_awgn, add_awgn_snr, awgn};
+pub use traffic::{forced_collision, generate, TrafficParams};

@@ -1,0 +1,186 @@
+//! Traffic generation: "wake up and transmit" arrival processes.
+//!
+//! Low-power IoT nodes transmit intermittently without carrier sensing
+//! (paper, Sec. 1), so arrivals across technologies are independent
+//! Poisson processes — which is exactly what produces the
+//! cross-technology collisions GalioT exists to decode.
+
+use galiot_phy::registry::Registry;
+use rand::Rng;
+
+use crate::collide::{random_payload, TxEvent};
+use crate::impair::Impairments;
+
+/// Per-technology traffic parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficParams {
+    /// Mean transmissions per second per node (Poisson rate).
+    pub rate_hz: f64,
+    /// Payload length range in bytes (inclusive).
+    pub payload_len: (usize, usize),
+    /// Received power range in dB (uniform).
+    pub power_db: (f32, f32),
+    /// Transmitter crystal error range in ppm (uniform, symmetric).
+    pub max_ppm: f64,
+    /// Nominal carrier for converting ppm to Hz (868 MHz band).
+    pub carrier_hz: f64,
+}
+
+impl Default for TrafficParams {
+    fn default() -> Self {
+        TrafficParams {
+            rate_hz: 2.0,
+            payload_len: (4, 16),
+            power_db: (0.0, 0.0),
+            max_ppm: 0.5,
+            carrier_hz: 868e6,
+        }
+    }
+}
+
+/// Draws an exponential inter-arrival time with rate `rate_hz`.
+pub fn exponential_interarrival<R: Rng + ?Sized>(rate_hz: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate_hz
+}
+
+/// Generates Poisson traffic for every technology in `reg` over
+/// `duration_s` seconds of capture at rate `fs`, dropping any frame
+/// that would run past the capture end.
+///
+/// Returns events sorted by start sample. With several technologies
+/// transmitting independently, time-overlapping events — collisions —
+/// arise naturally at realistic rates.
+pub fn generate<R: Rng + ?Sized>(
+    reg: &Registry,
+    params: &TrafficParams,
+    duration_s: f64,
+    fs: f64,
+    rng: &mut R,
+) -> Vec<TxEvent> {
+    let total = (duration_s * fs) as usize;
+    let mut events = Vec::new();
+    for tech in reg.techs() {
+        let mut t = exponential_interarrival(params.rate_hz, rng);
+        while t < duration_s {
+            let start = (t * fs) as usize;
+            let len = rng.gen_range(params.payload_len.0..=params.payload_len.1)
+                .min(tech.max_payload_len());
+            let payload = random_payload(len, rng);
+            let frame_len = tech.modulate(&payload, fs).len();
+            if start + frame_len <= total {
+                let power = if params.power_db.0 < params.power_db.1 {
+                    rng.gen_range(params.power_db.0..=params.power_db.1)
+                } else {
+                    params.power_db.0
+                };
+                let ppm = rng.gen_range(-params.max_ppm..=params.max_ppm);
+                let mut imp = Impairments::crystal(ppm, params.carrier_hz);
+                imp.phase = rng.gen_range(0.0..std::f32::consts::TAU);
+                events.push(
+                    TxEvent::new(tech.clone(), payload, start)
+                        .with_power_db(power)
+                        .with_impairments(imp),
+                );
+            }
+            t += exponential_interarrival(params.rate_hz, rng);
+        }
+    }
+    events.sort_by_key(|e| e.start);
+    events
+}
+
+/// Forces a deliberate collision: `n` technologies from the registry
+/// transmitting with full time overlap, each at `power_db[i]` dB.
+/// Starts are staggered by `stagger` samples so preambles do not align
+/// exactly (the worst realistic case the paper decodes).
+pub fn forced_collision<R: Rng + ?Sized>(
+    reg: &Registry,
+    payload_len: usize,
+    power_db: &[f32],
+    stagger: usize,
+    base_start: usize,
+    rng: &mut R,
+) -> Vec<TxEvent> {
+    reg.techs()
+        .iter()
+        .take(power_db.len())
+        .enumerate()
+        .map(|(i, tech)| {
+            let payload = random_payload(payload_len.min(tech.max_payload_len()), rng);
+            TxEvent::new(tech.clone(), payload, base_start + i * stagger)
+                .with_power_db(power_db[i])
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galiot_phy::registry::Registry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn interarrival_mean_matches_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n)
+            .map(|_| exponential_interarrival(4.0, &mut rng))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn generate_produces_sorted_in_bounds_events() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let reg = Registry::prototype();
+        let fs = 1e6;
+        let dur = 0.5;
+        let events = generate(&reg, &TrafficParams::default(), dur, fs, &mut rng);
+        assert!(!events.is_empty());
+        let total = (dur * fs) as usize;
+        let mut last = 0;
+        for ev in &events {
+            assert!(ev.start >= last);
+            last = ev.start;
+            assert!(ev.start < total);
+        }
+    }
+
+    #[test]
+    fn high_rate_traffic_produces_collisions() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let reg = Registry::prototype();
+        let fs = 1e6;
+        let params = TrafficParams { rate_hz: 8.0, ..Default::default() };
+        let events = generate(&reg, &params, 1.0, fs, &mut rng);
+        let cap = crate::collide::compose(&events, 1_000_000, fs, 0.0, &mut rng);
+        assert!(cap.has_collision(), "expected at least one collision");
+    }
+
+    #[test]
+    fn forced_collision_overlaps_fully() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let reg = Registry::prototype();
+        let events = forced_collision(&reg, 8, &[0.0, -3.0, -6.0], 500, 1_000, &mut rng);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].start, 1_000);
+        assert_eq!(events[2].start, 2_000);
+        assert_eq!(events[1].power_db, -3.0);
+    }
+
+    #[test]
+    fn zero_width_power_range_is_constant() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let reg = Registry::prototype();
+        let params = TrafficParams {
+            rate_hz: 10.0,
+            power_db: (-5.0, -5.0),
+            ..Default::default()
+        };
+        let events = generate(&reg, &params, 0.3, 1e6, &mut rng);
+        assert!(events.iter().all(|e| e.power_db == -5.0));
+    }
+}

@@ -1,0 +1,151 @@
+//! Signal classification at the cloud.
+//!
+//! The gateway deliberately does not learn which technologies are
+//! inside a detection (paper, Sec. 4, "can outsource this task to the
+//! cloud"). The cloud identifies them by correlating the segment
+//! against each technology's own preamble and estimating per-signal
+//! received power from the matched-filter response.
+
+use galiot_dsp::corr::{xcorr_fft, xcorr_normalized};
+use galiot_dsp::power::energy;
+use galiot_dsp::Cf32;
+use galiot_phy::registry::Registry;
+use galiot_phy::TechId;
+
+/// One classified signal inside a segment.
+#[derive(Clone, Copy, Debug)]
+pub struct Classified {
+    /// Which technology.
+    pub tech: TechId,
+    /// Sample offset of its preamble inside the segment.
+    pub start: usize,
+    /// Normalized correlation score in [0, 1].
+    pub score: f32,
+    /// Estimated received amplitude (linear) from the matched filter.
+    pub amplitude: f32,
+}
+
+impl Classified {
+    /// Estimated received power (linear).
+    pub fn power(&self) -> f32 {
+        self.amplitude * self.amplitude
+    }
+}
+
+/// Classifies the technologies present in a segment.
+///
+/// Returns one entry per technology whose preamble correlation exceeds
+/// `threshold`, sorted by estimated power, strongest first — the decode
+/// order of Algorithm 1 ("dependent only on the power of the signal").
+pub fn classify(
+    segment: &[Cf32],
+    fs: f64,
+    registry: &Registry,
+    threshold: f32,
+) -> Vec<Classified> {
+    let mut found = Vec::new();
+    for tech in registry.techs() {
+        let template = tech.preamble_waveform(fs);
+        if template.len() > segment.len() || template.is_empty() {
+            continue;
+        }
+        let ncc = xcorr_normalized(segment, &template);
+        let Some((start, score)) = ncc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &v)| (i, v))
+        else {
+            continue;
+        };
+        if score < threshold {
+            continue;
+        }
+        // Amplitude from the raw matched-filter output at the peak:
+        // corr = a * E_template for a scaled template copy.
+        let raw = xcorr_fft(&segment[start..(start + template.len()).min(segment.len())], &template);
+        let e = energy(&template);
+        let amplitude = if e > 0.0 && !raw.is_empty() {
+            raw[0].abs() / e
+        } else {
+            0.0
+        };
+        found.push(Classified { tech: tech.id(), start, score, amplitude });
+    }
+    found.sort_by(|a, b| b.amplitude.total_cmp(&a.amplitude));
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galiot_channel::{compose, forced_collision, snr_to_noise_power, TxEvent};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 1_000_000.0;
+
+    #[test]
+    fn single_tech_is_identified() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let reg = Registry::prototype();
+        let xbee = reg.get(TechId::XBee).unwrap().clone();
+        let ev = TxEvent::new(xbee, vec![1, 2, 3], 10_000);
+        let np = snr_to_noise_power(10.0, 0.0);
+        let cap = compose(&[ev], 100_000, FS, np, &mut rng);
+        let found = classify(&cap.samples, FS, &reg, 0.3);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].tech, TechId::XBee);
+        assert!(found[0].start.abs_diff(10_000) <= 4);
+        // Unit-power transmit: amplitude near 1.
+        assert!((found[0].amplitude - 1.0).abs() < 0.2, "{}", found[0].amplitude);
+    }
+
+    #[test]
+    fn collision_members_are_all_identified() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let reg = Registry::prototype();
+        let events = forced_collision(&reg, 8, &[0.0, 0.0, 0.0], 3_000, 10_000, &mut rng);
+        let np = snr_to_noise_power(15.0, 0.0);
+        let cap = compose(&events, 400_000, FS, np, &mut rng);
+        let found = classify(&cap.samples, FS, &reg, 0.15);
+        let ids: Vec<TechId> = found.iter().map(|c| c.tech).collect();
+        for want in [TechId::LoRa, TechId::XBee, TechId::ZWave] {
+            assert!(ids.contains(&want), "{want} missing from {ids:?}");
+        }
+    }
+
+    #[test]
+    fn ordering_follows_power() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let reg = Registry::prototype();
+        let xbee = reg.get(TechId::XBee).unwrap().clone();
+        let zwave = reg.get(TechId::ZWave).unwrap().clone();
+        let events = vec![
+            TxEvent::new(xbee, vec![1; 8], 5_000).with_power_db(-10.0),
+            TxEvent::new(zwave, vec![2; 8], 60_000).with_power_db(0.0),
+        ];
+        let np = snr_to_noise_power(20.0, -10.0);
+        let cap = compose(&events, 200_000, FS, np, &mut rng);
+        let found = classify(&cap.samples, FS, &reg, 0.2);
+        assert!(found.len() >= 2, "{found:?}");
+        assert_eq!(found[0].tech, TechId::ZWave, "strongest first");
+        assert!(found[0].amplitude > found[1].amplitude);
+    }
+
+    #[test]
+    fn noise_only_yields_nothing() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let reg = Registry::prototype();
+        let noise = galiot_channel::awgn(200_000, 1.0, &mut rng);
+        let found = classify(&noise, FS, &reg, 0.3);
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn short_segment_is_handled() {
+        let reg = Registry::prototype();
+        let found = classify(&[Cf32::ZERO; 100], FS, &reg, 0.3);
+        assert!(found.is_empty());
+    }
+}

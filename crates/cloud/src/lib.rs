@@ -1,0 +1,24 @@
+//! # galiot-cloud — joint multi-technology decoding (paper, Sec. 5)
+//!
+//! The cloud half of GalioT. Shipped segments are classified by
+//! per-technology preamble correlation ([`classify()`](classify())), decoded
+//! power-first with reconstruct-and-subtract cancellation ([`cancel`],
+//! [`sic`] — the paper's strawman baseline), and, where SIC stalls on
+//! comparable-power collisions, unlocked by the modulation-aware kill
+//! filters ([`kill`]: KILL-FREQUENCY, KILL-CSS, KILL-CODES). The whole
+//! of Algorithm 1 is [`decode::CloudDecoder`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cancel;
+pub mod classify;
+pub mod decode;
+pub mod kill;
+pub mod sic;
+
+pub use cancel::{cancel_frame, CancelReport};
+pub use classify::{classify, Classified};
+pub use decode::{CloudDecoder, CloudParams, CloudResult, Recovery};
+pub use kill::{apply_kill, kill_codes, kill_css, kill_frequency, kill_frequency_adaptive};
+pub use sic::{sic_decode, SicParams, SicResult};

@@ -1,0 +1,43 @@
+//! # galiot-core — the GalioT system
+//!
+//! Reproduction of *"Revisiting Software Defined Radios in the IoT
+//! Era"* (Narayanan & Kumar, HotNets '18). This crate assembles the
+//! substrates — [`galiot_dsp`], [`galiot_phy`], [`galiot_channel`],
+//! [`galiot_gateway`], [`galiot_cloud`] — into the end-to-end system a
+//! downstream user runs:
+//!
+//! * [`pipeline::Galiot`] — batch processing of a capture: RTL-SDR
+//!   front end, universal-preamble detection, extraction, edge-first
+//!   decode, compressed backhaul, and Algorithm 1 at the cloud;
+//! * [`streaming::StreamingGaliot`] — the same stages as a live,
+//!   thread-per-stage pipeline over crossbeam channels;
+//! * [`experiment`] — the engines behind every figure of the paper;
+//! * [`sensing`] — the Sec. 6 multi-technology wireless-sensing sketch;
+//! * [`config`], [`metrics`] — knobs and counters.
+//!
+//! ```no_run
+//! use galiot_core::{Galiot, GaliotConfig};
+//! use galiot_phy::registry::Registry;
+//!
+//! let system = Galiot::new(GaliotConfig::prototype(), Registry::prototype());
+//! let capture: Vec<galiot_dsp::Cf32> = vec![]; // samples from your SDR
+//! let report = system.process_capture(&capture);
+//! for f in &report.frames {
+//!     println!("{}: {} bytes", f.frame.tech, f.frame.payload.len());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiment;
+pub mod metrics;
+pub mod pipeline;
+pub mod sensing;
+pub mod streaming;
+
+pub use config::{DetectorKind, GaliotConfig};
+pub use metrics::{Metrics, SharedMetrics};
+pub use pipeline::{Galiot, PipelineFrame, RunReport};
+pub use streaming::StreamingGaliot;

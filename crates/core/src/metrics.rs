@@ -1,0 +1,172 @@
+//! System metrics: what the experiments measure.
+
+use galiot_phy::{DecodedFrame, TechId};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Counters accumulated over a run. Shared across pipeline threads via
+/// [`SharedMetrics`].
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Detections raised by the gateway.
+    pub detections: usize,
+    /// Segments extracted and considered for decode.
+    pub segments: usize,
+    /// Frames decoded at the edge.
+    pub edge_decoded: usize,
+    /// Segments shipped to the cloud.
+    pub shipped_segments: usize,
+    /// Bytes shipped over the backhaul.
+    pub shipped_bytes: u64,
+    /// Frames decoded at the cloud.
+    pub cloud_decoded: usize,
+    /// Of the cloud frames, how many needed a kill filter.
+    pub kill_recovered: usize,
+    /// Payload bits recovered, per technology.
+    pub payload_bits: BTreeMap<TechId, u64>,
+    /// Capture samples processed.
+    pub samples_processed: u64,
+}
+
+impl Metrics {
+    /// Records a decoded frame (either tier).
+    pub fn record_frame(&mut self, frame: &DecodedFrame, at_edge: bool, via_kill: bool) {
+        if at_edge {
+            self.edge_decoded += 1;
+        } else {
+            self.cloud_decoded += 1;
+            if via_kill {
+                self.kill_recovered += 1;
+            }
+        }
+        *self.payload_bits.entry(frame.tech).or_default() += frame.payload.len() as u64 * 8;
+    }
+
+    /// Total frames decoded across tiers.
+    pub fn total_decoded(&self) -> usize {
+        self.edge_decoded + self.cloud_decoded
+    }
+
+    /// Total payload bits recovered.
+    pub fn total_payload_bits(&self) -> u64 {
+        self.payload_bits.values().sum()
+    }
+
+    /// Goodput in bits per second of *capture time* (the Fig. 3(c)
+    /// metric): recovered payload bits divided by the capture duration.
+    pub fn goodput_bps(&self, fs: f64) -> f64 {
+        if self.samples_processed == 0 {
+            return 0.0;
+        }
+        let seconds = self.samples_processed as f64 / fs;
+        self.total_payload_bits() as f64 / seconds
+    }
+
+    /// Fraction of capture samples shipped to the cloud, assuming
+    /// `bits` per I/Q rail (2 rails) on the wire.
+    pub fn shipped_fraction(&self, bits: u32) -> f64 {
+        if self.samples_processed == 0 {
+            return 0.0;
+        }
+        let shipped_samples = self.shipped_bytes as f64 * 8.0 / (2.0 * bits as f64);
+        shipped_samples / self.samples_processed as f64
+    }
+
+    /// Merges another metrics block into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.detections += other.detections;
+        self.segments += other.segments;
+        self.edge_decoded += other.edge_decoded;
+        self.shipped_segments += other.shipped_segments;
+        self.shipped_bytes += other.shipped_bytes;
+        self.cloud_decoded += other.cloud_decoded;
+        self.kill_recovered += other.kill_recovered;
+        self.samples_processed += other.samples_processed;
+        for (k, v) in &other.payload_bits {
+            *self.payload_bits.entry(*k).or_default() += v;
+        }
+    }
+}
+
+/// Thread-shared metrics handle for the streaming pipeline.
+#[derive(Clone, Default)]
+pub struct SharedMetrics(Arc<Mutex<Metrics>>);
+
+impl SharedMetrics {
+    /// Creates an empty shared block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs `f` with the metrics locked.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Metrics) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+
+    /// Snapshots the current counters.
+    pub fn snapshot(&self) -> Metrics {
+        self.0.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(tech: TechId, bytes: usize) -> DecodedFrame {
+        DecodedFrame { tech, payload: vec![0; bytes], start: 0, len: 100 }
+    }
+
+    #[test]
+    fn record_and_totals() {
+        let mut m = Metrics::default();
+        m.record_frame(&frame(TechId::LoRa, 10), true, false);
+        m.record_frame(&frame(TechId::XBee, 5), false, true);
+        assert_eq!(m.total_decoded(), 2);
+        assert_eq!(m.edge_decoded, 1);
+        assert_eq!(m.cloud_decoded, 1);
+        assert_eq!(m.kill_recovered, 1);
+        assert_eq!(m.total_payload_bits(), 120);
+        assert_eq!(m.payload_bits[&TechId::LoRa], 80);
+    }
+
+    #[test]
+    fn goodput_uses_capture_time() {
+        let mut m = Metrics { samples_processed: 1_000_000, ..Default::default() }; // 1 s at 1 Msps
+        m.record_frame(&frame(TechId::ZWave, 125), true, false);
+        assert!((m.goodput_bps(1e6) - 1000.0).abs() < 1e-6);
+        assert_eq!(Metrics::default().goodput_bps(1e6), 0.0);
+    }
+
+    #[test]
+    fn shipped_fraction_math() {
+        let m = Metrics {
+            samples_processed: 1_000_000,
+            shipped_bytes: 200_000, // 100k samples at 8+8 bits
+            ..Default::default()
+        };
+        assert!((m.shipped_fraction(8) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Metrics { samples_processed: 10, ..Default::default() };
+        a.record_frame(&frame(TechId::LoRa, 1), true, false);
+        let mut b = Metrics { samples_processed: 20, ..Default::default() };
+        b.record_frame(&frame(TechId::LoRa, 2), false, false);
+        a.merge(&b);
+        assert_eq!(a.total_decoded(), 2);
+        assert_eq!(a.samples_processed, 30);
+        assert_eq!(a.payload_bits[&TechId::LoRa], 24);
+    }
+
+    #[test]
+    fn shared_metrics_across_clones() {
+        let s = SharedMetrics::new();
+        let s2 = s.clone();
+        s.with(|m| m.detections += 3);
+        s2.with(|m| m.detections += 4);
+        assert_eq!(s.snapshot().detections, 7);
+    }
+}

@@ -1,0 +1,179 @@
+//! Multi-technology wireless sensing — a working sketch of the
+//! paper's Sec. 6 direction ("At the Cloud — Multi-Technology Wireless
+//! Sensing").
+//!
+//! Every frame the cloud decodes yields a channel estimate as a
+//! by-product of cancellation (the complex gain between the
+//! remodulated reference and the received signal). A static
+//! environment gives each transmitter a stable gain; people moving
+//! through the propagation paths perturb it. Because IoT devices are
+//! "diverse, transmit occasionally" (Sec. 6), the monitor aggregates
+//! observations across *all* technologies to shorten the time between
+//! channel samples.
+
+use galiot_dsp::Cf32;
+use galiot_phy::TechId;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One channel observation: a decoded frame's estimated complex gain.
+#[derive(Clone, Copy, Debug)]
+pub struct ChannelObservation {
+    /// Which technology's frame produced it.
+    pub tech: TechId,
+    /// Capture time of the frame, seconds.
+    pub t_s: f64,
+    /// Estimated complex channel gain.
+    pub gain: Cf32,
+}
+
+/// Sliding-window channel-variation monitor.
+///
+/// Tracks per-technology gain histories and scores environmental
+/// change as the pooled relative deviation of recent gains from each
+/// transmitter's own windowed mean — near zero for a static channel,
+/// rising when the environment (or the people in it) moves.
+#[derive(Clone, Debug)]
+pub struct SensingMonitor {
+    window: usize,
+    history: BTreeMap<TechId, VecDeque<ChannelObservation>>,
+}
+
+impl SensingMonitor {
+    /// Creates a monitor keeping the last `window` observations per
+    /// technology.
+    ///
+    /// # Panics
+    /// Panics if `window < 2` (variation needs at least two samples).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2, "window must hold at least 2 observations");
+        SensingMonitor { window, history: BTreeMap::new() }
+    }
+
+    /// Feeds one observation.
+    pub fn observe(&mut self, obs: ChannelObservation) {
+        let h = self.history.entry(obs.tech).or_default();
+        h.push_back(obs);
+        while h.len() > self.window {
+            h.pop_front();
+        }
+    }
+
+    /// Number of observations currently held, across technologies.
+    pub fn len(&self) -> usize {
+        self.history.values().map(|h| h.len()).sum()
+    }
+
+    /// Whether no observations are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The motion score: pooled coefficient of variation of the
+    /// complex gains, per transmitter, averaged across technologies.
+    /// Complex (not magnitude) deviation also catches pure phase
+    /// changes — a path-length change moves phase first.
+    pub fn motion_score(&self) -> f32 {
+        let mut score = 0.0f64;
+        let mut groups = 0usize;
+        for h in self.history.values() {
+            if h.len() < 2 {
+                continue;
+            }
+            let mean: Cf32 =
+                h.iter().map(|o| o.gain).sum::<Cf32>() / h.len() as f32;
+            let var: f32 = h
+                .iter()
+                .map(|o| (o.gain - mean).norm_sqr())
+                .sum::<f32>()
+                / h.len() as f32;
+            let mag2 = mean.norm_sqr().max(1e-20);
+            score += (var / mag2) as f64;
+            groups += 1;
+        }
+        if groups == 0 {
+            0.0
+        } else {
+            (score / groups as f64).sqrt() as f32
+        }
+    }
+
+    /// Per-technology observation counts (for diagnostics).
+    pub fn counts(&self) -> BTreeMap<TechId, usize> {
+        self.history.iter().map(|(k, v)| (*k, v.len())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(tech: TechId, t: f64, gain: Cf32) -> ChannelObservation {
+        ChannelObservation { tech, t_s: t, gain }
+    }
+
+    #[test]
+    fn static_channel_scores_near_zero() {
+        let mut m = SensingMonitor::new(16);
+        for k in 0..16 {
+            m.observe(obs(TechId::LoRa, k as f64, Cf32::new(0.8, 0.1)));
+            m.observe(obs(TechId::XBee, k as f64, Cf32::new(0.3, -0.4)));
+        }
+        assert!(m.motion_score() < 1e-3, "score {}", m.motion_score());
+    }
+
+    #[test]
+    fn amplitude_fluctuation_raises_score() {
+        let mut m = SensingMonitor::new(16);
+        for k in 0..16 {
+            let a = 0.8 + 0.3 * (k as f32 * 1.7).sin();
+            m.observe(obs(TechId::LoRa, k as f64, Cf32::new(a, 0.0)));
+        }
+        assert!(m.motion_score() > 0.1, "score {}", m.motion_score());
+    }
+
+    #[test]
+    fn pure_phase_motion_is_detected() {
+        // Constant magnitude, rotating phase: magnitude-only sensing
+        // would miss this; complex deviation must not.
+        let mut m = SensingMonitor::new(16);
+        for k in 0..16 {
+            m.observe(obs(TechId::ZWave, k as f64, Cf32::from_polar(0.7, k as f32 * 0.5)));
+        }
+        assert!(m.motion_score() > 0.3, "score {}", m.motion_score());
+    }
+
+    #[test]
+    fn pooling_across_technologies() {
+        let mut m = SensingMonitor::new(8);
+        // One static device, one moving device: pooled score between.
+        for k in 0..8 {
+            m.observe(obs(TechId::LoRa, k as f64, Cf32::new(1.0, 0.0)));
+            let a = 0.5 + 0.4 * (k as f32).sin();
+            m.observe(obs(TechId::XBee, k as f64, Cf32::new(a, 0.0)));
+        }
+        let pooled = m.motion_score();
+        assert!(pooled > 0.05 && pooled < 1.0, "score {pooled}");
+        assert_eq!(m.counts()[&TechId::LoRa], 8);
+    }
+
+    #[test]
+    fn window_evicts_old_observations() {
+        let mut m = SensingMonitor::new(4);
+        // Early chaos followed by a long static period: the window
+        // forgets the chaos.
+        for k in 0..4 {
+            m.observe(obs(TechId::LoRa, k as f64, Cf32::new((k % 2) as f32, 0.5)));
+        }
+        for k in 4..20 {
+            m.observe(obs(TechId::LoRa, k as f64, Cf32::new(0.9, 0.0)));
+        }
+        assert_eq!(m.len(), 4);
+        assert!(m.motion_score() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn tiny_window_rejected() {
+        let _ = SensingMonitor::new(1);
+    }
+}

@@ -1,0 +1,346 @@
+//! Cross-correlation and matched filtering.
+//!
+//! Packet detection — both the per-technology matched-filter bank the
+//! paper calls "optimal" and GalioT's universal-preamble detector — is
+//! sliding cross-correlation of the capture against a template. Both a
+//! direct form (for short templates / tests) and an FFT overlap form
+//! (for the streaming detectors) are provided, along with normalized
+//! correlation and peak picking.
+
+use crate::fft::{next_pow2, Fft};
+use crate::num::Cf32;
+
+/// Sliding cross-correlation, direct form.
+///
+/// `out[i] = sum_k x[i + k] * conj(h[k])` for every full overlap
+/// (`out.len() == x.len() - h.len() + 1`). Returns an empty vector if
+/// the template is longer than the signal.
+pub fn xcorr_direct(x: &[Cf32], h: &[Cf32]) -> Vec<Cf32> {
+    if h.is_empty() || x.len() < h.len() {
+        return Vec::new();
+    }
+    let n = x.len() - h.len() + 1;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut acc = Cf32::ZERO;
+        for (k, &hk) in h.iter().enumerate() {
+            acc += x[i + k] * hk.conj();
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Sliding cross-correlation via FFT (circular correlation on a
+/// zero-padded block), identical output to [`xcorr_direct`].
+///
+/// Cost is `O((N+M) log(N+M))` instead of `O(N M)`; the detectors use
+/// this form on every capture block.
+pub fn xcorr_fft(x: &[Cf32], h: &[Cf32]) -> Vec<Cf32> {
+    if h.is_empty() || x.len() < h.len() {
+        return Vec::new();
+    }
+    let out_len = x.len() - h.len() + 1;
+    let n = next_pow2(x.len() + h.len());
+    let plan = Fft::new(n);
+
+    let mut fx = vec![Cf32::ZERO; n];
+    fx[..x.len()].copy_from_slice(x);
+    plan.forward(&mut fx);
+
+    let mut fh = vec![Cf32::ZERO; n];
+    fh[..h.len()].copy_from_slice(h);
+    plan.forward(&mut fh);
+
+    // Correlation theorem: corr(x, h) = IFFT(FFT(x) * conj(FFT(h))).
+    for (a, b) in fx.iter_mut().zip(fh.iter()) {
+        *a *= b.conj();
+    }
+    plan.inverse(&mut fx);
+    fx.truncate(out_len);
+    fx
+}
+
+/// Normalized sliding cross-correlation magnitude in `[0, 1]`.
+///
+/// `out[i] = |<x_i, h>| / (|x_i| |h|)` where `x_i` is the window of
+/// `x` starting at `i`. Windows with negligible energy (relative to
+/// the strongest window) return 0 rather than amplifying noise.
+pub fn xcorr_normalized(x: &[Cf32], h: &[Cf32]) -> Vec<f32> {
+    if h.is_empty() || x.len() < h.len() {
+        return Vec::new();
+    }
+    let raw = xcorr_fft(x, h);
+    let h_energy: f32 = h.iter().map(|z| z.norm_sqr()).sum();
+    // Sliding window energy of x via prefix sums (f64 to avoid drift).
+    let mut prefix = Vec::with_capacity(x.len() + 1);
+    prefix.push(0.0f64);
+    let mut acc = 0.0f64;
+    for z in x {
+        acc += z.norm_sqr() as f64;
+        prefix.push(acc);
+    }
+    let m = h.len();
+    let mut out = Vec::with_capacity(raw.len());
+    let max_win = (0..raw.len())
+        .map(|i| prefix[i + m] - prefix[i])
+        .fold(0.0f64, f64::max);
+    let floor = (max_win * 1e-9).max(1e-30);
+    for (i, r) in raw.iter().enumerate() {
+        let win = prefix[i + m] - prefix[i];
+        if win <= floor {
+            out.push(0.0);
+        } else {
+            let denom = (win * h_energy as f64).sqrt() as f32;
+            out.push((r.abs() / denom).min(1.0));
+        }
+    }
+    out
+}
+
+/// A detected correlation peak.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Peak {
+    /// Sample index of the peak (start-of-template alignment).
+    pub index: usize,
+    /// Peak value (normalized correlation or raw magnitude, per caller).
+    pub value: f32,
+}
+
+/// Finds local maxima above `threshold`, suppressing any later peak
+/// closer than `min_distance` samples to a previously accepted,
+/// stronger peak. Peaks are returned in index order.
+pub fn find_peaks(corr: &[f32], threshold: f32, min_distance: usize) -> Vec<Peak> {
+    let mut candidates: Vec<Peak> = corr
+        .iter()
+        .enumerate()
+        .filter(|&(i, &v)| {
+            v >= threshold
+                && (i == 0 || corr[i - 1] <= v)
+                && (i + 1 == corr.len() || corr[i + 1] < v)
+        })
+        .map(|(i, &v)| Peak { index: i, value: v })
+        .collect();
+    // Greedy non-maximum suppression, strongest first.
+    candidates.sort_by(|a, b| b.value.total_cmp(&a.value));
+    let mut accepted: Vec<Peak> = Vec::new();
+    for c in candidates {
+        if accepted
+            .iter()
+            .all(|a| a.index.abs_diff(c.index) >= min_distance)
+        {
+            accepted.push(c);
+        }
+    }
+    accepted.sort_by_key(|p| p.index);
+    accepted
+}
+
+/// Zero-mean normalized cross-correlation (NCC) of real sequences,
+/// in `[-1, 1]`.
+///
+/// `out[i] = <x_i - mean(x_i), h - mean(h)> / (||x_i - mean|| ||h - mean||)`
+/// over windows `x_i` of `x`. Subtracting the window mean makes the
+/// statistic immune to any constant offset in `x` — which is how FSK
+/// bit-sync on a frequency-discriminator output stays robust to
+/// carrier-frequency offset (CFO shows up there as a DC shift).
+///
+/// Computed with one FFT correlation plus prefix sums, `O(N log N)`.
+pub fn ncc_real(x: &[f32], h: &[f32]) -> Vec<f32> {
+    if h.len() < 2 || x.len() < h.len() {
+        return Vec::new();
+    }
+    let m = h.len();
+    let mean_h: f32 = h.iter().sum::<f32>() / m as f32;
+    let hz: Vec<Cf32> = h.iter().map(|&v| Cf32::from_re(v - mean_h)).collect();
+    let h_norm: f32 = hz.iter().map(|z| z.re * z.re).sum::<f32>().sqrt();
+    if h_norm <= 0.0 {
+        return vec![0.0; x.len() - m + 1];
+    }
+    let xz: Vec<Cf32> = x.iter().map(|&v| Cf32::from_re(v)).collect();
+    // <x_i, h - mean_h> == <x_i - mean_i, h - mean_h> since h is zero-mean.
+    let raw = xcorr_fft(&xz, &hz);
+    // Sliding sums for window mean and variance (f64 prefix sums).
+    let mut p1 = Vec::with_capacity(x.len() + 1);
+    let mut p2 = Vec::with_capacity(x.len() + 1);
+    p1.push(0.0f64);
+    p2.push(0.0f64);
+    let (mut a1, mut a2) = (0.0f64, 0.0f64);
+    for &v in x {
+        a1 += v as f64;
+        a2 += (v as f64) * (v as f64);
+        p1.push(a1);
+        p2.push(a2);
+    }
+    let mut out = Vec::with_capacity(raw.len());
+    for (i, r) in raw.iter().enumerate() {
+        let s1 = p1[i + m] - p1[i];
+        let s2 = p2[i + m] - p2[i];
+        let var = (s2 - s1 * s1 / m as f64).max(0.0);
+        let x_norm = (var as f32).sqrt();
+        if x_norm <= 1e-12 {
+            out.push(0.0);
+        } else {
+            out.push((r.re / (x_norm * h_norm)).clamp(-1.0, 1.0));
+        }
+    }
+    out
+}
+
+/// Index and magnitude of the largest-magnitude correlation sample.
+/// Returns `None` for an empty slice.
+pub fn argmax_abs(corr: &[Cf32]) -> Option<(usize, f32)> {
+    corr.iter()
+        .enumerate()
+        .map(|(i, z)| (i, z.abs()))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(v: &[f32]) -> Vec<Cf32> {
+        v.iter().map(|&r| Cf32::from_re(r)).collect()
+    }
+
+    #[test]
+    fn direct_matches_hand_computation() {
+        let x = seq(&[1.0, 2.0, 3.0, 4.0]);
+        let h = seq(&[1.0, 1.0]);
+        let out = xcorr_direct(&x, &h);
+        assert_eq!(out.len(), 3);
+        assert!((out[0].re - 3.0).abs() < 1e-5);
+        assert!((out[1].re - 5.0).abs() < 1e-5);
+        assert!((out[2].re - 7.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn fft_matches_direct() {
+        let x: Vec<Cf32> = (0..200)
+            .map(|i| Cf32::new((i as f32 * 0.7).sin(), (i as f32 * 0.31).cos()))
+            .collect();
+        let h: Vec<Cf32> = (0..31)
+            .map(|i| Cf32::new((i as f32 * 1.3).cos(), -(i as f32 * 0.11).sin()))
+            .collect();
+        let a = xcorr_direct(&x, &h);
+        let b = xcorr_fft(&x, &h);
+        assert_eq!(a.len(), b.len());
+        for (p, q) in a.iter().zip(b.iter()) {
+            assert!((*p - *q).abs() < 1e-3, "{p:?} vs {q:?}");
+        }
+    }
+
+    #[test]
+    fn template_found_at_embedded_offset() {
+        let h: Vec<Cf32> = (0..32).map(|i| Cf32::cis(i as f32 * 0.9)).collect();
+        let mut x = vec![Cf32::ZERO; 300];
+        for (k, &hv) in h.iter().enumerate() {
+            x[137 + k] = hv;
+        }
+        let corr = xcorr_fft(&x, &h);
+        let (idx, _) = argmax_abs(&corr).unwrap();
+        assert_eq!(idx, 137);
+    }
+
+    #[test]
+    fn normalized_peak_is_one_for_exact_match() {
+        let h: Vec<Cf32> = (0..64).map(|i| Cf32::cis(i as f32 * 0.37)).collect();
+        let mut x = vec![Cf32::ZERO; 256];
+        for (k, &hv) in h.iter().enumerate() {
+            x[90 + k] = hv * 3.0; // scaled copy: normalization removes gain
+        }
+        let norm = xcorr_normalized(&x, &h);
+        let peak = norm
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert_eq!(peak.0, 90);
+        assert!(*peak.1 > 0.999);
+    }
+
+    #[test]
+    fn normalized_is_bounded() {
+        let h: Vec<Cf32> = (0..16).map(|i| Cf32::cis(i as f32)).collect();
+        let x: Vec<Cf32> = (0..200).map(|i| Cf32::cis(i as f32 * 1.7) * 2.0).collect();
+        for v in xcorr_normalized(&x, &h) {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn find_peaks_respects_threshold_and_distance() {
+        let mut corr = vec![0.0f32; 100];
+        corr[10] = 0.9;
+        corr[12] = 0.8; // within min_distance of the stronger 10
+        corr[50] = 0.7;
+        corr[90] = 0.3; // below threshold
+        let peaks = find_peaks(&corr, 0.5, 5);
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].index, 10);
+        assert_eq!(peaks[1].index, 50);
+    }
+
+    #[test]
+    fn find_peaks_keeps_separated_equal_peaks() {
+        let mut corr = vec![0.0f32; 100];
+        corr[20] = 0.8;
+        corr[70] = 0.8;
+        let peaks = find_peaks(&corr, 0.5, 10);
+        assert_eq!(peaks.len(), 2);
+    }
+
+    #[test]
+    fn ncc_finds_pattern_under_dc_offset() {
+        // Template: a +1/-1 pattern; signal: the pattern + a large DC
+        // shift (models CFO on a discriminator output).
+        let h: Vec<f32> = [1.0f32, 1.0, -1.0, 1.0, -1.0, -1.0, 1.0, -1.0]
+            .iter()
+            .flat_map(|&b| std::iter::repeat_n(b, 10))
+            .collect();
+        let mut x = vec![5.0f32; 400]; // constant region, zero variance handled
+        for (k, &v) in h.iter().enumerate() {
+            x[200 + k] = v + 5.0;
+        }
+        let ncc = ncc_real(&x, &h);
+        let (idx, val) = ncc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        assert_eq!(idx, 200);
+        assert!(*val > 0.999, "peak {val}");
+    }
+
+    #[test]
+    fn ncc_is_bounded_and_sign_sensitive() {
+        let h = vec![1.0f32, -1.0, 1.0, -1.0, 1.0, -1.0];
+        let x: Vec<f32> = (0..100).map(|i| ((i % 2) as f32) * 2.0 - 1.0).collect();
+        let ncc = ncc_real(&x, &h);
+        for v in &ncc {
+            assert!((-1.0..=1.0).contains(v));
+        }
+        // Alternating signal correlates at +-1 depending on parity.
+        assert!(ncc.iter().any(|&v| v > 0.999));
+        assert!(ncc.iter().any(|&v| v < -0.999));
+    }
+
+    #[test]
+    fn ncc_degenerate_inputs() {
+        assert!(ncc_real(&[1.0], &[1.0, 2.0]).is_empty());
+        assert!(ncc_real(&[1.0, 2.0, 3.0], &[]).is_empty());
+        // Constant template has zero norm -> all zeros.
+        let out = ncc_real(&[1.0, 2.0, 3.0, 4.0], &[2.0, 2.0]);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_output() {
+        let h: Vec<Cf32> = seq(&[1.0, 2.0, 3.0]);
+        assert!(xcorr_direct(&seq(&[1.0]), &h).is_empty());
+        assert!(xcorr_fft(&seq(&[1.0, 2.0]), &h).is_empty());
+        assert!(xcorr_normalized(&[], &h).is_empty());
+        assert!(argmax_abs(&[]).is_none());
+    }
+}

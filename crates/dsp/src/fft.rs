@@ -1,0 +1,287 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! An iterative, in-place Cooley-Tukey FFT with a cached twiddle-factor
+//! table. Sizes must be powers of two; callers that need other lengths
+//! zero-pad (see [`next_pow2`]). This is the workhorse behind LoRa
+//! dechirp demodulation, FFT-based correlation in the universal
+//! preamble detector, and spectral kill filters at the cloud.
+
+use crate::num::Cf32;
+
+/// Returns the smallest power of two `>= n` (and `>= 1`).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// A planned FFT of a fixed power-of-two size.
+///
+/// Construction precomputes the bit-reversal permutation and the
+/// twiddle factors; [`Fft::forward`] and [`Fft::inverse`] then run with
+/// no allocation. Plans are cheap to clone and safe to reuse across
+/// threads (`&self` methods only).
+#[derive(Clone)]
+pub struct Fft {
+    n: usize,
+    // Bit-reversed index for each position; rev[i] < i entries are swapped once.
+    rev: Vec<u32>,
+    // Twiddles for the forward transform: e^{-2 pi i k / n} for k in 0..n/2.
+    twiddles: Vec<Cf32>,
+}
+
+impl Fft {
+    /// Plans an FFT of size `n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+        let bits = n.trailing_zeros();
+        let rev: Vec<u32> = (0..n as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .collect();
+        let twiddles: Vec<Cf32> = (0..n / 2)
+            .map(|k| Cf32::cis(-2.0 * std::f32::consts::PI * k as f32 / n as f32))
+            .collect();
+        Fft { n, rev, twiddles }
+    }
+
+    /// The transform size.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the degenerate size-1 plan.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n <= 1
+    }
+
+    /// In-place forward DFT: `X[k] = sum_n x[n] e^{-2 pi i k n / N}`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` differs from the planned size.
+    pub fn forward(&self, buf: &mut [Cf32]) {
+        assert_eq!(buf.len(), self.n, "buffer length must equal FFT size");
+        self.transform(buf, false);
+    }
+
+    /// In-place inverse DFT, normalized by `1/N` so that
+    /// `inverse(forward(x)) == x`.
+    ///
+    /// # Panics
+    /// Panics if `buf.len()` differs from the planned size.
+    pub fn inverse(&self, buf: &mut [Cf32]) {
+        assert_eq!(buf.len(), self.n, "buffer length must equal FFT size");
+        self.transform(buf, true);
+        let k = 1.0 / self.n as f32;
+        for z in buf.iter_mut() {
+            *z *= k;
+        }
+    }
+
+    fn transform(&self, buf: &mut [Cf32], inverse: bool) {
+        let n = self.n;
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        // Iterative butterflies.
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len; // stride into the n/2-long twiddle table
+            for start in (0..n).step_by(len) {
+                for k in 0..half {
+                    let mut w = self.twiddles[k * step];
+                    if inverse {
+                        w = w.conj();
+                    }
+                    let a = buf[start + k];
+                    let b = buf[start + k + half] * w;
+                    buf[start + k] = a + b;
+                    buf[start + k + half] = a - b;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// One-shot forward FFT of a power-of-two-length slice.
+///
+/// Convenience wrapper that plans and runs; prefer holding an [`Fft`]
+/// in hot paths.
+pub fn fft(buf: &mut [Cf32]) {
+    Fft::new(buf.len()).forward(buf);
+}
+
+/// One-shot normalized inverse FFT of a power-of-two-length slice.
+pub fn ifft(buf: &mut [Cf32]) {
+    Fft::new(buf.len()).inverse(buf);
+}
+
+/// Returns the index of the maximum-magnitude bin of a spectrum.
+///
+/// Ties resolve to the lowest index. Returns 0 for an empty slice.
+pub fn peak_bin(spectrum: &[Cf32]) -> usize {
+    let mut best = 0usize;
+    let mut best_mag = f32::MIN;
+    for (i, z) in spectrum.iter().enumerate() {
+        let m = z.norm_sqr();
+        if m > best_mag {
+            best_mag = m;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Maps an FFT bin index to its frequency in Hz given the sample rate,
+/// treating bins above `n/2` as negative frequencies.
+#[inline]
+pub fn bin_to_freq(bin: usize, n: usize, fs: f64) -> f64 {
+    let b = if bin <= n / 2 { bin as f64 } else { bin as f64 - n as f64 };
+    b * fs / n as f64
+}
+
+/// Maps a frequency in Hz (positive or negative) to the nearest FFT bin
+/// index in `0..n`.
+#[inline]
+pub fn freq_to_bin(freq: f64, n: usize, fs: f64) -> usize {
+    let raw = (freq * n as f64 / fs).round() as i64;
+    raw.rem_euclid(n as i64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::num::Cf32;
+
+    fn assert_close(a: Cf32, b: Cf32, tol: f32) {
+        assert!(
+            (a - b).abs() < tol,
+            "expected {b:?}, got {a:?} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let mut buf = vec![Cf32::ONE; 8];
+        fft(&mut buf);
+        assert_close(buf[0], Cf32::from_re(8.0), 1e-4);
+        for z in &buf[1..] {
+            assert!(z.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_expected_bin() {
+        let n = 64;
+        let k = 5;
+        let mut buf: Vec<Cf32> = (0..n)
+            .map(|i| Cf32::cis(2.0 * std::f32::consts::PI * k as f32 * i as f32 / n as f32))
+            .collect();
+        fft(&mut buf);
+        assert_eq!(peak_bin(&buf), k);
+        assert!(buf[k].abs() > 0.99 * n as f32);
+    }
+
+    #[test]
+    fn negative_tone_lands_in_high_bin() {
+        let n = 32;
+        let mut buf: Vec<Cf32> = (0..n)
+            .map(|i| Cf32::cis(-2.0 * std::f32::consts::PI * 3.0 * i as f32 / n as f32))
+            .collect();
+        fft(&mut buf);
+        assert_eq!(peak_bin(&buf), n - 3);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        let n = 128;
+        let orig: Vec<Cf32> = (0..n)
+            .map(|i| Cf32::new((i as f32 * 0.37).sin(), (i as f32 * 0.11).cos()))
+            .collect();
+        let mut buf = orig.clone();
+        let plan = Fft::new(n);
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (a, b) in buf.iter().zip(orig.iter()) {
+            assert_close(*a, *b, 1e-4);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 256;
+        let sig: Vec<Cf32> = (0..n)
+            .map(|i| Cf32::new((i as f32 * 1.7).sin(), (i as f32 * 0.3).sin()))
+            .collect();
+        let time_energy: f32 = sig.iter().map(|z| z.norm_sqr()).sum();
+        let mut buf = sig;
+        fft(&mut buf);
+        let freq_energy: f32 = buf.iter().map(|z| z.norm_sqr()).sum::<f32>() / n as f32;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-4);
+    }
+
+    #[test]
+    fn size_one_is_identity() {
+        let mut buf = vec![Cf32::new(2.0, -1.0)];
+        fft(&mut buf);
+        assert_eq!(buf[0], Cf32::new(2.0, -1.0));
+        ifft(&mut buf);
+        assert_eq!(buf[0], Cf32::new(2.0, -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        let _ = Fft::new(12);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1000), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+
+    #[test]
+    fn bin_freq_mapping_roundtrips() {
+        let n = 1024;
+        let fs = 1_000_000.0;
+        for &f in &[0.0, 125_000.0, -40_000.0, 488_281.25] {
+            let b = freq_to_bin(f, n, fs);
+            let back = bin_to_freq(b, n, fs);
+            assert!((back - f).abs() <= fs / n as f64 / 2.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 64;
+        let x: Vec<Cf32> = (0..n).map(|i| Cf32::new(i as f32, -(i as f32))).collect();
+        let y: Vec<Cf32> = (0..n).map(|i| Cf32::new((i as f32).cos(), 0.5)).collect();
+        let plan = Fft::new(n);
+        let mut fx = x.clone();
+        let mut fy = y.clone();
+        plan.forward(&mut fx);
+        plan.forward(&mut fy);
+        let mut fxy: Vec<Cf32> = x.iter().zip(&y).map(|(a, b)| *a + *b).collect();
+        plan.forward(&mut fxy);
+        for i in 0..n {
+            assert_close(fxy[i], fx[i] + fy[i], 1e-2);
+        }
+    }
+}

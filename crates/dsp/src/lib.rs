@@ -1,0 +1,43 @@
+//! # galiot-dsp — the DSP substrate for GalioT
+//!
+//! Everything in the GalioT reproduction — the IoT PHY layers, the
+//! channel simulator, the gateway's universal-preamble detector and the
+//! cloud's kill filters — is built on the primitives in this crate:
+//!
+//! * [`num`] — a minimal complex sample type ([`Cf32`]) and dB helpers;
+//! * [`fft`] — a planned radix-2 FFT;
+//! * [`window`] / [`fir`] — window functions and windowed-sinc FIR
+//!   design (low/high/band-pass, band-stop), decimation, interpolation;
+//! * [`corr`] — direct and FFT cross-correlation, normalized matched
+//!   filtering and peak picking (the heart of packet detection);
+//! * [`chirp`] — CSS up/down chirps and symbol chirps (LoRa, KILL-CSS);
+//! * [`mix`] — NCO, frequency translation and tone estimation;
+//! * [`goertzel`] — single-bin DFT for FSK tone decisions;
+//! * [`pulse`] — Gaussian (GFSK), half-sine (O-QPSK) and RRC shaping;
+//! * [`power`] — power/energy/SNR measurement and noise-floor
+//!   estimation;
+//! * [`psd`] — Welch PSD estimation and spectral peak-band finding;
+//! * [`spectral`] — whole-block FFT band masks, the primitive behind
+//!   the KILL-FREQUENCY and KILL-CSS interference filters.
+//!
+//! The crate is dependency-free, `forbid(unsafe_code)`, and purely
+//! CPU-bound — per the project's networking guides, no async runtime is
+//! involved anywhere in the signal path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chirp;
+pub mod corr;
+pub mod fft;
+pub mod fir;
+pub mod goertzel;
+pub mod mix;
+pub mod num;
+pub mod power;
+pub mod psd;
+pub mod pulse;
+pub mod spectral;
+pub mod window;
+
+pub use num::{db_to_lin, lin_to_db, Cf32};

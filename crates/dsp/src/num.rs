@@ -1,0 +1,329 @@
+//! Complex arithmetic and decibel helpers.
+//!
+//! GalioT operates on complex baseband I/Q samples throughout. Rather
+//! than pulling in an external numerics crate, the substrate defines a
+//! minimal, `Copy`, `#[repr(C)]` single-precision complex type with
+//! exactly the operations the rest of the workspace needs. Keeping the
+//! type local also lets buffers of samples be reinterpreted as `[f32]`
+//! pairs when quantising for the RTL-SDR front-end model.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A single-precision complex number: one baseband I/Q sample.
+#[derive(Clone, Copy, PartialEq, Default)]
+#[repr(C)]
+pub struct Cf32 {
+    /// In-phase (real) component.
+    pub re: f32,
+    /// Quadrature (imaginary) component.
+    pub im: f32,
+}
+
+impl Cf32 {
+    /// The additive identity, `0 + 0i`.
+    pub const ZERO: Cf32 = Cf32 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity, `1 + 0i`.
+    pub const ONE: Cf32 = Cf32 { re: 1.0, im: 0.0 };
+    /// The imaginary unit, `0 + 1i`.
+    pub const I: Cf32 = Cf32 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f32, im: f32) -> Self {
+        Cf32 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f32) -> Self {
+        Cf32 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form `r * e^{i theta}`.
+    #[inline]
+    pub fn from_polar(r: f32, theta: f32) -> Self {
+        let (s, c) = theta.sin_cos();
+        Cf32 { re: r * c, im: r * s }
+    }
+
+    /// `e^{i theta}`: a unit phasor at angle `theta` radians.
+    #[inline]
+    pub fn cis(theta: f32) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Cf32 { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude `|z|^2 = re^2 + im^2`.
+    ///
+    /// Prefer this over [`Cf32::abs`] in hot loops and power sums: it
+    /// avoids the square root.
+    #[inline]
+    pub fn norm_sqr(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> f32 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians, in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f32 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f32) -> Self {
+        Cf32 { re: self.re * k, im: self.im * k }
+    }
+
+    /// Returns `true` if either component is NaN or infinite.
+    #[inline]
+    pub fn is_degenerate(self) -> bool {
+        !self.re.is_finite() || !self.im.is_finite()
+    }
+}
+
+impl fmt::Debug for Cf32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl fmt::Display for Cf32 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Add for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn add(self, rhs: Cf32) -> Cf32 {
+        Cf32 { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+}
+
+impl Sub for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn sub(self, rhs: Cf32) -> Cf32 {
+        Cf32 { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+}
+
+impl Mul for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn mul(self, rhs: Cf32) -> Cf32 {
+        Cf32 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl Div for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn div(self, rhs: Cf32) -> Cf32 {
+        let d = rhs.norm_sqr();
+        Cf32 {
+            re: (self.re * rhs.re + self.im * rhs.im) / d,
+            im: (self.im * rhs.re - self.re * rhs.im) / d,
+        }
+    }
+}
+
+impl Neg for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn neg(self) -> Cf32 {
+        Cf32 { re: -self.re, im: -self.im }
+    }
+}
+
+impl Mul<f32> for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn mul(self, k: f32) -> Cf32 {
+        self.scale(k)
+    }
+}
+
+impl Mul<Cf32> for f32 {
+    type Output = Cf32;
+    #[inline]
+    fn mul(self, z: Cf32) -> Cf32 {
+        z.scale(self)
+    }
+}
+
+impl Div<f32> for Cf32 {
+    type Output = Cf32;
+    #[inline]
+    fn div(self, k: f32) -> Cf32 {
+        Cf32 { re: self.re / k, im: self.im / k }
+    }
+}
+
+impl AddAssign for Cf32 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cf32) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Cf32 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cf32) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Cf32 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Cf32) {
+        *self = *self * rhs;
+    }
+}
+
+impl MulAssign<f32> for Cf32 {
+    #[inline]
+    fn mul_assign(&mut self, k: f32) {
+        self.re *= k;
+        self.im *= k;
+    }
+}
+
+impl DivAssign<f32> for Cf32 {
+    #[inline]
+    fn div_assign(&mut self, k: f32) {
+        self.re /= k;
+        self.im /= k;
+    }
+}
+
+impl Sum for Cf32 {
+    fn sum<I: Iterator<Item = Cf32>>(iter: I) -> Cf32 {
+        iter.fold(Cf32::ZERO, |a, b| a + b)
+    }
+}
+
+impl From<f32> for Cf32 {
+    #[inline]
+    fn from(re: f32) -> Cf32 {
+        Cf32::from_re(re)
+    }
+}
+
+/// Converts a linear power ratio to decibels: `10 log10(x)`.
+///
+/// Returns `f32::NEG_INFINITY` for non-positive input, which composes
+/// correctly with comparisons against thresholds.
+#[inline]
+pub fn lin_to_db(x: f32) -> f32 {
+    if x > 0.0 {
+        10.0 * x.log10()
+    } else {
+        f32::NEG_INFINITY
+    }
+}
+
+/// Converts decibels to a linear power ratio: `10^{x/10}`.
+#[inline]
+pub fn db_to_lin(db: f32) -> f32 {
+    10f32.powf(db / 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = Cf32::new(1.5, -2.25);
+        let b = Cf32::new(-0.5, 4.0);
+        assert_eq!(a + b - b, a);
+    }
+
+    #[test]
+    fn mul_matches_hand_computation() {
+        // (1+2i)(3+4i) = 3 + 4i + 6i + 8i^2 = -5 + 10i
+        let p = Cf32::new(1.0, 2.0) * Cf32::new(3.0, 4.0);
+        assert!(close(p.re, -5.0) && close(p.im, 10.0));
+    }
+
+    #[test]
+    fn div_is_mul_inverse() {
+        let a = Cf32::new(2.0, -3.0);
+        let b = Cf32::new(0.5, 1.5);
+        let q = (a * b) / b;
+        assert!(close(q.re, a.re) && close(q.im, a.im));
+    }
+
+    #[test]
+    fn conj_mul_is_norm_sqr() {
+        let z = Cf32::new(3.0, -4.0);
+        let p = z * z.conj();
+        assert!(close(p.re, 25.0) && close(p.im, 0.0));
+        assert!(close(z.norm_sqr(), 25.0));
+        assert!(close(z.abs(), 5.0));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Cf32::from_polar(2.0, 0.7);
+        assert!(close(z.abs(), 2.0));
+        assert!(close(z.arg(), 0.7));
+    }
+
+    #[test]
+    fn cis_is_unit() {
+        for k in 0..16 {
+            let z = Cf32::cis(k as f32 * 0.5);
+            assert!(close(z.abs(), 1.0));
+        }
+    }
+
+    #[test]
+    fn db_conversions_roundtrip() {
+        assert!(close(lin_to_db(db_to_lin(-13.0)), -13.0));
+        assert!(close(db_to_lin(0.0), 1.0));
+        assert!(close(lin_to_db(100.0), 20.0));
+        assert_eq!(lin_to_db(0.0), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn sum_accumulates() {
+        let s: Cf32 = (0..4).map(|k| Cf32::new(k as f32, 1.0)).sum();
+        assert_eq!(s, Cf32::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        assert!(Cf32::new(f32::NAN, 0.0).is_degenerate());
+        assert!(Cf32::new(0.0, f32::INFINITY).is_degenerate());
+        assert!(!Cf32::new(1.0, -1.0).is_degenerate());
+    }
+}

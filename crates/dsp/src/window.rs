@@ -1,0 +1,139 @@
+//! Window functions for FIR design and spectral analysis.
+
+/// The supported window shapes.
+///
+/// `Kaiser(beta)` trades main-lobe width against side-lobe level via
+/// its shape parameter; the fixed windows are the classic textbook
+/// choices used by [`crate::fir`] for windowed-sinc design.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Window {
+    /// All-ones window (no tapering).
+    Rect,
+    /// Hann (raised cosine) window: -31 dB first side lobe.
+    Hann,
+    /// Hamming window: -41 dB first side lobe.
+    Hamming,
+    /// Blackman window: -58 dB first side lobe.
+    Blackman,
+    /// Kaiser window with shape parameter beta.
+    Kaiser(f32),
+}
+
+impl Window {
+    /// Evaluates the window at tap `i` of an `n`-tap filter
+    /// (symmetric, `i` in `0..n`).
+    pub fn value(self, i: usize, n: usize) -> f32 {
+        if n <= 1 {
+            return 1.0;
+        }
+        let x = i as f32 / (n - 1) as f32; // 0..=1
+        let tau = 2.0 * std::f32::consts::PI;
+        match self {
+            Window::Rect => 1.0,
+            Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+            Window::Blackman => {
+                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
+            }
+            Window::Kaiser(beta) => {
+                let t = 2.0 * x - 1.0; // -1..=1
+                bessel_i0(beta * (1.0 - t * t).max(0.0).sqrt()) / bessel_i0(beta)
+            }
+        }
+    }
+
+    /// Generates the full `n`-tap window.
+    pub fn taps(self, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.value(i, n)).collect()
+    }
+}
+
+/// Modified Bessel function of the first kind, order zero, via its
+/// power series. Converges quickly for the argument range Kaiser
+/// windows use (beta <= ~20).
+pub fn bessel_i0(x: f32) -> f32 {
+    let y = (x as f64 / 2.0) * (x as f64 / 2.0);
+    let mut term = 1.0f64;
+    let mut sum = 1.0f64;
+    for k in 1..32 {
+        term *= y / (k as f64 * k as f64);
+        sum += term;
+        if term < sum * 1e-12 {
+            break;
+        }
+    }
+    sum as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_symmetric() {
+        let n = 65;
+        for w in [
+            Window::Rect,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::Kaiser(8.6),
+        ] {
+            let taps = w.taps(n);
+            for i in 0..n {
+                assert!(
+                    (taps[i] - taps[n - 1 - i]).abs() < 1e-5,
+                    "{w:?} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn windows_peak_at_center() {
+        let n = 65;
+        for w in [Window::Hann, Window::Hamming, Window::Blackman, Window::Kaiser(6.0)] {
+            let taps = w.taps(n);
+            let mid = taps[n / 2];
+            assert!((mid - 1.0).abs() < 1e-4, "{w:?} center {mid}");
+            for &t in &taps {
+                assert!(t <= mid + 1e-5);
+                assert!(t >= -1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn hann_endpoints_are_zero() {
+        let taps = Window::Hann.taps(33);
+        assert!(taps[0].abs() < 1e-6);
+        assert!(taps[32].abs() < 1e-6);
+    }
+
+    #[test]
+    fn rect_is_flat() {
+        assert!(Window::Rect.taps(10).iter().all(|&t| t == 1.0));
+    }
+
+    #[test]
+    fn kaiser_beta_zero_is_rect() {
+        let taps = Window::Kaiser(0.0).taps(17);
+        for &t in &taps {
+            assert!((t - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bessel_i0_known_values() {
+        // I0(0) = 1, I0(1) ~ 1.2660658, I0(2) ~ 2.2795853
+        assert!((bessel_i0(0.0) - 1.0).abs() < 1e-6);
+        assert!((bessel_i0(1.0) - 1.266_066).abs() < 1e-4);
+        assert!((bessel_i0(2.0) - 2.279_585_3).abs() < 1e-4);
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert_eq!(Window::Hann.taps(0).len(), 0);
+        assert_eq!(Window::Hann.taps(1), vec![1.0]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Backhaul: I/Q compression and the bandwidth-limited home uplink.
+//!
+//! Streaming raw 1 Msps complex floats is 64 Mb/s — already beyond many
+//! home uplinks, and the paper notes raw multi-technology captures
+//! "could be huge (tens of Gbps)". The gateway therefore ships only
+//! detected segments, re-quantized to a few bits with a per-block
+//! scale. This module implements that wire format and a simple
+//! serialization-delay model of the cable uplink.
+
+use galiot_dsp::Cf32;
+
+/// Compressed representation of one I/Q segment.
+#[derive(Clone, Debug)]
+pub struct CompressedSegment {
+    /// Bits per I (and per Q) sample.
+    pub bits: u32,
+    /// Per-block scale factors (one per block of `block_len` samples).
+    pub scales: Vec<f32>,
+    /// Block length in samples.
+    pub block_len: usize,
+    /// Packed sample codes (I then Q per sample, `bits` each),
+    /// little-endian bit packing.
+    pub data: Vec<u8>,
+    /// Number of samples encoded.
+    pub len: usize,
+}
+
+impl CompressedSegment {
+    /// Size on the wire in bytes (codes + scales + 16-byte header).
+    pub fn wire_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * 4 + 16
+    }
+}
+
+/// Compresses a segment to `bits` bits per I/Q rail with per-block
+/// automatic scaling (block floating point — what commercial
+/// cloud-SDR links use).
+///
+/// # Panics
+/// Panics unless `1 <= bits <= 16` and `block_len > 0`.
+pub fn compress(samples: &[Cf32], bits: u32, block_len: usize) -> CompressedSegment {
+    assert!((1..=16).contains(&bits), "bits must be 1..=16");
+    assert!(block_len > 0, "block length must be positive");
+    let levels = ((1u32 << bits) / 2) as f32; // per polarity
+    let mut scales = Vec::with_capacity(samples.len().div_ceil(block_len));
+    let mut codes: Vec<u16> = Vec::with_capacity(samples.len() * 2);
+    for block in samples.chunks(block_len) {
+        let peak = block
+            .iter()
+            .map(|z| z.re.abs().max(z.im.abs()))
+            .fold(0.0f32, f32::max)
+            .max(1e-12);
+        scales.push(peak);
+        for z in block {
+            let q = |v: f32| -> u16 {
+                let norm = (v / peak).clamp(-1.0, 1.0);
+                // Map [-1, 1] to [0, 2*levels - 1].
+                ((norm * (levels - 0.5)) + levels - 0.5).round() as u16
+            };
+            codes.push(q(z.re));
+            codes.push(q(z.im));
+        }
+    }
+    // Bit-pack the codes.
+    let mut data = Vec::with_capacity((codes.len() * bits as usize).div_ceil(8));
+    let mut acc: u32 = 0;
+    let mut nbits: u32 = 0;
+    for &c in &codes {
+        acc |= (c as u32) << nbits;
+        nbits += bits;
+        while nbits >= 8 {
+            data.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        data.push((acc & 0xFF) as u8);
+    }
+    CompressedSegment { bits, scales, block_len, data, len: samples.len() }
+}
+
+/// Reconstructs samples from a compressed segment.
+pub fn decompress(c: &CompressedSegment) -> Vec<Cf32> {
+    let levels = ((1u32 << c.bits) / 2) as f32;
+    let mask = (1u32 << c.bits) - 1;
+    let mut out = Vec::with_capacity(c.len);
+    let mut acc: u32 = 0;
+    let mut nbits: u32 = 0;
+    let mut byte_iter = c.data.iter();
+    let mut next_code = || -> u16 {
+        while nbits < c.bits {
+            acc |= (*byte_iter.next().unwrap_or(&0) as u32) << nbits;
+            nbits += 8;
+        }
+        let code = (acc & mask) as u16;
+        acc >>= c.bits;
+        nbits -= c.bits;
+        code
+    };
+    for i in 0..c.len {
+        let scale = c.scales[i / c.block_len];
+        let dq = |code: u16| -> f32 {
+            ((code as f32 - (levels - 0.5)) / (levels - 0.5)) * scale
+        };
+        let re = dq(next_code());
+        let im = dq(next_code());
+        out.push(Cf32::new(re, im));
+    }
+    out
+}
+
+/// A bandwidth-limited uplink with FIFO serialization.
+#[derive(Clone, Debug)]
+pub struct Backhaul {
+    /// Uplink rate in bits per second.
+    pub rate_bps: f64,
+    /// Fixed one-way latency in seconds.
+    pub latency_s: f64,
+    queued_until_s: f64,
+    /// Total bytes shipped so far.
+    pub bytes_shipped: u64,
+}
+
+impl Backhaul {
+    /// A typical home cable uplink: 20 Mb/s up, 10 ms latency.
+    pub fn home_cable() -> Self {
+        Backhaul { rate_bps: 20e6, latency_s: 0.010, queued_until_s: 0.0, bytes_shipped: 0 }
+    }
+
+    /// Creates a backhaul with the given rate and latency.
+    pub fn new(rate_bps: f64, latency_s: f64) -> Self {
+        assert!(rate_bps > 0.0, "rate must be positive");
+        Backhaul { rate_bps, latency_s, queued_until_s: 0.0, bytes_shipped: 0 }
+    }
+
+    /// Ships `bytes` at time `now_s`; returns the arrival time at the
+    /// cloud, accounting for queueing behind earlier transfers.
+    pub fn ship(&mut self, bytes: usize, now_s: f64) -> f64 {
+        let start = now_s.max(self.queued_until_s);
+        let tx_time = bytes as f64 * 8.0 / self.rate_bps;
+        self.queued_until_s = start + tx_time;
+        self.bytes_shipped += bytes as u64;
+        self.queued_until_s + self.latency_s
+    }
+
+    /// Whether the link could sustain streaming raw float I/Q at
+    /// sample rate `fs` (it cannot, which is the point).
+    pub fn can_stream_raw(&self, fs: f64) -> bool {
+        fs * 64.0 <= self.rate_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galiot_dsp::power::mean_power;
+
+    fn tone(n: usize, amp: f32) -> Vec<Cf32> {
+        (0..n).map(|i| Cf32::cis(i as f32 * 0.31) * amp).collect()
+    }
+
+    #[test]
+    fn roundtrip_error_is_small_at_8_bits() {
+        let sig = tone(4096, 0.7);
+        let c = compress(&sig, 8, 256);
+        let out = decompress(&c);
+        assert_eq!(out.len(), sig.len());
+        let err: f32 = out
+            .iter()
+            .zip(&sig)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f32>()
+            / sig.len() as f32;
+        assert!(err / mean_power(&sig) < 1e-4, "relative error {err}");
+    }
+
+    #[test]
+    fn four_bit_compression_halves_size_and_still_resembles() {
+        let sig = tone(4096, 0.7);
+        let c8 = compress(&sig, 8, 256);
+        let c4 = compress(&sig, 4, 256);
+        // Code payload halves; scales+header overhead is constant.
+        assert!(c4.wire_bytes() * 2 <= c8.wire_bytes() + 2 * (16 + c4.scales.len() * 4));
+        let out = decompress(&c4);
+        let err: f32 = out
+            .iter()
+            .zip(&sig)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f32>()
+            / sig.len() as f32;
+        assert!(err / mean_power(&sig) < 0.02, "relative error {err}");
+    }
+
+    #[test]
+    fn block_scaling_tracks_amplitude_swings() {
+        // Quiet block then loud block: block floating point must keep
+        // relative error bounded in both.
+        let mut sig = tone(512, 0.01);
+        sig.extend(tone(512, 1.0));
+        let c = compress(&sig, 8, 512);
+        let out = decompress(&c);
+        for (range, amp) in [(0..512, 0.01f32), (512..1024, 1.0)] {
+            let err: f32 = out[range.clone()]
+                .iter()
+                .zip(&sig[range])
+                .map(|(a, b)| (*a - *b).norm_sqr())
+                .sum::<f32>()
+                / 512.0;
+            assert!(err < 1e-4 * amp * amp * 2.0 + 1e-9, "err {err} at amp {amp}");
+        }
+    }
+
+    #[test]
+    fn wire_bytes_accounts_for_overhead() {
+        let sig = tone(1000, 0.5);
+        let c = compress(&sig, 8, 250);
+        // 1000 samples * 2 rails * 1 byte + 4 scales * 4 + 16 header.
+        assert_eq!(c.wire_bytes(), 2000 + 16 + 16);
+    }
+
+    #[test]
+    fn backhaul_serializes_fifo() {
+        let mut b = Backhaul::new(8e6, 0.0); // 1 MB/s
+        let t1 = b.ship(1_000_000, 0.0);
+        assert!((t1 - 1.0).abs() < 1e-9);
+        // Second transfer queues behind the first.
+        let t2 = b.ship(1_000_000, 0.5);
+        assert!((t2 - 2.0).abs() < 1e-9);
+        assert_eq!(b.bytes_shipped, 2_000_000);
+    }
+
+    #[test]
+    fn home_cable_cannot_stream_raw_but_ships_segments() {
+        let b = Backhaul::home_cable();
+        assert!(!b.can_stream_raw(1e6));
+        // A 100 ms segment at 8-bit compression is ~200 KB: 80 ms on
+        // the wire — sustainable at low duty cycles.
+        let seg_bytes = compress(&tone(100_000, 0.5), 8, 1024).wire_bytes();
+        assert!(seg_bytes as f64 * 8.0 / b.rate_bps < 0.1);
+    }
+
+    #[test]
+    fn empty_segment_compresses_to_header() {
+        let c = compress(&[], 8, 64);
+        assert_eq!(c.len, 0);
+        assert!(decompress(&c).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn rejects_zero_bits() {
+        let _ = compress(&tone(10, 1.0), 0, 4);
+    }
+}

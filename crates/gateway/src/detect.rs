@@ -1,0 +1,298 @@
+//! Packet detection at the gateway: the common interface plus the two
+//! baselines the paper compares against — energy detection and the
+//! per-technology matched-filter bank ("the optimal solution" that
+//! "scales poorly", Sec. 4).
+//!
+//! GalioT's own detector lives in [`crate::universal`].
+
+use galiot_dsp::corr::{find_peaks, xcorr_normalized};
+use galiot_dsp::power::{noise_floor, sliding_power};
+use galiot_dsp::{db_to_lin, Cf32};
+use galiot_phy::registry::Registry;
+use galiot_phy::TechId;
+
+/// One detected packet (or collision) in a capture.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Detection {
+    /// Sample index near which the packet begins.
+    pub start: usize,
+    /// Detector-specific confidence score.
+    pub score: f32,
+    /// Technology attribution if the detector can make one
+    /// (the matched bank can; energy and universal cannot —
+    /// classification is the cloud's job, paper Sec. 4).
+    pub tech: Option<TechId>,
+}
+
+/// A packet detector running at the gateway.
+pub trait PacketDetector: Send + Sync {
+    /// Detector name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Scans a capture and returns detections in time order.
+    fn detect(&self, capture: &[Cf32], fs: f64) -> Vec<Detection>;
+
+    /// Approximate cost in multiply-accumulates per capture sample —
+    /// the scaling metric of the paper's argument (the universal
+    /// preamble's cost stays flat as technologies are added; the
+    /// matched bank's grows linearly).
+    fn complexity_per_sample(&self, fs: f64) -> f64;
+}
+
+/// The energy-threshold baseline: sliding window power against an
+/// estimated noise floor (the scheme of the existing multi-technology
+/// literature the paper cites as reference 14).
+#[derive(Clone, Debug)]
+pub struct EnergyDetector {
+    /// Sliding window length in samples.
+    pub window: usize,
+    /// Detection threshold above the estimated noise floor, in dB.
+    pub threshold_db: f32,
+    /// Minimum gap between separate detections, in samples.
+    pub min_gap: usize,
+}
+
+impl Default for EnergyDetector {
+    fn default() -> Self {
+        EnergyDetector { window: 256, threshold_db: 6.0, min_gap: 2_048 }
+    }
+}
+
+impl PacketDetector for EnergyDetector {
+    fn name(&self) -> &'static str {
+        "energy"
+    }
+
+    fn detect(&self, capture: &[Cf32], fs: f64) -> Vec<Detection> {
+        let _ = fs;
+        let power = sliding_power(capture, self.window);
+        if power.is_empty() {
+            return Vec::new();
+        }
+        let floor = noise_floor(capture, self.window, 10).max(1e-30);
+        let thr = floor * db_to_lin(self.threshold_db);
+        let mut detections = Vec::new();
+        let mut above_until: Option<usize> = None;
+        for (i, &p) in power.iter().enumerate() {
+            if p >= thr {
+                match above_until {
+                    Some(last) if i.saturating_sub(last) < self.min_gap => {}
+                    _ => detections.push(Detection {
+                        start: i,
+                        score: p / floor,
+                        tech: None,
+                    }),
+                }
+                above_until = Some(i);
+            }
+        }
+        detections
+    }
+
+    fn complexity_per_sample(&self, _fs: f64) -> f64 {
+        // One MAC per sample for the running sum.
+        1.0
+    }
+}
+
+/// The optimal baseline: a bank of per-technology matched filters over
+/// each technology's own preamble, with normalized correlation.
+pub struct MatchedFilterBank {
+    registry: Registry,
+    /// Normalized-correlation threshold for a peak to count. Zero
+    /// selects the analytic per-technology threshold
+    /// ([`ncc_noise_threshold`] with `auto_factor`), which is what
+    /// makes long-preamble technologies detectable deep in the noise
+    /// without flooding short-preamble ones with false alarms.
+    pub threshold: f32,
+    /// Factor for the analytic threshold when `threshold == 0`.
+    pub auto_factor: f32,
+    /// Non-maximum-suppression distance in samples; if zero, half the
+    /// technology's own template length is used.
+    pub min_distance: usize,
+}
+
+impl MatchedFilterBank {
+    /// Builds the bank over a registry with a fixed threshold
+    /// (`0.0` = analytic per-technology thresholds).
+    pub fn new(registry: Registry, threshold: f32) -> Self {
+        MatchedFilterBank { registry, threshold, auto_factor: 1.4, min_distance: 0 }
+    }
+
+    /// The registry the bank correlates for.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}
+
+impl PacketDetector for MatchedFilterBank {
+    fn name(&self) -> &'static str {
+        "matched-bank"
+    }
+
+    fn detect(&self, capture: &[Cf32], fs: f64) -> Vec<Detection> {
+        let mut detections: Vec<Detection> = Vec::new();
+        for tech in self.registry.techs() {
+            let template = tech.preamble_waveform(fs);
+            if template.len() > capture.len() {
+                continue;
+            }
+            let ncc = xcorr_normalized(capture, &template);
+            let min_distance = if self.min_distance == 0 {
+                (template.len() / 2).max(512)
+            } else {
+                self.min_distance
+            };
+            let threshold = if self.threshold > 0.0 {
+                self.threshold
+            } else {
+                ncc_noise_threshold(capture.len(), template.len(), self.auto_factor)
+            };
+            for p in find_peaks(&ncc, threshold, min_distance) {
+                detections.push(Detection {
+                    start: p.index,
+                    score: p.value,
+                    tech: Some(tech.id()),
+                });
+            }
+        }
+        detections.sort_by_key(|d| d.start);
+        detections
+    }
+
+    fn complexity_per_sample(&self, fs: f64) -> f64 {
+        // One correlation tap per template sample per technology
+        // (FFT implementations lower the constant, not the scaling).
+        self.registry
+            .techs()
+            .iter()
+            .map(|t| t.preamble_waveform(fs).len() as f64)
+            .sum()
+    }
+}
+
+/// Analytic normalized-correlation threshold for a target false-alarm
+/// level on noise-only captures.
+///
+/// Against white noise, each lag's NCC against a `window_len`-sample
+/// template is approximately `CN(0, 1/window_len)`; the maximum over
+/// `capture_len` lags concentrates near
+/// `sqrt(ln(capture_len) / window_len)`. `factor` (≈1.3-1.6) sets how
+/// far above that maximum the threshold sits. This is why a longer
+/// preamble (LoRa) is detectable far deeper in the noise than a short
+/// one (XBee) at equal false-alarm rate.
+pub fn ncc_noise_threshold(capture_len: usize, window_len: usize, factor: f32) -> f32 {
+    let l = (capture_len.max(2) as f32).ln();
+    factor * (l / window_len.max(1) as f32).sqrt()
+}
+
+/// Match detections against ground-truth packet intervals: a truth
+/// packet `(start, len)` counts as detected if any detection falls in
+/// `[start - slack, start + len)`. Returns the per-packet hit flags.
+pub fn score_detections(
+    detections: &[Detection],
+    truth: &[(usize, usize)],
+    slack: usize,
+) -> Vec<bool> {
+    truth
+        .iter()
+        .map(|&(start, len)| {
+            detections
+                .iter()
+                .any(|d| d.start + slack >= start && d.start < start + len)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galiot_channel::{compose, TxEvent};
+    use galiot_phy::registry::Registry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 1_000_000.0;
+
+    fn one_xbee_capture(snr_db: f32, seed: u64) -> (Vec<Cf32>, usize, usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reg = Registry::prototype();
+        let xbee = reg.get(TechId::XBee).unwrap().clone();
+        let ev = TxEvent::new(xbee, vec![0x42; 12], 20_000);
+        let np = galiot_channel::snr_to_noise_power(snr_db, 0.0);
+        let cap = compose(&[ev], 80_000, FS, np, &mut rng);
+        let t = &cap.truth[0];
+        (cap.samples, t.start, t.len)
+    }
+
+    #[test]
+    fn energy_detects_strong_packet() {
+        let (cap, start, len) = one_xbee_capture(20.0, 1);
+        let det = EnergyDetector::default().detect(&cap, FS);
+        assert!(!det.is_empty());
+        let hits = score_detections(&det, &[(start, len)], 512);
+        assert!(hits[0]);
+    }
+
+    #[test]
+    fn energy_misses_below_noise_floor() {
+        let (cap, start, len) = one_xbee_capture(-15.0, 2);
+        let det = EnergyDetector::default().detect(&cap, FS);
+        let hits = score_detections(&det, &[(start, len)], 512);
+        assert!(!hits[0], "energy detector should fail at -15 dB");
+    }
+
+    #[test]
+    fn energy_quiet_capture_has_no_detections() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let noise = galiot_channel::awgn(60_000, 1.0, &mut rng);
+        let det = EnergyDetector::default().detect(&noise, FS);
+        assert!(det.len() <= 1, "false alarms: {}", det.len());
+    }
+
+    #[test]
+    fn matched_bank_detects_and_attributes() {
+        let (cap, start, len) = one_xbee_capture(5.0, 4);
+        let bank = MatchedFilterBank::new(Registry::prototype(), 0.5);
+        let det = bank.detect(&cap, FS);
+        let hits = score_detections(&det, &[(start, len)], 512);
+        assert!(hits[0]);
+        // The strongest detection should attribute to XBee.
+        let best = det.iter().max_by(|a, b| a.score.total_cmp(&b.score)).unwrap();
+        assert_eq!(best.tech, Some(TechId::XBee));
+    }
+
+    #[test]
+    fn matched_bank_survives_low_snr() {
+        let (cap, start, len) = one_xbee_capture(-8.0, 5);
+        let bank = MatchedFilterBank::new(Registry::prototype(), 0.18);
+        let det = bank.detect(&cap, FS);
+        let hits = score_detections(&det, &[(start, len)], 1024);
+        assert!(hits[0], "matched bank should still detect at -8 dB");
+    }
+
+    #[test]
+    fn complexity_scales_with_registry_size() {
+        let small = MatchedFilterBank::new(Registry::prototype(), 0.5);
+        let mut big_reg = Registry::prototype();
+        big_reg.push(
+            Registry::extended().get(TechId::OqpskDsss).unwrap().clone(),
+        );
+        let big = MatchedFilterBank::new(big_reg, 0.5);
+        assert!(big.complexity_per_sample(FS) > small.complexity_per_sample(FS));
+        assert_eq!(EnergyDetector::default().complexity_per_sample(FS), 1.0);
+    }
+
+    #[test]
+    fn score_detections_slack() {
+        let det = [Detection { start: 90, score: 1.0, tech: None }];
+        // Slightly early detection counts within slack...
+        assert_eq!(score_detections(&det, &[(100, 50)], 20), vec![true]);
+        // ...but not beyond it...
+        assert_eq!(score_detections(&det, &[(100, 50)], 5), vec![false]);
+        // ...and a detection inside the packet interval always counts.
+        assert_eq!(score_detections(&det, &[(80, 50)], 5), vec![true]);
+        // A detection after the packet ended does not.
+        assert_eq!(score_detections(&det, &[(10, 50)], 5), vec![false]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Edge decoding: the paper's simple edge-vs-cloud split.
+//!
+//! "I/Q samples are pushed to the edge for decoding individual
+//! technologies (assuming no collisions) and shipped to the cloud only
+//! if decoding fails" (Sec. 4). The edge tries every registered
+//! demodulator on a segment; if the segment looks like a single clean
+//! packet it is finished locally, otherwise it travels on.
+
+use galiot_dsp::corr::{find_peaks, xcorr_normalized};
+use galiot_phy::registry::Registry;
+use galiot_phy::{DecodedFrame, PhyError};
+
+use crate::extract::Segment;
+
+/// The edge's verdict on one segment.
+#[derive(Clone, Debug)]
+pub enum EdgeOutcome {
+    /// A single technology decoded and nothing else claims the
+    /// segment: done at the edge, nothing shipped.
+    DecodedLocally(DecodedFrame),
+    /// Decoding failed or more than one technology decoded (a likely
+    /// collision): ship the segment to the cloud, together with any
+    /// frames the edge did manage.
+    ShipToCloud(Vec<DecodedFrame>),
+}
+
+/// Per-segment decode attempt results for reporting.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeReport {
+    /// Frames recovered at the edge.
+    pub decoded: Vec<DecodedFrame>,
+    /// (technology name, error) for each failed attempt.
+    pub failures: Vec<(&'static str, PhyError)>,
+}
+
+/// The edge decoder.
+pub struct EdgeDecoder {
+    registry: Registry,
+}
+
+impl EdgeDecoder {
+    /// Creates an edge decoder over a registry.
+    pub fn new(registry: Registry) -> Self {
+        EdgeDecoder { registry }
+    }
+
+    /// The registry in use.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Tries every technology's demodulator on the segment.
+    pub fn try_all(&self, seg: &Segment, fs: f64) -> EdgeReport {
+        let mut report = EdgeReport::default();
+        for tech in self.registry.techs() {
+            match tech.demodulate(&seg.samples, fs) {
+                Ok(mut frame) => {
+                    // Convert to capture coordinates.
+                    frame.start += seg.start;
+                    report.decoded.push(frame);
+                }
+                Err(e) => report.failures.push((tech.id().name(), e)),
+            }
+        }
+        report
+    }
+
+    /// The paper's policy: the edge handles a segment locally only
+    /// when it looks like a single clean packet — exactly one
+    /// technology decodes *and* the segment shows no collision
+    /// evidence. A robust technology (LoRa) can decode straight
+    /// through a collision, so "one decode succeeded" alone is not
+    /// enough: the still-buried frame would be silently lost.
+    pub fn process(&self, seg: &Segment, fs: f64) -> EdgeOutcome {
+        let report = self.try_all(seg, fs);
+        match report.decoded.len() {
+            1 if !self.collision_suspected(seg, fs) => {
+                EdgeOutcome::DecodedLocally(report.decoded.into_iter().next().unwrap())
+            }
+            _ => EdgeOutcome::ShipToCloud(report.decoded),
+        }
+    }
+
+    /// Collision evidence: two or more spatially distinct preamble-
+    /// correlation peak clusters anywhere in the segment (regardless of
+    /// technology — co-located peaks of correlated preambles count as
+    /// one cluster).
+    fn collision_suspected(&self, seg: &Segment, fs: f64) -> bool {
+        let mut peak_positions: Vec<usize> = Vec::new();
+        for tech in self.registry.techs() {
+            let template = tech.preamble_waveform(fs);
+            if template.is_empty() || template.len() > seg.samples.len() {
+                continue;
+            }
+            let ncc = xcorr_normalized(&seg.samples, &template);
+            for p in find_peaks(&ncc, 0.25, template.len() / 2) {
+                peak_positions.push(p.index);
+            }
+        }
+        peak_positions.sort_unstable();
+        // Count clusters separated by more than a guard distance.
+        let mut clusters = 0usize;
+        let mut last: Option<usize> = None;
+        for pos in peak_positions {
+            if last.is_none_or(|l| pos - l > 2_048) {
+                clusters += 1;
+            }
+            last = Some(pos);
+        }
+        clusters >= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::Detection;
+    use galiot_channel::{compose, forced_collision, snr_to_noise_power, TxEvent};
+    use galiot_phy::TechId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 1_000_000.0;
+
+    fn seg_from(samples: Vec<galiot_dsp::Cf32>, start: usize) -> Segment {
+        Segment {
+            start,
+            samples,
+            detections: vec![Detection { start, score: 1.0, tech: None }],
+        }
+    }
+
+    #[test]
+    fn clean_single_packet_decodes_locally() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let reg = Registry::prototype();
+        let zwave = reg.get(TechId::ZWave).unwrap().clone();
+        let ev = TxEvent::new(zwave, vec![7, 7, 7], 2_000);
+        let np = snr_to_noise_power(15.0, 0.0);
+        let cap = compose(&[ev], 60_000, FS, np, &mut rng);
+        let edge = EdgeDecoder::new(reg);
+        match edge.process(&seg_from(cap.samples, 0), FS) {
+            EdgeOutcome::DecodedLocally(f) => {
+                assert_eq!(f.tech, TechId::ZWave);
+                assert_eq!(f.payload, vec![7, 7, 7]);
+            }
+            other => panic!("expected local decode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn noise_only_ships_to_cloud() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let noise = galiot_channel::awgn(60_000, 1.0, &mut rng);
+        let edge = EdgeDecoder::new(Registry::prototype());
+        match edge.process(&seg_from(noise, 0), FS) {
+            EdgeOutcome::ShipToCloud(frames) => assert!(frames.is_empty()),
+            other => panic!("expected ship, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn collision_ships_to_cloud() {
+        // A same-band LoRa+XBee collision: the edge may decode some of
+        // it, but must not claim the segment as a single clean packet
+        // when two technologies decode.
+        let mut rng = StdRng::seed_from_u64(3);
+        let reg = Registry::prototype();
+        let events = forced_collision(&reg, 8, &[0.0, 0.0], 2_000, 4_000, &mut rng);
+        let np = snr_to_noise_power(20.0, 0.0);
+        let cap = compose(&events, 400_000, FS, np, &mut rng);
+        let edge = EdgeDecoder::new(reg);
+        let outcome = edge.process(&seg_from(cap.samples, 0), FS);
+        // Either both decode (ship with 2) or fewer decode (ship with
+        // <=1 after failures) — but "decoded locally" with exactly one
+        // clean frame is also possible if one tech survives the overlap
+        // and the other is unrecoverable. Accept local only if the
+        // frame is genuine.
+        match outcome {
+            EdgeOutcome::ShipToCloud(_) => {}
+            EdgeOutcome::DecodedLocally(f) => {
+                assert!(cap.truth.iter().any(|t| t.tech == f.tech && t.payload == f.payload));
+            }
+        }
+    }
+
+    #[test]
+    fn frame_start_is_in_capture_coordinates() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let reg = Registry::prototype();
+        let xbee = reg.get(TechId::XBee).unwrap().clone();
+        let ev = TxEvent::new(xbee, vec![1, 2], 5_000);
+        let cap = compose(&[ev], 40_000, FS, 0.0, &mut rng);
+        // Segment starting at 3_000 within the capture.
+        let seg = seg_from(cap.samples[3_000..].to_vec(), 3_000);
+        let edge = EdgeDecoder::new(reg);
+        let report = edge.try_all(&seg, FS);
+        let frame = report
+            .decoded
+            .iter()
+            .find(|f| f.tech == TechId::XBee)
+            .expect("xbee decoded");
+        assert!(frame.start.abs_diff(5_000) <= 4, "start {}", frame.start);
+    }
+}

@@ -1,0 +1,163 @@
+//! Capture extraction: what the gateway actually ships.
+//!
+//! Around every detection the gateway conservatively slices "samples
+//! corresponding to twice the maximum packet length across
+//! technologies" (paper, Sec. 4), merging overlapping slices so a
+//! collision travels as one segment.
+
+use galiot_dsp::Cf32;
+
+use crate::detect::Detection;
+
+/// A contiguous slice of capture shipped to the edge/cloud.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// First sample index in the original capture.
+    pub start: usize,
+    /// The samples.
+    pub samples: Vec<Cf32>,
+    /// The detections that produced this segment.
+    pub detections: Vec<Detection>,
+}
+
+impl Segment {
+    /// End sample index (exclusive) in the original capture.
+    pub fn end(&self) -> usize {
+        self.start + self.samples.len()
+    }
+}
+
+/// Extraction policy.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtractParams {
+    /// Maximum frame length across registered technologies, in samples
+    /// (see `Registry::max_frame_samples`).
+    pub max_frame_samples: usize,
+    /// Samples kept before the detection point (preamble guard).
+    pub pre_guard: usize,
+}
+
+impl ExtractParams {
+    /// The paper's policy: two max-frame-lengths after the detection,
+    /// an eighth before it.
+    pub fn paper(max_frame_samples: usize) -> Self {
+        ExtractParams {
+            max_frame_samples,
+            pre_guard: max_frame_samples / 8,
+        }
+    }
+}
+
+/// Cuts segments around detections, merging any that overlap.
+pub fn extract(capture: &[Cf32], detections: &[Detection], p: ExtractParams) -> Vec<Segment> {
+    if detections.is_empty() || capture.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<Detection> = detections.to_vec();
+    sorted.sort_by_key(|d| d.start);
+
+    // Build (start, end) windows then merge.
+    let mut windows: Vec<(usize, usize, Vec<Detection>)> = Vec::new();
+    for d in sorted {
+        let lo = d.start.saturating_sub(p.pre_guard);
+        let hi = (d.start + 2 * p.max_frame_samples).min(capture.len());
+        match windows.last_mut() {
+            Some((_, end, dets)) if lo <= *end => {
+                *end = (*end).max(hi);
+                dets.push(d);
+            }
+            _ => windows.push((lo, hi, vec![d])),
+        }
+    }
+    windows
+        .into_iter()
+        .filter(|(lo, hi, _)| hi > lo)
+        .map(|(lo, hi, dets)| Segment {
+            start: lo,
+            samples: capture[lo..hi].to_vec(),
+            detections: dets,
+        })
+        .collect()
+}
+
+/// Fraction of the capture that extraction ships (the bandwidth-saving
+/// argument of the paper: noise is discarded, packets travel).
+pub fn shipped_fraction(capture_len: usize, segments: &[Segment]) -> f64 {
+    if capture_len == 0 {
+        return 0.0;
+    }
+    let shipped: usize = segments.iter().map(|s| s.samples.len()).sum();
+    shipped as f64 / capture_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(start: usize) -> Detection {
+        Detection { start, score: 1.0, tech: None }
+    }
+
+    fn capture(n: usize) -> Vec<Cf32> {
+        (0..n).map(|i| Cf32::from_re(i as f32)).collect()
+    }
+
+    #[test]
+    fn single_detection_cuts_expected_window() {
+        let cap = capture(100_000);
+        let p = ExtractParams { max_frame_samples: 10_000, pre_guard: 1_000 };
+        let segs = extract(&cap, &[det(30_000)], p);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].start, 29_000);
+        assert_eq!(segs[0].end(), 50_000);
+        // Content is the original samples.
+        assert_eq!(segs[0].samples[0].re, 29_000.0);
+    }
+
+    #[test]
+    fn overlapping_detections_merge() {
+        let cap = capture(200_000);
+        let p = ExtractParams { max_frame_samples: 10_000, pre_guard: 1_000 };
+        let segs = extract(&cap, &[det(30_000), det(35_000)], p);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].detections.len(), 2);
+        assert_eq!(segs[0].end(), 55_000);
+    }
+
+    #[test]
+    fn distant_detections_stay_separate() {
+        let cap = capture(500_000);
+        let p = ExtractParams { max_frame_samples: 10_000, pre_guard: 1_000 };
+        let segs = extract(&cap, &[det(30_000), det(300_000)], p);
+        assert_eq!(segs.len(), 2);
+    }
+
+    #[test]
+    fn window_clips_at_capture_edges() {
+        let cap = capture(25_000);
+        let p = ExtractParams { max_frame_samples: 10_000, pre_guard: 1_000 };
+        let segs = extract(&cap, &[det(500), det(24_000)], p);
+        assert_eq!(segs.len(), 2);
+        // Leading window clips at the capture start...
+        assert_eq!(segs[0].start, 0);
+        // ...and the trailing window clips at the capture end.
+        assert_eq!(segs[1].end(), 25_000);
+    }
+
+    #[test]
+    fn shipped_fraction_reflects_savings() {
+        let cap = capture(1_000_000);
+        let p = ExtractParams::paper(10_000);
+        let segs = extract(&cap, &[det(100_000)], p);
+        let f = shipped_fraction(cap.len(), &segs);
+        assert!(f < 0.03, "fraction {f}");
+        assert_eq!(shipped_fraction(0, &segs), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let p = ExtractParams::paper(1_000);
+        assert!(extract(&[], &[det(0)], p).is_empty());
+        assert!(extract(&capture(100), &[], p).is_empty());
+    }
+}

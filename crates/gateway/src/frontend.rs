@@ -1,0 +1,335 @@
+//! RTL-SDR front-end model.
+//!
+//! The paper's gateway is a ~$20 RTL-SDR: an 8-bit tuner capturing
+//! 1 MHz of the 868 MHz band. The dominant effects of that hardware on
+//! detection are the coarse 8-bit quantization, the tuner's DC spike,
+//! a little IQ imbalance, and the gain setting that trades clipping
+//! against quantization noise — all modelled here so the detection
+//! experiments see what the prototype saw.
+
+use galiot_dsp::Cf32;
+
+/// RTL-SDR front-end parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FrontEndParams {
+    /// ADC bit depth (8 for the RTL2832U).
+    pub adc_bits: u32,
+    /// Linear gain applied before quantization. With `auto_gain` the
+    /// capture is scaled so its RMS sits at [`FrontEndParams::target_rms`]
+    /// of full scale instead.
+    pub gain: f32,
+    /// Enable automatic gain (scale RMS to `target_rms` of full scale).
+    pub auto_gain: bool,
+    /// Target RMS as a fraction of full scale for auto gain.
+    pub target_rms: f32,
+    /// DC offset added by the tuner (fraction of full scale).
+    pub dc_offset: f32,
+    /// IQ amplitude imbalance (Q gain relative to I, 1.0 = none).
+    pub iq_gain_imbalance: f32,
+    /// IQ phase imbalance in radians (0 = none).
+    pub iq_phase_imbalance: f32,
+}
+
+impl Default for FrontEndParams {
+    fn default() -> Self {
+        FrontEndParams {
+            adc_bits: 8,
+            gain: 1.0,
+            auto_gain: true,
+            target_rms: 0.2,
+            dc_offset: 0.004,
+            iq_gain_imbalance: 1.01,
+            iq_phase_imbalance: 0.01,
+        }
+    }
+}
+
+/// The RTL-SDR front-end model.
+#[derive(Clone, Debug)]
+pub struct RtlSdrFrontEnd {
+    params: FrontEndParams,
+}
+
+impl RtlSdrFrontEnd {
+    /// Creates a front end.
+    ///
+    /// # Panics
+    /// Panics unless `1 <= adc_bits <= 16`.
+    pub fn new(params: FrontEndParams) -> Self {
+        assert!(
+            (1..=16).contains(&params.adc_bits),
+            "ADC depth must be 1..=16 bits"
+        );
+        RtlSdrFrontEnd { params }
+    }
+
+    /// An ideal front end (float passthrough) for A/B experiments.
+    pub fn ideal() -> Self {
+        RtlSdrFrontEnd::new(FrontEndParams {
+            adc_bits: 16,
+            auto_gain: true,
+            dc_offset: 0.0,
+            iq_gain_imbalance: 1.0,
+            iq_phase_imbalance: 0.0,
+            ..Default::default()
+        })
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &FrontEndParams {
+        &self.params
+    }
+
+    /// Digitizes an analog capture: gain, IQ impairments, DC offset,
+    /// clipping to full scale, and quantization to the ADC grid.
+    /// Output remains in float full-scale units (`-1.0..=1.0` grid).
+    pub fn digitize(&self, analog: &[Cf32]) -> Vec<Cf32> {
+        let p = &self.params;
+        let gain = if p.auto_gain {
+            let rms = galiot_dsp::power::mean_power(analog).sqrt();
+            if rms > 0.0 {
+                p.target_rms / rms
+            } else {
+                1.0
+            }
+        } else {
+            p.gain
+        };
+        let levels = (1u32 << p.adc_bits) as f32 / 2.0; // per polarity
+        let sin_e = p.iq_phase_imbalance.sin();
+        analog
+            .iter()
+            .map(|&z| {
+                let mut s = z * gain;
+                // IQ imbalance: Q rail gain error + phase skew leaking I into Q.
+                s = Cf32::new(s.re, p.iq_gain_imbalance * (s.im + sin_e * s.re));
+                s += Cf32::new(p.dc_offset, p.dc_offset);
+                let q = |v: f32| ((v.clamp(-1.0, 1.0) * levels).round()) / levels;
+                Cf32::new(q(s.re), q(s.im))
+            })
+            .collect()
+    }
+
+    /// Splits a digitized capture into the fixed-size URB-style chunks
+    /// an RTL-SDR delivers (the streaming pipeline consumes these).
+    pub fn chunks(capture: Vec<Cf32>, chunk: usize) -> Vec<Vec<Cf32>> {
+        assert!(chunk > 0, "chunk size must be positive");
+        let mut out = Vec::with_capacity(capture.len().div_ceil(chunk));
+        let mut rest = capture;
+        while rest.len() > chunk {
+            let tail = rest.split_off(chunk);
+            out.push(rest);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            out.push(rest);
+        }
+        out
+    }
+}
+
+/// A frequency-hopping front end — one of the paper's Sec. 6 gateway
+/// design-space options: rather than one wide front end, a narrower
+/// receiver "with a few frontends that dynamically learns the schedule"
+/// time-multiplexes across sub-bands. This model splits the capture
+/// bandwidth into `n_subbands` equal slices and, for each dwell, keeps
+/// only the slice the tuner is parked on; everything outside is lost —
+/// which is exactly the detection/collision cost the experiment
+/// measures against the hardware saving.
+#[derive(Clone, Debug)]
+pub struct HoppingFrontEnd {
+    inner: RtlSdrFrontEnd,
+    /// Number of equal sub-bands the capture bandwidth is split into.
+    pub n_subbands: usize,
+    /// Samples spent parked on each sub-band before hopping.
+    pub dwell_samples: usize,
+}
+
+impl HoppingFrontEnd {
+    /// Creates a hopping front end over an RTL-SDR model.
+    ///
+    /// # Panics
+    /// Panics unless `n_subbands >= 1` and `dwell_samples >= 1`.
+    pub fn new(inner: RtlSdrFrontEnd, n_subbands: usize, dwell_samples: usize) -> Self {
+        assert!(n_subbands >= 1, "need at least one sub-band");
+        assert!(dwell_samples >= 1, "dwell must be positive");
+        HoppingFrontEnd { inner, n_subbands, dwell_samples }
+    }
+
+    /// The sub-band visited on dwell `d` (round-robin schedule).
+    pub fn band(&self, d: usize, fs: f64) -> galiot_dsp::spectral::Band {
+        let k = d % self.n_subbands;
+        let w = fs / self.n_subbands as f64;
+        galiot_dsp::spectral::Band::new(-fs / 2.0 + k as f64 * w, -fs / 2.0 + (k + 1) as f64 * w)
+    }
+
+    /// Digitizes a capture through the hopping tuner: per dwell, only
+    /// the active sub-band survives.
+    pub fn digitize(&self, analog: &[Cf32], fs: f64) -> Vec<Cf32> {
+        if self.n_subbands == 1 {
+            return self.inner.digitize(analog);
+        }
+        let mut masked = Vec::with_capacity(analog.len());
+        for (d, chunk) in analog.chunks(self.dwell_samples).enumerate() {
+            let band = self.band(d, fs);
+            masked.extend(galiot_dsp::spectral::select_bands(chunk, fs, &[band]));
+        }
+        self.inner.digitize(&masked)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galiot_dsp::power::mean_power;
+
+    fn tone(n: usize, amp: f32) -> Vec<Cf32> {
+        (0..n).map(|i| Cf32::cis(i as f32 * 0.37) * amp).collect()
+    }
+
+    #[test]
+    fn auto_gain_normalizes_rms() {
+        let fe = RtlSdrFrontEnd::new(FrontEndParams::default());
+        for &amp in &[0.001f32, 1.0, 50.0] {
+            let out = fe.digitize(&tone(4096, amp));
+            let rms = mean_power(&out).sqrt();
+            assert!((rms - 0.2).abs() < 0.05, "amp {amp}: rms {rms}");
+        }
+    }
+
+    #[test]
+    fn quantization_grid_is_respected() {
+        let fe = RtlSdrFrontEnd::new(FrontEndParams {
+            adc_bits: 8,
+            auto_gain: false,
+            gain: 1.0,
+            dc_offset: 0.0,
+            iq_gain_imbalance: 1.0,
+            iq_phase_imbalance: 0.0,
+            ..Default::default()
+        });
+        let out = fe.digitize(&tone(256, 0.5));
+        for z in &out {
+            let steps_re = z.re * 128.0;
+            assert!((steps_re - steps_re.round()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn clipping_bounds_output() {
+        let fe = RtlSdrFrontEnd::new(FrontEndParams {
+            auto_gain: false,
+            gain: 10.0,
+            ..Default::default()
+        });
+        let out = fe.digitize(&tone(128, 1.0));
+        for z in &out {
+            assert!(z.re.abs() <= 1.0 + 1e-6 && z.im.abs() <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantization_noise_shrinks_with_bits() {
+        let analog = tone(8192, 0.5);
+        let err = |bits: u32| {
+            let fe = RtlSdrFrontEnd::new(FrontEndParams {
+                adc_bits: bits,
+                auto_gain: false,
+                gain: 1.0,
+                dc_offset: 0.0,
+                iq_gain_imbalance: 1.0,
+                iq_phase_imbalance: 0.0,
+                ..Default::default()
+            });
+            let out = fe.digitize(&analog);
+            out.iter()
+                .zip(&analog)
+                .map(|(a, b)| (*a - *b).norm_sqr())
+                .sum::<f32>()
+        };
+        assert!(err(4) > 10.0 * err(8));
+        assert!(err(8) > 10.0 * err(12));
+    }
+
+    #[test]
+    fn ideal_front_end_is_nearly_transparent() {
+        let fe = RtlSdrFrontEnd::ideal();
+        let analog = tone(2048, 0.3);
+        let out = fe.digitize(&analog);
+        // Up to the auto-gain scale, shape is preserved: correlation ~ 1.
+        let dot: f32 = out
+            .iter()
+            .zip(&analog)
+            .map(|(a, b)| (*a * b.conj()).re)
+            .sum();
+        let na = mean_power(&out).sqrt() * (out.len() as f32).sqrt();
+        let nb = mean_power(&analog).sqrt() * (analog.len() as f32).sqrt();
+        assert!(dot / (na * nb) > 0.9999);
+    }
+
+    #[test]
+    fn dc_offset_shows_up_at_dc() {
+        let fe = RtlSdrFrontEnd::new(FrontEndParams {
+            auto_gain: false,
+            gain: 1.0,
+            dc_offset: 0.05,
+            ..Default::default()
+        });
+        let out = fe.digitize(&vec![Cf32::ZERO; 1024]);
+        let mean: Cf32 = out.iter().copied().sum::<Cf32>() / 1024.0;
+        assert!((mean.re - 0.05).abs() < 0.01);
+    }
+
+    #[test]
+    fn chunking_preserves_content() {
+        let cap = tone(1000, 0.1);
+        let chunks = RtlSdrFrontEnd::chunks(cap.clone(), 256);
+        assert_eq!(chunks.len(), 4);
+        let glued: Vec<Cf32> = chunks.into_iter().flatten().collect();
+        assert_eq!(glued, cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "ADC depth")]
+    fn rejects_zero_bits() {
+        let _ = RtlSdrFrontEnd::new(FrontEndParams { adc_bits: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn hopping_single_band_is_plain_frontend() {
+        let fe = RtlSdrFrontEnd::ideal();
+        let hop = HoppingFrontEnd::new(fe.clone(), 1, 1_000);
+        let sig = tone(4_096, 0.3);
+        assert_eq!(hop.digitize(&sig, 1e6), fe.digitize(&sig));
+    }
+
+    #[test]
+    fn hopping_keeps_only_the_active_subband() {
+        let fs = 1e6;
+        let hop = HoppingFrontEnd::new(RtlSdrFrontEnd::ideal(), 2, 4_096);
+        // A tone in the upper half-band (+200 kHz): visible only on
+        // dwells parked there (odd dwells: band k=1 covers 0..+500k).
+        let sig = galiot_dsp::mix::mix(&vec![Cf32::from_re(0.3); 16_384], 200e3, fs);
+        let out = hop.digitize(&sig, fs);
+        // Dwell 0 covers -500..0 kHz: tone suppressed.
+        let p0 = mean_power(&out[500..3_600]);
+        // Dwell 1 covers 0..+500 kHz: tone present.
+        let p1 = mean_power(&out[4_596..7_700]);
+        assert!(p1 > 20.0 * p0, "active {p1} vs parked {p0}");
+    }
+
+    #[test]
+    fn hopping_schedule_is_round_robin() {
+        let hop = HoppingFrontEnd::new(RtlSdrFrontEnd::ideal(), 4, 100);
+        let fs = 1e6;
+        assert_eq!(hop.band(0, fs).lo, -500_000.0);
+        assert_eq!(hop.band(3, fs).hi, 500_000.0);
+        assert_eq!(hop.band(4, fs).lo, hop.band(0, fs).lo);
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-band")]
+    fn hopping_rejects_zero_bands() {
+        let _ = HoppingFrontEnd::new(RtlSdrFrontEnd::ideal(), 0, 100);
+    }
+}

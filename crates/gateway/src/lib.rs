@@ -1,0 +1,25 @@
+//! # galiot-gateway — the GalioT gateway (paper, Sec. 4)
+//!
+//! An inexpensive software-radio front end ([`frontend`], modelling the
+//! prototype's 8-bit RTL-SDR), universal packet detection
+//! ([`universal`]) against the energy and matched-filter baselines
+//! ([`detect`]), capture extraction around detections ([`extract()`](extract())),
+//! the edge-first decode split ([`edge`]) and the compressed,
+//! bandwidth-limited uplink to the cloud ([`backhaul`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backhaul;
+pub mod detect;
+pub mod edge;
+pub mod extract;
+pub mod frontend;
+pub mod universal;
+
+pub use backhaul::{compress, decompress, Backhaul, CompressedSegment};
+pub use detect::{score_detections, Detection, EnergyDetector, MatchedFilterBank, PacketDetector};
+pub use edge::{EdgeDecoder, EdgeOutcome, EdgeReport};
+pub use extract::{extract, shipped_fraction, ExtractParams, Segment};
+pub use frontend::{FrontEndParams, HoppingFrontEnd, RtlSdrFrontEnd};
+pub use universal::{build as build_universal_preamble, UniversalDetector, UniversalPreamble};

@@ -1,0 +1,267 @@
+//! The common PHY abstraction every technology implements.
+//!
+//! A [`Technology`] turns payload bytes into a complex baseband
+//! waveform at the *gateway* sample rate (with the technology's channel
+//! placed at a configurable frequency offset inside the capture band)
+//! and back. The universal-preamble detector, the kill filters and the
+//! SIC engine all manipulate technologies exclusively through this
+//! trait, which is what makes GalioT extensible "through simple
+//! software updates" (paper, Sec. 1).
+
+use galiot_dsp::spectral::Band;
+use galiot_dsp::Cf32;
+use std::fmt;
+
+/// Identifies a radio technology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TechId {
+    /// LoRa (chirp spread spectrum, Semtech/LoRa Alliance).
+    LoRa,
+    /// Z-Wave (ITU-T G.9959 BFSK/GFSK).
+    ZWave,
+    /// XBee-style IEEE 802.15.4g MR-FSK (2-GFSK).
+    XBee,
+    /// Bluetooth Low Energy (GFSK).
+    Ble,
+    /// SigFox-style ultra-narrow-band D-BPSK.
+    SigFox,
+    /// IEEE 802.15.4-style O-QPSK with DSSS chip spreading.
+    OqpskDsss,
+}
+
+impl TechId {
+    /// All identifiers, in registry order.
+    pub const ALL: [TechId; 6] = [
+        TechId::LoRa,
+        TechId::ZWave,
+        TechId::XBee,
+        TechId::Ble,
+        TechId::SigFox,
+        TechId::OqpskDsss,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TechId::LoRa => "LoRa",
+            TechId::ZWave => "Z-Wave",
+            TechId::XBee => "XBee",
+            TechId::Ble => "BLE",
+            TechId::SigFox => "SigFox",
+            TechId::OqpskDsss => "O-QPSK/DSSS",
+        }
+    }
+}
+
+impl fmt::Display for TechId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The modulation class a technology belongs to — this is what selects
+/// the kill filter in Algorithm 1 of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModClass {
+    /// Chirp spread spectrum (KILL-CSS).
+    Css,
+    /// Frequency-shift keying, binary or Gaussian-shaped
+    /// (KILL-FREQUENCY on the mark/space tones).
+    Fsk,
+    /// Phase-shift keying (KILL-FREQUENCY on the occupied band).
+    Psk,
+    /// Direct-sequence spreading with (near-)orthogonal codes
+    /// (KILL-CODES).
+    DsssCodes,
+}
+
+impl fmt::Display for ModClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ModClass::Css => "CSS",
+            ModClass::Fsk => "FSK",
+            ModClass::Psk => "PSK",
+            ModClass::DsssCodes => "DSSS",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors a demodulator can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PhyError {
+    /// No preamble/sync word found in the capture.
+    SyncNotFound,
+    /// Sync found but the frame runs past the end of the capture.
+    Truncated,
+    /// Frame decoded but its CRC/checksum failed.
+    CrcMismatch,
+    /// A header field was inconsistent (bad length, reserved bits...).
+    MalformedHeader(&'static str),
+    /// The capture is too short to contain any frame of this PHY.
+    CaptureTooShort,
+    /// Configuration error (e.g. sample rate below the PHY's minimum).
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for PhyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhyError::SyncNotFound => write!(f, "preamble/sync not found"),
+            PhyError::Truncated => write!(f, "frame truncated by capture boundary"),
+            PhyError::CrcMismatch => write!(f, "CRC mismatch"),
+            PhyError::MalformedHeader(what) => write!(f, "malformed header: {what}"),
+            PhyError::CaptureTooShort => write!(f, "capture too short"),
+            PhyError::BadConfig(what) => write!(f, "bad configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PhyError {}
+
+/// How to "kill" (surgically remove) a technology's signal from a
+/// collision, based on its modulation — the dispatch data behind the
+/// paper's KILL-FREQUENCY / KILL-CSS / KILL-CODES filters (Sec. 5).
+#[derive(Clone, Debug)]
+pub enum KillRecipe {
+    /// Suppress these spectral bands — FSK technologies concentrate
+    /// energy at their mark/space tones, PSK at its occupied band.
+    Frequency(Vec<Band>),
+    /// Multiply by a down-chirp so the CSS signal collapses to
+    /// narrowband tones, notch those, re-chirp. The frame-anatomy
+    /// fields let the filter align its symbol windows to each region
+    /// of a CSS frame (up-chirp head, down-chirp SFD, quarter-shifted
+    /// data grid).
+    Css {
+        /// Chirp bandwidth in Hz.
+        bw: f64,
+        /// Spreading factor (symbols are cyclic shifts of 2^sf steps).
+        sf: u32,
+        /// Channel center offset within the capture, Hz.
+        center_offset_hz: f64,
+        /// Up-chirp-family symbols at the frame head (preamble + sync).
+        head_symbols: usize,
+        /// Whole down-chirp symbols in the SFD (followed by a quarter).
+        sfd_symbols: usize,
+    },
+    /// Project symbol-aligned windows onto the technology's code
+    /// reference waveforms and subtract the projection.
+    Codes {
+        /// Reference waveforms, one per code, at the capture rate, at DC.
+        refs: Vec<Vec<Cf32>>,
+        /// Samples per code symbol at the capture rate.
+        sps: usize,
+        /// Channel center offset within the capture, Hz.
+        center_offset_hz: f64,
+    },
+}
+
+/// A successfully decoded frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodedFrame {
+    /// Which technology produced it.
+    pub tech: TechId,
+    /// The recovered payload bytes.
+    pub payload: Vec<u8>,
+    /// Sample index (in the capture handed to the demodulator) where
+    /// the frame's preamble begins.
+    pub start: usize,
+    /// Number of capture samples the frame occupies.
+    pub len: usize,
+}
+
+/// A radio technology: modulator, demodulator and the metadata the
+/// gateway and cloud need (preamble waveform, occupied band, class).
+///
+/// All waveforms are complex baseband at the sample rate `fs` passed in
+/// (the gateway capture rate, 1 MHz in the paper's prototype), with the
+/// technology's channel centered at [`Technology::center_offset_hz`]
+/// relative to the capture center.
+pub trait Technology: Send + Sync {
+    /// Identity of this technology.
+    fn id(&self) -> TechId;
+
+    /// Modulation class, selecting the kill filter.
+    fn modulation(&self) -> ModClass;
+
+    /// Channel center offset within the capture band, in Hz.
+    fn center_offset_hz(&self) -> f64;
+
+    /// The band this technology occupies within the capture (around
+    /// [`Technology::center_offset_hz`]).
+    fn occupied_band(&self) -> Band;
+
+    /// Nominal over-the-air bit rate (payload bits per second is lower
+    /// once framing/FEC overheads are counted).
+    fn bitrate(&self) -> f64;
+
+    /// The modulated preamble+sync waveform at rate `fs` — the template
+    /// both the matched-filter bank and the universal preamble build on.
+    fn preamble_waveform(&self, fs: f64) -> Vec<Cf32>;
+
+    /// Modulates one frame carrying `payload`, returning unit-power
+    /// baseband samples at rate `fs`.
+    fn modulate(&self, payload: &[u8], fs: f64) -> Vec<Cf32>;
+
+    /// Attempts to decode the first frame of this technology inside
+    /// `capture` (complex baseband at rate `fs`).
+    fn demodulate(&self, capture: &[Cf32], fs: f64) -> Result<DecodedFrame, PhyError>;
+
+    /// Upper bound on the number of samples a maximum-length frame
+    /// occupies at rate `fs` — the gateway ships twice this around each
+    /// detection (paper, Sec. 4).
+    fn max_frame_samples(&self, fs: f64) -> usize;
+
+    /// Maximum payload length in bytes accepted by [`Technology::modulate`].
+    fn max_payload_len(&self) -> usize;
+
+    /// A short description of the sync/preamble structure for Table 1.
+    fn preamble_description(&self) -> &'static str;
+
+    /// The "kill" filter that removes this technology from a collision
+    /// (paper, Sec. 5), built for capture rate `fs`.
+    fn kill_recipe(&self, fs: f64) -> KillRecipe;
+}
+
+/// Reconstructs the waveform of a decoded frame — the reference signal
+/// SIC subtracts. Provided for any `Technology` since remodulation is
+/// just `modulate` on the recovered payload.
+pub fn remodulate(tech: &dyn Technology, frame: &DecodedFrame, fs: f64) -> Vec<Cf32> {
+    tech.modulate(&frame.payload, fs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tech_ids_are_distinct_and_named() {
+        let mut names: Vec<&str> = TechId::ALL.iter().map(|t| t.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), TechId::ALL.len());
+    }
+
+    #[test]
+    fn errors_format() {
+        let msgs = [
+            PhyError::SyncNotFound.to_string(),
+            PhyError::Truncated.to_string(),
+            PhyError::CrcMismatch.to_string(),
+            PhyError::MalformedHeader("len").to_string(),
+            PhyError::CaptureTooShort.to_string(),
+            PhyError::BadConfig("fs").to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+    }
+
+    #[test]
+    fn modclass_display() {
+        assert_eq!(ModClass::Css.to_string(), "CSS");
+        assert_eq!(ModClass::Fsk.to_string(), "FSK");
+        assert_eq!(ModClass::Psk.to_string(), "PSK");
+        assert_eq!(ModClass::DsssCodes.to_string(), "DSSS");
+    }
+}

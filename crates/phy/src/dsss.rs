@@ -1,0 +1,470 @@
+//! O-QPSK / DSSS PHY (IEEE 802.15.4 style) — the orthogonal-codes
+//! technology targeted by the paper's KILL-CODES filter.
+//!
+//! Each 4-bit symbol selects one of 16 near-orthogonal 32-chip
+//! pseudo-noise sequences (the 802.15.4 2450 MHz table); chips are
+//! O-QPSK modulated — even chips on the I rail, odd chips on the Q
+//! rail, each shaped by a half-sine spanning two chip periods, so the
+//! envelope is MSK-like constant. Frame: 4 zero bytes of preamble
+//! ("binary 0s" in Table 1), SFD `0xA7`, one-byte PHR length, PSDU
+//! (payload + CRC-16).
+//!
+//! The chip rate defaults to 250 kchip/s so the signal fits the 1 MHz
+//! capture of the paper's RTL-SDR prototype (the 2.4 GHz standard runs
+//! 2 Mchip/s; the code path is identical at any rate `fs` affords).
+
+use galiot_dsp::corr::xcorr_normalized;
+use galiot_dsp::fir::Fir;
+use galiot_dsp::mix::mix;
+use galiot_dsp::pulse::half_sine;
+use galiot_dsp::spectral::Band;
+use galiot_dsp::window::Window;
+use galiot_dsp::Cf32;
+
+use crate::bits::crc16_ccitt;
+use crate::common::{DecodedFrame, ModClass, PhyError, TechId, Technology};
+
+/// The IEEE 802.15.4 (2450 MHz O-QPSK) 32-chip PN sequences, chip 0 in
+/// the LSB. Sequences 1..=7 are 4-chip cyclic shifts of sequence 0;
+/// 8..=15 are the Q-conjugated variants.
+pub const CHIP_SEQUENCES: [u32; 16] = [
+    0x744A_C39B,
+    0x4443_9B74,
+    0x439B_7444,
+    0x9B74_4AC3,
+    0xDEE0_6931,
+    0xE069_31DE,
+    0x6931_DEE0,
+    0x31DE_E069,
+    0x077B_8C96,
+    0x7B8C_9607,
+    0x8C96_077B,
+    0x9607_7B8C,
+    0xADAF_2C68,
+    0xAF2C_68AD,
+    0x2C68_ADAF,
+    0x68AD_AF2C,
+];
+
+/// Chips per symbol.
+pub const CHIPS_PER_SYMBOL: usize = 32;
+/// Preamble symbols: 8 zero symbols (4 bytes of zeros, Table 1).
+pub const PREAMBLE_SYMBOLS: usize = 8;
+/// Start-of-frame delimiter byte (low nibble transmitted first).
+pub const SFD: u8 = 0xA7;
+
+/// O-QPSK/DSSS parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct DsssParams {
+    /// Chip rate in chips/s.
+    pub chip_rate: f64,
+    /// Channel center offset within the capture band, Hz.
+    pub center_offset_hz: f64,
+}
+
+impl Default for DsssParams {
+    fn default() -> Self {
+        DsssParams { chip_rate: 250_000.0, center_offset_hz: 0.0 }
+    }
+}
+
+/// The O-QPSK/DSSS technology implementation.
+#[derive(Clone, Debug)]
+pub struct DsssPhy {
+    params: DsssParams,
+}
+
+impl DsssPhy {
+    /// Creates a DSSS PHY.
+    ///
+    /// # Panics
+    /// Panics if the chip rate is non-positive.
+    pub fn new(params: DsssParams) -> Self {
+        assert!(params.chip_rate > 0.0, "chip rate must be positive");
+        DsssPhy { params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &DsssParams {
+        &self.params
+    }
+
+    /// Samples per chip at capture rate `fs`.
+    fn spc(&self, fs: f64) -> Result<usize, PhyError> {
+        let spc = (fs / self.params.chip_rate).round() as usize;
+        if spc < 2 {
+            return Err(PhyError::BadConfig("fewer than 2 samples per chip"));
+        }
+        Ok(spc)
+    }
+
+    /// Samples per symbol at capture rate `fs`.
+    pub fn samples_per_symbol(&self, fs: f64) -> Result<usize, PhyError> {
+        Ok(self.spc(fs)? * CHIPS_PER_SYMBOL)
+    }
+
+    /// The chip values (0/1) of one symbol.
+    pub fn symbol_chips(symbol: u8) -> Vec<u8> {
+        let seq = CHIP_SEQUENCES[(symbol & 0x0F) as usize];
+        (0..CHIPS_PER_SYMBOL).map(|c| ((seq >> c) & 1) as u8).collect()
+    }
+
+    /// Synthesizes the O-QPSK waveform of a chip stream at DC, rate
+    /// `fs`. Chip `c` starts at sample `c * spc`; its half-sine pulse
+    /// spans two chip periods, on the I rail for even `c` and the Q
+    /// rail for odd `c`. Output length is `(chips + 1) * spc` (the last
+    /// pulse's tail).
+    pub fn chips_to_waveform(&self, chips: &[u8], fs: f64) -> Result<Vec<Cf32>, PhyError> {
+        let spc = self.spc(fs)?;
+        let pulse = half_sine(2 * spc);
+        let mut out = vec![Cf32::ZERO; chips.len() * spc + spc];
+        for (c, &chip) in chips.iter().enumerate() {
+            let v = if chip & 1 == 1 { 1.0f32 } else { -1.0 };
+            let at = c * spc;
+            if c % 2 == 0 {
+                for (k, &p) in pulse.iter().enumerate() {
+                    out[at + k].re += v * p;
+                }
+            } else {
+                for (k, &p) in pulse.iter().enumerate() {
+                    out[at + k].im += v * p;
+                }
+            }
+        }
+        if self.params.center_offset_hz != 0.0 {
+            Ok(mix(&out, self.params.center_offset_hz, fs))
+        } else {
+            Ok(out)
+        }
+    }
+
+    /// The reference waveform of one symbol at DC (used both by the
+    /// demodulator and by the cloud's KILL-CODES projection filter).
+    pub fn symbol_reference(&self, symbol: u8, fs: f64) -> Result<Vec<Cf32>, PhyError> {
+        let at_dc = DsssPhy {
+            params: DsssParams { center_offset_hz: 0.0, ..self.params },
+        };
+        at_dc.chips_to_waveform(&Self::symbol_chips(symbol), fs)
+    }
+
+    /// Serializes bytes to 4-bit symbols, low nibble first (802.15.4
+    /// bit order).
+    pub fn bytes_to_symbols(bytes: &[u8]) -> Vec<u8> {
+        let mut syms = Vec::with_capacity(bytes.len() * 2);
+        for &b in bytes {
+            syms.push(b & 0x0F);
+            syms.push(b >> 4);
+        }
+        syms
+    }
+
+    /// Inverse of [`DsssPhy::bytes_to_symbols`]; odd trailing symbols
+    /// are dropped.
+    pub fn symbols_to_bytes(symbols: &[u8]) -> Vec<u8> {
+        symbols
+            .chunks_exact(2)
+            .map(|p| (p[0] & 0x0F) | (p[1] << 4))
+            .collect()
+    }
+
+    /// The full symbol stream of a frame: preamble, SFD, PHR, PSDU.
+    pub fn frame_symbols(&self, payload: &[u8]) -> Vec<u8> {
+        let mut psdu = payload.to_vec();
+        let crc = crc16_ccitt(payload);
+        psdu.push((crc >> 8) as u8);
+        psdu.push((crc & 0xFF) as u8);
+
+        let mut syms = vec![0u8; PREAMBLE_SYMBOLS];
+        syms.extend(Self::bytes_to_symbols(&[SFD]));
+        syms.extend(Self::bytes_to_symbols(&[psdu.len() as u8]));
+        syms.extend(Self::bytes_to_symbols(&psdu));
+        syms
+    }
+
+    /// Channelizes and band-limits a capture for this PHY.
+    fn channelize(&self, capture: &[Cf32], fs: f64) -> Vec<Cf32> {
+        let base = if self.params.center_offset_hz != 0.0 {
+            mix(capture, -self.params.center_offset_hz, fs)
+        } else {
+            capture.to_vec()
+        };
+        let cutoff = self.params.chip_rate.min(0.45 * fs);
+        let fir = Fir::lowpass(cutoff, fs, 65, Window::Hamming);
+        fir.filter(&base)
+    }
+
+    /// Correlates one aligned window against all 16 symbol references
+    /// and returns the best symbol and its normalized metric.
+    fn decide_symbol(&self, window: &[Cf32], refs: &[Vec<Cf32>]) -> (u8, f32) {
+        let energy: f32 = window.iter().map(|z| z.norm_sqr()).sum();
+        let mut best = (0u8, 0.0f32);
+        for (s, r) in refs.iter().enumerate() {
+            let n = window.len().min(r.len());
+            let dot: Cf32 = window[..n]
+                .iter()
+                .zip(&r[..n])
+                .map(|(&a, &b)| a * b.conj())
+                .sum();
+            let re: f32 = r[..n].iter().map(|z| z.norm_sqr()).sum();
+            let metric = if energy > 0.0 && re > 0.0 {
+                dot.abs() / (energy.sqrt() * re.sqrt())
+            } else {
+                0.0
+            };
+            if metric > best.1 {
+                best = (s as u8, metric);
+            }
+        }
+        best
+    }
+}
+
+impl Technology for DsssPhy {
+    fn id(&self) -> TechId {
+        TechId::OqpskDsss
+    }
+
+    fn modulation(&self) -> ModClass {
+        ModClass::DsssCodes
+    }
+
+    fn center_offset_hz(&self) -> f64 {
+        self.params.center_offset_hz
+    }
+
+    fn occupied_band(&self) -> Band {
+        // Main lobe of half-sine O-QPSK: ~1.5x chip rate.
+        Band::centered(self.params.center_offset_hz, 1.5 * self.params.chip_rate)
+    }
+
+    fn bitrate(&self) -> f64 {
+        // 4 bits per 32 chips.
+        self.params.chip_rate * 4.0 / CHIPS_PER_SYMBOL as f64
+    }
+
+    fn preamble_waveform(&self, fs: f64) -> Vec<Cf32> {
+        let mut syms = vec![0u8; PREAMBLE_SYMBOLS];
+        syms.extend(Self::bytes_to_symbols(&[SFD]));
+        let chips: Vec<u8> = syms.iter().flat_map(|&s| Self::symbol_chips(s)).collect();
+        self.chips_to_waveform(&chips, fs)
+            .expect("sample rate too low for DSSS preamble")
+    }
+
+    fn modulate(&self, payload: &[u8], fs: f64) -> Vec<Cf32> {
+        assert!(payload.len() <= self.max_payload_len(), "payload too long");
+        let chips: Vec<u8> = self
+            .frame_symbols(payload)
+            .iter()
+            .flat_map(|&s| Self::symbol_chips(s))
+            .collect();
+        let mut sig = self
+            .chips_to_waveform(&chips, fs)
+            .expect("sample rate too low for DSSS");
+        // Normalize to unit mean power (the O-QPSK envelope is ~1 but
+        // rail overlap makes it sqrt(2)-ish at crossings).
+        galiot_dsp::power::normalize_power(&mut sig, 1.0);
+        sig
+    }
+
+    fn demodulate(&self, capture: &[Cf32], fs: f64) -> Result<DecodedFrame, PhyError> {
+        let sps = self.samples_per_symbol(fs)?;
+        if capture.len() < (PREAMBLE_SYMBOLS + 4) * sps {
+            return Err(PhyError::CaptureTooShort);
+        }
+        let base = self.channelize(capture, fs);
+
+        // Sync on the preamble+SFD waveform.
+        let at_dc = DsssPhy {
+            params: DsssParams { center_offset_hz: 0.0, ..self.params },
+        };
+        let template = at_dc.preamble_waveform(fs);
+        let ncc = xcorr_normalized(&base, &template);
+        let (start, peak) = ncc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &v)| (i, v))
+            .ok_or(PhyError::CaptureTooShort)?;
+        if peak < 0.4 {
+            return Err(PhyError::SyncNotFound);
+        }
+
+        let refs: Vec<Vec<Cf32>> = (0..16)
+            .map(|s| self.symbol_reference(s as u8, fs))
+            .collect::<Result<_, _>>()?;
+
+        let read_symbols = |from_sym: usize, count: usize| -> Option<Vec<u8>> {
+            let mut out = Vec::with_capacity(count);
+            for k in 0..count {
+                let at = start + (from_sym + k) * sps;
+                if at + sps > base.len() {
+                    return None;
+                }
+                let (sym, _) = self.decide_symbol(&base[at..at + sps], &refs);
+                out.push(sym);
+            }
+            Some(out)
+        };
+
+        let hdr_at = PREAMBLE_SYMBOLS + 2; // past preamble + SFD
+        let len_syms = read_symbols(hdr_at, 2).ok_or(PhyError::Truncated)?;
+        let len = Self::symbols_to_bytes(&len_syms)[0] as usize;
+        if len < 2 || len > self.max_payload_len() + 2 {
+            return Err(PhyError::MalformedHeader("PHR length"));
+        }
+        let psdu_syms = read_symbols(hdr_at + 2, len * 2).ok_or(PhyError::Truncated)?;
+        let psdu = Self::symbols_to_bytes(&psdu_syms);
+        let payload = psdu[..len - 2].to_vec();
+        let rx_crc = ((psdu[len - 2] as u16) << 8) | psdu[len - 1] as u16;
+        if crc16_ccitt(&payload) != rx_crc {
+            return Err(PhyError::CrcMismatch);
+        }
+        let total_syms = hdr_at + 2 + len * 2;
+        Ok(DecodedFrame {
+            tech: TechId::OqpskDsss,
+            payload,
+            start,
+            len: total_syms * sps,
+        })
+    }
+
+    fn max_frame_samples(&self, fs: f64) -> usize {
+        let syms = PREAMBLE_SYMBOLS + 2 + 2 + (self.max_payload_len() + 2) * 2;
+        syms * self.samples_per_symbol(fs).expect("sample rate too low for DSSS")
+    }
+
+    fn max_payload_len(&self) -> usize {
+        125
+    }
+
+    fn preamble_description(&self) -> &'static str {
+        "4 bytes binary 0s"
+    }
+
+    fn kill_recipe(&self, fs: f64) -> crate::common::KillRecipe {
+        let refs: Vec<Vec<Cf32>> = (0..16)
+            .map(|s| {
+                self.symbol_reference(s as u8, fs)
+                    .expect("sample rate too low for DSSS kill recipe")
+            })
+            .collect();
+        crate::common::KillRecipe::Codes {
+            refs,
+            sps: self
+                .samples_per_symbol(fs)
+                .expect("sample rate too low for DSSS kill recipe"),
+            center_offset_hz: self.params.center_offset_hz,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FS: f64 = 1_000_000.0;
+
+    fn phy() -> DsssPhy {
+        DsssPhy::new(DsssParams::default())
+    }
+
+    #[test]
+    fn chip_sequences_are_near_orthogonal() {
+        // Pairwise chip agreement should sit near 50% (16 of 32) for
+        // distinct sequences in the same half of the table.
+        for a in 0..8usize {
+            for b in 0..8usize {
+                if a == b {
+                    continue;
+                }
+                let ca = DsssPhy::symbol_chips(a as u8);
+                let cb = DsssPhy::symbol_chips(b as u8);
+                let agree = ca.iter().zip(&cb).filter(|(x, y)| x == y).count();
+                assert!(
+                    (10..=22).contains(&agree),
+                    "symbols {a},{b} agree on {agree}/32 chips"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn waveform_is_near_constant_envelope() {
+        let p = phy();
+        let chips: Vec<u8> = (0..4u8).flat_map(DsssPhy::symbol_chips).collect();
+        let w = p.chips_to_waveform(&chips, FS).unwrap();
+        // Skip ramp-up/down half-chips at the ends.
+        let spc = 4;
+        for z in &w[2 * spc..w.len() - 2 * spc] {
+            let m = z.abs();
+            assert!((0.7..=1.45).contains(&m), "envelope {m}");
+        }
+    }
+
+    #[test]
+    fn nibble_serialization_roundtrip() {
+        let bytes = [0xA7u8, 0x00, 0xFF, 0x3C];
+        let syms = DsssPhy::bytes_to_symbols(&bytes);
+        assert_eq!(syms[0], 0x7); // low nibble first
+        assert_eq!(syms[1], 0xA);
+        assert_eq!(DsssPhy::symbols_to_bytes(&syms), bytes);
+    }
+
+    #[test]
+    fn clean_roundtrip() {
+        let p = phy();
+        let payload = b"oqpsk dsss".to_vec();
+        let frame = p.demodulate(&p.modulate(&payload, FS), FS).expect("decode");
+        assert_eq!(frame.payload, payload);
+        assert_eq!(frame.tech, TechId::OqpskDsss);
+    }
+
+    #[test]
+    fn roundtrip_embedded_with_offset() {
+        let p = DsssPhy::new(DsssParams { center_offset_hz: 120_000.0, ..Default::default() });
+        let payload = vec![1, 2, 3];
+        let sig = p.modulate(&payload, FS);
+        let mut capture = vec![Cf32::ZERO; sig.len() + 10_000];
+        for (k, &s) in sig.iter().enumerate() {
+            capture[5_005 + k] = s;
+        }
+        let frame = p.demodulate(&capture, FS).expect("decode");
+        assert_eq!(frame.payload, payload);
+        assert!(frame.start.abs_diff(5_005) <= 4, "start {}", frame.start);
+    }
+
+    #[test]
+    fn empty_payload_roundtrip() {
+        let p = phy();
+        let frame = p.demodulate(&p.modulate(&[], FS), FS).expect("decode");
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let p = phy();
+        let mut sig = p.modulate(&[4, 5, 6, 7], FS);
+        let n = sig.len();
+        for z in &mut sig[n - 2_000..n - 1_000] {
+            *z = Cf32::ZERO;
+        }
+        assert!(matches!(
+            p.demodulate(&sig, FS),
+            Err(PhyError::CrcMismatch) | Err(PhyError::MalformedHeader(_))
+        ));
+    }
+
+    #[test]
+    fn bitrate_formula() {
+        // 250 kchip/s, 32 chips per 4-bit symbol -> 31.25 kb/s.
+        assert!((phy().bitrate() - 31_250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symbol_reference_is_at_dc_even_with_offset() {
+        let p = DsssPhy::new(DsssParams { center_offset_hz: 200_000.0, ..Default::default() });
+        let r = p.symbol_reference(3, FS).unwrap();
+        let f = galiot_dsp::mix::estimate_tone_freq(&r, FS);
+        assert!(f.abs() < 50_000.0, "reference not at DC: {f}");
+    }
+}

@@ -1,0 +1,280 @@
+//! LoRa-style forward error correction: Hamming nibble codes,
+//! gray mapping and the diagonal interleaver.
+//!
+//! LoRa encodes each 4-bit nibble into a `4 + cr` bit codeword
+//! (`cr` in 1..=4), interleaves blocks of `sf` codewords diagonally
+//! across `4 + cr` symbols of `sf` bits, and gray-maps symbol values so
+//! that the +-1-bin errors typical of chirp demodulation cause single
+//! bit flips that the Hamming layer can absorb.
+
+/// Coding rate denominator offset: CR `4/(4+cr)` for `cr` in 1..=4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodeRate(u8);
+
+impl CodeRate {
+    /// Creates a coding rate `4/(4+cr)`.
+    ///
+    /// # Panics
+    /// Panics unless `cr` is in 1..=4.
+    pub fn new(cr: u8) -> Self {
+        assert!((1..=4).contains(&cr), "coding rate must be 4/5..4/8");
+        CodeRate(cr)
+    }
+
+    /// The `cr` value (1..=4).
+    #[inline]
+    pub fn cr(self) -> u8 {
+        self.0
+    }
+
+    /// Codeword length in bits (5..=8).
+    #[inline]
+    pub fn codeword_len(self) -> usize {
+        4 + self.0 as usize
+    }
+
+    /// Rate as a fraction (e.g. 4/7 for cr=3).
+    #[inline]
+    pub fn rate(self) -> f64 {
+        4.0 / self.codeword_len() as f64
+    }
+}
+
+// Hamming(7,4) generator: data bits d3 d2 d1 d0 (MSB-first nibble),
+// parity p0 = d3^d2^d1, p1 = d3^d2^d0, p2 = d3^d1^d0, p3(ext) = all.
+fn parities(nibble: u8) -> [u8; 4] {
+    let d3 = (nibble >> 3) & 1;
+    let d2 = (nibble >> 2) & 1;
+    let d1 = (nibble >> 1) & 1;
+    let d0 = nibble & 1;
+    [
+        d3 ^ d2 ^ d1,
+        d3 ^ d2 ^ d0,
+        d3 ^ d1 ^ d0,
+        d3 ^ d2 ^ d1 ^ d0,
+    ]
+}
+
+/// Encodes a nibble (low 4 bits) into a codeword of
+/// `rate.codeword_len()` bits, MSB-first: data bits then parity bits.
+pub fn hamming_encode(nibble: u8, rate: CodeRate) -> Vec<u8> {
+    let n = nibble & 0x0F;
+    let p = parities(n);
+    let mut cw = vec![(n >> 3) & 1, (n >> 2) & 1, (n >> 1) & 1, n & 1];
+    cw.extend_from_slice(&p[..rate.cr() as usize]);
+    cw
+}
+
+/// Decodes a codeword back to a nibble by nearest-codeword search
+/// (maximum-likelihood for a binary symmetric channel). Returns
+/// `(nibble, corrected_bits)`.
+///
+/// CR 4/5 and 4/6 detect errors (distance 2/3 codes correct 0/1);
+/// CR 4/7 and 4/8 correct single-bit errors. Nearest-codeword decoding
+/// realizes whatever correction the distance allows.
+///
+/// # Panics
+/// Panics if `codeword.len() != rate.codeword_len()`.
+pub fn hamming_decode(codeword: &[u8], rate: CodeRate) -> (u8, usize) {
+    assert_eq!(codeword.len(), rate.codeword_len(), "codeword length mismatch");
+    let mut best = 0u8;
+    let mut best_dist = usize::MAX;
+    for cand in 0u8..16 {
+        let cw = hamming_encode(cand, rate);
+        let dist = cw
+            .iter()
+            .zip(codeword)
+            .filter(|(a, b)| (**a ^ **b) & 1 == 1)
+            .count();
+        if dist < best_dist {
+            best_dist = dist;
+            best = cand;
+        }
+    }
+    (best, best_dist)
+}
+
+/// Gray-codes a symbol value: `g = v ^ (v >> 1)`.
+#[inline]
+pub fn gray_encode(v: u32) -> u32 {
+    v ^ (v >> 1)
+}
+
+/// Inverts [`gray_encode`].
+#[inline]
+pub fn gray_decode(g: u32) -> u32 {
+    let mut v = g;
+    let mut shift = 1;
+    while shift < 32 {
+        v ^= v >> shift;
+        shift <<= 1;
+    }
+    v
+}
+
+/// Diagonally interleaves a block of `sf` codewords (each
+/// `rate.codeword_len()` bits) into `codeword_len` symbols of `sf`
+/// bits, returned as symbol values (MSB-first bit packing).
+///
+/// Bit `b` of codeword `c` lands in symbol `b` at bit position
+/// `(c + b) % sf` — the diagonal shift that decorrelates burst errors
+/// across codewords.
+///
+/// # Panics
+/// Panics unless exactly `sf` codewords of the right length are given.
+pub fn interleave(codewords: &[Vec<u8>], sf: u32, rate: CodeRate) -> Vec<u32> {
+    let sf = sf as usize;
+    let cwl = rate.codeword_len();
+    assert_eq!(codewords.len(), sf, "need sf codewords per block");
+    for cw in codewords {
+        assert_eq!(cw.len(), cwl, "codeword length mismatch");
+    }
+    let mut symbols = vec![0u32; cwl];
+    for (c, cw) in codewords.iter().enumerate() {
+        for (b, &bit) in cw.iter().enumerate() {
+            let pos = (c + b) % sf; // bit position within symbol b
+            if bit & 1 == 1 {
+                symbols[b] |= 1 << (sf - 1 - pos);
+            }
+        }
+    }
+    symbols
+}
+
+/// Inverts [`interleave`]: `codeword_len` symbol values back to `sf`
+/// codewords.
+pub fn deinterleave(symbols: &[u32], sf: u32, rate: CodeRate) -> Vec<Vec<u8>> {
+    let sf = sf as usize;
+    let cwl = rate.codeword_len();
+    assert_eq!(symbols.len(), cwl, "need codeword_len symbols per block");
+    let mut codewords = vec![vec![0u8; cwl]; sf];
+    for (b, &sym) in symbols.iter().enumerate() {
+        for c in 0..sf {
+            let pos = (c + b) % sf;
+            codewords[c][b] = ((sym >> (sf - 1 - pos)) & 1) as u8;
+        }
+    }
+    codewords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rates_roundtrip_all_nibbles() {
+        for cr in 1..=4u8 {
+            let rate = CodeRate::new(cr);
+            for n in 0u8..16 {
+                let cw = hamming_encode(n, rate);
+                assert_eq!(cw.len(), rate.codeword_len());
+                let (dec, dist) = hamming_decode(&cw, rate);
+                assert_eq!(dec, n);
+                assert_eq!(dist, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn cr3_corrects_single_bit_errors() {
+        let rate = CodeRate::new(3); // (7,4) Hamming, distance 3
+        for n in 0u8..16 {
+            let cw = hamming_encode(n, rate);
+            for flip in 0..7 {
+                let mut bad = cw.clone();
+                bad[flip] ^= 1;
+                let (dec, dist) = hamming_decode(&bad, rate);
+                assert_eq!(dec, n, "nibble {n} flip {flip}");
+                assert_eq!(dist, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cr4_corrects_single_bit_errors() {
+        let rate = CodeRate::new(4);
+        for n in [0u8, 5, 10, 15] {
+            let cw = hamming_encode(n, rate);
+            for flip in 0..8 {
+                let mut bad = cw.clone();
+                bad[flip] ^= 1;
+                assert_eq!(hamming_decode(&bad, rate).0, n);
+            }
+        }
+    }
+
+    #[test]
+    fn cr1_detects_single_bit_error() {
+        // Distance-2 code: a flipped bit lands at distance 1 from the
+        // true codeword (and >= 1 from every other).
+        let rate = CodeRate::new(1);
+        let cw = hamming_encode(9, rate);
+        let mut bad = cw.clone();
+        bad[2] ^= 1;
+        let (_, dist) = hamming_decode(&bad, rate);
+        assert_eq!(dist, 1);
+    }
+
+    #[test]
+    fn gray_roundtrip_and_adjacency() {
+        for v in 0u32..4096 {
+            assert_eq!(gray_decode(gray_encode(v)), v);
+        }
+        // Consecutive values differ in exactly one bit after gray coding.
+        for v in 0u32..127 {
+            let diff = gray_encode(v) ^ gray_encode(v + 1);
+            assert_eq!(diff.count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn interleave_roundtrips() {
+        for sf in 7..=12u32 {
+            for cr in 1..=4u8 {
+                let rate = CodeRate::new(cr);
+                let codewords: Vec<Vec<u8>> = (0..sf)
+                    .map(|c| hamming_encode((c % 16) as u8, rate))
+                    .collect();
+                let symbols = interleave(&codewords, sf, rate);
+                assert_eq!(symbols.len(), rate.codeword_len());
+                for &s in &symbols {
+                    assert!(s < (1 << sf));
+                }
+                assert_eq!(deinterleave(&symbols, sf, rate), codewords);
+            }
+        }
+    }
+
+    #[test]
+    fn interleaver_spreads_symbol_corruption() {
+        // Corrupting one symbol must touch at most one bit per codeword.
+        let sf = 7u32;
+        let rate = CodeRate::new(4);
+        let codewords: Vec<Vec<u8>> =
+            (0..sf).map(|c| hamming_encode(c as u8, rate)).collect();
+        let mut symbols = interleave(&codewords, sf, rate);
+        symbols[3] ^= 0b1010100; // flip several bits of one symbol
+        let out = deinterleave(&symbols, sf, rate);
+        for (orig, got) in codewords.iter().zip(&out) {
+            let dist: usize = orig
+                .iter()
+                .zip(got)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert!(dist <= 1, "codeword hit {dist} times");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "coding rate")]
+    fn rejects_bad_rate() {
+        let _ = CodeRate::new(5);
+    }
+
+    #[test]
+    fn rate_values() {
+        assert_eq!(CodeRate::new(1).codeword_len(), 5);
+        assert_eq!(CodeRate::new(4).codeword_len(), 8);
+        assert!((CodeRate::new(4).rate() - 0.5).abs() < 1e-12);
+    }
+}

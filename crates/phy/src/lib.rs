@@ -1,0 +1,33 @@
+//! # galiot-phy — IoT PHY layers for GalioT
+//!
+//! Modulators and demodulators for the technologies GalioT decodes,
+//! all implementing the [`common::Technology`] trait:
+//!
+//! * [`lora`] — chirp spread spectrum with full FEC/interleaving chain;
+//! * [`zwave`] — ITU-T G.9959 R2 BFSK;
+//! * [`xbee`] — IEEE 802.15.4g MR-FSK (2-GFSK);
+//! * [`ble`] — Bluetooth Low Energy 1M GFSK;
+//! * [`sigfox`] — ultra-narrow-band D-BPSK;
+//! * [`dsss`] — 802.15.4-style O-QPSK with 32-chip DSSS spreading.
+//!
+//! Shared machinery: [`bits`] (CRCs, whitening, packing), [`fec`]
+//! (Hamming codes, gray mapping, interleaving), [`fsk`] (the generic
+//! binary-FSK modem), and [`registry`] (Table 1 of the paper and
+//! standard technology instantiations).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ble;
+pub mod bits;
+pub mod common;
+pub mod dsss;
+pub mod fec;
+pub mod fsk;
+pub mod lora;
+pub mod registry;
+pub mod sigfox;
+pub mod xbee;
+pub mod zwave;
+
+pub use common::{DecodedFrame, ModClass, PhyError, TechId, Technology};

@@ -1,0 +1,277 @@
+//! The technology registry: standard instantiations of every PHY and
+//! the data behind Table 1 of the paper.
+//!
+//! A [`Registry`] is the set of technologies a GalioT deployment
+//! decodes. Adding a technology is the paper's "simple software
+//! update": construct its PHY, push it into the registry, and the
+//! universal preamble, gateway and cloud pick it up automatically.
+
+use std::sync::Arc;
+
+use crate::ble::{BleParams, BlePhy};
+use crate::common::{ModClass, TechId, Technology};
+use crate::dsss::{DsssParams, DsssPhy};
+use crate::lora::{LoraParams, LoraPhy};
+use crate::sigfox::{SigfoxParams, SigfoxPhy};
+use crate::xbee::{XbeeParams, XbeePhy};
+use crate::zwave::{ZwaveParams, ZwavePhy};
+
+/// A shared, thread-safe technology handle.
+pub type TechHandle = Arc<dyn Technology>;
+
+/// An ordered set of technologies a gateway/cloud deployment supports.
+#[derive(Clone, Default)]
+pub struct Registry {
+    techs: Vec<TechHandle>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The paper's prototype set: LoRa, XBee and Z-Wave sharing the
+    /// 868 MHz capture (all centered at DC of the 1 MHz capture band,
+    /// i.e. completely overlapping in frequency).
+    pub fn prototype() -> Self {
+        let mut r = Registry::new();
+        r.push(Arc::new(LoraPhy::new(LoraParams::default())));
+        r.push(Arc::new(XbeePhy::new(XbeeParams::default())));
+        r.push(Arc::new(ZwavePhy::new(ZwaveParams::default())));
+        r
+    }
+
+    /// The prototype set plus the DSSS technology (for KILL-CODES
+    /// experiments) and SigFox-style UNB.
+    pub fn extended() -> Self {
+        let mut r = Registry::prototype();
+        r.push(Arc::new(DsssPhy::new(DsssParams::default())));
+        r.push(Arc::new(SigfoxPhy::new(SigfoxParams::default())));
+        r
+    }
+
+    /// Every implemented technology, including BLE (which needs a
+    /// capture rate of at least 2 Msps).
+    pub fn all() -> Self {
+        let mut r = Registry::extended();
+        r.push(Arc::new(BlePhy::new(BleParams::default())));
+        r
+    }
+
+    /// Adds a technology (the "software update" path).
+    pub fn push(&mut self, tech: TechHandle) {
+        self.techs.push(tech);
+    }
+
+    /// Removes a technology by id; returns whether one was removed.
+    pub fn remove(&mut self, id: TechId) -> bool {
+        let before = self.techs.len();
+        self.techs.retain(|t| t.id() != id);
+        self.techs.len() != before
+    }
+
+    /// The technologies, in registration order.
+    pub fn techs(&self) -> &[TechHandle] {
+        &self.techs
+    }
+
+    /// Looks a technology up by id.
+    pub fn get(&self, id: TechId) -> Option<&TechHandle> {
+        self.techs.iter().find(|t| t.id() == id)
+    }
+
+    /// Number of registered technologies.
+    pub fn len(&self) -> usize {
+        self.techs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.techs.is_empty()
+    }
+
+    /// The longest `max_frame_samples` across technologies — the
+    /// capture the gateway ships is twice this (paper, Sec. 4).
+    pub fn max_frame_samples(&self, fs: f64) -> usize {
+        self.techs
+            .iter()
+            .map(|t| t.max_frame_samples(fs))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The longest frame across technologies for payloads up to
+    /// `payload_len` bytes. Worst-case frames (a 255-byte LoRa frame is
+    /// ~0.6 s at SF7) make extraction windows absurd for IoT traffic;
+    /// deployments size their shipping window by the payloads they
+    /// actually expect.
+    pub fn max_frame_samples_for(&self, fs: f64, payload_len: usize) -> usize {
+        self.techs
+            .iter()
+            .map(|t| {
+                let n = payload_len.min(t.max_payload_len());
+                t.modulate(&vec![0u8; n], fs).len()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// One row of Table 1 (the paper's survey of IoT technologies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Technology name.
+    pub technology: &'static str,
+    /// Modulation description.
+    pub modulation: &'static str,
+    /// Sync length description.
+    pub sync: &'static str,
+    /// Preamble description.
+    pub preamble: &'static str,
+    /// Whether this reproduction implements the technology.
+    pub implemented: bool,
+}
+
+/// The full Table 1 of the paper, annotated with implementation status.
+pub const TABLE1: [Table1Row; 10] = [
+    Table1Row {
+        technology: "LoRa",
+        modulation: "CSS",
+        sync: "-",
+        preamble: "sequence of 1s",
+        implemented: true,
+    },
+    Table1Row {
+        technology: "Z-Wave",
+        modulation: "BFSK,GFSK",
+        sync: "m bytes",
+        preamble: "'01010101'",
+        implemented: true,
+    },
+    Table1Row {
+        technology: "XBee",
+        modulation: "GFSK",
+        sync: "4 bytes",
+        preamble: "'01010101'",
+        implemented: true,
+    },
+    Table1Row {
+        technology: "BLE",
+        modulation: "GFSK",
+        sync: "4 bytes",
+        preamble: "'01010101'",
+        implemented: true,
+    },
+    Table1Row {
+        technology: "WiFi HaLow",
+        modulation: "BPSK",
+        sync: "configuration specific",
+        preamble: "configuration specific",
+        implemented: false,
+    },
+    Table1Row {
+        technology: "SigFox",
+        modulation: "D-BPSK",
+        sync: "4 bytes",
+        preamble: "unknown",
+        implemented: true,
+    },
+    Table1Row {
+        technology: "Thread",
+        modulation: "QPSK",
+        sync: "4 bytes",
+        preamble: "binary 0s",
+        implemented: true, // via the O-QPSK/DSSS PHY
+    },
+    Table1Row {
+        technology: "WirelessHART",
+        modulation: "O-QPSK",
+        sync: "4 bytes",
+        preamble: "binary 0s",
+        implemented: true, // via the O-QPSK/DSSS PHY
+    },
+    Table1Row {
+        technology: "Weightless",
+        modulation: "O-QPSK",
+        sync: "4 byte",
+        preamble: "binary 0s",
+        implemented: true, // via the O-QPSK/DSSS PHY
+    },
+    Table1Row {
+        technology: "NB-IoT",
+        modulation: "OFDMA",
+        sync: "LTE specific",
+        preamble: "LTE specific",
+        implemented: false,
+    },
+];
+
+/// Summarizes a registry as (id, modulation class, bitrate) rows —
+/// used by the Table 1 experiment binary.
+pub fn summarize(reg: &Registry) -> Vec<(TechId, ModClass, f64, &'static str)> {
+    reg.techs()
+        .iter()
+        .map(|t| (t.id(), t.modulation(), t.bitrate(), t.preamble_description()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_has_three_overlapping_techs() {
+        let r = Registry::prototype();
+        assert_eq!(r.len(), 3);
+        for t in r.techs() {
+            assert_eq!(t.center_offset_hz(), 0.0, "{} not at capture DC", t.id());
+        }
+        // Distinct modulation classes for LoRa vs the FSK pair.
+        assert_eq!(r.get(TechId::LoRa).unwrap().modulation(), ModClass::Css);
+        assert_eq!(r.get(TechId::XBee).unwrap().modulation(), ModClass::Fsk);
+        assert_eq!(r.get(TechId::ZWave).unwrap().modulation(), ModClass::Fsk);
+    }
+
+    #[test]
+    fn push_and_remove() {
+        let mut r = Registry::prototype();
+        assert!(r.remove(TechId::ZWave));
+        assert_eq!(r.len(), 2);
+        assert!(!r.remove(TechId::ZWave));
+        assert!(r.get(TechId::ZWave).is_none());
+    }
+
+    #[test]
+    fn extended_and_all_grow() {
+        assert_eq!(Registry::extended().len(), 5);
+        assert_eq!(Registry::all().len(), 6);
+    }
+
+    #[test]
+    fn max_frame_samples_covers_all() {
+        let r = Registry::prototype();
+        let fs = 1e6;
+        let m = r.max_frame_samples(fs);
+        for t in r.techs() {
+            assert!(t.max_frame_samples(fs) <= m);
+        }
+        assert!(m > 0);
+        assert_eq!(Registry::new().max_frame_samples(fs), 0);
+    }
+
+    #[test]
+    fn table1_has_ten_rows_with_eight_implemented() {
+        assert_eq!(TABLE1.len(), 10);
+        let implemented = TABLE1.iter().filter(|r| r.implemented).count();
+        assert_eq!(implemented, 8);
+    }
+
+    #[test]
+    fn summarize_matches_registry() {
+        let r = Registry::extended();
+        let rows = summarize(&r);
+        assert_eq!(rows.len(), r.len());
+        assert!(rows.iter().all(|(_, _, bitrate, _)| *bitrate > 0.0));
+    }
+}

@@ -1,0 +1,51 @@
+//! Detection below the noise floor — why the gateway correlates
+//! instead of thresholding energy (paper, Sec. 4).
+//!
+//! Sweeps one LoRa packet from +10 dB down to -25 dB SNR and shows
+//! where the energy detector loses it while the universal preamble
+//! keeps finding it.
+//!
+//! ```sh
+//! cargo run --release --example low_snr_detection
+//! ```
+
+use galiot::gateway::{score_detections, EnergyDetector};
+use galiot::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FS: f64 = 1_000_000.0;
+
+fn main() {
+    let registry = Registry::prototype();
+    let lora = registry.get(TechId::LoRa).unwrap().clone();
+    let universal = UniversalDetector::auto(&registry, FS);
+    let energy = EnergyDetector::default();
+
+    println!("snr_db   energy   universal_preamble");
+    for &snr in &[10.0f32, 5.0, 0.0, -5.0, -10.0, -15.0, -20.0, -25.0] {
+        let mut e_hits = 0;
+        let mut u_hits = 0;
+        let trials = 10;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(1000 + t);
+            let ev = TxEvent::new(lora.clone(), vec![0xA5; 8], 60_000);
+            let noise = snr_to_noise_power(snr, 0.0);
+            let cap = compose(&[ev], 400_000, FS, noise, &mut rng);
+            let truth: Vec<(usize, usize)> =
+                cap.truth.iter().map(|t| (t.start, t.len)).collect();
+            if score_detections(&energy.detect(&cap.samples, FS), &truth, 2_048)[0] {
+                e_hits += 1;
+            }
+            if score_detections(&universal.detect(&cap.samples, FS), &truth, 2_048)[0] {
+                u_hits += 1;
+            }
+        }
+        println!(
+            "{snr:>6.1}   {:>2}/{trials}     {:>2}/{trials}",
+            e_hits, u_hits
+        );
+    }
+    println!("\nenergy detection collapses below ~0 dB; the universal preamble's");
+    println!("correlation gain keeps detecting packets buried well under the noise.");
+}

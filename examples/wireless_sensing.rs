@@ -1,0 +1,88 @@
+//! Multi-technology wireless sensing — the paper's Sec. 6 sketch,
+//! working end to end.
+//!
+//! Three IoT devices transmit periodically. For the first half of the
+//! run the environment is static; then "someone walks through the
+//! room": every subsequent frame arrives through a perturbed channel
+//! (fluctuating gain and phase). The cloud never looks at payloads for
+//! this — the channel estimates that fall out of cancellation feed a
+//! [`galiot::core::sensing::SensingMonitor`], whose motion score jumps
+//! when the environment starts moving.
+//!
+//! ```sh
+//! cargo run --release --example wireless_sensing
+//! ```
+
+use galiot::channel::{compose, snr_to_noise_power, Impairments, TxEvent};
+use galiot::cloud::cancel_frame;
+use galiot::core::sensing::{ChannelObservation, SensingMonitor};
+use galiot::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const FS: f64 = 1_000_000.0;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let registry = Registry::prototype();
+    let xbee = registry.get(TechId::XBee).unwrap().clone();
+    let zwave = registry.get(TechId::ZWave).unwrap().clone();
+
+    let mut monitor = SensingMonitor::new(6);
+    println!("epoch   environment   frames   motion_score");
+
+    for epoch in 0..10 {
+        let moving = epoch >= 5;
+        // Two devices transmit once per epoch. In the static phase the
+        // channel is fixed per device; in the moving phase gain and
+        // phase wobble frame to frame.
+        let mut events = Vec::new();
+        for (i, tech) in [xbee.clone(), zwave.clone()].into_iter().enumerate() {
+            let imp = if moving {
+                Impairments {
+                    attenuation_db: rng.gen_range(0.0..6.0),
+                    phase: rng.gen_range(0.0..std::f32::consts::TAU),
+                    ..Impairments::clean()
+                }
+            } else {
+                Impairments {
+                    attenuation_db: 2.0 + i as f32,
+                    phase: 0.7 * (i as f32 + 1.0),
+                    ..Impairments::clean()
+                }
+            };
+            events.push(
+                TxEvent::new(tech, vec![epoch as u8, i as u8, 0x5E], 30_000 + i * 150_000)
+                    .with_impairments(imp),
+            );
+        }
+        let np = snr_to_noise_power(18.0, -6.0);
+        let cap = compose(&events, 400_000, FS, np, &mut rng);
+
+        // Decode and harvest channel estimates via cancellation.
+        let mut frames = 0usize;
+        let mut residual = cap.samples.clone();
+        for tech in [&xbee, &zwave] {
+            if let Ok(frame) = tech.demodulate(&residual, FS) {
+                if let Some(rep) =
+                    cancel_frame(&mut residual, tech.as_ref(), &frame, FS, 64)
+                {
+                    frames += 1;
+                    monitor.observe(ChannelObservation {
+                        tech: frame.tech,
+                        t_s: epoch as f64,
+                        gain: rep.mean_gain,
+                    });
+                }
+            }
+        }
+        println!(
+            "{epoch:>5}   {:>11}   {frames:>6}   {:>8.4}",
+            if moving { "moving" } else { "static" },
+            monitor.motion_score(),
+        );
+    }
+    println!("\nthe score stays near zero while the channel is static and rises");
+    println!("once frames start arriving through a changing environment —");
+    println!("collision-decoding infrastructure doubling as a sensor (Sec. 6).");
+}

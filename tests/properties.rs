@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) on the system's core invariants:
+//! every PHY must round-trip arbitrary payloads, the bit-level codecs
+//! must be exact inverses, and the DSP primitives must satisfy their
+//! algebraic laws on arbitrary input.
+
+use galiot::dsp::corr::{ncc_real, xcorr_direct, xcorr_fft};
+use galiot::dsp::fft::Fft;
+use galiot::dsp::Cf32;
+use galiot::gateway::{compress, decompress};
+use galiot::phy::bits::{
+    bits_to_bytes_lsb, bits_to_bytes_msb, bytes_to_bits_lsb, bytes_to_bits_msb,
+    manchester_decode, manchester_encode, Pn9,
+};
+use galiot::phy::fec::{
+    deinterleave, gray_decode, gray_encode, hamming_decode, hamming_encode, interleave,
+    CodeRate,
+};
+use galiot::prelude::*;
+use proptest::prelude::*;
+
+const FS: f64 = 1_000_000.0;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bit_packing_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(bits_to_bytes_msb(&bytes_to_bits_msb(&data)), data.clone());
+        prop_assert_eq!(bits_to_bytes_lsb(&bytes_to_bits_lsb(&data)), data);
+    }
+
+    #[test]
+    fn whitening_is_involutive(data in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut bits = bytes_to_bits_msb(&data);
+        let orig = bits.clone();
+        Pn9::new().whiten(&mut bits);
+        Pn9::new().whiten(&mut bits);
+        prop_assert_eq!(bits, orig);
+    }
+
+    #[test]
+    fn manchester_roundtrips(bits in proptest::collection::vec(0u8..2, 0..256)) {
+        prop_assert_eq!(manchester_decode(&manchester_encode(&bits)), bits);
+    }
+
+    #[test]
+    fn gray_code_roundtrips_and_is_adjacent(v in 0u32..(1 << 16)) {
+        prop_assert_eq!(gray_decode(gray_encode(v)), v);
+        prop_assert_eq!((gray_encode(v) ^ gray_encode(v + 1)).count_ones(), 1);
+    }
+
+    #[test]
+    fn hamming_roundtrips_any_nibble(n in 0u8..16, cr in 1u8..5) {
+        let rate = CodeRate::new(cr);
+        let (dec, dist) = hamming_decode(&hamming_encode(n, rate), rate);
+        prop_assert_eq!(dec, n);
+        prop_assert_eq!(dist, 0);
+    }
+
+    #[test]
+    fn interleaver_roundtrips(sf in 7u32..13, cr in 1u8..5, seed in any::<u64>()) {
+        let rate = CodeRate::new(cr);
+        let mut s = seed;
+        let codewords: Vec<Vec<u8>> = (0..sf)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                hamming_encode((s >> 33) as u8 & 0x0F, rate)
+            })
+            .collect();
+        let symbols = interleave(&codewords, sf, rate);
+        prop_assert_eq!(deinterleave(&symbols, sf, rate), codewords);
+    }
+}
+
+proptest! {
+    // Signal-level properties are costlier: fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fft_roundtrips_arbitrary_signal(
+        res in proptest::collection::vec(-100.0f32..100.0, 256),
+        ims in proptest::collection::vec(-100.0f32..100.0, 256),
+    ) {
+        let sig: Vec<Cf32> = res.iter().zip(&ims).map(|(&r, &i)| Cf32::new(r, i)).collect();
+        let plan = Fft::new(256);
+        let mut buf = sig.clone();
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        let scale = sig.iter().map(|z| z.abs()).fold(1.0f32, f32::max);
+        for (a, b) in buf.iter().zip(&sig) {
+            prop_assert!((*a - *b).abs() < 1e-3 * scale);
+        }
+    }
+
+    #[test]
+    fn fft_and_direct_correlation_agree(
+        xs in proptest::collection::vec(-10.0f32..10.0, 64..128),
+        hs in proptest::collection::vec(-10.0f32..10.0, 8..32),
+    ) {
+        let x: Vec<Cf32> = xs.iter().map(|&v| Cf32::new(v, -v * 0.5)).collect();
+        let h: Vec<Cf32> = hs.iter().map(|&v| Cf32::new(v * 0.3, v)).collect();
+        let a = xcorr_direct(&x, &h);
+        let b = xcorr_fft(&x, &h);
+        prop_assert_eq!(a.len(), b.len());
+        let scale = a.iter().map(|z| z.abs()).fold(1.0f32, f32::max);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((*p - *q).abs() < 1e-3 * scale.max(1.0));
+        }
+    }
+
+    #[test]
+    fn ncc_is_always_bounded(
+        xs in proptest::collection::vec(-100.0f32..100.0, 64..200),
+        hs in proptest::collection::vec(-100.0f32..100.0, 4..32),
+    ) {
+        for v in ncc_real(&xs, &hs) {
+            prop_assert!((-1.0001..=1.0001).contains(&v));
+        }
+    }
+
+    #[test]
+    fn compression_error_is_bounded(
+        res in proptest::collection::vec(-2.0f32..2.0, 512),
+        bits in 4u32..12,
+    ) {
+        let sig: Vec<Cf32> = res.iter().map(|&r| Cf32::new(r, -r * 0.7)).collect();
+        let out = decompress(&compress(&sig, bits, 128));
+        prop_assert_eq!(out.len(), sig.len());
+        // Block floating point: error bounded by the block peak / levels.
+        let peak = res.iter().fold(0.0f32, |a, &b| a.max(b.abs())) * 1.3 + 1e-6;
+        let max_err = peak / ((1u32 << bits) / 2) as f32;
+        for (a, b) in out.iter().zip(&sig) {
+            prop_assert!((a.re - b.re).abs() <= max_err * 1.5 + 1e-6,
+                "re err {} > {}", (a.re - b.re).abs(), max_err);
+        }
+    }
+}
+
+proptest! {
+    // Full modulate->demodulate across technologies: the costliest.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn lora_roundtrips_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let reg = Registry::prototype();
+        let t = reg.get(TechId::LoRa).unwrap();
+        let frame = t.demodulate(&t.modulate(&payload, FS), FS).unwrap();
+        prop_assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn xbee_roundtrips_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let reg = Registry::prototype();
+        let t = reg.get(TechId::XBee).unwrap();
+        let frame = t.demodulate(&t.modulate(&payload, FS), FS).unwrap();
+        prop_assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn zwave_roundtrips_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let reg = Registry::prototype();
+        let t = reg.get(TechId::ZWave).unwrap();
+        let frame = t.demodulate(&t.modulate(&payload, FS), FS).unwrap();
+        prop_assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn dsss_roundtrips_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let reg = Registry::extended();
+        let t = reg.get(TechId::OqpskDsss).unwrap();
+        let frame = t.demodulate(&t.modulate(&payload, FS), FS).unwrap();
+        prop_assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn sigfox_roundtrips_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<u8>(), 0..12),
+    ) {
+        let reg = Registry::extended();
+        let t = reg.get(TechId::SigFox).unwrap();
+        let sig = t.modulate(&payload, 100_000.0);
+        let frame = t.demodulate(&sig, 100_000.0).unwrap();
+        prop_assert_eq!(frame.payload, payload);
+    }
+}
