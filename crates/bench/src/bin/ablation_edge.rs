@@ -30,14 +30,20 @@ fn main() {
     ]);
 
     for edge in [true, false] {
-        let config = GaliotConfig { edge_decoding: edge, ..GaliotConfig::prototype() };
+        let config = GaliotConfig {
+            edge_decoding: edge,
+            ..GaliotConfig::prototype()
+        };
         let system = Galiot::new(config, reg.clone());
         let mut total = galiot_core::Metrics::default();
         for t in 0..trials {
             let mut rng = StdRng::seed_from_u64(seed + t as u64);
             // Sparse enough that isolated packets dominate — the
             // regime the edge-first split is designed for.
-            let params = TrafficParams { rate_hz: 1.0, ..Default::default() };
+            let params = TrafficParams {
+                rate_hz: 1.0,
+                ..Default::default()
+            };
             let events = generate(&reg, &params, 1.0, FS, &mut rng);
             let np = snr_to_noise_power(15.0, 0.0);
             let cap = compose(&events, 1_000_000, FS, np, &mut rng);
@@ -45,7 +51,12 @@ fn main() {
             total.merge(&report.metrics);
         }
         tsv_row(&[
-            if edge { "edge-first (paper)" } else { "ship-everything" }.to_string(),
+            if edge {
+                "edge-first (paper)"
+            } else {
+                "ship-everything"
+            }
+            .to_string(),
             total.total_decoded().to_string(),
             total.edge_decoded.to_string(),
             total.shipped_segments.to_string(),

@@ -65,8 +65,7 @@ fn main() {
             let total = reg.max_frame_samples_for(FS, 8) + 140_000;
             let cap = compose(&[ev], total, FS, np, &mut rng);
             let digital = fe.digitize(&cap.samples, FS);
-            let truth: Vec<(usize, usize)> =
-                cap.truth.iter().map(|t| (t.start, t.len)).collect();
+            let truth: Vec<(usize, usize)> = cap.truth.iter().map(|t| (t.start, t.len)).collect();
             hits += score_detections(&detector.detect(&digital, FS), &truth, 2_048)
                 .iter()
                 .filter(|&&h| h)

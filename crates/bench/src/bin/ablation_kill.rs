@@ -46,8 +46,7 @@ fn main() {
             for _ in 0..trials {
                 // Give the victim a long frame (near max payload) so
                 // the survivor genuinely lands inside it.
-                let v_payload =
-                    random_payload(victim.max_payload_len().min(100), &mut rng);
+                let v_payload = random_payload(victim.max_payload_len().min(100), &mut rng);
                 let s_payload = random_payload(10, &mut rng);
                 let v_len = victim.modulate(&v_payload, FS).len();
                 let s_start = v_len / 4 + rng.gen_range(0..(v_len / 4).max(1));

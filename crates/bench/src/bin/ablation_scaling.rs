@@ -55,12 +55,17 @@ fn main() {
             let np = snr_to_noise_power(0.0, 0.0);
             let total = reg.max_frame_samples(FS) + 120_000;
             let cap = compose(&[ev], total, FS, np, &mut rng);
-            let truth: Vec<(usize, usize)> =
-                cap.truth.iter().map(|t| (t.start, t.len)).collect();
+            let truth: Vec<(usize, usize)> = cap.truth.iter().map(|t| (t.start, t.len)).collect();
             let d = universal.detect(&cap.samples, FS);
-            uni_hits += score_detections(&d, &truth, 2_048).iter().filter(|&&h| h).count();
+            uni_hits += score_detections(&d, &truth, 2_048)
+                .iter()
+                .filter(|&&h| h)
+                .count();
             let d = matched.detect(&cap.samples, FS);
-            mat_hits += score_detections(&d, &truth, 2_048).iter().filter(|&&h| h).count();
+            mat_hits += score_detections(&d, &truth, 2_048)
+                .iter()
+                .filter(|&&h| h)
+                .count();
         }
         tsv_row(&[
             n.to_string(),

@@ -24,10 +24,21 @@ const BINS: [(f32, f32); 5] = [
 fn main() {
     let (trials, seed) = parse_args(60, 1);
     let reg = Registry::prototype();
-    let cfg = DetectionConfig { trials, ..Default::default() };
+    let cfg = DetectionConfig {
+        trials,
+        ..Default::default()
+    };
 
-    println!("# Figure 3(b): packet detection ratio per SNR bin ({trials} trials/bin, seed {seed})");
-    tsv_row(&["snr_bin_db", "energy", "universal_preamble", "optimal_matched", "packets"]);
+    println!(
+        "# Figure 3(b): packet detection ratio per SNR bin ({trials} trials/bin, seed {seed})"
+    );
+    tsv_row(&[
+        "snr_bin_db",
+        "energy",
+        "universal_preamble",
+        "optimal_matched",
+        "packets",
+    ]);
 
     let mut low_univ = 0usize;
     let mut low_energy = 0usize;

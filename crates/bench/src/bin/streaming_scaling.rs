@@ -1,0 +1,198 @@
+//! Streaming worker-pool scaling: throughput of `StreamingGaliot` at
+//! 1/2/4/8 cloud decode workers on a collision-heavy multi-technology
+//! capture.
+//!
+//! Two regimes are reported:
+//!
+//! * **local** — backhaul emulation off; every stage is pure CPU on
+//!   this machine. Scaling here is bounded by the host's cores (a
+//!   single-core box shows ~1×, by construction).
+//! * **remote cloud** — backhaul emulation on: the gateway serializes
+//!   each segment onto the uplink and every decode request pays the
+//!   round-trip to an elastic cloud instance (`--rtt` seconds,
+//!   default 100 ms). This is the paper's deployment shape, and the
+//!   regime the pool is for: workers overlap the per-segment wait, so
+//!   throughput scales until the link or the local CPU saturates.
+//!
+//! Usage: `streaming_scaling [--trials N] [--seed S] [--rtt SECONDS]`
+
+use galiot_bench::tsv_row;
+use galiot_channel::{compose, forced_collision, snr_to_noise_power, TxEvent};
+use galiot_core::{GaliotConfig, StreamingGaliot};
+use galiot_dsp::Cf32;
+use galiot_phy::dsss::{DsssParams, DsssPhy};
+use galiot_phy::registry::Registry;
+use galiot_phy::xbee::{XbeeParams, XbeePhy};
+use galiot_phy::zwave::{ZwaveParams, ZwavePhy};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+const FS: f64 = 1_000_000.0;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const CHUNK: usize = 16_384;
+
+/// `--trials N --seed S --rtt SECONDS`, all optional; a flag with a
+/// missing or unparsable value falls back to its default.
+fn parse_cli(defaults: (usize, u64, f64)) -> (usize, u64, f64) {
+    let (mut trials, mut seed, mut rtt) = defaults;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let value = args.get(i + 1);
+        match args[i].as_str() {
+            "--trials" => trials = value.and_then(|v| v.parse().ok()).unwrap_or(defaults.0),
+            "--seed" => seed = value.and_then(|v| v.parse().ok()).unwrap_or(defaults.1),
+            "--rtt" => rtt = value.and_then(|v| v.parse().ok()).unwrap_or(defaults.2),
+            other => {
+                eprintln!("ignoring unknown argument {other}");
+                i += 1;
+                continue;
+            }
+        }
+        i += 2;
+    }
+    (trials, seed, rtt)
+}
+
+/// Short-frame technologies keep segments small, so the capture holds
+/// many independent collision clusters — the shape that exposes pool
+/// parallelism (one giant LoRa-sized segment would serialize on a
+/// single worker no matter the pool size).
+fn registry() -> Registry {
+    let mut r = Registry::new();
+    r.push(Arc::new(XbeePhy::new(XbeeParams::default())));
+    r.push(Arc::new(ZwavePhy::new(ZwaveParams::default())));
+    r.push(Arc::new(DsssPhy::new(DsssParams::default())));
+    r
+}
+
+/// A capture full of staggered two-technology collisions with the
+/// power separation SIC needs, alternating which side is stronger.
+fn collision_capture(reg: &Registry, seed: u64) -> Vec<Cf32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clusters = 12usize;
+    let spacing = 70_000usize;
+    let mut events: Vec<TxEvent> = Vec::new();
+    for i in 0..clusters {
+        let powers: [f32; 2] = if i % 2 == 0 { [0.0, 6.0] } else { [6.0, 0.0] };
+        events.extend(forced_collision(
+            reg,
+            8,
+            &powers,
+            3_000,
+            40_000 + i * spacing,
+            &mut rng,
+        ));
+    }
+    let len = 40_000 + clusters * spacing + 60_000;
+    let np = snr_to_noise_power(20.0, 0.0);
+    compose(&events, len, FS, np, &mut rng).samples
+}
+
+struct RunResult {
+    wall_s: f64,
+    frames: usize,
+    shipped: usize,
+    cloud_busy_s: f64,
+    gateway_busy_s: f64,
+    seg_hwm: usize,
+}
+
+fn run(samples: &[Cf32], reg: &Registry, config: GaliotConfig) -> RunResult {
+    let sys = StreamingGaliot::start(config, reg.clone());
+    let metrics = sys.metrics().clone();
+    let t0 = Instant::now();
+    for chunk in samples.chunks(CHUNK) {
+        sys.push_chunk(chunk.to_vec());
+    }
+    let frames = sys.finish();
+    let wall_s = t0.elapsed().as_secs_f64();
+    let m = metrics.snapshot();
+    RunResult {
+        wall_s,
+        frames: frames.len(),
+        shipped: m.shipped_segments,
+        cloud_busy_s: m.cloud_busy_ns as f64 * 1e-9,
+        gateway_busy_s: m.gateway_busy_ns as f64 * 1e-9,
+        seg_hwm: m.seg_queue_hwm,
+    }
+}
+
+fn main() {
+    let (trials, seed, rtt) = parse_cli((3, 7, 0.100));
+    let reg = registry();
+
+    println!("# Streaming worker-pool scaling on a collision-heavy capture");
+    println!(
+        "# host parallelism: {}; {trials} trials, seed {seed}, rtt {:.0} ms",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        rtt * 1e3
+    );
+
+    let captures: Vec<Vec<Cf32>> = (0..trials)
+        .map(|t| collision_capture(&reg, seed + t as u64))
+        .collect();
+    let capture_s: f64 = captures.iter().map(|c| c.len() as f64 / FS).sum();
+    println!(
+        "# {} captures, {:.2} s of air time, {} collision clusters total",
+        captures.len(),
+        capture_s,
+        12 * trials
+    );
+
+    for (mode, emulate) in [("local", false), ("remote-cloud", true)] {
+        println!();
+        println!("## mode: {mode}");
+        tsv_row(&[
+            "workers",
+            "wall_s",
+            "throughput_Msps",
+            "speedup",
+            "frames",
+            "segments",
+            "cloud_busy_s",
+            "gateway_busy_s",
+            "queue_hwm",
+        ]);
+        let mut base_wall = 0.0f64;
+        for workers in WORKER_COUNTS {
+            let mut wall = 0.0f64;
+            let mut agg = (0usize, 0usize, 0.0f64, 0.0f64, 0usize);
+            for cap in &captures {
+                let mut config = GaliotConfig::prototype().with_cloud_workers(workers);
+                config.edge_decoding = false; // everything through the pool
+                if emulate {
+                    config = config.with_emulated_backhaul(rtt);
+                }
+                let r = run(cap, &reg, config);
+                wall += r.wall_s;
+                agg.0 += r.frames;
+                agg.1 += r.shipped;
+                agg.2 += r.cloud_busy_s;
+                agg.3 += r.gateway_busy_s;
+                agg.4 = agg.4.max(r.seg_hwm);
+            }
+            if workers == WORKER_COUNTS[0] {
+                base_wall = wall;
+            }
+            tsv_row(&[
+                workers.to_string(),
+                format!("{wall:.3}"),
+                format!("{:.3}", capture_s * FS * 1e-6 / wall),
+                format!("{:.2}x", base_wall / wall),
+                agg.0.to_string(),
+                agg.1.to_string(),
+                format!("{:.3}", agg.2),
+                format!("{:.3}", agg.3),
+                agg.4.to_string(),
+            ]);
+        }
+    }
+    println!();
+    println!("# local mode is CPU-bound: scaling tracks host cores.");
+    println!("# remote-cloud mode is the paper's deployment: the pool overlaps");
+    println!("# per-segment round trips, so throughput scales until the uplink");
+    println!("# or the gateway CPU saturates.");
+}

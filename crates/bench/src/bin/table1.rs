@@ -7,7 +7,13 @@ use galiot_phy::registry::{summarize, Registry, TABLE1};
 
 fn main() {
     println!("# Table 1: Common IoT technologies (paper rows + implementation status)");
-    tsv_row(&["technology", "modulation", "sync", "preamble", "implemented"]);
+    tsv_row(&[
+        "technology",
+        "modulation",
+        "sync",
+        "preamble",
+        "implemented",
+    ]);
     for row in TABLE1 {
         tsv_row(&[
             row.technology,

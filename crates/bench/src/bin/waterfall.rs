@@ -24,7 +24,11 @@ fn main() {
         let mut row = vec![format!("{snr}")];
         for tech in reg.techs() {
             // SigFox at 1 kb/s needs a lower sample rate to stay fast.
-            let fs = if tech.id() == galiot_phy::TechId::SigFox { 100_000.0 } else { FS };
+            let fs = if tech.id() == galiot_phy::TechId::SigFox {
+                100_000.0
+            } else {
+                FS
+            };
             let mut ok = 0usize;
             for t in 0..trials {
                 let mut rng = StdRng::seed_from_u64(seed + t as u64 * 7919);

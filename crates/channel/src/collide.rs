@@ -133,7 +133,12 @@ pub fn compose<R: Rng + ?Sized>(
     if noise_power > 0.0 {
         add_awgn(&mut samples, noise_power, rng);
     }
-    Capture { samples, fs, truth, noise_power }
+    Capture {
+        samples,
+        fs,
+        truth,
+        noise_power,
+    }
 }
 
 /// Noise power that realizes `snr_db` for a unit-power signal at

@@ -99,7 +99,11 @@ mod tests {
     #[test]
     fn attenuation_scales_power() {
         let mut sig = tone(1000);
-        Impairments { attenuation_db: 20.0, ..Default::default() }.apply(&mut sig, 1e6);
+        Impairments {
+            attenuation_db: 20.0,
+            ..Default::default()
+        }
+        .apply(&mut sig, 1e6);
         assert!((mean_power(&sig) - 0.01).abs() < 1e-4);
     }
 
@@ -107,7 +111,11 @@ mod tests {
     fn cfo_shifts_frequency() {
         let fs = 1e6;
         let mut sig = vec![Cf32::ONE; 4096];
-        Impairments { cfo_hz: 12_345.0, ..Default::default() }.apply(&mut sig, fs);
+        Impairments {
+            cfo_hz: 12_345.0,
+            ..Default::default()
+        }
+        .apply(&mut sig, fs);
         let est = estimate_tone_freq(&sig, fs);
         assert!((est - 12_345.0).abs() < 100.0, "estimated {est}");
     }
@@ -115,8 +123,11 @@ mod tests {
     #[test]
     fn phase_rotates_samples() {
         let mut sig = vec![Cf32::ONE; 4];
-        Impairments { phase: std::f32::consts::FRAC_PI_2, ..Default::default() }
-            .apply(&mut sig, 1e6);
+        Impairments {
+            phase: std::f32::consts::FRAC_PI_2,
+            ..Default::default()
+        }
+        .apply(&mut sig, 1e6);
         for z in &sig {
             assert!(z.re.abs() < 1e-5 && (z.im - 1.0).abs() < 1e-5);
         }

@@ -50,7 +50,11 @@ pub fn add_awgn_snr<R: Rng + ?Sized>(
 ) -> f32 {
     let range = &signal[active.start.min(signal.len())..active.end.min(signal.len())];
     let sp = galiot_dsp::power::mean_power(range);
-    let np = if sp > 0.0 { sp / db_to_lin(snr_db) } else { 0.0 };
+    let np = if sp > 0.0 {
+        sp / db_to_lin(snr_db)
+    } else {
+        0.0
+    };
     add_awgn(signal, np, rng);
     np
 }
@@ -68,7 +72,10 @@ mod tests {
         for &p in &[0.1f32, 1.0, 25.0] {
             let n = awgn(200_000, p, &mut rng);
             let measured = mean_power(&n);
-            assert!((measured - p).abs() / p < 0.03, "target {p} measured {measured}");
+            assert!(
+                (measured - p).abs() / p < 0.03,
+                "target {p} measured {measured}"
+            );
         }
     }
 
@@ -109,8 +116,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         let xs: Vec<f32> = (0..200_000).map(|_| standard_normal(&mut rng)).collect();
         let mean: f32 = xs.iter().sum::<f32>() / xs.len() as f32;
-        let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>()
-            / xs.len() as f32;
+        let var: f32 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
         assert!((var - 1.0).abs() < 0.02, "var {var}");
     }

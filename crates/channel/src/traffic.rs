@@ -64,7 +64,8 @@ pub fn generate<R: Rng + ?Sized>(
         let mut t = exponential_interarrival(params.rate_hz, rng);
         while t < duration_s {
             let start = (t * fs) as usize;
-            let len = rng.gen_range(params.payload_len.0..=params.payload_len.1)
+            let len = rng
+                .gen_range(params.payload_len.0..=params.payload_len.1)
                 .min(tech.max_payload_len());
             let payload = random_payload(len, rng);
             let frame_len = tech.modulate(&payload, fs).len();
@@ -108,8 +109,7 @@ pub fn forced_collision<R: Rng + ?Sized>(
         .enumerate()
         .map(|(i, tech)| {
             let payload = random_payload(payload_len.min(tech.max_payload_len()), rng);
-            TxEvent::new(tech.clone(), payload, base_start + i * stagger)
-                .with_power_db(power_db[i])
+            TxEvent::new(tech.clone(), payload, base_start + i * stagger).with_power_db(power_db[i])
         })
         .collect()
 }
@@ -154,7 +154,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let reg = Registry::prototype();
         let fs = 1e6;
-        let params = TrafficParams { rate_hz: 8.0, ..Default::default() };
+        let params = TrafficParams {
+            rate_hz: 8.0,
+            ..Default::default()
+        };
         let events = generate(&reg, &params, 1.0, fs, &mut rng);
         let cap = crate::collide::compose(&events, 1_000_000, fs, 0.0, &mut rng);
         assert!(cap.has_collision(), "expected at least one collision");

@@ -190,7 +190,11 @@ pub fn cancel_frame(
         aligned_at: at,
         energy_before,
         energy_after,
-        mean_gain: if gain_w > 0.0 { gain_acc / gain_w } else { Cf32::ZERO },
+        mean_gain: if gain_w > 0.0 {
+            gain_acc / gain_w
+        } else {
+            Cf32::ZERO
+        },
         cfo_rad_per_sample: omega,
     })
 }
@@ -216,7 +220,11 @@ mod tests {
         let frame = xbee.demodulate(&cap.samples, FS).unwrap();
         let mut residual = cap.samples.clone();
         let rep = cancel_frame(&mut residual, xbee.as_ref(), &frame, FS, 64).unwrap();
-        assert!(rep.suppression_db() > 25.0, "only {} dB", rep.suppression_db());
+        assert!(
+            rep.suppression_db() > 25.0,
+            "only {} dB",
+            rep.suppression_db()
+        );
     }
 
     #[test]
@@ -224,7 +232,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let reg = Registry::prototype();
         let zwave = reg.get(TechId::ZWave).unwrap().clone();
-        let imp = Impairments { phase: 1.1, ..Impairments::clean() };
+        let imp = Impairments {
+            phase: 1.1,
+            ..Impairments::clean()
+        };
         let ev = TxEvent::new(zwave.clone(), vec![9; 6], 4_000)
             .with_power_db(-7.0)
             .with_impairments(imp);
@@ -232,7 +243,11 @@ mod tests {
         let frame = zwave.demodulate(&cap.samples, FS).unwrap();
         let mut residual = cap.samples.clone();
         let rep = cancel_frame(&mut residual, zwave.as_ref(), &frame, FS, 64).unwrap();
-        assert!(rep.suppression_db() > 20.0, "only {} dB", rep.suppression_db());
+        assert!(
+            rep.suppression_db() > 20.0,
+            "only {} dB",
+            rep.suppression_db()
+        );
     }
 
     #[test]
@@ -240,13 +255,21 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let reg = Registry::prototype();
         let xbee = reg.get(TechId::XBee).unwrap().clone();
-        let imp = Impairments { cfo_hz: 300.0, phase: 0.4, ..Impairments::clean() };
+        let imp = Impairments {
+            cfo_hz: 300.0,
+            phase: 0.4,
+            ..Impairments::clean()
+        };
         let ev = TxEvent::new(xbee.clone(), vec![3; 8], 2_000).with_impairments(imp);
         let cap = compose(&[ev], 60_000, FS, 0.0, &mut rng);
         let frame = xbee.demodulate(&cap.samples, FS).unwrap();
         let mut residual = cap.samples.clone();
         let rep = cancel_frame(&mut residual, xbee.as_ref(), &frame, FS, 64).unwrap();
-        assert!(rep.suppression_db() > 10.0, "only {} dB", rep.suppression_db());
+        assert!(
+            rep.suppression_db() > 10.0,
+            "only {} dB",
+            rep.suppression_db()
+        );
     }
 
     #[test]

@@ -37,12 +37,7 @@ impl Classified {
 /// Returns one entry per technology whose preamble correlation exceeds
 /// `threshold`, sorted by estimated power, strongest first — the decode
 /// order of Algorithm 1 ("dependent only on the power of the signal").
-pub fn classify(
-    segment: &[Cf32],
-    fs: f64,
-    registry: &Registry,
-    threshold: f32,
-) -> Vec<Classified> {
+pub fn classify(segment: &[Cf32], fs: f64, registry: &Registry, threshold: f32) -> Vec<Classified> {
     let mut found = Vec::new();
     for tech in registry.techs() {
         let template = tech.preamble_waveform(fs);
@@ -63,14 +58,22 @@ pub fn classify(
         }
         // Amplitude from the raw matched-filter output at the peak:
         // corr = a * E_template for a scaled template copy.
-        let raw = xcorr_fft(&segment[start..(start + template.len()).min(segment.len())], &template);
+        let raw = xcorr_fft(
+            &segment[start..(start + template.len()).min(segment.len())],
+            &template,
+        );
         let e = energy(&template);
         let amplitude = if e > 0.0 && !raw.is_empty() {
             raw[0].abs() / e
         } else {
             0.0
         };
-        found.push(Classified { tech: tech.id(), start, score, amplitude });
+        found.push(Classified {
+            tech: tech.id(),
+            start,
+            score,
+            amplitude,
+        });
     }
     found.sort_by(|a, b| b.amplitude.total_cmp(&a.amplitude));
     found
@@ -98,7 +101,11 @@ mod tests {
         assert_eq!(found[0].tech, TechId::XBee);
         assert!(found[0].start.abs_diff(10_000) <= 4);
         // Unit-power transmit: amplitude near 1.
-        assert!((found[0].amplitude - 1.0).abs() < 0.2, "{}", found[0].amplitude);
+        assert!(
+            (found[0].amplitude - 1.0).abs() < 0.2,
+            "{}",
+            found[0].amplitude
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ pub struct CloudParams {
 
 impl Default for CloudParams {
     fn default() -> Self {
-        CloudParams { classify_threshold: 0.12, cancel_slack: 64, max_rounds: 12 }
+        CloudParams {
+            classify_threshold: 0.12,
+            cancel_slack: 64,
+            max_rounds: 12,
+        }
     }
 }
 
@@ -77,7 +81,10 @@ pub struct CloudDecoder {
 impl CloudDecoder {
     /// Creates a decoder over a registry with default parameters.
     pub fn new(registry: Registry) -> Self {
-        CloudDecoder { registry, params: CloudParams::default() }
+        CloudDecoder {
+            registry,
+            params: CloudParams::default(),
+        }
     }
 
     /// Creates a decoder with explicit parameters.
@@ -107,8 +114,12 @@ impl CloudDecoder {
         let mut already: Vec<(TechId, Vec<u8>)> = Vec::new();
 
         while result.rounds < self.params.max_rounds {
-            let candidates =
-                classify(&residual, fs, &self.registry, self.params.classify_threshold);
+            let candidates = classify(
+                &residual,
+                fs,
+                &self.registry,
+                self.params.classify_threshold,
+            );
             if candidates.is_empty() {
                 break;
             }
@@ -136,7 +147,9 @@ impl CloudDecoder {
                     if i == j {
                         continue;
                     }
-                    let Some(vtech) = self.registry.get(s_j.tech) else { continue };
+                    let Some(vtech) = self.registry.get(s_j.tech) else {
+                        continue;
+                    };
                     let span_end = s_j.start + vtech.max_frame_samples(fs);
                     let killed = apply_kill(
                         &residual,
@@ -332,22 +345,15 @@ mod tests {
                 .collect();
             let np = snr_to_noise_power(25.0, 0.0);
             let cap = compose(&events, 500_000, FS, np, &mut rng);
-            let sic = crate::sic::sic_decode(
-                &cap.samples,
-                FS,
-                &reg,
-                &crate::sic::SicParams::default(),
-            );
+            let sic =
+                crate::sic::sic_decode(&cap.samples, FS, &reg, &crate::sic::SicParams::default());
             let gal = CloudDecoder::new(reg.clone()).decode(&cap.samples, FS);
             sic_total += sic
                 .frames
                 .iter()
                 .filter(|f| truth.contains(&(f.tech, f.payload.clone())))
                 .count();
-            galiot_total += payloads(&gal)
-                .iter()
-                .filter(|t| truth.contains(t))
-                .count();
+            galiot_total += payloads(&gal).iter().filter(|t| truth.contains(t)).count();
         }
         assert!(
             galiot_total > sic_total,

@@ -40,12 +40,8 @@ pub fn kill_frequency_adaptive(
     }
     let psd = galiot_dsp::psd::welch_psd(&samples[lo..hi], fs, 1024);
     let threshold = psd.percentile(90) * threshold_factor;
-    let candidates = galiot_dsp::psd::find_bands_above(
-        &psd,
-        threshold,
-        4.0 * fs / 1024.0,
-        fs / 1024.0,
-    );
+    let candidates =
+        galiot_dsp::psd::find_bands_above(&psd, threshold, 4.0 * fs / 1024.0, fs / 1024.0);
     // Keep the densest bands up to a total-width budget.
     let budget = 0.4 * fs;
     let mut width = 0.0;
@@ -118,16 +114,40 @@ pub fn kill_css(
     // SFD: whole down-chirps right after the head...
     let sfd_start = grid_start + head_symbols * sps;
     let sfd_end = (sfd_start + sfd_symbols * sps).min(hi);
-    dechirp_notch_pass(&mut base, &up, &down, &plan, os, sfd_start, sfd_start.min(hi)..sfd_end);
+    dechirp_notch_pass(
+        &mut base,
+        &up,
+        &down,
+        &plan,
+        os,
+        sfd_start,
+        sfd_start.min(hi)..sfd_end,
+    );
     // ...plus one quarter-shifted window that catches the trailing
     // quarter down-chirp (it up-dechirps to a tone alongside whatever
     // tail of the previous down-chirp remains).
     let tail_grid = sfd_start + sfd_symbols * sps - (3 * sps) / 4;
     let tail_end = (tail_grid + sps).min(hi);
-    dechirp_notch_pass(&mut base, &up, &down, &plan, os, tail_grid, tail_grid.min(hi)..tail_end);
+    dechirp_notch_pass(
+        &mut base,
+        &up,
+        &down,
+        &plan,
+        os,
+        tail_grid,
+        tail_grid.min(hi)..tail_end,
+    );
     // Data: up-chirp symbols on the quarter-shifted grid.
     let data_start = sfd_start + sfd_symbols * sps + sps / 4;
-    dechirp_notch_pass(&mut base, &down, &up, &plan, os, data_start, data_start.min(hi)..hi);
+    dechirp_notch_pass(
+        &mut base,
+        &down,
+        &up,
+        &plan,
+        os,
+        data_start,
+        data_start.min(hi)..hi,
+    );
 
     if center_offset_hz != 0.0 {
         mix(&base, center_offset_hz, fs)
@@ -210,11 +230,19 @@ fn dechirp_notch_pass(
             // Normalized frequency (cycles/sample) of the peak tone.
             let fb = {
                 let b = peak as f64 + delta as f64;
-                let b = if b > padded as f64 / 2.0 { b - padded as f64 } else { b };
+                let b = if b > padded as f64 / 2.0 {
+                    b - padded as f64
+                } else {
+                    b
+                };
                 b / padded as f64
             };
             // Map to the first-segment tone f1 with sign*f1 in [0, bw).
-            let f1 = if sign * fb >= 0.0 { fb } else { fb + sign * bw_norm };
+            let f1 = if sign * fb >= 0.0 {
+                fb
+            } else {
+                fb + sign * bw_norm
+            };
             let f2 = f1 - sign * bw_norm;
             let frac = (sign * f1 / bw_norm).clamp(0.0, 1.0);
             let t_wrap = ((1.0 - frac) * sps as f64).round() as usize;
@@ -342,7 +370,13 @@ pub fn apply_kill(
 ) -> Vec<Cf32> {
     match tech.kill_recipe(fs) {
         KillRecipe::Frequency(bands) => kill_frequency(samples, fs, &bands),
-        KillRecipe::Css { bw, sf, center_offset_hz, head_symbols, sfd_symbols } => kill_css(
+        KillRecipe::Css {
+            bw,
+            sf,
+            center_offset_hz,
+            head_symbols,
+            sfd_symbols,
+        } => kill_css(
             samples,
             fs,
             bw,
@@ -353,9 +387,11 @@ pub fn apply_kill(
             head_symbols,
             sfd_symbols,
         ),
-        KillRecipe::Codes { refs, sps, center_offset_hz } => {
-            kill_codes(samples, fs, &refs, sps, center_offset_hz, grid_start, span)
-        }
+        KillRecipe::Codes {
+            refs,
+            sps,
+            center_offset_hz,
+        } => kill_codes(samples, fs, &refs, sps, center_offset_hz, grid_start, span),
     }
 }
 
@@ -388,7 +424,13 @@ mod tests {
         let ev = TxEvent::new(xbee.clone(), vec![0x5A; 16], 4_000);
         let cap = compose(&[ev], 60_000, FS, 0.0, &mut rng);
         let t = &cap.truth[0];
-        let killed = apply_kill(&cap.samples, FS, xbee.as_ref(), t.start, 0..cap.samples.len());
+        let killed = apply_kill(
+            &cap.samples,
+            FS,
+            xbee.as_ref(),
+            t.start,
+            0..cap.samples.len(),
+        );
         let s = suppression_db(&cap.samples, &killed, t.start + 500..t.start + t.len - 500);
         assert!(s > 10.0, "only {s} dB suppressed");
     }
@@ -463,8 +505,16 @@ mod tests {
             TxEvent::new(xbee.clone(), vec![0x99; 16], 20_000),
         ];
         let cap = compose(&events, 400_000, FS, 0.0, &mut rng);
-        let killed = apply_kill(&cap.samples, FS, xbee.as_ref(), 20_000, 0..cap.samples.len());
-        let frame = lora.demodulate(&killed, FS).expect("LoRa after KILL-FREQUENCY");
+        let killed = apply_kill(
+            &cap.samples,
+            FS,
+            xbee.as_ref(),
+            20_000,
+            0..cap.samples.len(),
+        );
+        let frame = lora
+            .demodulate(&killed, FS)
+            .expect("LoRa after KILL-FREQUENCY");
         assert_eq!(frame.payload, payload);
     }
 
@@ -485,7 +535,13 @@ mod tests {
         assert!(xbee.demodulate(&cap.samples, FS).is_err());
         // ...until KILL-CSS removes LoRa.
         let t = &cap.truth[0];
-        let killed = apply_kill(&cap.samples, FS, lora.as_ref(), t.start, t.start..t.start + t.len);
+        let killed = apply_kill(
+            &cap.samples,
+            FS,
+            lora.as_ref(),
+            t.start,
+            t.start..t.start + t.len,
+        );
         let frame = xbee.demodulate(&killed, FS).expect("XBee after KILL-CSS");
         assert_eq!(frame.payload, payload);
     }
@@ -503,19 +559,20 @@ mod tests {
         let ev = TxEvent::new(rogue, vec![0x55; 20], 2_000);
         let cap = compose(&[ev], 300_000, FS, 0.001, &mut rng);
         let t = &cap.truth[0];
-        let (killed, bands) = kill_frequency_adaptive(
-            &cap.samples,
-            FS,
-            t.start..t.start + t.len,
-            3.0,
-        );
+        let (killed, bands) =
+            kill_frequency_adaptive(&cap.samples, FS, t.start..t.start + t.len, 3.0);
         assert!(!bands.is_empty(), "no bands learned");
         // The learned bands bracket the rogue deviation.
         assert!(
-            bands.iter().any(|b| b.contains(33_000.0)) || bands.iter().any(|b| b.contains(-33_000.0)),
+            bands.iter().any(|b| b.contains(33_000.0))
+                || bands.iter().any(|b| b.contains(-33_000.0)),
             "{bands:?}"
         );
-        let s = suppression_db(&cap.samples, &killed, t.start + 2_000..t.start + t.len - 2_000);
+        let s = suppression_db(
+            &cap.samples,
+            &killed,
+            t.start + 2_000..t.start + t.len - 2_000,
+        );
         assert!(s > 8.0, "only {s} dB suppressed");
     }
 
@@ -538,8 +595,7 @@ mod tests {
         let cap = compose(&events, 700_000, FS, 0.001, &mut rng);
         // LoRa does not decode under the hot in-band interferer...
         // (if it does on some seeds, the kill must at least not hurt).
-        let (killed, bands) =
-            kill_frequency_adaptive(&cap.samples, FS, 0..cap.samples.len(), 3.0);
+        let (killed, bands) = kill_frequency_adaptive(&cap.samples, FS, 0..cap.samples.len(), 3.0);
         assert!(!bands.is_empty());
         let frame = lora
             .demodulate(&killed, FS)

@@ -32,7 +32,11 @@ pub struct SicParams {
 
 impl Default for SicParams {
     fn default() -> Self {
-        SicParams { classify_threshold: 0.12, cancel_slack: 64, max_rounds: 8 }
+        SicParams {
+            classify_threshold: 0.12,
+            cancel_slack: 64,
+            max_rounds: 8,
+        }
     }
 }
 
@@ -47,12 +51,7 @@ pub struct SicResult {
 
 /// Runs SIC on a segment: classify, decode strongest-first, cancel,
 /// repeat until nothing more decodes.
-pub fn sic_decode(
-    segment: &[Cf32],
-    fs: f64,
-    registry: &Registry,
-    params: &SicParams,
-) -> SicResult {
+pub fn sic_decode(segment: &[Cf32], fs: f64, registry: &Registry, params: &SicParams) -> SicResult {
     let mut residual = segment.to_vec();
     let mut result = SicResult::default();
     let mut already: Vec<(TechId, Vec<u8>)> = Vec::new();
@@ -60,17 +59,29 @@ pub fn sic_decode(
     while result.rounds < params.max_rounds {
         let candidates = classify(&residual, fs, registry, params.classify_threshold);
         // Strict SIC: only the strongest remaining signal is eligible.
-        let Some(strongest) = candidates.first() else { break };
-        let Some(tech) = registry.get(strongest.tech) else { break };
-        let Ok(frame) = tech.demodulate(&residual, fs) else { break };
+        let Some(strongest) = candidates.first() else {
+            break;
+        };
+        let Some(tech) = registry.get(strongest.tech) else {
+            break;
+        };
+        let Ok(frame) = tech.demodulate(&residual, fs) else {
+            break;
+        };
         if already
             .iter()
             .any(|(t, p)| *t == frame.tech && *p == frame.payload)
         {
             break;
         }
-        if cancel_frame(&mut residual, tech.as_ref(), &frame, fs, params.cancel_slack)
-            .is_none()
+        if cancel_frame(
+            &mut residual,
+            tech.as_ref(),
+            &frame,
+            fs,
+            params.cancel_slack,
+        )
+        .is_none()
         {
             break;
         }
@@ -145,7 +156,11 @@ mod tests {
         let np = snr_to_noise_power(20.0, 0.0);
         let cap = compose(&events, 80_000, FS, np, &mut rng);
         let res = sic_decode(&cap.samples, FS, &reg, &SicParams::default());
-        assert!(res.frames.len() < 2, "SIC should stall, got {:?}", res.frames.len());
+        assert!(
+            res.frames.len() < 2,
+            "SIC should stall, got {:?}",
+            res.frames.len()
+        );
     }
 
     #[test]
@@ -166,7 +181,10 @@ mod tests {
             .map(|i| TxEvent::new(xbee.clone(), vec![i as u8; 4], 5_000 + i * 40_000))
             .collect();
         let cap = compose(&events, 200_000, FS, 0.0, &mut rng);
-        let params = SicParams { max_rounds: 2, ..Default::default() };
+        let params = SicParams {
+            max_rounds: 2,
+            ..Default::default()
+        };
         let res = sic_decode(&cap.samples, FS, &reg, &params);
         assert!(res.frames.len() <= 2);
     }

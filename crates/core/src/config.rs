@@ -40,6 +40,20 @@ pub struct GaliotConfig {
     pub backhaul_latency_s: f64,
     /// Cloud decoder parameters.
     pub cloud: CloudParams,
+    /// Number of parallel cloud decode workers in the streaming
+    /// pipeline. `0` means "one per available CPU core"; `1`
+    /// reproduces the historical single-threaded cloud tier. The
+    /// batch pipeline ignores this knob.
+    pub cloud_workers: usize,
+    /// When true, the *streaming* pipeline emulates the backhaul in
+    /// real time: the gateway blocks for each segment's serialization
+    /// on the shared uplink (`backhaul_bps`) and every cloud worker
+    /// blocks `backhaul_latency_s` per segment before decoding,
+    /// modeling the hop to a remote elastic cloud instance. The batch
+    /// pipeline instead models the same wire analytically
+    /// ([`crate::pipeline::RunReport::last_arrival_s`]). Off by
+    /// default: conformance tests compare decoded output, not timing.
+    pub emulate_backhaul: bool,
 }
 
 impl Default for GaliotConfig {
@@ -57,6 +71,8 @@ impl Default for GaliotConfig {
             backhaul_bps: 20e6,
             backhaul_latency_s: 0.010,
             cloud: CloudParams::default(),
+            cloud_workers: 0,
+            emulate_backhaul: false,
         }
     }
 }
@@ -67,6 +83,32 @@ impl GaliotConfig {
     /// 8-bit compression over a home cable uplink.
     pub fn prototype() -> Self {
         Self::default()
+    }
+
+    /// Returns the configuration with an explicit cloud worker count.
+    pub fn with_cloud_workers(mut self, workers: usize) -> Self {
+        self.cloud_workers = workers;
+        self
+    }
+
+    /// Returns the configuration with real-time backhaul emulation in
+    /// the streaming pipeline (uplink serialization at `backhaul_bps`,
+    /// per-segment cloud latency of `backhaul_latency_s`).
+    pub fn with_emulated_backhaul(mut self, rtt_s: f64) -> Self {
+        self.emulate_backhaul = true;
+        self.backhaul_latency_s = rtt_s;
+        self
+    }
+
+    /// The worker count [`crate::StreamingGaliot`] will actually spawn:
+    /// `cloud_workers`, with `0` resolved to the machine's available
+    /// parallelism.
+    pub fn effective_cloud_workers(&self) -> usize {
+        if self.cloud_workers > 0 {
+            self.cloud_workers
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
     }
 }
 
@@ -81,5 +123,13 @@ mod tests {
         assert_eq!(c.front_end.adc_bits, 8);
         assert_eq!(c.detector, DetectorKind::Universal);
         assert!(c.edge_decoding);
+    }
+
+    #[test]
+    fn cloud_workers_default_to_available_parallelism() {
+        let c = GaliotConfig::prototype();
+        assert_eq!(c.cloud_workers, 0);
+        assert!(c.effective_cloud_workers() >= 1);
+        assert_eq!(c.clone().with_cloud_workers(3).effective_cloud_workers(), 3);
     }
 }

@@ -130,8 +130,7 @@ pub fn detection_bin(
         let collision = rng.gen_bool(cfg.collision_prob);
         let cap = detection_capture(reg, snr, collision, fs, &mut rng);
         let digital = front_end.digitize(&cap.samples);
-        let truth: Vec<(usize, usize)> =
-            cap.truth.iter().map(|t| (t.start, t.len)).collect();
+        let truth: Vec<(usize, usize)> = cap.truth.iter().map(|t| (t.start, t.len)).collect();
         counts.total += truth.len();
         for (det, tally) in [
             (energy.detect(&digital, fs), &mut counts.energy),
@@ -151,12 +150,7 @@ pub fn detection_bin(
 /// budget: the maximum detector statistic observed over `trials`
 /// noise-only captures (so each detector fires on pure noise with
 /// probability roughly `1/trials` per capture).
-pub fn calibrate_thresholds(
-    reg: &Registry,
-    fs: f64,
-    trials: usize,
-    seed: u64,
-) -> DetectionConfig {
+pub fn calibrate_thresholds(reg: &Registry, fs: f64, trials: usize, seed: u64) -> DetectionConfig {
     let mut rng = StdRng::seed_from_u64(seed);
     let front_end = RtlSdrFrontEnd::new(GaliotConfig::prototype().front_end);
     let matched = MatchedFilterBank::new(reg.clone(), 0.0);
@@ -265,7 +259,10 @@ pub fn throughput_bin(
 
         let sic = sic_decode(&cap.samples, fs, reg, &sic_params);
         point.sic_bits += correct_bits(
-            sic.frames.iter().map(|f| (f.tech, f.payload.clone())).collect(),
+            sic.frames
+                .iter()
+                .map(|f| (f.tech, f.payload.clone()))
+                .collect(),
         );
         let gal = decoder.decode(&cap.samples, fs);
         point.galiot_bits += correct_bits(
@@ -289,18 +286,27 @@ mod tests {
     #[test]
     fn detection_bin_orders_detectors_at_low_snr() {
         let reg = Registry::prototype();
-        let cfg = DetectionConfig { trials: 6, ..Default::default() };
+        let cfg = DetectionConfig {
+            trials: 6,
+            ..Default::default()
+        };
         let counts = detection_bin(&reg, -12.0, -8.0, &cfg, FS, 42);
         assert!(counts.total >= 6);
         // The paper's ordering below 0 dB: correlation >> energy.
         assert!(counts.universal > counts.energy, "{counts:?}");
-        assert!(counts.matched >= counts.universal.saturating_sub(2), "{counts:?}");
+        assert!(
+            counts.matched >= counts.universal.saturating_sub(2),
+            "{counts:?}"
+        );
     }
 
     #[test]
     fn detection_bin_everyone_wins_at_high_snr() {
         let reg = Registry::prototype();
-        let cfg = DetectionConfig { trials: 5, ..Default::default() };
+        let cfg = DetectionConfig {
+            trials: 5,
+            ..Default::default()
+        };
         let counts = detection_bin(&reg, 15.0, 20.0, &cfg, FS, 43);
         let (e, u, m) = counts.ratios();
         assert!(e > 0.7, "energy {e}");

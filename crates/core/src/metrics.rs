@@ -27,6 +27,27 @@ pub struct Metrics {
     pub payload_bits: BTreeMap<TechId, u64>,
     /// Capture samples processed.
     pub samples_processed: u64,
+    /// Cloud decode workers the streaming pipeline ran with
+    /// (0 for the batch pipeline, which has no pool).
+    pub cloud_workers: usize,
+    /// Frames decoded by each cloud worker, by worker index.
+    pub per_worker_decoded: BTreeMap<usize, usize>,
+    /// Segments decoded by each cloud worker, by worker index.
+    pub per_worker_segments: BTreeMap<usize, usize>,
+    /// Deepest the gateway→cloud segment queue ever got.
+    pub seg_queue_hwm: usize,
+    /// Most out-of-order segment results the reassembly stage ever
+    /// buffered while waiting for an earlier sequence number.
+    pub reassembly_hwm: usize,
+    /// Time the gateway thread spent in detection/extraction/edge
+    /// decode, in nanoseconds.
+    pub gateway_busy_ns: u64,
+    /// Total time cloud workers spent decoding, in nanoseconds
+    /// (summed across workers, so this can exceed wall-clock).
+    pub cloud_busy_ns: u64,
+    /// Segments whose decode panicked inside a worker (the pool
+    /// survives these; see the failure-injection tests).
+    pub decode_poisoned: usize,
 }
 
 impl Metrics {
@@ -86,6 +107,25 @@ impl Metrics {
         for (k, v) in &other.payload_bits {
             *self.payload_bits.entry(*k).or_default() += v;
         }
+        self.cloud_workers = self.cloud_workers.max(other.cloud_workers);
+        for (k, v) in &other.per_worker_decoded {
+            *self.per_worker_decoded.entry(*k).or_default() += v;
+        }
+        for (k, v) in &other.per_worker_segments {
+            *self.per_worker_segments.entry(*k).or_default() += v;
+        }
+        self.seg_queue_hwm = self.seg_queue_hwm.max(other.seg_queue_hwm);
+        self.reassembly_hwm = self.reassembly_hwm.max(other.reassembly_hwm);
+        self.gateway_busy_ns += other.gateway_busy_ns;
+        self.cloud_busy_ns += other.cloud_busy_ns;
+        self.decode_poisoned += other.decode_poisoned;
+    }
+
+    /// Frames decoded across the worker pool, pre-deduplication — can
+    /// exceed `cloud_decoded` when overlapping segment re-emissions
+    /// decode the same frame twice and reassembly drops the repeat.
+    pub fn pool_decoded(&self) -> usize {
+        self.per_worker_decoded.values().sum()
     }
 }
 
@@ -115,7 +155,12 @@ mod tests {
     use super::*;
 
     fn frame(tech: TechId, bytes: usize) -> DecodedFrame {
-        DecodedFrame { tech, payload: vec![0; bytes], start: 0, len: 100 }
+        DecodedFrame {
+            tech,
+            payload: vec![0; bytes],
+            start: 0,
+            len: 100,
+        }
     }
 
     #[test]
@@ -133,7 +178,10 @@ mod tests {
 
     #[test]
     fn goodput_uses_capture_time() {
-        let mut m = Metrics { samples_processed: 1_000_000, ..Default::default() }; // 1 s at 1 Msps
+        let mut m = Metrics {
+            samples_processed: 1_000_000,
+            ..Default::default()
+        }; // 1 s at 1 Msps
         m.record_frame(&frame(TechId::ZWave, 125), true, false);
         assert!((m.goodput_bps(1e6) - 1000.0).abs() < 1e-6);
         assert_eq!(Metrics::default().goodput_bps(1e6), 0.0);
@@ -151,9 +199,15 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = Metrics { samples_processed: 10, ..Default::default() };
+        let mut a = Metrics {
+            samples_processed: 10,
+            ..Default::default()
+        };
         a.record_frame(&frame(TechId::LoRa, 1), true, false);
-        let mut b = Metrics { samples_processed: 20, ..Default::default() };
+        let mut b = Metrics {
+            samples_processed: 20,
+            ..Default::default()
+        };
         b.record_frame(&frame(TechId::LoRa, 2), false, false);
         a.merge(&b);
         assert_eq!(a.total_decoded(), 2);

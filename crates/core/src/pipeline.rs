@@ -7,9 +7,8 @@
 use galiot_cloud::{CloudDecoder, Recovery};
 use galiot_dsp::Cf32;
 use galiot_gateway::{
-    compress, decompress, extract, Backhaul, Detection, EdgeDecoder, EdgeOutcome,
-    EnergyDetector, ExtractParams, MatchedFilterBank, PacketDetector, RtlSdrFrontEnd,
-    UniversalDetector,
+    compress, decompress, extract, Backhaul, Detection, EdgeDecoder, EdgeOutcome, EnergyDetector,
+    ExtractParams, MatchedFilterBank, PacketDetector, RtlSdrFrontEnd, UniversalDetector,
 };
 use galiot_phy::registry::Registry;
 use galiot_phy::DecodedFrame;
@@ -134,7 +133,11 @@ impl Galiot {
                 match self.edge.process(&seg, fs) {
                     EdgeOutcome::DecodedLocally(frame) => {
                         metrics.record_frame(&frame, true, false);
-                        frames.push(PipelineFrame { frame, at_edge: true, via_kill: false });
+                        frames.push(PipelineFrame {
+                            frame,
+                            at_edge: true,
+                            via_kill: false,
+                        });
                         ship = false;
                     }
                     EdgeOutcome::ShipToCloud(partial) => {
@@ -162,10 +165,18 @@ impl Galiot {
                 frame.start += seg.start;
                 let via_kill = matches!(how, Recovery::AfterKill { .. });
                 metrics.record_frame(&frame, false, via_kill);
-                frames.push(PipelineFrame { frame, at_edge: false, via_kill });
+                frames.push(PipelineFrame {
+                    frame,
+                    at_edge: false,
+                    via_kill,
+                });
             }
         }
-        RunReport { frames, metrics, last_arrival_s: last_arrival }
+        RunReport {
+            frames,
+            metrics,
+            last_arrival_s: last_arrival,
+        }
     }
 }
 

@@ -46,7 +46,10 @@ impl SensingMonitor {
     /// Panics if `window < 2` (variation needs at least two samples).
     pub fn new(window: usize) -> Self {
         assert!(window >= 2, "window must hold at least 2 observations");
-        SensingMonitor { window, history: BTreeMap::new() }
+        SensingMonitor {
+            window,
+            history: BTreeMap::new(),
+        }
     }
 
     /// Feeds one observation.
@@ -79,13 +82,9 @@ impl SensingMonitor {
             if h.len() < 2 {
                 continue;
             }
-            let mean: Cf32 =
-                h.iter().map(|o| o.gain).sum::<Cf32>() / h.len() as f32;
-            let var: f32 = h
-                .iter()
-                .map(|o| (o.gain - mean).norm_sqr())
-                .sum::<f32>()
-                / h.len() as f32;
+            let mean: Cf32 = h.iter().map(|o| o.gain).sum::<Cf32>() / h.len() as f32;
+            let var: f32 =
+                h.iter().map(|o| (o.gain - mean).norm_sqr()).sum::<f32>() / h.len() as f32;
             let mag2 = mean.norm_sqr().max(1e-20);
             score += (var / mag2) as f64;
             groups += 1;
@@ -137,7 +136,11 @@ mod tests {
         // would miss this; complex deviation must not.
         let mut m = SensingMonitor::new(16);
         for k in 0..16 {
-            m.observe(obs(TechId::ZWave, k as f64, Cf32::from_polar(0.7, k as f32 * 0.5)));
+            m.observe(obs(
+                TechId::ZWave,
+                k as f64,
+                Cf32::from_polar(0.7, k as f32 * 0.5),
+            ));
         }
         assert!(m.motion_score() > 0.3, "score {}", m.motion_score());
     }

@@ -1,27 +1,77 @@
-//! The streaming pipeline: gateway and cloud on separate OS threads,
+//! The streaming pipeline: gateway, a pool of cloud decode workers and
+//! an order-preserving reassembly stage on separate OS threads,
 //! connected by bounded crossbeam channels — "real-time streaming of
-//! bit streams" in the paper's system figure.
+//! bit streams" in the paper's system figure, scaled out on the cloud
+//! side.
 //!
 //! Per the project's networking guides, this CPU-bound signal path uses
 //! plain threads and channels rather than an async runtime: each stage
 //! is pure computation, and backpressure comes from the bounded
 //! channels.
+//!
+//! # Topology
+//!
+//! ```text
+//!                 chunks            segments (seq-tagged,
+//!                (bounded)           compressed, bounded)
+//!  push_chunk ──▶ gateway ─┬──────▶ worker 0 ─┐
+//!                          │──────▶ worker 1 ─┤   results
+//!                          │  ...             ├─▶ reassembly ─▶ frames
+//!                          │──────▶ worker N ─┘   (seq order,
+//!                          └─ edge decodes ──────▶  dedup)
+//! ```
+//!
+//! The paper's bet is that "cloud computational resources are elastic":
+//! the gateway stays dumb and cheap while the cloud absorbs the
+//! expensive kill-filter/SIC work. That only pays off if the cloud tier
+//! actually scales, so each worker owns a private [`CloudDecoder`] and
+//! segments fan out over an MPMC channel. Decode order inside the pool
+//! is nondeterministic; the reassembly stage restores gateway emission
+//! order via per-segment sequence numbers before anything reaches the
+//! output channel, so the observable frame stream is identical for any
+//! worker count (the conformance tests pin this).
+//!
+//! # Parity with the batch pipeline
+//!
+//! The gateway half runs the same stages as [`crate::pipeline::Galiot`]
+//! in the same order: digitize → universal detection → extraction →
+//! edge-first decode → block-floating-point compression. Workers
+//! decompress before decoding, so the cloud sees bit-identical samples
+//! to the batch backhaul path. Segments are only emitted once the
+//! rolling buffer extends far enough past them that extraction can no
+//! longer grow them ("finalized"), which keeps streaming segmentation
+//! equal to batch segmentation for captures whose collision clusters
+//! fit within one flush window.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use galiot_cloud::{CloudDecoder, Recovery};
 use galiot_dsp::Cf32;
-use galiot_gateway::{extract, ExtractParams, PacketDetector, RtlSdrFrontEnd, UniversalDetector};
+use galiot_gateway::{
+    extract, EdgeDecoder, EdgeOutcome, ExtractParams, PacketDetector, RtlSdrFrontEnd,
+    ShippedSegment, UniversalDetector,
+};
 use galiot_phy::registry::Registry;
+use galiot_phy::TechId;
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use crate::config::GaliotConfig;
 use crate::metrics::SharedMetrics;
 use crate::pipeline::PipelineFrame;
 
-/// A segment travelling from gateway thread to cloud thread.
-struct ShippedSegment {
-    start: usize,
-    samples: Vec<Cf32>,
+/// Compression block length, matching the batch pipeline's backhaul.
+const COMPRESS_BLOCK: usize = 1024;
+
+/// Start-offset slack when deduplicating frames re-decoded from
+/// overlapping segment emissions.
+const DEDUP_SLACK: usize = 4_096;
+
+/// One segment's decode outcome travelling to the reassembly stage.
+struct SegmentResult {
+    seq: u64,
+    frames: Vec<PipelineFrame>,
 }
 
 /// A running streaming GalioT instance.
@@ -33,137 +83,65 @@ pub struct StreamingGaliot {
     chunk_tx: Option<Sender<Vec<Cf32>>>,
     frames_rx: Receiver<PipelineFrame>,
     gateway: Option<thread::JoinHandle<()>>,
-    cloud: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    reassembly: Option<thread::JoinHandle<()>>,
     metrics: SharedMetrics,
 }
 
 impl StreamingGaliot {
-    /// Spawns the gateway and cloud workers.
+    /// Spawns the gateway, `config.effective_cloud_workers()` cloud
+    /// decode workers, and the reassembly stage.
     pub fn start(config: GaliotConfig, registry: Registry) -> Self {
         let fs = config.fs;
+        let n_workers = config.effective_cloud_workers();
         let metrics = SharedMetrics::new();
+        metrics.with(|m| m.cloud_workers = n_workers);
+
         let (chunk_tx, chunk_rx) = bounded::<Vec<Cf32>>(8);
-        let (seg_tx, seg_rx) = bounded::<ShippedSegment>(8);
+        // Enough queue to keep every worker busy without unbounded
+        // buffering of multi-hundred-kilobyte segments.
+        let (seg_tx, seg_rx) = bounded::<ShippedSegment>(2 * n_workers.max(4));
+        let (result_tx, result_rx) = unbounded::<SegmentResult>();
         // Unbounded on purpose: `finish`/`Drop` join the workers before
         // draining, so a bounded frame channel could deadlock a run
         // that decodes more frames than the bound.
         let (frames_tx, frames_rx) = unbounded::<PipelineFrame>();
 
-        // Gateway thread: digitize each chunk into a rolling buffer and
-        // run detection on overlapping windows so frames split across
-        // chunk boundaries are still found.
-        let window = registry
-            .max_frame_samples_for(fs, config.max_expected_payload)
-            .max(1);
-        let overlap = window * 2;
-        let gw_metrics = metrics.clone();
-        let gw_registry = registry.clone();
-        let gw_config = config.clone();
-        let gateway = thread::Builder::new()
-            .name("galiot-gateway".into())
-            .spawn(move || {
-                let front_end = RtlSdrFrontEnd::new(gw_config.front_end);
-                let detector =
-                    UniversalDetector::new(&gw_registry, fs, gw_config.detect_threshold);
-                let params = ExtractParams::paper(
-                    gw_registry
-                        .max_frame_samples_for(fs, gw_config.max_expected_payload)
-                        .max(1),
-                );
-                let mut buffer: Vec<Cf32> = Vec::new();
-                let mut buffer_start = 0usize; // capture index of buffer[0]
-                // Capture index up to which segment content has been
-                // emitted. A segment is (re-)emitted whenever it ends
-                // past this line, so nothing is lost at flush
-                // boundaries; frames decoded twice from overlapping
-                // segments are deduplicated by the cloud worker.
-                let mut emitted_until = 0usize;
-                let flush = |buffer: &[Cf32],
-                             buffer_start: usize,
-                             emitted_until: &mut usize| {
-                    let digital = front_end.digitize(buffer);
-                    let detections = detector.detect(&digital, fs);
-                    gw_metrics.with(|m| m.detections += detections.len());
-                    for seg in extract(&digital, &detections, params) {
-                        let abs_start = buffer_start + seg.start;
-                        let abs_end = abs_start + seg.samples.len();
-                        if abs_end <= *emitted_until {
-                            continue; // fully covered by earlier output
-                        }
-                        *emitted_until = abs_end;
-                        gw_metrics.with(|m| {
-                            m.segments += 1;
-                            m.shipped_segments += 1;
-                            m.shipped_bytes += (seg.samples.len() * 2) as u64;
-                        });
-                        if seg_tx
-                            .send(ShippedSegment { start: abs_start, samples: seg.samples })
-                            .is_err()
-                        {
-                            return;
-                        }
-                    }
-                };
-                while let Ok(chunk) = chunk_rx.recv() {
-                    gw_metrics.with(|m| m.samples_processed += chunk.len() as u64);
-                    buffer.extend_from_slice(&chunk);
-                    if buffer.len() >= 2 * overlap {
-                        flush(&buffer, buffer_start, &mut emitted_until);
-                        // Keep the trailing overlap for boundary frames.
-                        let keep_from = buffer.len() - overlap;
-                        buffer.drain(..keep_from);
-                        buffer_start += keep_from;
-                    }
-                }
-                if !buffer.is_empty() {
-                    flush(&buffer, buffer_start, &mut emitted_until);
-                }
-            })
-            .expect("spawn gateway thread");
+        let gateway = spawn_gateway(
+            &config,
+            &registry,
+            chunk_rx,
+            seg_tx,
+            result_tx.clone(),
+            metrics.clone(),
+        );
 
-        // Cloud thread: Algorithm 1 per shipped segment.
-        let cl_metrics = metrics.clone();
-        let cloud = thread::Builder::new()
-            .name("galiot-cloud".into())
-            .spawn(move || {
-                let decoder = CloudDecoder::with_params(registry, config.cloud);
-                // Overlapping segments can decode the same frame twice;
-                // drop repeats by (tech, payload, ~start).
-                let mut seen: Vec<(galiot_phy::TechId, Vec<u8>, usize)> = Vec::new();
-                while let Ok(seg) = seg_rx.recv() {
-                    let result = decoder.decode(&seg.samples, fs);
-                    for (mut frame, how) in result.frames {
-                        frame.start += seg.start;
-                        let dup = seen.iter().any(|(t, p, s)| {
-                            *t == frame.tech
-                                && *p == frame.payload
-                                && s.abs_diff(frame.start) < 4_096
-                        });
-                        if dup {
-                            continue;
-                        }
-                        seen.push((frame.tech, frame.payload.clone(), frame.start));
-                        if seen.len() > 256 {
-                            seen.remove(0);
-                        }
-                        let via_kill = matches!(how, Recovery::AfterKill { .. });
-                        cl_metrics.with(|m| m.record_frame(&frame, false, via_kill));
-                        if frames_tx
-                            .send(PipelineFrame { frame, at_edge: false, via_kill })
-                            .is_err()
-                        {
-                            return;
-                        }
-                    }
-                }
+        let workers: Vec<thread::JoinHandle<()>> = (0..n_workers)
+            .map(|wid| {
+                spawn_worker(
+                    wid,
+                    registry.clone(),
+                    &config,
+                    fs,
+                    seg_rx.clone(),
+                    result_tx.clone(),
+                    metrics.clone(),
+                )
             })
-            .expect("spawn cloud thread");
+            .collect();
+        // Reassembly must observe disconnection once the gateway and
+        // every worker are done — drop the original handles.
+        drop(seg_rx);
+        drop(result_tx);
+
+        let reassembly = spawn_reassembly(result_rx, frames_tx, metrics.clone());
 
         StreamingGaliot {
             chunk_tx: Some(chunk_tx),
             frames_rx,
             gateway: Some(gateway),
-            cloud: Some(cloud),
+            workers,
+            reassembly: Some(reassembly),
             metrics,
         }
     }
@@ -175,7 +153,8 @@ impl StreamingGaliot {
         }
     }
 
-    /// The decoded-frame output channel.
+    /// The decoded-frame output channel. Frames arrive in gateway
+    /// emission (capture) order regardless of the worker count.
     pub fn frames(&self) -> &Receiver<PipelineFrame> {
         &self.frames_rx
     }
@@ -185,37 +164,357 @@ impl StreamingGaliot {
         &self.metrics
     }
 
-    /// Closes the intake, waits for both workers, and returns all
-    /// remaining decoded frames.
-    pub fn finish(mut self) -> Vec<PipelineFrame> {
+    fn join_all(&mut self) {
         drop(self.chunk_tx.take());
         if let Some(g) = self.gateway.take() {
             let _ = g.join();
         }
-        if let Some(c) = self.cloud.take() {
-            let _ = c.join();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
         }
+        if let Some(r) = self.reassembly.take() {
+            let _ = r.join();
+        }
+    }
+
+    /// Closes the intake, waits for the whole pipeline, and returns all
+    /// remaining decoded frames (in capture order).
+    pub fn finish(mut self) -> Vec<PipelineFrame> {
+        self.join_all();
         self.frames_rx.try_iter().collect()
     }
 }
 
 impl Drop for StreamingGaliot {
     fn drop(&mut self) {
-        drop(self.chunk_tx.take());
-        if let Some(g) = self.gateway.take() {
-            let _ = g.join();
-        }
-        if let Some(c) = self.cloud.take() {
-            let _ = c.join();
-        }
+        self.join_all();
     }
+}
+
+/// Gateway thread: digitize chunks into a rolling buffer, detect on
+/// fixed, chunk-size-independent flush windows, edge-decode clean
+/// segments and ship the rest compressed.
+fn spawn_gateway(
+    config: &GaliotConfig,
+    registry: &Registry,
+    chunk_rx: Receiver<Vec<Cf32>>,
+    seg_tx: Sender<ShippedSegment>,
+    result_tx: Sender<SegmentResult>,
+    metrics: SharedMetrics,
+) -> thread::JoinHandle<()> {
+    let fs = config.fs;
+    let config = config.clone();
+    let registry = registry.clone();
+    thread::Builder::new()
+        .name("galiot-gateway".into())
+        .spawn(move || {
+            let front_end = RtlSdrFrontEnd::new(config.front_end);
+            let detector = UniversalDetector::new(&registry, fs, config.detect_threshold);
+            let window = registry
+                .max_frame_samples_for(fs, config.max_expected_payload)
+                .max(1);
+            let params = ExtractParams::paper(window);
+            let edge = config
+                .edge_decoding
+                .then(|| EdgeDecoder::new(registry.clone()));
+            let uplink_bps = config.emulate_backhaul.then_some(config.backhaul_bps);
+
+            // A segment is "settled" once the buffer extends at least
+            // this far past it: extraction can then neither lengthen it
+            // (detections reach 2×window forward) nor merge it with a
+            // later cluster (pre-guard reach). An unsettled segment is
+            // deferred to the next flush — but only when its start
+            // survives the drain; a cluster spanning the whole flush
+            // window is emitted as-is rather than lost.
+            let defer_guard = params.pre_guard + 64;
+            let keep_len = 2 * window + 2 * params.pre_guard + 128;
+            // Advance by two windows per flush: flush boundaries sit at
+            // fixed capture offsets (multiples of the stride), so
+            // segmentation is identical for any chunking of the same
+            // capture.
+            let stride = 2 * window;
+            let flush_len = keep_len + stride;
+
+            let mut buffer: Vec<Cf32> = Vec::new();
+            let mut buffer_start = 0usize; // capture index of buffer[0]
+                                           // Capture index up to which segment content has been
+                                           // emitted; a segment is emitted only when it ends past this
+                                           // line AND is finalized (or the capture is over).
+            let mut emitted_until = 0usize;
+            let mut seq = 0u64;
+
+            let flush = |buffer: &[Cf32],
+                         buffer_start: usize,
+                         emitted_until: &mut usize,
+                         seq: &mut u64,
+                         is_final: bool|
+             -> bool {
+                let t0 = Instant::now();
+                let digital = front_end.digitize(buffer);
+                let detections = detector.detect(&digital, fs);
+                metrics.with(|m| m.detections += detections.len());
+                let buffer_end = buffer_start + buffer.len();
+                for seg in extract(&digital, &detections, params) {
+                    let abs_start = buffer_start + seg.start;
+                    let abs_end = abs_start + seg.samples.len();
+                    if abs_end <= *emitted_until {
+                        continue; // fully covered by earlier output
+                    }
+                    // Defer an unsettled segment only if the next flush
+                    // will still contain its head — otherwise emit now.
+                    if !is_final
+                        && abs_end + defer_guard > buffer_end
+                        && abs_start >= buffer_start + stride + params.pre_guard
+                    {
+                        continue;
+                    }
+                    *emitted_until = abs_end;
+                    metrics.with(|m| m.segments += 1);
+                    let this_seq = *seq;
+                    *seq += 1;
+
+                    // Edge-first decode (paper, Sec. 4): handle clean
+                    // single packets locally, ship everything else.
+                    if let Some(edge) = &edge {
+                        let mut abs_seg = seg;
+                        abs_seg.start = abs_start;
+                        if let EdgeOutcome::DecodedLocally(frame) = edge.process(&abs_seg, fs) {
+                            metrics.with(|m| m.gateway_busy_ns += t0.elapsed().as_nanos() as u64);
+                            let ok = result_tx
+                                .send(SegmentResult {
+                                    seq: this_seq,
+                                    frames: vec![PipelineFrame {
+                                        frame,
+                                        at_edge: true,
+                                        via_kill: false,
+                                    }],
+                                })
+                                .is_ok();
+                            if !ok {
+                                return false;
+                            }
+                            continue;
+                        }
+                        let shipped = ShippedSegment::pack(
+                            this_seq,
+                            abs_start,
+                            &abs_seg.samples,
+                            config.compression_bits,
+                            COMPRESS_BLOCK,
+                        );
+                        if !ship(&shipped, &seg_tx, &metrics, uplink_bps) {
+                            return false;
+                        }
+                    } else {
+                        let shipped = ShippedSegment::pack(
+                            this_seq,
+                            abs_start,
+                            &seg.samples,
+                            config.compression_bits,
+                            COMPRESS_BLOCK,
+                        );
+                        if !ship(&shipped, &seg_tx, &metrics, uplink_bps) {
+                            return false;
+                        }
+                    }
+                }
+                metrics.with(|m| m.gateway_busy_ns += t0.elapsed().as_nanos() as u64);
+                true
+            };
+
+            while let Ok(chunk) = chunk_rx.recv() {
+                metrics.with(|m| m.samples_processed += chunk.len() as u64);
+                buffer.extend_from_slice(&chunk);
+                while buffer.len() >= flush_len {
+                    if !flush(
+                        &buffer[..flush_len],
+                        buffer_start,
+                        &mut emitted_until,
+                        &mut seq,
+                        false,
+                    ) {
+                        return;
+                    }
+                    buffer.drain(..stride);
+                    buffer_start += stride;
+                }
+            }
+            if !buffer.is_empty() {
+                let _ = flush(&buffer, buffer_start, &mut emitted_until, &mut seq, true);
+            }
+        })
+        .expect("spawn gateway thread")
+}
+
+/// Ships one compressed segment towards the worker pool, updating the
+/// backhaul metrics and the queue high-water mark. Returns `false` when
+/// the pool is gone.
+///
+/// With backhaul emulation on, blocks for the segment's serialization
+/// time on the shared uplink — serialization cannot be parallelized
+/// away, which is why it happens here on the single gateway thread.
+fn ship(
+    shipped: &ShippedSegment,
+    seg_tx: &Sender<ShippedSegment>,
+    metrics: &SharedMetrics,
+    uplink_bps: Option<f64>,
+) -> bool {
+    let bytes = shipped.wire_bytes();
+    if let Some(bps) = uplink_bps {
+        thread::sleep(Duration::from_secs_f64(bytes as f64 * 8.0 / bps));
+    }
+    if seg_tx.send(shipped.clone()).is_err() {
+        return false;
+    }
+    let depth = seg_tx.len();
+    metrics.with(|m| {
+        m.shipped_segments += 1;
+        m.shipped_bytes += bytes as u64;
+        m.seg_queue_hwm = m.seg_queue_hwm.max(depth);
+    });
+    true
+}
+
+/// One cloud decode worker: decompress, run Algorithm 1, forward the
+/// result tagged with the segment's sequence number. A panicking decode
+/// is contained — the worker reports an empty result for that segment
+/// and keeps serving the pool.
+fn spawn_worker(
+    wid: usize,
+    registry: Registry,
+    config: &GaliotConfig,
+    fs: f64,
+    seg_rx: Receiver<ShippedSegment>,
+    result_tx: Sender<SegmentResult>,
+    metrics: SharedMetrics,
+) -> thread::JoinHandle<()> {
+    let cloud_params = config.cloud;
+    let hop_latency = config
+        .emulate_backhaul
+        .then(|| Duration::from_secs_f64(config.backhaul_latency_s));
+    thread::Builder::new()
+        .name(format!("galiot-cloud-{wid}"))
+        .spawn(move || {
+            let decoder = CloudDecoder::with_params(registry, cloud_params);
+            while let Ok(seg) = seg_rx.recv() {
+                // The hop to a remote elastic cloud instance: latency
+                // is per segment and overlaps across workers — this is
+                // the wait the pool exists to hide.
+                if let Some(lat) = hop_latency {
+                    thread::sleep(lat);
+                }
+                let t0 = Instant::now();
+                let decoded = catch_unwind(AssertUnwindSafe(|| {
+                    let samples = seg.unpack();
+                    decoder.decode(&samples, fs)
+                }));
+                let busy = t0.elapsed().as_nanos() as u64;
+                let frames: Vec<PipelineFrame> = match decoded {
+                    Ok(result) => result
+                        .frames
+                        .into_iter()
+                        .map(|(mut frame, how)| {
+                            frame.start += seg.start;
+                            let via_kill = matches!(how, Recovery::AfterKill { .. });
+                            PipelineFrame {
+                                frame,
+                                at_edge: false,
+                                via_kill,
+                            }
+                        })
+                        .collect(),
+                    Err(_) => {
+                        metrics.with(|m| m.decode_poisoned += 1);
+                        Vec::new()
+                    }
+                };
+                metrics.with(|m| {
+                    m.cloud_busy_ns += busy;
+                    *m.per_worker_segments.entry(wid).or_default() += 1;
+                    *m.per_worker_decoded.entry(wid).or_default() += frames.len();
+                });
+                if result_tx
+                    .send(SegmentResult {
+                        seq: seg.seq,
+                        frames,
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+        })
+        .expect("spawn cloud worker thread")
+}
+
+/// Reassembly stage: restore gateway emission order across workers,
+/// drop duplicate frames decoded from overlapping segment emissions,
+/// and record frame metrics exactly once.
+fn spawn_reassembly(
+    result_rx: Receiver<SegmentResult>,
+    frames_tx: Sender<PipelineFrame>,
+    metrics: SharedMetrics,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("galiot-reassembly".into())
+        .spawn(move || {
+            let mut pending: BTreeMap<u64, Vec<PipelineFrame>> = BTreeMap::new();
+            let mut next_seq = 0u64;
+            // Overlapping segment emissions can decode the same frame
+            // twice; drop repeats by (tech, payload, ~start). Processing
+            // strictly in seq order makes the surviving set independent
+            // of worker count and scheduling.
+            let mut seen: Vec<(TechId, Vec<u8>, usize)> = Vec::new();
+            let mut emit = |mut frames: Vec<PipelineFrame>| -> bool {
+                // Algorithm 1 yields a segment's frames in SIC power
+                // order; re-sort by position so delivery is capture
+                // order end to end (segments already arrive in
+                // ascending-start order via `seq`).
+                frames.sort_by_key(|pf| pf.frame.start);
+                for pf in frames {
+                    let dup = seen.iter().any(|(t, p, s)| {
+                        *t == pf.frame.tech
+                            && *p == pf.frame.payload
+                            && s.abs_diff(pf.frame.start) < DEDUP_SLACK
+                    });
+                    if dup {
+                        continue;
+                    }
+                    seen.push((pf.frame.tech, pf.frame.payload.clone(), pf.frame.start));
+                    if seen.len() > 256 {
+                        seen.remove(0);
+                    }
+                    metrics.with(|m| m.record_frame(&pf.frame, pf.at_edge, pf.via_kill));
+                    if frames_tx.send(pf).is_err() {
+                        return false;
+                    }
+                }
+                true
+            };
+            while let Ok(result) = result_rx.recv() {
+                pending.insert(result.seq, result.frames);
+                metrics.with(|m| m.reassembly_hwm = m.reassembly_hwm.max(pending.len()));
+                while let Some(frames) = pending.remove(&next_seq) {
+                    next_seq += 1;
+                    if !emit(frames) {
+                        return;
+                    }
+                }
+            }
+            // Producers are gone; flush whatever remains in order.
+            for (_, frames) in std::mem::take(&mut pending) {
+                if !emit(frames) {
+                    return;
+                }
+            }
+        })
+        .expect("spawn reassembly thread")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use galiot_channel::{compose, snr_to_noise_power, TxEvent};
-    use galiot_phy::TechId;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -262,12 +561,7 @@ mod tests {
         let techs: Vec<TechId> = frames.iter().map(|f| f.frame.tech).collect();
         assert!(techs.contains(&TechId::XBee), "{techs:?}");
         assert!(techs.contains(&TechId::ZWave), "{techs:?}");
-        let m = sys_metrics_total(&frames);
-        assert!(m >= 2);
-    }
-
-    fn sys_metrics_total(frames: &[PipelineFrame]) -> usize {
-        frames.len()
+        assert!(frames.len() >= 2);
     }
 
     #[test]
@@ -275,5 +569,59 @@ mod tests {
         let sys = StreamingGaliot::start(GaliotConfig::prototype(), Registry::prototype());
         let frames = sys.finish();
         assert!(frames.is_empty());
+    }
+
+    #[test]
+    fn frames_arrive_in_capture_order_with_many_workers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let reg = Registry::prototype();
+        let zwave = reg.get(TechId::ZWave).unwrap().clone();
+        // Well-separated packets → one segment each, in order.
+        let events: Vec<TxEvent> = (0..4)
+            .map(|i| TxEvent::new(zwave.clone(), vec![i as u8 + 1; 6], 150_000 + i * 600_000))
+            .collect();
+        let np = snr_to_noise_power(18.0, 0.0);
+        let cap = compose(&events, 2_800_000, FS, np, &mut rng);
+        let sys = StreamingGaliot::start(GaliotConfig::prototype().with_cloud_workers(4), reg);
+        for chunk in cap.samples.chunks(50_000) {
+            sys.push_chunk(chunk.to_vec());
+        }
+        let frames = sys.finish();
+        let starts: Vec<usize> = frames.iter().map(|f| f.frame.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted, "frames out of capture order");
+        assert_eq!(frames.len(), 4, "{starts:?}");
+    }
+
+    #[test]
+    fn worker_metrics_are_populated() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let reg = Registry::prototype();
+        let xbee = reg.get(TechId::XBee).unwrap().clone();
+        let zwave = reg.get(TechId::ZWave).unwrap().clone();
+        let events = vec![
+            TxEvent::new(xbee, vec![7; 8], 100_000),
+            TxEvent::new(zwave, vec![9; 8], 600_000),
+        ];
+        let np = snr_to_noise_power(25.0, 0.0);
+        let cap = compose(&events, 1_200_000, FS, np, &mut rng);
+        // Edge decoding off → every segment must flow through the pool.
+        let mut config = GaliotConfig::prototype().with_cloud_workers(2);
+        config.edge_decoding = false;
+        let sys = StreamingGaliot::start(config, reg);
+        for chunk in cap.samples.chunks(65_536) {
+            sys.push_chunk(chunk.to_vec());
+        }
+        let metrics = sys.metrics().clone();
+        let frames = sys.finish();
+        let m = metrics.snapshot();
+        assert!(!frames.is_empty());
+        assert_eq!(m.cloud_workers, 2);
+        assert!(m.shipped_segments >= 1, "{m:?}");
+        assert!(m.pool_decoded() >= 1, "{m:?}");
+        assert!(m.per_worker_segments.values().sum::<usize>() >= 1);
+        assert!(m.cloud_busy_ns > 0);
+        assert!(m.gateway_busy_ns > 0);
     }
 }

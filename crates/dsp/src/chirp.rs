@@ -40,13 +40,7 @@ pub fn downchirp(bw: f64, samples_per_symbol: usize, fs: f64) -> Vec<Cf32> {
 ///
 /// Symbol `s` starts its sweep at frequency
 /// `-bw/2 + s * bw / 2^sf` and wraps at `+bw/2`.
-pub fn symbol_chirp(
-    value: u32,
-    sf: u32,
-    bw: f64,
-    samples_per_symbol: usize,
-    fs: f64,
-) -> Vec<Cf32> {
+pub fn symbol_chirp(value: u32, sf: u32, bw: f64, samples_per_symbol: usize, fs: f64) -> Vec<Cf32> {
     let m = 1u32 << sf;
     assert!(value < m, "symbol {value} out of range for SF{sf}");
     let base = upchirp(bw, samples_per_symbol, fs);

@@ -35,7 +35,10 @@ impl Fft {
     /// # Panics
     /// Panics if `n` is zero or not a power of two.
     pub fn new(n: usize) -> Self {
-        assert!(n.is_power_of_two(), "FFT size must be a power of two, got {n}");
+        assert!(
+            n.is_power_of_two(),
+            "FFT size must be a power of two, got {n}"
+        );
         let bits = n.trailing_zeros();
         let rev: Vec<u32> = (0..n as u32)
             .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
@@ -148,7 +151,11 @@ pub fn peak_bin(spectrum: &[Cf32]) -> usize {
 /// treating bins above `n/2` as negative frequencies.
 #[inline]
 pub fn bin_to_freq(bin: usize, n: usize, fs: f64) -> f64 {
-    let b = if bin <= n / 2 { bin as f64 } else { bin as f64 - n as f64 };
+    let b = if bin <= n / 2 {
+        bin as f64
+    } else {
+        bin as f64 - n as f64
+    };
     b * fs / n as f64
 }
 
@@ -166,10 +173,7 @@ mod tests {
     use crate::num::Cf32;
 
     fn assert_close(a: Cf32, b: Cf32, tol: f32) {
-        assert!(
-            (a - b).abs() < tol,
-            "expected {b:?}, got {a:?} (tol {tol})"
-        );
+        assert!((a - b).abs() < tol, "expected {b:?}, got {a:?} (tol {tol})");
     }
 
     #[test]

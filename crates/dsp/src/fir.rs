@@ -43,7 +43,10 @@ impl Fir {
     /// * `fs` — sample rate; `cutoff_hz` must be below `fs / 2`.
     /// * `ntaps` — forced odd so the filter has integer group delay.
     pub fn lowpass(cutoff_hz: f64, fs: f64, ntaps: usize, window: Window) -> Self {
-        assert!(cutoff_hz > 0.0 && cutoff_hz < fs / 2.0, "cutoff must be in (0, fs/2)");
+        assert!(
+            cutoff_hz > 0.0 && cutoff_hz < fs / 2.0,
+            "cutoff must be in (0, fs/2)"
+        );
         let n = make_odd(ntaps);
         let fc = (cutoff_hz / fs) as f32; // normalized cutoff (cycles/sample)
         let mid = (n / 2) as isize;

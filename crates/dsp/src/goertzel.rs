@@ -66,14 +66,15 @@ mod tests {
         let direct: Cf32 = sig
             .iter()
             .enumerate()
-            .map(|(n, &x)| {
-                x * Cf32::cis((-2.0 * std::f64::consts::PI * f * n as f64 / fs) as f32)
-            })
+            .map(|(n, &x)| x * Cf32::cis((-2.0 * std::f64::consts::PI * f * n as f64 / fs) as f32))
             .sum();
         let g = goertzel(&sig, f, fs);
         assert!((g.abs() - direct.abs()).abs() < 1e-2 * direct.abs().max(1.0));
         // Phase must match too (within numeric tolerance).
-        assert!((g - direct).abs() < 1e-2 * direct.abs().max(1.0), "{g:?} vs {direct:?}");
+        assert!(
+            (g - direct).abs() < 1e-2 * direct.abs().max(1.0),
+            "{g:?} vs {direct:?}"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl Nco {
     /// Creates an NCO at `freq_hz` for sample rate `fs`, starting at
     /// phase `phase` radians.
     pub fn new(freq_hz: f64, fs: f64, phase: f64) -> Self {
-        Nco { phase, step: 2.0 * std::f64::consts::PI * freq_hz / fs }
+        Nco {
+            phase,
+            step: 2.0 * std::f64::consts::PI * freq_hz / fs,
+        }
     }
 
     /// Retunes the oscillator without a phase discontinuity.

@@ -45,7 +45,10 @@ impl Cf32 {
     #[inline]
     pub fn from_polar(r: f32, theta: f32) -> Self {
         let (s, c) = theta.sin_cos();
-        Cf32 { re: r * c, im: r * s }
+        Cf32 {
+            re: r * c,
+            im: r * s,
+        }
     }
 
     /// `e^{i theta}`: a unit phasor at angle `theta` radians.
@@ -57,7 +60,10 @@ impl Cf32 {
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Cf32 { re: self.re, im: -self.im }
+        Cf32 {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `|z|^2 = re^2 + im^2`.
@@ -84,7 +90,10 @@ impl Cf32 {
     /// Multiplies by a real scalar.
     #[inline]
     pub fn scale(self, k: f32) -> Self {
-        Cf32 { re: self.re * k, im: self.im * k }
+        Cf32 {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// Returns `true` if either component is NaN or infinite.
@@ -114,7 +123,10 @@ impl Add for Cf32 {
     type Output = Cf32;
     #[inline]
     fn add(self, rhs: Cf32) -> Cf32 {
-        Cf32 { re: self.re + rhs.re, im: self.im + rhs.im }
+        Cf32 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
     }
 }
 
@@ -122,7 +134,10 @@ impl Sub for Cf32 {
     type Output = Cf32;
     #[inline]
     fn sub(self, rhs: Cf32) -> Cf32 {
-        Cf32 { re: self.re - rhs.re, im: self.im - rhs.im }
+        Cf32 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
     }
 }
 
@@ -153,7 +168,10 @@ impl Neg for Cf32 {
     type Output = Cf32;
     #[inline]
     fn neg(self) -> Cf32 {
-        Cf32 { re: -self.re, im: -self.im }
+        Cf32 {
+            re: -self.re,
+            im: -self.im,
+        }
     }
 }
 
@@ -177,7 +195,10 @@ impl Div<f32> for Cf32 {
     type Output = Cf32;
     #[inline]
     fn div(self, k: f32) -> Cf32 {
-        Cf32 { re: self.re / k, im: self.im / k }
+        Cf32 {
+            re: self.re / k,
+            im: self.im / k,
+        }
     }
 }
 

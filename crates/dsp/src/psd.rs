@@ -57,12 +57,7 @@ impl Psd {
 /// narrower than `min_width_hz`. Bands are returned by descending
 /// power *density* (power per Hz) — a narrowband interferer's hot bins
 /// outrank a wideband signal's plateau even at lower total power.
-pub fn find_bands_above(
-    psd: &Psd,
-    threshold: f32,
-    merge_hz: f64,
-    min_width_hz: f64,
-) -> Vec<Band> {
+pub fn find_bands_above(psd: &Psd, threshold: f32, merge_hz: f64, min_width_hz: f64) -> Vec<Band> {
     if psd.is_empty() {
         return Vec::new();
     }
@@ -87,9 +82,7 @@ pub fn find_bands_above(
         .into_iter()
         .filter(|(b, _)| b.width() >= min_width_hz)
         .collect();
-    bands.sort_by(|a, b| {
-        (b.1 as f64 / b.0.width()).total_cmp(&(a.1 as f64 / a.0.width()))
-    });
+    bands.sort_by(|a, b| (b.1 as f64 / b.0.width()).total_cmp(&(a.1 as f64 / a.0.width())));
     bands.into_iter().map(|(b, _)| b).collect()
 }
 
@@ -143,7 +136,12 @@ pub fn find_peak_bands(
     merge_hz: f64,
     min_width_hz: f64,
 ) -> Vec<Band> {
-    find_bands_above(psd, psd.median_power() * threshold_factor, merge_hz, min_width_hz)
+    find_bands_above(
+        psd,
+        psd.median_power() * threshold_factor,
+        merge_hz,
+        min_width_hz,
+    )
 }
 
 #[cfg(test)]
@@ -209,7 +207,10 @@ mod tests {
 
     #[test]
     fn psd_freq_mapping() {
-        let psd = Psd { power: vec![0.0; 8], fs: 8_000.0 };
+        let psd = Psd {
+            power: vec![0.0; 8],
+            fs: 8_000.0,
+        };
         assert_eq!(psd.freq(0), 0.0);
         assert_eq!(psd.freq(1), 1_000.0);
         assert_eq!(psd.freq(7), -1_000.0);

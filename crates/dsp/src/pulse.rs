@@ -72,8 +72,8 @@ pub fn rrc_taps(beta: f32, sps: usize, span: usize) -> Vec<f32> {
                     * ((1.0 + 2.0 / pi) * (pi / (4.0 * beta)).sin()
                         + (1.0 - 2.0 / pi) * (pi / (4.0 * beta)).cos())
             } else {
-                let num = (pi * t * (1.0 - beta)).sin()
-                    + 4.0 * beta * t * (pi * t * (1.0 + beta)).cos();
+                let num =
+                    (pi * t * (1.0 - beta)).sin() + 4.0 * beta * t * (pi * t * (1.0 + beta)).cos();
                 let den = pi * t * (1.0 - (4.0 * beta * t) * (4.0 * beta * t));
                 num / den
             }
@@ -118,7 +118,10 @@ mod tests {
         let tight = gaussian_taps(1.0, 8, 4);
         let wide = gaussian_taps(0.3, 8, 4);
         let edge = 4; // samples from each edge
-        let tight_edge: f32 = tight[..edge].iter().chain(&tight[tight.len() - edge..]).sum();
+        let tight_edge: f32 = tight[..edge]
+            .iter()
+            .chain(&tight[tight.len() - edge..])
+            .sum();
         let wide_edge: f32 = wide[..edge].iter().chain(&wide[wide.len() - edge..]).sum();
         assert!(wide_edge > tight_edge);
     }

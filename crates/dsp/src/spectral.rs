@@ -317,7 +317,11 @@ mod tests {
     fn suppress_bins_ignores_out_of_range() {
         let sig = tone(1e3, 1e6, 64);
         let out = suppress_bins(&sig, &[usize::MAX, 9999]);
-        let err: f32 = out.iter().zip(&sig).map(|(a, b)| (*a - *b).norm_sqr()).sum();
+        let err: f32 = out
+            .iter()
+            .zip(&sig)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum();
         assert!(err < 1e-6);
     }
 

@@ -32,9 +32,7 @@ impl Window {
             Window::Rect => 1.0,
             Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
             Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
-            Window::Blackman => {
-                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
-            }
+            Window::Blackman => 0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos(),
             Window::Kaiser(beta) => {
                 let t = 2.0 * x - 1.0; // -1..=1
                 bessel_i0(beta * (1.0 - t * t).max(0.0).sqrt()) / bessel_i0(beta)
@@ -92,7 +90,12 @@ mod tests {
     #[test]
     fn windows_peak_at_center() {
         let n = 65;
-        for w in [Window::Hann, Window::Hamming, Window::Blackman, Window::Kaiser(6.0)] {
+        for w in [
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+            Window::Kaiser(6.0),
+        ] {
             let taps = w.taps(n);
             let mid = taps[n / 2];
             assert!((mid - 1.0).abs() < 1e-4, "{w:?} center {mid}");

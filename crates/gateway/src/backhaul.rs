@@ -77,7 +77,13 @@ pub fn compress(samples: &[Cf32], bits: u32, block_len: usize) -> CompressedSegm
     if nbits > 0 {
         data.push((acc & 0xFF) as u8);
     }
-    CompressedSegment { bits, scales, block_len, data, len: samples.len() }
+    CompressedSegment {
+        bits,
+        scales,
+        block_len,
+        data,
+        len: samples.len(),
+    }
 }
 
 /// Reconstructs samples from a compressed segment.
@@ -100,14 +106,53 @@ pub fn decompress(c: &CompressedSegment) -> Vec<Cf32> {
     };
     for i in 0..c.len {
         let scale = c.scales[i / c.block_len];
-        let dq = |code: u16| -> f32 {
-            ((code as f32 - (levels - 0.5)) / (levels - 0.5)) * scale
-        };
+        let dq = |code: u16| -> f32 { ((code as f32 - (levels - 0.5)) / (levels - 0.5)) * scale };
         let re = dq(next_code());
         let im = dq(next_code());
         out.push(Cf32::new(re, im));
     }
     out
+}
+
+/// One unit of gateway→cloud traffic: a compressed segment plus the
+/// metadata the cloud tier needs to decode it independently and put
+/// its frames back in capture order.
+///
+/// `seq` is assigned by the gateway in emission order; the cloud's
+/// reassembly stage uses it to restore capture order no matter which
+/// decode worker finishes first. `start` locates the segment in
+/// absolute capture coordinates so decoded frame offsets survive the
+/// trip.
+#[derive(Clone, Debug)]
+pub struct ShippedSegment {
+    /// Gateway emission sequence number (0-based, dense).
+    pub seq: u64,
+    /// First sample index of the segment in the original capture.
+    pub start: usize,
+    /// The compressed I/Q payload.
+    pub compressed: CompressedSegment,
+}
+
+impl ShippedSegment {
+    /// Compresses `samples` into a shippable unit.
+    pub fn pack(seq: u64, start: usize, samples: &[Cf32], bits: u32, block_len: usize) -> Self {
+        ShippedSegment {
+            seq,
+            start,
+            compressed: compress(samples, bits, block_len),
+        }
+    }
+
+    /// Size on the wire in bytes (compressed payload + 16-byte
+    /// sequencing/offset header).
+    pub fn wire_bytes(&self) -> usize {
+        self.compressed.wire_bytes() + 16
+    }
+
+    /// Reconstructs the I/Q samples at the cloud side.
+    pub fn unpack(&self) -> Vec<Cf32> {
+        decompress(&self.compressed)
+    }
 }
 
 /// A bandwidth-limited uplink with FIFO serialization.
@@ -125,13 +170,23 @@ pub struct Backhaul {
 impl Backhaul {
     /// A typical home cable uplink: 20 Mb/s up, 10 ms latency.
     pub fn home_cable() -> Self {
-        Backhaul { rate_bps: 20e6, latency_s: 0.010, queued_until_s: 0.0, bytes_shipped: 0 }
+        Backhaul {
+            rate_bps: 20e6,
+            latency_s: 0.010,
+            queued_until_s: 0.0,
+            bytes_shipped: 0,
+        }
     }
 
     /// Creates a backhaul with the given rate and latency.
     pub fn new(rate_bps: f64, latency_s: f64) -> Self {
         assert!(rate_bps > 0.0, "rate must be positive");
-        Backhaul { rate_bps, latency_s, queued_until_s: 0.0, bytes_shipped: 0 }
+        Backhaul {
+            rate_bps,
+            latency_s,
+            queued_until_s: 0.0,
+            bytes_shipped: 0,
+        }
     }
 
     /// Ships `bytes` at time `now_s`; returns the arrival time at the
@@ -207,7 +262,10 @@ mod tests {
                 .map(|(a, b)| (*a - *b).norm_sqr())
                 .sum::<f32>()
                 / 512.0;
-            assert!(err < 1e-4 * amp * amp * 2.0 + 1e-9, "err {err} at amp {amp}");
+            assert!(
+                err < 1e-4 * amp * amp * 2.0 + 1e-9,
+                "err {err} at amp {amp}"
+            );
         }
     }
 

@@ -54,7 +54,11 @@ pub struct EnergyDetector {
 
 impl Default for EnergyDetector {
     fn default() -> Self {
-        EnergyDetector { window: 256, threshold_db: 6.0, min_gap: 2_048 }
+        EnergyDetector {
+            window: 256,
+            threshold_db: 6.0,
+            min_gap: 2_048,
+        }
     }
 }
 
@@ -116,7 +120,12 @@ impl MatchedFilterBank {
     /// Builds the bank over a registry with a fixed threshold
     /// (`0.0` = analytic per-technology thresholds).
     pub fn new(registry: Registry, threshold: f32) -> Self {
-        MatchedFilterBank { registry, threshold, auto_factor: 1.4, min_distance: 0 }
+        MatchedFilterBank {
+            registry,
+            threshold,
+            auto_factor: 1.4,
+            min_distance: 0,
+        }
     }
 
     /// The registry the bank correlates for.
@@ -258,7 +267,10 @@ mod tests {
         let hits = score_detections(&det, &[(start, len)], 512);
         assert!(hits[0]);
         // The strongest detection should attribute to XBee.
-        let best = det.iter().max_by(|a, b| a.score.total_cmp(&b.score)).unwrap();
+        let best = det
+            .iter()
+            .max_by(|a, b| a.score.total_cmp(&b.score))
+            .unwrap();
         assert_eq!(best.tech, Some(TechId::XBee));
     }
 
@@ -275,9 +287,7 @@ mod tests {
     fn complexity_scales_with_registry_size() {
         let small = MatchedFilterBank::new(Registry::prototype(), 0.5);
         let mut big_reg = Registry::prototype();
-        big_reg.push(
-            Registry::extended().get(TechId::OqpskDsss).unwrap().clone(),
-        );
+        big_reg.push(Registry::extended().get(TechId::OqpskDsss).unwrap().clone());
         let big = MatchedFilterBank::new(big_reg, 0.5);
         assert!(big.complexity_per_sample(FS) > small.complexity_per_sample(FS));
         assert_eq!(EnergyDetector::default().complexity_per_sample(FS), 1.0);
@@ -285,7 +295,11 @@ mod tests {
 
     #[test]
     fn score_detections_slack() {
-        let det = [Detection { start: 90, score: 1.0, tech: None }];
+        let det = [Detection {
+            start: 90,
+            score: 1.0,
+            tech: None,
+        }];
         // Slightly early detection counts within slack...
         assert_eq!(score_detections(&det, &[(100, 50)], 20), vec![true]);
         // ...but not beyond it...

@@ -126,7 +126,11 @@ mod tests {
         Segment {
             start,
             samples,
-            detections: vec![Detection { start, score: 1.0, tech: None }],
+            detections: vec![Detection {
+                start,
+                score: 1.0,
+                tech: None,
+            }],
         }
     }
 
@@ -179,7 +183,10 @@ mod tests {
         match outcome {
             EdgeOutcome::ShipToCloud(_) => {}
             EdgeOutcome::DecodedLocally(f) => {
-                assert!(cap.truth.iter().any(|t| t.tech == f.tech && t.payload == f.payload));
+                assert!(cap
+                    .truth
+                    .iter()
+                    .any(|t| t.tech == f.tech && t.payload == f.payload));
             }
         }
     }

@@ -95,7 +95,11 @@ mod tests {
     use super::*;
 
     fn det(start: usize) -> Detection {
-        Detection { start, score: 1.0, tech: None }
+        Detection {
+            start,
+            score: 1.0,
+            tech: None,
+        }
     }
 
     fn capture(n: usize) -> Vec<Cf32> {
@@ -105,7 +109,10 @@ mod tests {
     #[test]
     fn single_detection_cuts_expected_window() {
         let cap = capture(100_000);
-        let p = ExtractParams { max_frame_samples: 10_000, pre_guard: 1_000 };
+        let p = ExtractParams {
+            max_frame_samples: 10_000,
+            pre_guard: 1_000,
+        };
         let segs = extract(&cap, &[det(30_000)], p);
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].start, 29_000);
@@ -117,7 +124,10 @@ mod tests {
     #[test]
     fn overlapping_detections_merge() {
         let cap = capture(200_000);
-        let p = ExtractParams { max_frame_samples: 10_000, pre_guard: 1_000 };
+        let p = ExtractParams {
+            max_frame_samples: 10_000,
+            pre_guard: 1_000,
+        };
         let segs = extract(&cap, &[det(30_000), det(35_000)], p);
         assert_eq!(segs.len(), 1);
         assert_eq!(segs[0].detections.len(), 2);
@@ -127,7 +137,10 @@ mod tests {
     #[test]
     fn distant_detections_stay_separate() {
         let cap = capture(500_000);
-        let p = ExtractParams { max_frame_samples: 10_000, pre_guard: 1_000 };
+        let p = ExtractParams {
+            max_frame_samples: 10_000,
+            pre_guard: 1_000,
+        };
         let segs = extract(&cap, &[det(30_000), det(300_000)], p);
         assert_eq!(segs.len(), 2);
     }
@@ -135,7 +148,10 @@ mod tests {
     #[test]
     fn window_clips_at_capture_edges() {
         let cap = capture(25_000);
-        let p = ExtractParams { max_frame_samples: 10_000, pre_guard: 1_000 };
+        let p = ExtractParams {
+            max_frame_samples: 10_000,
+            pre_guard: 1_000,
+        };
         let segs = extract(&cap, &[det(500), det(24_000)], p);
         assert_eq!(segs.len(), 2);
         // Leading window clips at the capture start...

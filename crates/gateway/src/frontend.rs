@@ -153,7 +153,11 @@ impl HoppingFrontEnd {
     pub fn new(inner: RtlSdrFrontEnd, n_subbands: usize, dwell_samples: usize) -> Self {
         assert!(n_subbands >= 1, "need at least one sub-band");
         assert!(dwell_samples >= 1, "dwell must be positive");
-        HoppingFrontEnd { inner, n_subbands, dwell_samples }
+        HoppingFrontEnd {
+            inner,
+            n_subbands,
+            dwell_samples,
+        }
     }
 
     /// The sub-band visited on dwell `d` (round-robin schedule).
@@ -292,7 +296,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "ADC depth")]
     fn rejects_zero_bits() {
-        let _ = RtlSdrFrontEnd::new(FrontEndParams { adc_bits: 0, ..Default::default() });
+        let _ = RtlSdrFrontEnd::new(FrontEndParams {
+            adc_bits: 0,
+            ..Default::default()
+        });
     }
 
     #[test]

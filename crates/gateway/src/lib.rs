@@ -17,7 +17,7 @@ pub mod extract;
 pub mod frontend;
 pub mod universal;
 
-pub use backhaul::{compress, decompress, Backhaul, CompressedSegment};
+pub use backhaul::{compress, decompress, Backhaul, CompressedSegment, ShippedSegment};
 pub use detect::{score_detections, Detection, EnergyDetector, MatchedFilterBank, PacketDetector};
 pub use edge::{EdgeDecoder, EdgeOutcome, EdgeReport};
 pub use extract::{extract, shipped_fraction, ExtractParams, Segment};

@@ -144,7 +144,12 @@ impl UniversalDetector {
         // suppressing within half a template collapses them into one
         // detection per packet.
         let min_distance = (preamble.template.len() / 2).max(512);
-        UniversalDetector { preamble, threshold, auto_factor: 1.4, min_distance }
+        UniversalDetector {
+            preamble,
+            threshold,
+            auto_factor: 1.4,
+            min_distance,
+        }
     }
 
     /// Builds the detector with the analytic noise threshold.
@@ -179,7 +184,11 @@ impl PacketDetector for UniversalDetector {
         let ncc = xcorr_normalized(capture, &self.preamble.template);
         find_peaks(&ncc, threshold, self.min_distance)
             .into_iter()
-            .map(|p| Detection { start: p.index, score: p.value, tech: None })
+            .map(|p| Detection {
+                start: p.index,
+                score: p.value,
+                tech: None,
+            })
             .collect()
     }
 
@@ -255,19 +264,12 @@ mod tests {
         let reg = Registry::prototype();
         let det = UniversalDetector::new(&reg, FS, 0.12);
         let mut rng = StdRng::seed_from_u64(77);
-        let events = galiot_channel::forced_collision(
-            &reg,
-            8,
-            &[0.0, 0.0, 0.0],
-            4_000,
-            30_000,
-            &mut rng,
-        );
+        let events =
+            galiot_channel::forced_collision(&reg, 8, &[0.0, 0.0, 0.0], 4_000, 30_000, &mut rng);
         let np = snr_to_noise_power(10.0, 0.0);
         let cap = compose(&events, 400_000, FS, np, &mut rng);
         let d = det.detect(&cap.samples, FS);
-        let truth: Vec<(usize, usize)> =
-            cap.truth.iter().map(|t| (t.start, t.len)).collect();
+        let truth: Vec<(usize, usize)> = cap.truth.iter().map(|t| (t.start, t.len)).collect();
         let hits = score_detections(&d, &truth, 2_048);
         let n_hit = hits.iter().filter(|&&h| h).count();
         assert!(n_hit >= 2, "only {n_hit}/3 collision members detected");

@@ -146,7 +146,9 @@ pub struct BleWhitener {
 impl BleWhitener {
     /// Creates the whitener for a BLE `channel` (0..=39).
     pub fn new(channel: u8) -> Self {
-        BleWhitener { state: 0x40 | (channel & 0x3F) }
+        BleWhitener {
+            state: 0x40 | (channel & 0x3F),
+        }
     }
 
     /// Returns the next whitening bit and advances the register.
@@ -195,7 +197,10 @@ pub fn manchester_decode(half_bits: &[u8]) -> Vec<u8> {
 /// Panics if the slices differ in length.
 pub fn hamming_distance(a: &[u8], b: &[u8]) -> usize {
     assert_eq!(a.len(), b.len(), "hamming_distance needs equal lengths");
-    a.iter().zip(b).filter(|(x, y)| (**x ^ **y) & 1 == 1).count()
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| (**x ^ **y) & 1 == 1)
+        .count()
 }
 
 #[cfg(test)]

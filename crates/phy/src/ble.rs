@@ -245,7 +245,10 @@ mod tests {
     #[test]
     fn whitening_differs_by_channel_but_roundtrips() {
         for ch in [0u8, 11, 37, 39] {
-            let p = BlePhy::new(BleParams { channel: ch, ..Default::default() });
+            let p = BlePhy::new(BleParams {
+                channel: ch,
+                ..Default::default()
+            });
             let payload = vec![ch, 0x55, 0xAA];
             let frame = p.demodulate(&p.modulate(&payload, FS), FS).expect("decode");
             assert_eq!(frame.payload, payload, "channel {ch}");
@@ -254,8 +257,14 @@ mod tests {
 
     #[test]
     fn wrong_channel_fails_crc() {
-        let tx = BlePhy::new(BleParams { channel: 37, ..Default::default() });
-        let rx = BlePhy::new(BleParams { channel: 38, ..Default::default() });
+        let tx = BlePhy::new(BleParams {
+            channel: 37,
+            ..Default::default()
+        });
+        let rx = BlePhy::new(BleParams {
+            channel: 38,
+            ..Default::default()
+        });
         let sig = tx.modulate(&[1, 2, 3, 4], FS);
         assert!(matches!(
             rx.demodulate(&sig, FS),
@@ -282,6 +291,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "channel")]
     fn bad_channel_panics() {
-        let _ = BlePhy::new(BleParams { channel: 40, ..Default::default() });
+        let _ = BlePhy::new(BleParams {
+            channel: 40,
+            ..Default::default()
+        });
     }
 }

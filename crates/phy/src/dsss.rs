@@ -64,7 +64,10 @@ pub struct DsssParams {
 
 impl Default for DsssParams {
     fn default() -> Self {
-        DsssParams { chip_rate: 250_000.0, center_offset_hz: 0.0 }
+        DsssParams {
+            chip_rate: 250_000.0,
+            center_offset_hz: 0.0,
+        }
     }
 }
 
@@ -106,7 +109,9 @@ impl DsssPhy {
     /// The chip values (0/1) of one symbol.
     pub fn symbol_chips(symbol: u8) -> Vec<u8> {
         let seq = CHIP_SEQUENCES[(symbol & 0x0F) as usize];
-        (0..CHIPS_PER_SYMBOL).map(|c| ((seq >> c) & 1) as u8).collect()
+        (0..CHIPS_PER_SYMBOL)
+            .map(|c| ((seq >> c) & 1) as u8)
+            .collect()
     }
 
     /// Synthesizes the O-QPSK waveform of a chip stream at DC, rate
@@ -142,7 +147,10 @@ impl DsssPhy {
     /// demodulator and by the cloud's KILL-CODES projection filter).
     pub fn symbol_reference(&self, symbol: u8, fs: f64) -> Result<Vec<Cf32>, PhyError> {
         let at_dc = DsssPhy {
-            params: DsssParams { center_offset_hz: 0.0, ..self.params },
+            params: DsssParams {
+                center_offset_hz: 0.0,
+                ..self.params
+            },
         };
         at_dc.chips_to_waveform(&Self::symbol_chips(symbol), fs)
     }
@@ -275,7 +283,10 @@ impl Technology for DsssPhy {
 
         // Sync on the preamble+SFD waveform.
         let at_dc = DsssPhy {
-            params: DsssParams { center_offset_hz: 0.0, ..self.params },
+            params: DsssParams {
+                center_offset_hz: 0.0,
+                ..self.params
+            },
         };
         let template = at_dc.preamble_waveform(fs);
         let ncc = xcorr_normalized(&base, &template);
@@ -330,7 +341,9 @@ impl Technology for DsssPhy {
 
     fn max_frame_samples(&self, fs: f64) -> usize {
         let syms = PREAMBLE_SYMBOLS + 2 + 2 + (self.max_payload_len() + 2) * 2;
-        syms * self.samples_per_symbol(fs).expect("sample rate too low for DSSS")
+        syms * self
+            .samples_per_symbol(fs)
+            .expect("sample rate too low for DSSS")
     }
 
     fn max_payload_len(&self) -> usize {
@@ -421,7 +434,10 @@ mod tests {
 
     #[test]
     fn roundtrip_embedded_with_offset() {
-        let p = DsssPhy::new(DsssParams { center_offset_hz: 120_000.0, ..Default::default() });
+        let p = DsssPhy::new(DsssParams {
+            center_offset_hz: 120_000.0,
+            ..Default::default()
+        });
         let payload = vec![1, 2, 3];
         let sig = p.modulate(&payload, FS);
         let mut capture = vec![Cf32::ZERO; sig.len() + 10_000];
@@ -462,7 +478,10 @@ mod tests {
 
     #[test]
     fn symbol_reference_is_at_dc_even_with_offset() {
-        let p = DsssPhy::new(DsssParams { center_offset_hz: 200_000.0, ..Default::default() });
+        let p = DsssPhy::new(DsssParams {
+            center_offset_hz: 200_000.0,
+            ..Default::default()
+        });
         let r = p.symbol_reference(3, FS).unwrap();
         let f = galiot_dsp::mix::estimate_tone_freq(&r, FS);
         assert!(f.abs() < 50_000.0, "reference not at DC: {f}");

@@ -47,12 +47,7 @@ fn parities(nibble: u8) -> [u8; 4] {
     let d2 = (nibble >> 2) & 1;
     let d1 = (nibble >> 1) & 1;
     let d0 = nibble & 1;
-    [
-        d3 ^ d2 ^ d1,
-        d3 ^ d2 ^ d0,
-        d3 ^ d1 ^ d0,
-        d3 ^ d2 ^ d1 ^ d0,
-    ]
+    [d3 ^ d2 ^ d1, d3 ^ d2 ^ d0, d3 ^ d1 ^ d0, d3 ^ d2 ^ d1 ^ d0]
 }
 
 /// Encodes a nibble (low 4 bits) into a codeword of
@@ -76,7 +71,11 @@ pub fn hamming_encode(nibble: u8, rate: CodeRate) -> Vec<u8> {
 /// # Panics
 /// Panics if `codeword.len() != rate.codeword_len()`.
 pub fn hamming_decode(codeword: &[u8], rate: CodeRate) -> (u8, usize) {
-    assert_eq!(codeword.len(), rate.codeword_len(), "codeword length mismatch");
+    assert_eq!(
+        codeword.len(),
+        rate.codeword_len(),
+        "codeword length mismatch"
+    );
     let mut best = 0u8;
     let mut best_dist = usize::MAX;
     for cand in 0u8..16 {
@@ -149,9 +148,9 @@ pub fn deinterleave(symbols: &[u32], sf: u32, rate: CodeRate) -> Vec<Vec<u8>> {
     assert_eq!(symbols.len(), cwl, "need codeword_len symbols per block");
     let mut codewords = vec![vec![0u8; cwl]; sf];
     for (b, &sym) in symbols.iter().enumerate() {
-        for c in 0..sf {
+        for (c, cw) in codewords.iter_mut().enumerate() {
             let pos = (c + b) % sf;
-            codewords[c][b] = ((sym >> (sf - 1 - pos)) & 1) as u8;
+            cw[b] = ((sym >> (sf - 1 - pos)) & 1) as u8;
         }
     }
     codewords
@@ -250,17 +249,12 @@ mod tests {
         // Corrupting one symbol must touch at most one bit per codeword.
         let sf = 7u32;
         let rate = CodeRate::new(4);
-        let codewords: Vec<Vec<u8>> =
-            (0..sf).map(|c| hamming_encode(c as u8, rate)).collect();
+        let codewords: Vec<Vec<u8>> = (0..sf).map(|c| hamming_encode(c as u8, rate)).collect();
         let mut symbols = interleave(&codewords, sf, rate);
         symbols[3] ^= 0b1010100; // flip several bits of one symbol
         let out = deinterleave(&symbols, sf, rate);
         for (orig, got) in codewords.iter().zip(&out) {
-            let dist: usize = orig
-                .iter()
-                .zip(got)
-                .filter(|(a, b)| a != b)
-                .count();
+            let dist: usize = orig.iter().zip(got).filter(|(a, b)| a != b).count();
             assert!(dist <= 1, "codeword hit {dist} times");
         }
     }

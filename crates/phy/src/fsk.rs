@@ -159,13 +159,7 @@ impl FskModem {
     /// Hard-decides `nbits` bits from a discriminator output starting
     /// at sample `start`, integrating the middle half of each bit
     /// period. Returns `None` if the capture ends first.
-    pub fn slice_bits(
-        &self,
-        soft: &[f32],
-        start: usize,
-        nbits: usize,
-        fs: f64,
-    ) -> Option<Vec<u8>> {
+    pub fn slice_bits(&self, soft: &[f32], start: usize, nbits: usize, fs: f64) -> Option<Vec<u8>> {
         let sps = self.sps(fs).ok()?;
         let lo = sps / 4;
         let hi = ((3 * sps) / 4).max(lo + 1);
@@ -214,7 +208,10 @@ mod tests {
 
     #[test]
     fn sps_rejects_low_rate() {
-        assert!(matches!(modem(None).sps(60_000.0), Err(PhyError::BadConfig(_))));
+        assert!(matches!(
+            modem(None).sps(60_000.0),
+            Err(PhyError::BadConfig(_))
+        ));
     }
 
     #[test]
@@ -285,10 +282,7 @@ mod tests {
         // Bit slicing from the found start recovers the payload bits.
         let data_start = start + m.bits_to_samples(pre.len(), FS).unwrap();
         let out = m.slice_bits(&soft, data_start, 24, FS).unwrap();
-        assert_eq!(
-            crate::bits::bits_to_bytes_msb(&out),
-            vec![0x42, 0x13, 0x37]
-        );
+        assert_eq!(crate::bits::bits_to_bytes_msb(&out), vec![0x42, 0x13, 0x37]);
     }
 
     #[test]

@@ -18,8 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod ble;
 pub mod bits;
+pub mod ble;
 pub mod common;
 pub mod dsss;
 pub mod fec;

@@ -23,8 +23,7 @@ use galiot_dsp::Cf32;
 use crate::bits::{bits_to_bytes_msb, bytes_to_bits_msb, crc16_ccitt, Pn9};
 use crate::common::{DecodedFrame, ModClass, PhyError, TechId, Technology};
 use crate::fec::{
-    deinterleave, gray_decode, gray_encode, hamming_decode, hamming_encode, interleave,
-    CodeRate,
+    deinterleave, gray_decode, gray_encode, hamming_decode, hamming_encode, interleave, CodeRate,
 };
 
 /// Number of preamble up-chirps (the paper's Table 1: "sequence of 1s").
@@ -135,8 +134,7 @@ impl LoraPhy {
         }
         let mut symbols = Vec::new();
         for block in nibbles.chunks(sf as usize) {
-            let codewords: Vec<Vec<u8>> =
-                block.iter().map(|&n| hamming_encode(n, rate)).collect();
+            let codewords: Vec<Vec<u8>> = block.iter().map(|&n| hamming_encode(n, rate)).collect();
             for s in interleave(&codewords, sf, rate) {
                 symbols.push(gray_encode(s));
             }
@@ -150,8 +148,7 @@ impl LoraPhy {
         let hdr_blocks = 6_usize.div_ceil(sf); // 3 header bytes = 6 nibbles
         let body_nibbles = (payload_len + 2) * 2; // payload + CRC16
         let body_blocks = body_nibbles.div_ceil(sf);
-        hdr_blocks * CodeRate::new(4).codeword_len()
-            + body_blocks * self.params.cr.codeword_len()
+        hdr_blocks * CodeRate::new(4).codeword_len() + body_blocks * self.params.cr.codeword_len()
     }
 
     /// Decodes a gray-mapped symbol stream section back to bits.
@@ -205,11 +202,7 @@ impl LoraPhy {
     /// Demodulates one symbol-aligned window (at rate `bw`,
     /// `2^sf` samples) to its symbol value.
     fn demod_symbol(&self, window: &[Cf32], down: &[Cf32], plan: &Fft) -> u32 {
-        let mut buf: Vec<Cf32> = window
-            .iter()
-            .zip(down)
-            .map(|(&s, &d)| s * d)
-            .collect();
+        let mut buf: Vec<Cf32> = window.iter().zip(down).map(|(&s, &d)| s * d).collect();
         plan.forward(&mut buf);
         galiot_dsp::fft::peak_bin(&buf) as u32
     }
@@ -260,7 +253,9 @@ impl Technology for LoraPhy {
     }
 
     fn preamble_waveform(&self, fs: f64) -> Vec<Cf32> {
-        let (_, sps) = self.geometry(fs).expect("fs must be integer multiple of bw");
+        let (_, sps) = self
+            .geometry(fs)
+            .expect("fs must be integer multiple of bw");
         let up = upchirp(self.params.bw, sps, fs);
         let mut out = Vec::with_capacity(PREAMBLE_SYMBOLS * sps);
         for _ in 0..PREAMBLE_SYMBOLS {
@@ -277,7 +272,9 @@ impl Technology for LoraPhy {
             payload.len() <= self.max_payload_len(),
             "payload exceeds LoRa maximum"
         );
-        let (_, sps) = self.geometry(fs).expect("fs must be integer multiple of bw");
+        let (_, sps) = self
+            .geometry(fs)
+            .expect("fs must be integer multiple of bw");
         let bw = self.params.bw;
         let up = upchirp(bw, sps, fs);
         let down = downchirp(bw, sps, fs);
@@ -363,7 +360,7 @@ impl Technology for LoraPhy {
         let nn = n as i64;
         let up = upchirp(bw, n, bw);
         let mut found: Option<(usize, i64)> = None; // (t_pre, cfo_bins)
-        // Smallest |cfo| hypotheses first.
+                                                    // Smallest |cfo| hypotheses first.
         let mut dcs: Vec<i64> = (-max_cfo_bins..=max_cfo_bins).collect();
         dcs.sort_by_key(|d| d.abs());
         'search: for k in 0..2i64 {
@@ -495,8 +492,7 @@ impl Technology for LoraPhy {
             return Err(PhyError::CrcMismatch);
         }
 
-        let total_syms =
-            PREAMBLE_SYMBOLS + SYNC_SYMBOLS.len() + 2 + hdr_syms + body_syms;
+        let total_syms = PREAMBLE_SYMBOLS + SYNC_SYMBOLS.len() + 2 + hdr_syms + body_syms;
         Ok(DecodedFrame {
             tech: TechId::LoRa,
             payload,
@@ -506,7 +502,9 @@ impl Technology for LoraPhy {
     }
 
     fn max_frame_samples(&self, fs: f64) -> usize {
-        let (_, sps) = self.geometry(fs).expect("fs must be integer multiple of bw");
+        let (_, sps) = self
+            .geometry(fs)
+            .expect("fs must be integer multiple of bw");
         let syms = PREAMBLE_SYMBOLS
             + SYNC_SYMBOLS.len()
             + 3 // SFD (2.25 rounded up)
@@ -572,7 +570,10 @@ mod tests {
     #[test]
     fn roundtrip_at_bw_rate() {
         // os = 1: capture rate equals bandwidth.
-        let p = LoraPhy::new(LoraParams { bw: 125_000.0, ..Default::default() });
+        let p = LoraPhy::new(LoraParams {
+            bw: 125_000.0,
+            ..Default::default()
+        });
         let payload = vec![1, 2, 3];
         let sig = p.modulate(&payload, 125_000.0);
         let frame = p.demodulate(&sig, 125_000.0).expect("decode");
@@ -582,17 +583,25 @@ mod tests {
     #[test]
     fn roundtrip_all_coding_rates() {
         for cr in 1..=4u8 {
-            let p = LoraPhy::new(LoraParams { cr: CodeRate::new(cr), ..Default::default() });
+            let p = LoraPhy::new(LoraParams {
+                cr: CodeRate::new(cr),
+                ..Default::default()
+            });
             let payload = vec![0x5A; 8];
             let sig = p.modulate(&payload, FS);
-            let frame = p.demodulate(&sig, FS).unwrap_or_else(|e| panic!("cr {cr}: {e}"));
+            let frame = p
+                .demodulate(&sig, FS)
+                .unwrap_or_else(|e| panic!("cr {cr}: {e}"));
             assert_eq!(frame.payload, payload, "cr {cr}");
         }
     }
 
     #[test]
     fn roundtrip_higher_sf() {
-        let p = LoraPhy::new(LoraParams { sf: 9, ..Default::default() });
+        let p = LoraPhy::new(LoraParams {
+            sf: 9,
+            ..Default::default()
+        });
         let payload = b"sf9".to_vec();
         let sig = p.modulate(&payload, FS);
         let frame = p.demodulate(&sig, FS).expect("decode");
@@ -644,8 +653,7 @@ mod tests {
         // Deterministic pseudo-noise.
         let capture: Vec<Cf32> = (0..60_000)
             .map(|i| {
-                let x = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(1) >> 33)
-                    as f32
+                let x = ((i as u64).wrapping_mul(6364136223846793005).wrapping_add(1) >> 33) as f32
                     / (1u64 << 31) as f32
                     - 1.0;
                 let y = ((i as u64 ^ 0xdead).wrapping_mul(6364136223846793005) >> 33) as f32

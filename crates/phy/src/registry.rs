@@ -212,7 +212,14 @@ pub const TABLE1: [Table1Row; 10] = [
 pub fn summarize(reg: &Registry) -> Vec<(TechId, ModClass, f64, &'static str)> {
     reg.techs()
         .iter()
-        .map(|t| (t.id(), t.modulation(), t.bitrate(), t.preamble_description()))
+        .map(|t| {
+            (
+                t.id(),
+                t.modulation(),
+                t.bitrate(),
+                t.preamble_description(),
+            )
+        })
         .collect()
 }
 

@@ -39,7 +39,10 @@ pub struct SigfoxParams {
 
 impl Default for SigfoxParams {
     fn default() -> Self {
-        SigfoxParams { bitrate: 1_000.0, center_offset_hz: 0.0 }
+        SigfoxParams {
+            bitrate: 1_000.0,
+            center_offset_hz: 0.0,
+        }
     }
 }
 
@@ -282,7 +285,10 @@ mod tests {
 
     #[test]
     fn roundtrip_embedded_with_offset() {
-        let p = SigfoxPhy::new(SigfoxParams { center_offset_hz: 10_000.0, ..Default::default() });
+        let p = SigfoxPhy::new(SigfoxParams {
+            center_offset_hz: 10_000.0,
+            ..Default::default()
+        });
         let payload = vec![0xCA, 0xFE];
         let sig = p.modulate(&payload, FS);
         let mut capture = vec![Cf32::ZERO; sig.len() + 3_000];

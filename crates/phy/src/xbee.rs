@@ -221,7 +221,10 @@ mod tests {
 
     #[test]
     fn roundtrip_embedded_with_offset() {
-        let p = XbeePhy::new(XbeeParams { center_offset_hz: 200_000.0, ..Default::default() });
+        let p = XbeePhy::new(XbeeParams {
+            center_offset_hz: 200_000.0,
+            ..Default::default()
+        });
         let payload = vec![0u8, 255, 1, 2, 3];
         let sig = p.modulate(&payload, FS);
         let mut capture = vec![Cf32::ZERO; sig.len() + 9_000];

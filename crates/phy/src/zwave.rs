@@ -327,7 +327,10 @@ mod tests {
     }
 
     fn phy_at(rate: ZwaveRate) -> ZwavePhy {
-        ZwavePhy::new(ZwaveParams { rate, ..Default::default() })
+        ZwavePhy::new(ZwaveParams {
+            rate,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -358,7 +361,10 @@ mod tests {
         let r1 = phy_at(ZwaveRate::R1).modulate(&[1, 2, 3], FS);
         let r2 = phy_at(ZwaveRate::R2).modulate(&[1, 2, 3], FS);
         let ratio = r1.len() as f64 / r2.len() as f64;
-        assert!((ratio - 40_000.0 / 19_200.0 * 2.0).abs() < 0.2, "ratio {ratio}");
+        assert!(
+            (ratio - 40_000.0 / 19_200.0 * 2.0).abs() < 0.2,
+            "ratio {ratio}"
+        );
     }
 
     #[test]
@@ -373,7 +379,10 @@ mod tests {
 
     #[test]
     fn roundtrip_embedded_at_offset() {
-        let p = ZwavePhy::new(ZwaveParams { center_offset_hz: -250_000.0, ..Default::default() });
+        let p = ZwavePhy::new(ZwaveParams {
+            center_offset_hz: -250_000.0,
+            ..Default::default()
+        });
         let payload = vec![1, 2, 3, 4, 5, 6, 7, 8];
         let sig = p.modulate(&payload, FS);
         let mut capture = vec![Cf32::ZERO; sig.len() + 20_000];
@@ -443,10 +452,7 @@ mod tests {
         let r2 = phy_at(ZwaveRate::R2);
         let r3 = phy_at(ZwaveRate::R3);
         match (r2.kill_recipe(FS), r3.kill_recipe(FS)) {
-            (
-                crate::common::KillRecipe::Frequency(a),
-                crate::common::KillRecipe::Frequency(b),
-            ) => {
+            (crate::common::KillRecipe::Frequency(a), crate::common::KillRecipe::Frequency(b)) => {
                 assert!((a[1].lo - b[1].lo).abs() > 1_000.0);
             }
             _ => panic!("expected frequency recipes"),

@@ -21,7 +21,10 @@ fn main() {
 
     // Two seconds of "wake up and transmit" Poisson traffic from the
     // three technologies.
-    let params = TrafficParams { rate_hz: 2.5, ..Default::default() };
+    let params = TrafficParams {
+        rate_hz: 2.5,
+        ..Default::default()
+    };
     let events = generate(&registry, &params, 2.0, FS, &mut rng);
     let noise = snr_to_noise_power(15.0, 0.0);
     let capture = compose(&events, 2_000_000, FS, noise, &mut rng);
@@ -47,7 +50,11 @@ fn main() {
             f.frame.tech.to_string(),
             f.frame.start,
             f.frame.payload.len(),
-            if f.via_kill { "  (via kill filter)" } else { "" },
+            if f.via_kill {
+                "  (via kill filter)"
+            } else {
+                ""
+            },
         );
     }
 

@@ -32,8 +32,7 @@ fn main() {
             let ev = TxEvent::new(lora.clone(), vec![0xA5; 8], 60_000);
             let noise = snr_to_noise_power(snr, 0.0);
             let cap = compose(&[ev], 400_000, FS, noise, &mut rng);
-            let truth: Vec<(usize, usize)> =
-                cap.truth.iter().map(|t| (t.start, t.len)).collect();
+            let truth: Vec<(usize, usize)> = cap.truth.iter().map(|t| (t.start, t.len)).collect();
             if score_detections(&energy.detect(&cap.samples, FS), &truth, 2_048)[0] {
                 e_hits += 1;
             }

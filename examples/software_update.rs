@@ -37,7 +37,10 @@ fn main() {
         report.frames.len(),
         before.registry().len(),
     );
-    assert!(report.frames.is_empty(), "unknown technology must not decode");
+    assert!(
+        report.frames.is_empty(),
+        "unknown technology must not decode"
+    );
 
     // "Software update": push the new PHY. Rebuilding `Galiot`
     // reconstructs the universal preamble — no gateway hardware change.

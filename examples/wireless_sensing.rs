@@ -64,9 +64,7 @@ fn main() {
         let mut residual = cap.samples.clone();
         for tech in [&xbee, &zwave] {
             if let Ok(frame) = tech.demodulate(&residual, FS) {
-                if let Some(rep) =
-                    cancel_frame(&mut residual, tech.as_ref(), &frame, FS, 64)
-                {
+                if let Some(rep) = cancel_frame(&mut residual, tech.as_ref(), &frame, FS, 64) {
                     frames += 1;
                     monitor.observe(ChannelObservation {
                         tech: frame.tech,

@@ -29,7 +29,12 @@ struct Args {
 }
 
 fn parse_flags(argv: &[String]) -> Args {
-    let mut args = Args { duration_s: 1.0, rate_hz: 2.0, snr_db: 15.0, seed: 1 };
+    let mut args = Args {
+        duration_s: 1.0,
+        rate_hz: 2.0,
+        snr_db: 15.0,
+        seed: 1,
+    };
     let mut i = 0;
     while i < argv.len() {
         let take = |i: usize| -> Option<&String> { argv.get(i + 1) };
@@ -70,14 +75,23 @@ fn parse_flags(argv: &[String]) -> Args {
 fn cmd_registry() {
     println!("technology     class  bitrate_bps  preamble");
     for (id, class, bitrate, preamble) in summarize(&Registry::all()) {
-        println!("{:<14} {:<6} {:>11.0}  {}", id.to_string(), class.to_string(), bitrate, preamble);
+        println!(
+            "{:<14} {:<6} {:>11.0}  {}",
+            id.to_string(),
+            class.to_string(),
+            bitrate,
+            preamble
+        );
     }
 }
 
 fn cmd_simulate(a: Args) {
     let mut rng = StdRng::seed_from_u64(a.seed);
     let registry = Registry::prototype();
-    let params = TrafficParams { rate_hz: a.rate_hz, ..Default::default() };
+    let params = TrafficParams {
+        rate_hz: a.rate_hz,
+        ..Default::default()
+    };
     let events = generate(&registry, &params, a.duration_s, FS, &mut rng);
     let np = snr_to_noise_power(a.snr_db, 0.0);
     let total = (a.duration_s * FS) as usize;
@@ -124,7 +138,11 @@ fn cmd_collide(a: Args) {
     let np = snr_to_noise_power(a.snr_db, 0.0);
     let total = registry.max_frame_samples_for(FS, 10) + 60_000;
     let cap = compose(&events, total, FS, np, &mut rng);
-    eprintln!("collision of {} technologies at {} dB SNR", cap.truth.len(), a.snr_db);
+    eprintln!(
+        "collision of {} technologies at {} dB SNR",
+        cap.truth.len(),
+        a.snr_db
+    );
 
     let sic = sic_decode(&cap.samples, FS, &registry, &SicParams::default());
     println!("strict SIC recovered {} frame(s)", sic.frames.len());
@@ -132,7 +150,11 @@ fn cmd_collide(a: Args) {
         println!("  {}: {} bytes", f.tech, f.payload.len());
     }
     let gal = CloudDecoder::new(registry).decode(&cap.samples, FS);
-    println!("GalioT recovered {} frame(s), {} kill(s)", gal.frames.len(), gal.kills);
+    println!(
+        "GalioT recovered {} frame(s), {} kill(s)",
+        gal.frames.len(),
+        gal.kills
+    );
     for (f, how) in &gal.frames {
         let how = match how {
             Recovery::Direct => "direct".to_string(),

@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: the full GalioT system driven
 //! through the public facade, from simulated air to decoded payloads.
 
-use galiot::channel::{compose, forced_collision, generate, snr_to_noise_power, TrafficParams, TxEvent};
+use galiot::channel::{
+    compose, forced_collision, generate, snr_to_noise_power, TrafficParams, TxEvent,
+};
 use galiot::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -19,7 +21,13 @@ fn every_prototype_technology_roundtrips_through_the_pipeline() {
         let np = snr_to_noise_power(12.0, 0.0);
         let cap = compose(&[ev], 500_000, FS, np, &mut rng);
         let report = system.process_capture(&cap.samples);
-        assert_eq!(report.frames.len(), 1, "{}: {:?}", tech.id(), report.metrics);
+        assert_eq!(
+            report.frames.len(),
+            1,
+            "{}: {:?}",
+            tech.id(),
+            report.metrics
+        );
         assert_eq!(report.frames[0].frame.tech, tech.id());
         assert_eq!(report.frames[0].frame.payload, payload);
     }
@@ -53,7 +61,10 @@ fn full_overlap_collision_is_resolved_end_to_end() {
 fn poisson_traffic_mostly_recovered_at_comfortable_snr() {
     let mut rng = StdRng::seed_from_u64(8);
     let registry = Registry::prototype();
-    let params = TrafficParams { rate_hz: 1.5, ..Default::default() };
+    let params = TrafficParams {
+        rate_hz: 1.5,
+        ..Default::default()
+    };
     let events = generate(&registry, &params, 1.0, FS, &mut rng);
     let np = snr_to_noise_power(15.0, 0.0);
     let cap = compose(&events, 1_000_000, FS, np, &mut rng);
@@ -103,8 +114,8 @@ fn batch_and_streaming_agree_on_the_same_capture() {
     let np = snr_to_noise_power(15.0, 0.0);
     let cap = compose(&events, 1_000_000, FS, np, &mut rng);
 
-    let batch = Galiot::new(GaliotConfig::prototype(), registry.clone())
-        .process_capture(&cap.samples);
+    let batch =
+        Galiot::new(GaliotConfig::prototype(), registry.clone()).process_capture(&cap.samples);
     let streaming = {
         let sys = StreamingGaliot::start(GaliotConfig::prototype(), registry);
         for chunk in cap.samples.chunks(65_536) {
@@ -117,8 +128,19 @@ fn batch_and_streaming_agree_on_the_same_capture() {
         v.sort();
         v
     };
-    let b = collect(batch.frames.iter().map(|f| (f.frame.tech, f.frame.payload.clone())).collect());
-    let s = collect(streaming.iter().map(|f| (f.frame.tech, f.frame.payload.clone())).collect());
+    let b = collect(
+        batch
+            .frames
+            .iter()
+            .map(|f| (f.frame.tech, f.frame.payload.clone()))
+            .collect(),
+    );
+    let s = collect(
+        streaming
+            .iter()
+            .map(|f| (f.frame.tech, f.frame.payload.clone()))
+            .collect(),
+    );
     assert_eq!(b, s, "batch and streaming recovered different frame sets");
     assert_eq!(b.len(), 2);
 }
@@ -145,14 +167,21 @@ fn compression_does_not_break_cloud_decoding() {
 
 #[test]
 fn detector_kinds_are_interchangeable_at_high_snr() {
-    for kind in [DetectorKind::Energy, DetectorKind::MatchedBank, DetectorKind::Universal] {
+    for kind in [
+        DetectorKind::Energy,
+        DetectorKind::MatchedBank,
+        DetectorKind::Universal,
+    ] {
         let mut rng = StdRng::seed_from_u64(11);
         let registry = Registry::prototype();
         let zwave = registry.get(TechId::ZWave).unwrap().clone();
         let ev = TxEvent::new(zwave, vec![5; 6], 80_000);
         let np = snr_to_noise_power(20.0, 0.0);
         let cap = compose(&[ev], 500_000, FS, np, &mut rng);
-        let config = GaliotConfig { detector: kind, ..GaliotConfig::prototype() };
+        let config = GaliotConfig {
+            detector: kind,
+            ..GaliotConfig::prototype()
+        };
         let report = Galiot::new(config, registry).process_capture(&cap.samples);
         assert_eq!(report.frames.len(), 1, "{kind:?}");
     }

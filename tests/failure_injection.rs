@@ -1,13 +1,18 @@
 //! Failure injection: hostile, malformed and degenerate inputs must
 //! produce errors (or empty results), never panics or wrong frames.
 
-use galiot::channel::{compose, TxEvent};
+use galiot::channel::{compose, snr_to_noise_power, TxEvent};
 use galiot::cloud::{cancel_frame, sic_decode, SicParams};
+use galiot::dsp::spectral::Band;
 use galiot::dsp::Cf32;
 use galiot::gateway::{compress, decompress, CompressedSegment, EnergyDetector, PacketDetector};
+use galiot::phy::common::KillRecipe;
+use galiot::phy::registry::TechHandle;
+use galiot::phy::{DecodedFrame, ModClass, PhyError};
 use galiot::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 const FS: f64 = 1_000_000.0;
 
@@ -15,7 +20,11 @@ const FS: f64 = 1_000_000.0;
 fn truncated_frames_error_cleanly_for_every_phy() {
     let reg = Registry::extended();
     for tech in reg.techs() {
-        let fs = if tech.id() == TechId::SigFox { 100_000.0 } else { FS };
+        let fs = if tech.id() == TechId::SigFox {
+            100_000.0
+        } else {
+            FS
+        };
         let sig = tech.modulate(&[1, 2, 3, 4, 5, 6], fs);
         // Cut at many points, including mid-preamble and mid-payload.
         for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
@@ -80,7 +89,10 @@ fn corrupted_compressed_segments_decompress_without_panic() {
     assert_eq!(out.len(), cap.samples.len());
 
     // Truncated code stream: missing bytes read as zero.
-    let short = CompressedSegment { data: c.data[..c.data.len() / 2].to_vec(), ..c.clone() };
+    let short = CompressedSegment {
+        data: c.data[..c.data.len() / 2].to_vec(),
+        ..c.clone()
+    };
     let out = decompress(&short);
     assert_eq!(out.len(), cap.samples.len());
 
@@ -111,7 +123,10 @@ fn cancellation_with_a_lying_frame_does_not_panic_or_amplify() {
     let before = galiot::dsp::power::mean_power(&residual);
     let _ = cancel_frame(&mut residual, xbee.as_ref(), &lie, FS, 64);
     let after = galiot::dsp::power::mean_power(&residual);
-    assert!(after <= before * 1.5, "cancellation amplified energy: {before} -> {after}");
+    assert!(
+        after <= before * 1.5,
+        "cancellation amplified energy: {before} -> {after}"
+    );
 }
 
 #[test]
@@ -133,12 +148,157 @@ fn sic_handles_captures_full_of_preamble_lookalikes() {
 fn zero_power_capture_is_quiet_everywhere() {
     let reg = Registry::prototype();
     let silence = vec![Cf32::ZERO; 200_000];
-    assert!(UniversalDetector::auto(&reg, FS).detect(&silence, FS).is_empty());
+    assert!(UniversalDetector::auto(&reg, FS)
+        .detect(&silence, FS)
+        .is_empty());
     let dec = CloudDecoder::new(reg.clone());
     assert!(dec.decode(&silence, FS).frames.is_empty());
     for tech in reg.techs() {
         assert!(tech.demodulate(&silence, FS).is_err(), "{}", tech.id());
     }
+}
+
+/// A sabotaged technology: looks exactly like the wrapped PHY on the
+/// air (same preamble, same modulator — so detection, classification
+/// and extraction all engage), but its demodulator panics. This is the
+/// "poisoned segment" of the worker-pool failure model: a decode that
+/// blows up *inside* a cloud worker.
+struct PanickingPhy(TechHandle);
+
+impl Technology for PanickingPhy {
+    fn id(&self) -> TechId {
+        self.0.id()
+    }
+    fn modulation(&self) -> ModClass {
+        self.0.modulation()
+    }
+    fn center_offset_hz(&self) -> f64 {
+        self.0.center_offset_hz()
+    }
+    fn occupied_band(&self) -> Band {
+        self.0.occupied_band()
+    }
+    fn bitrate(&self) -> f64 {
+        self.0.bitrate()
+    }
+    fn preamble_waveform(&self, fs: f64) -> Vec<Cf32> {
+        self.0.preamble_waveform(fs)
+    }
+    fn modulate(&self, payload: &[u8], fs: f64) -> Vec<Cf32> {
+        self.0.modulate(payload, fs)
+    }
+    fn demodulate(&self, _capture: &[Cf32], _fs: f64) -> Result<DecodedFrame, PhyError> {
+        panic!("injected demodulator fault");
+    }
+    fn max_frame_samples(&self, fs: f64) -> usize {
+        self.0.max_frame_samples(fs)
+    }
+    fn max_payload_len(&self) -> usize {
+        self.0.max_payload_len()
+    }
+    fn preamble_description(&self) -> &'static str {
+        self.0.preamble_description()
+    }
+    fn kill_recipe(&self, fs: f64) -> KillRecipe {
+        self.0.kill_recipe(fs)
+    }
+}
+
+#[test]
+fn poisoned_segment_does_not_take_down_the_worker_pool() {
+    // The cloud registry decodes with a PHY whose demodulator panics,
+    // so every shipped segment detonates inside a worker. The pool must
+    // contain each blast, count it, keep the remaining segments
+    // flowing, and still shut down cleanly.
+    let mut rng = StdRng::seed_from_u64(21);
+    let real = Registry::prototype();
+    let xbee = real.get(TechId::XBee).unwrap().clone();
+    let mut poisoned = Registry::new();
+    poisoned.push(Arc::new(PanickingPhy(xbee.clone())) as TechHandle);
+
+    let events: Vec<TxEvent> = (0..3)
+        .map(|i| {
+            TxEvent::new(
+                xbee.clone(),
+                vec![i as u8; 5],
+                60_000 + i as usize * 400_000,
+            )
+        })
+        .collect();
+    let np = snr_to_noise_power(18.0, 0.0);
+    let cap = compose(&events, 1_400_000, FS, np, &mut rng);
+
+    let mut config = GaliotConfig::prototype().with_cloud_workers(2);
+    config.edge_decoding = false; // force every segment through the pool
+    let sys = StreamingGaliot::start(config, poisoned);
+    let metrics = sys.metrics().clone();
+    for chunk in cap.samples.chunks(65_536) {
+        sys.push_chunk(chunk.to_vec());
+    }
+    let frames = sys.finish(); // must return, not hang or die
+    let m = metrics.snapshot();
+
+    assert!(
+        frames.is_empty(),
+        "poisoned decode produced frames: {frames:?}"
+    );
+    assert!(m.decode_poisoned >= 1, "no poison recorded: {m:?}");
+    assert_eq!(
+        m.per_worker_segments.values().sum::<usize>(),
+        m.shipped_segments,
+        "pool dropped segments after a panic: {m:?}"
+    );
+}
+
+#[test]
+fn nan_burst_between_packets_does_not_stop_the_stream() {
+    // Clean packet, then a burst of NaN/Inf garbage samples, then
+    // another clean packet: both packets must decode and the pipeline
+    // must terminate normally.
+    let mut rng = StdRng::seed_from_u64(22);
+    let reg = Registry::prototype();
+    let zwave = reg.get(TechId::ZWave).unwrap().clone();
+    let np = snr_to_noise_power(18.0, 0.0);
+    let first = compose(
+        &[TxEvent::new(zwave.clone(), vec![0x0F; 6], 60_000)],
+        400_000,
+        FS,
+        np,
+        &mut rng,
+    );
+    let second = compose(
+        &[TxEvent::new(zwave, vec![0xF0; 6], 60_000)],
+        400_000,
+        FS,
+        np,
+        &mut rng,
+    );
+    let burst: Vec<Cf32> = (0..50_000)
+        .map(|i| match i % 4 {
+            0 => Cf32::new(f32::NAN, 0.0),
+            1 => Cf32::new(0.0, f32::INFINITY),
+            2 => Cf32::new(1e30, -1e30),
+            _ => Cf32::new(f32::NEG_INFINITY, f32::NAN),
+        })
+        .collect();
+
+    // Quiet spans longer than a gateway flush window isolate the burst:
+    // the windows that digitize NaN (auto-gain smears NaN across its
+    // whole window, exactly as the batch front end would) detect
+    // nothing, and the stream must carry on into the clean windows.
+    let quiet = vec![Cf32::ZERO; 600_000];
+    let sys = StreamingGaliot::start(GaliotConfig::prototype().with_cloud_workers(2), reg);
+    for part in [&first.samples, &quiet, &burst, &quiet, &second.samples] {
+        for chunk in part.chunks(32_768) {
+            sys.push_chunk(chunk.to_vec());
+        }
+    }
+    let frames = sys.finish();
+    let payloads: Vec<&Vec<u8>> = frames.iter().map(|f| &f.frame.payload).collect();
+    assert!(
+        payloads.contains(&&vec![0x0F; 6]) && payloads.contains(&&vec![0xF0; 6]),
+        "packets around the NaN burst were lost: {payloads:?}"
+    );
 }
 
 #[test]

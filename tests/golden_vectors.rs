@@ -1,0 +1,193 @@
+//! Golden-vector tests for every PHY in [`Registry::extended`].
+//!
+//! Each technology modulates a fixed payload at the prototype capture
+//! rate; the waveform is quantized and hashed, and the hash must match
+//! the constant checked in under `tests/golden/phy_waveforms.txt`. Any
+//! change to a modulator — intentional or not — shows up as a hash
+//! mismatch here before it shows up as a mysterious end-to-end decode
+//! regression.
+//!
+//! To bless new vectors after an *intentional* modulator change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_vectors
+//! git diff tests/golden/phy_waveforms.txt   # review what moved!
+//! ```
+//!
+//! The quantization grid (1e-4) absorbs harmless last-bit float noise
+//! while still pinning the waveform to four decimal places per rail.
+
+use galiot::prelude::*;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+const FS: f64 = 1_000_000.0;
+/// Fixed golden payload, truncated to each PHY's maximum.
+const PAYLOAD: [u8; 12] = *b"GalioT\x00\x01\x7f\x80\xfe\xff";
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/phy_waveforms.txt")
+}
+
+/// FNV-1a (64-bit) over the quantized I/Q stream.
+fn waveform_fingerprint(samples: &[Cf32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: i32| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for z in samples {
+        // 1e-4 grid: immune to sub-ulp noise, sensitive to any real
+        // waveform change.
+        eat((z.re as f64 * 1e4).round() as i32);
+        eat((z.im as f64 * 1e4).round() as i32);
+    }
+    h
+}
+
+/// One technology's golden record.
+struct Golden {
+    name: String,
+    len: usize,
+    hash: u64,
+}
+
+fn current_goldens() -> Vec<Golden> {
+    Registry::extended()
+        .techs()
+        .iter()
+        .map(|tech| {
+            let n = PAYLOAD.len().min(tech.max_payload_len());
+            let wf = tech.modulate(&PAYLOAD[..n], FS);
+            Golden {
+                name: tech.id().to_string(),
+                len: wf.len(),
+                hash: waveform_fingerprint(&wf),
+            }
+        })
+        .collect()
+}
+
+fn render(goldens: &[Golden]) -> String {
+    let mut out = String::from(
+        "# Golden PHY waveform fingerprints — do not edit by hand.\n\
+         # Regenerate with: GOLDEN_BLESS=1 cargo test --test golden_vectors\n\
+         # Format: <tech name>\\t<waveform samples>\\t<fnv1a-64 of 1e-4-quantized I/Q>\n",
+    );
+    for g in goldens {
+        writeln!(out, "{}\t{}\t{:016x}", g.name, g.len, g.hash).unwrap();
+    }
+    out
+}
+
+fn parse(text: &str) -> Vec<Golden> {
+    text.lines()
+        .filter(|l| !l.starts_with('#') && !l.trim().is_empty())
+        .map(|l| {
+            let mut f = l.split('\t');
+            let name = f.next().expect("tech name").to_string();
+            let len = f.next().expect("length").parse().expect("length as usize");
+            let hash = u64::from_str_radix(f.next().expect("hash"), 16).expect("hex hash");
+            Golden { name, len, hash }
+        })
+        .collect()
+}
+
+#[test]
+fn waveforms_match_golden_fingerprints() {
+    let current = current_goldens();
+    let path = golden_path();
+
+    if std::env::var("GOLDEN_BLESS").is_ok_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, render(&current)).unwrap();
+        eprintln!(
+            "blessed {} golden vectors into {}",
+            current.len(),
+            path.display()
+        );
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "no golden file at {} ({e}); run GOLDEN_BLESS=1 cargo test --test golden_vectors",
+            path.display()
+        )
+    });
+    let expected = parse(&text);
+    assert_eq!(
+        expected.len(),
+        current.len(),
+        "golden file covers {} techs, registry has {} — re-bless after reviewing",
+        expected.len(),
+        current.len()
+    );
+    for (e, c) in expected.iter().zip(&current) {
+        assert_eq!(
+            e.name, c.name,
+            "registry order changed — re-bless after reviewing"
+        );
+        assert_eq!(
+            e.len, c.len,
+            "{}: waveform length changed ({} -> {})",
+            c.name, e.len, c.len
+        );
+        assert_eq!(
+            e.hash, c.hash,
+            "{}: waveform fingerprint changed ({:016x} -> {:016x}) — \
+             modulator output moved; if intentional, GOLDEN_BLESS=1 and review the diff",
+            c.name, e.hash, c.hash
+        );
+    }
+}
+
+/// The other half of the golden contract: every extended-registry PHY
+/// demodulates its own golden waveform back to the golden payload, with
+/// sync at the true frame start.
+#[test]
+fn golden_waveforms_demodulate_round_trip() {
+    for tech in Registry::extended().techs() {
+        let n = PAYLOAD.len().min(tech.max_payload_len());
+        let wf = tech.modulate(&PAYLOAD[..n], FS);
+        let frame = tech
+            .demodulate(&wf, FS)
+            .unwrap_or_else(|e| panic!("{}: clean round-trip failed: {e}", tech.id()));
+        assert_eq!(frame.tech, tech.id());
+        assert_eq!(
+            frame.payload,
+            &PAYLOAD[..n],
+            "{}: payload corrupted",
+            tech.id()
+        );
+        assert!(
+            frame.start < 128,
+            "{}: sync found at {} instead of the frame head",
+            tech.id(),
+            frame.start
+        );
+        assert!(
+            frame.len <= wf.len(),
+            "{}: frame len overruns capture",
+            tech.id()
+        );
+    }
+}
+
+/// Fingerprints must be payload-sensitive — a hash that doesn't change
+/// when the payload does would pin nothing.
+#[test]
+fn fingerprint_is_payload_sensitive() {
+    for tech in Registry::extended().techs() {
+        let n = PAYLOAD.len().min(tech.max_payload_len());
+        let a = waveform_fingerprint(&tech.modulate(&PAYLOAD[..n], FS));
+        let mut other = PAYLOAD[..n].to_vec();
+        other[0] ^= 0xFF;
+        let b = waveform_fingerprint(&tech.modulate(&other, FS));
+        assert_ne!(a, b, "{}: fingerprint blind to payload", tech.id());
+    }
+}

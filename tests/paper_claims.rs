@@ -13,7 +13,10 @@ fn claim_universal_beats_energy_below_minus_10_db() {
     // Paper: "Our universal preamble detects 50.89% more packets
     // compared to energy detection at SNRs below -10dB."
     let reg = Registry::prototype();
-    let cfg = DetectionConfig { trials: 10, ..Default::default() };
+    let cfg = DetectionConfig {
+        trials: 10,
+        ..Default::default()
+    };
     let counts = detection_bin(&reg, -20.0, -10.0, &cfg, FS, 91);
     assert!(
         counts.universal > counts.energy,
@@ -31,7 +34,10 @@ fn claim_energy_detection_collapses_below_0_db() {
     // Paper: "At SNR below 0dB, there is a sharp drop in detection all
     // the way from a total of 84% to 0.04%."
     let reg = Registry::prototype();
-    let cfg = DetectionConfig { trials: 10, ..Default::default() };
+    let cfg = DetectionConfig {
+        trials: 10,
+        ..Default::default()
+    };
     let above = detection_bin(&reg, 10.0, 20.0, &cfg, FS, 92);
     let below = detection_bin(&reg, -10.0, -0.1, &cfg, FS, 93);
     let (e_above, ..) = above.ratios();
@@ -45,7 +51,10 @@ fn claim_universal_tracks_the_optimal_detector() {
     // Paper: "universal preamble detection is as resilient to high
     // noise scenarios as the optimal scheme" (with a small drop).
     let reg = Registry::prototype();
-    let cfg = DetectionConfig { trials: 10, ..Default::default() };
+    let cfg = DetectionConfig {
+        trials: 10,
+        ..Default::default()
+    };
     let counts = detection_bin(&reg, -10.0, 0.0, &cfg, FS, 94);
     assert!(
         counts.universal * 10 >= counts.matched * 8,

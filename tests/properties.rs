@@ -6,14 +6,13 @@
 use galiot::dsp::corr::{ncc_real, xcorr_direct, xcorr_fft};
 use galiot::dsp::fft::Fft;
 use galiot::dsp::Cf32;
-use galiot::gateway::{compress, decompress};
+use galiot::gateway::{compress, decompress, CompressedSegment, ShippedSegment};
 use galiot::phy::bits::{
-    bits_to_bytes_lsb, bits_to_bytes_msb, bytes_to_bits_lsb, bytes_to_bits_msb,
-    manchester_decode, manchester_encode, Pn9,
+    bits_to_bytes_lsb, bits_to_bytes_msb, bytes_to_bits_lsb, bytes_to_bits_msb, manchester_decode,
+    manchester_encode, Pn9,
 };
 use galiot::phy::fec::{
-    deinterleave, gray_decode, gray_encode, hamming_decode, hamming_encode, interleave,
-    CodeRate,
+    deinterleave, gray_decode, gray_encode, hamming_decode, hamming_encode, interleave, CodeRate,
 };
 use galiot::prelude::*;
 use proptest::prelude::*;
@@ -133,6 +132,93 @@ proptest! {
             prop_assert!((a.re - b.re).abs() <= max_err * 1.5 + 1e-6,
                 "re err {} > {}", (a.re - b.re).abs(), max_err);
         }
+    }
+}
+
+proptest! {
+    // Backhaul wire-format invariants on arbitrary segments.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn shipped_segments_roundtrip_arbitrary_content(
+        res in proptest::collection::vec(-3.0f32..3.0, 0..600),
+        bits in 1u32..17,
+        block_exp in 0u32..9,
+        seq in any::<u64>(),
+        start in 0usize..1_000_000,
+    ) {
+        let block_len = 1usize << block_exp;
+        let sig: Vec<Cf32> = res.iter().map(|&r| Cf32::new(r, r * -0.3 + 0.1)).collect();
+        let shipped = ShippedSegment::pack(seq, start, &sig, bits, block_len);
+        prop_assert_eq!(shipped.seq, seq);
+        prop_assert_eq!(shipped.start, start);
+        let out = shipped.unpack();
+        prop_assert_eq!(out.len(), sig.len());
+        // Error bound of block floating point at `bits`.
+        let max_err = 3.0 / ((1u32 << bits) / 2).max(1) as f32 + 1e-6;
+        for (a, b) in out.iter().zip(&sig) {
+            prop_assert!((a.re - b.re).abs() <= max_err * 1.5);
+            prop_assert!((a.im - b.im).abs() <= max_err * 1.5);
+        }
+        // Wire accounting covers payload plus headers.
+        prop_assert!(shipped.wire_bytes() > shipped.compressed.data.len());
+    }
+
+    #[test]
+    fn corrupted_segments_decompress_to_the_declared_length(
+        res in proptest::collection::vec(-2.0f32..2.0, 1..400),
+        bits in 1u32..17,
+        flips in proptest::collection::vec(any::<u8>(), 1..16),
+        drop_tail in 0usize..64,
+    ) {
+        let sig: Vec<Cf32> = res.iter().map(|&r| Cf32::new(r, -r)).collect();
+        let mut c = compress(&sig, bits, 64);
+        // Corrupt the code stream: XOR bytes, then truncate.
+        for (i, f) in flips.iter().enumerate() {
+            if !c.data.is_empty() {
+                let at = (i * 31) % c.data.len();
+                c.data[at] ^= f;
+            }
+        }
+        let keep = c.data.len().saturating_sub(drop_tail);
+        c.data.truncate(keep);
+        // Decompression must neither panic nor change the sample count,
+        // no matter what the bytes say.
+        let out = decompress(&c);
+        prop_assert_eq!(out.len(), sig.len());
+    }
+
+    #[test]
+    fn hostile_scales_never_panic_decompression(
+        res in proptest::collection::vec(-1.0f32..1.0, 1..200),
+        scale_bits in any::<u32>(),
+    ) {
+        let sig: Vec<Cf32> = res.iter().map(|&r| Cf32::new(r, r * 0.5)).collect();
+        let mut c = compress(&sig, 6, 32);
+        // Reinterpreted garbage scales: NaN, Inf, denormals, negatives.
+        for s in &mut c.scales {
+            *s = f32::from_bits(scale_bits);
+        }
+        let out = decompress(&c);
+        prop_assert_eq!(out.len(), sig.len());
+    }
+
+    #[test]
+    fn empty_code_stream_reads_as_silence(
+        len in 1usize..300,
+        bits in 1u32..17,
+    ) {
+        // A segment whose data vanished in transit decodes to `len`
+        // zero-ish samples, not a panic.
+        let c = CompressedSegment {
+            bits,
+            scales: vec![1.0; len.div_ceil(32)],
+            block_len: 32,
+            data: Vec::new(),
+            len,
+        };
+        let out = decompress(&c);
+        prop_assert_eq!(out.len(), len);
     }
 }
 

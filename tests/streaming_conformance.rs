@@ -1,0 +1,229 @@
+//! Streaming ≡ batch conformance: the worker-pool streaming pipeline
+//! must recover exactly the frame set of the batch pipeline — same
+//! technologies, payloads and start offsets — for every worker count
+//! and regardless of how the capture is chunked on the way in.
+//!
+//! This is the contract that makes the cloud tier elastically scalable
+//! (the paper's Sec. 5 bet): adding workers may only change *when*
+//! frames are decoded, never *what* is decoded or in what order it is
+//! delivered.
+
+use galiot::channel::{compose, forced_collision, snr_to_noise_power, TxEvent};
+use galiot::core::PipelineFrame;
+use galiot::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FS: f64 = 1_000_000.0;
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+/// Adversarial chunkings: sample-at-a-time, a tiny prime, and a
+/// typical SDR USB transfer size.
+const CHUNK_SIZES: [usize; 3] = [1, 7, 4096];
+
+/// A frame reduced to its conformance identity.
+type FrameId = (TechId, Vec<u8>, usize);
+
+fn frame_ids(frames: &[PipelineFrame]) -> Vec<FrameId> {
+    frames
+        .iter()
+        .map(|f| (f.frame.tech, f.frame.payload.clone(), f.frame.start))
+        .collect()
+}
+
+fn run_batch(samples: &[Cf32], registry: &Registry) -> Vec<FrameId> {
+    let report = Galiot::new(GaliotConfig::prototype(), registry.clone()).process_capture(samples);
+    frame_ids(&report.frames)
+}
+
+fn run_streaming(
+    samples: &[Cf32],
+    registry: &Registry,
+    workers: usize,
+    chunk: usize,
+) -> Vec<FrameId> {
+    let sys = StreamingGaliot::start(
+        GaliotConfig::prototype().with_cloud_workers(workers),
+        registry.clone(),
+    );
+    for c in samples.chunks(chunk) {
+        sys.push_chunk(c.to_vec());
+    }
+    frame_ids(&sys.finish())
+}
+
+/// Asserts the full workers × chunk-sizes matrix agrees with batch on
+/// one capture, and that streaming delivery respects capture order.
+/// Timing tolerance when matching streamed frames to batch frames.
+///
+/// The streaming gateway digitizes per flush window while batch
+/// digitizes the whole capture, so auto-gain and 8-bit quantization
+/// differ in the last bit — enough to move a demodulator's sync
+/// estimate by a few samples (microseconds at 1 Msps) without changing
+/// what was decoded. Payloads and technologies must still match
+/// exactly, one to one.
+const START_TOLERANCE: usize = 16;
+
+/// 1:1-matches two frame sets: equal tech + payload, starts within
+/// [`START_TOLERANCE`]. Panics with a diff on any unmatched frame.
+fn assert_same_frames(streamed: &[FrameId], batch: &[FrameId], ctx: &str) {
+    assert_eq!(
+        streamed.len(),
+        batch.len(),
+        "{ctx}: frame count diverged\n streaming: {streamed:?}\n batch: {batch:?}"
+    );
+    let mut unmatched: Vec<&FrameId> = batch.iter().collect();
+    for f in streamed {
+        let pos = unmatched
+            .iter()
+            .position(|b| b.0 == f.0 && b.1 == f.1 && b.2.abs_diff(f.2) <= START_TOLERANCE);
+        match pos {
+            Some(i) => {
+                unmatched.remove(i);
+            }
+            None => panic!("{ctx}: streamed frame {f:?} has no batch counterpart in {unmatched:?}"),
+        }
+    }
+}
+
+fn assert_conformance(samples: &[Cf32], registry: &Registry, label: &str) {
+    let batch = run_batch(samples, registry);
+    assert!(
+        !batch.is_empty(),
+        "{label}: batch recovered nothing — scenario is vacuous"
+    );
+    for workers in WORKER_COUNTS {
+        for chunk in CHUNK_SIZES {
+            let streamed = run_streaming(samples, registry, workers, chunk);
+            // The ordering contract: streaming delivers in capture
+            // order for any worker count (batch lists a collision
+            // segment's frames in SIC power order instead).
+            let starts: Vec<usize> = streamed.iter().map(|(_, _, s)| *s).collect();
+            let mut sorted_starts = starts.clone();
+            sorted_starts.sort_unstable();
+            assert_eq!(
+                starts, sorted_starts,
+                "{label}: workers={workers} chunk={chunk}: frames out of capture order"
+            );
+            assert_same_frames(
+                &streamed,
+                &batch,
+                &format!("{label}: workers={workers} chunk={chunk}"),
+            );
+        }
+    }
+}
+
+/// Scenario 1: cross-technology collision with the power separation
+/// Algorithm 1's SIC needs — the paper's headline case.
+#[test]
+fn conformance_on_two_tech_power_separated_collision() {
+    let mut rng = StdRng::seed_from_u64(40);
+    let registry = Registry::prototype();
+    let events = forced_collision(&registry, 10, &[0.0, 1.0], 20_000, 50_000, &mut rng);
+    let np = snr_to_noise_power(25.0, 0.0);
+    let cap = compose(&events, 700_000, FS, np, &mut rng);
+    assert!(cap.has_collision());
+    assert_conformance(&cap.samples, &registry, "two-tech collision");
+}
+
+/// Scenario 2: a collision cluster *and* clean packets in one capture,
+/// exercising the edge/cloud split and the ordering across both paths.
+#[test]
+fn conformance_on_mixed_edge_and_cloud_traffic() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let registry = Registry::prototype();
+    let xbee = registry.get(TechId::XBee).unwrap().clone();
+    let zwave = registry.get(TechId::ZWave).unwrap().clone();
+    let lora = registry.get(TechId::LoRa).unwrap().clone();
+    let mut events = forced_collision(&registry, 8, &[0.0, 1.0], 15_000, 400_000, &mut rng);
+    events.insert(0, TxEvent::new(xbee, vec![0xA1; 6], 80_000));
+    events.push(TxEvent::new(zwave, vec![0xB2; 6], 900_000));
+    events.push(TxEvent::new(lora, vec![0xC3; 6], 1_250_000));
+    let np = snr_to_noise_power(20.0, 0.0);
+    let cap = compose(&events, 1_700_000, FS, np, &mut rng);
+    assert!(cap.has_collision());
+    assert_conformance(&cap.samples, &registry, "mixed edge/cloud traffic");
+}
+
+/// Scenario 3: two separate collision clusters far apart — multiple
+/// shipped segments in flight at once, so reassembly actually has to
+/// reorder across workers.
+#[test]
+fn conformance_on_repeated_collision_clusters() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let registry = Registry::prototype();
+    let mut events = forced_collision(&registry, 8, &[0.0, 1.0], 18_000, 60_000, &mut rng);
+    events.extend(forced_collision(
+        &registry,
+        8,
+        &[1.0, 0.0],
+        18_000,
+        900_000,
+        &mut rng,
+    ));
+    let np = snr_to_noise_power(25.0, 0.0);
+    let cap = compose(&events, 1_600_000, FS, np, &mut rng);
+    assert!(cap.has_collision());
+    assert_conformance(&cap.samples, &registry, "repeated collision clusters");
+}
+
+/// The pool's observability contract: per-worker decode counts and the
+/// queue high-water marks are populated when segments flow through the
+/// cloud tier.
+#[test]
+fn pool_metrics_are_observable() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let registry = Registry::prototype();
+    let zwave = registry.get(TechId::ZWave).unwrap().clone();
+    let xbee = registry.get(TechId::XBee).unwrap().clone();
+    let events: Vec<TxEvent> = (0..3)
+        .flat_map(|i| {
+            [
+                TxEvent::new(
+                    zwave.clone(),
+                    vec![0x10 + i; 6],
+                    80_000 + i as usize * 500_000,
+                ),
+                TxEvent::new(
+                    xbee.clone(),
+                    vec![0x20 + i; 6],
+                    300_000 + i as usize * 500_000,
+                ),
+            ]
+        })
+        .collect();
+    let np = snr_to_noise_power(18.0, 0.0);
+    let cap = compose(&events, 1_800_000, FS, np, &mut rng);
+
+    // Edge decoding off: every segment must cross the backhaul, so the
+    // pool counters have to move.
+    let mut config = GaliotConfig::prototype().with_cloud_workers(2);
+    config.edge_decoding = false;
+    let sys = StreamingGaliot::start(config, registry);
+    let metrics = sys.metrics().clone();
+    for c in cap.samples.chunks(4096) {
+        sys.push_chunk(c.to_vec());
+    }
+    let frames = sys.finish();
+    let m = metrics.snapshot();
+
+    assert!(
+        frames.len() >= 4,
+        "expected most packets decoded, got {}",
+        frames.len()
+    );
+    assert_eq!(m.cloud_workers, 2);
+    assert!(m.shipped_segments > 0, "{m:?}");
+    assert!(
+        m.seg_queue_hwm > 0,
+        "segment queue high-water mark never moved: {m:?}"
+    );
+    assert!(m.pool_decoded() > 0, "no per-worker decode counts: {m:?}");
+    assert!(
+        m.per_worker_segments.values().all(|&n| n > 0) || m.per_worker_segments.len() == 1,
+        "a worker sat idle on a multi-segment run: {:?}",
+        m.per_worker_segments
+    );
+    assert!(m.cloud_busy_ns > 0 && m.gateway_busy_ns > 0, "{m:?}");
+    assert_eq!(m.decode_poisoned, 0);
+}
