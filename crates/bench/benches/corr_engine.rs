@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the cached-plan correlation engine: the
+//! warm [`galiot_dsp::engine::Template`] path against the free
+//! functions it replaced, plus the raw plan-cache lookup cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use galiot_channel::{compose, snr_to_noise_power, TxEvent};
+use galiot_dsp::engine::{self, Template};
+use galiot_dsp::fft::{next_pow2, Fft};
+use galiot_dsp::Cf32;
+use galiot_phy::registry::Registry;
+use galiot_phy::TechId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FS: f64 = 1_000_000.0;
+
+fn capture() -> Vec<Cf32> {
+    let mut rng = StdRng::seed_from_u64(7);
+    let reg = Registry::prototype();
+    let xbee = reg.get(TechId::XBee).unwrap().clone();
+    let ev = TxEvent::new(xbee, vec![0x42; 10], 100_000);
+    let np = snr_to_noise_power(5.0, 0.0);
+    compose(&[ev], 500_000, FS, np, &mut rng).samples
+}
+
+/// The pre-engine one-shot correlation: plan a capture-sized FFT on
+/// every call and transform the full signal and template at that size.
+fn legacy_xcorr_fft(x: &[Cf32], h: &[Cf32]) -> Vec<Cf32> {
+    if h.is_empty() || x.len() < h.len() {
+        return Vec::new();
+    }
+    let n = next_pow2(x.len() + h.len());
+    let plan = Fft::new(n);
+    let mut fx = vec![Cf32::ZERO; n];
+    fx[..x.len()].copy_from_slice(x);
+    let mut fh = vec![Cf32::ZERO; n];
+    fh[..h.len()].copy_from_slice(h);
+    plan.forward(&mut fx);
+    plan.forward(&mut fh);
+    for (a, b) in fx.iter_mut().zip(&fh) {
+        *a *= b.conj();
+    }
+    plan.inverse(&mut fx);
+    fx.truncate(x.len() - h.len() + 1);
+    fx
+}
+
+fn bench_corr_engine(c: &mut Criterion) {
+    let cap = capture();
+    let reg = Registry::prototype();
+    let preamble = reg.get(TechId::XBee).unwrap().preamble_waveform(FS);
+    let template = Template::new(&preamble);
+
+    let mut g = c.benchmark_group("corr_500k_samples");
+    g.sample_size(10);
+    g.bench_function("engine_template_ncc", |b| {
+        b.iter(|| template.xcorr_normalized(&cap))
+    });
+    g.bench_function("engine_one_shot", |b| {
+        b.iter(|| engine::xcorr_cached(&cap, &preamble))
+    });
+    g.bench_function("legacy_full_size_fft", |b| {
+        b.iter(|| legacy_xcorr_fft(&cap, &preamble))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("plan_acquisition");
+    g.bench_function("cached_plan_4096", |b| b.iter(|| engine::plan(4096)));
+    g.bench_function("fresh_plan_4096", |b| b.iter(|| Fft::new(4096)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_corr_engine);
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! Detector throughput: the matched-filter bank + universal preamble
+//! hot path, before and after the cached-plan correlation engine.
+//!
+//! The baseline reimplements the pre-engine behavior faithfully: every
+//! `detect` call re-synthesizes each technology's preamble waveform and
+//! every FFT correlation plans a fresh capture-sized transform. The
+//! engine path is the current code: one template bank per
+//! `(registry, fs)`, process-wide plan cache, overlap-save correlation
+//! on template-sized blocks.
+//!
+//! Writes `BENCH_pr2.json` (both throughput numbers and the speedup)
+//! and prints a TSV summary. Usage: `detector_throughput [iters] [seed]`.
+
+use std::time::Instant;
+
+use galiot_bench::{parse_args, tsv_row};
+use galiot_channel::{compose, snr_to_noise_power, TxEvent};
+use galiot_dsp::corr::find_peaks;
+use galiot_dsp::engine;
+use galiot_dsp::fft::{next_pow2, Fft};
+use galiot_dsp::Cf32;
+use galiot_gateway::detect::ncc_noise_threshold;
+use galiot_gateway::{MatchedFilterBank, PacketDetector, UniversalDetector};
+use galiot_phy::registry::Registry;
+use galiot_phy::TechId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FS: f64 = 1_000_000.0;
+const CAPTURE_LEN: usize = 500_000;
+
+/// Pre-engine FFT correlation: plan a fresh capture-sized FFT per call.
+fn legacy_xcorr_fft(x: &[Cf32], h: &[Cf32]) -> Vec<Cf32> {
+    if h.is_empty() || x.len() < h.len() {
+        return Vec::new();
+    }
+    let n = next_pow2(x.len() + h.len());
+    let plan = Fft::new(n);
+    let mut fx = vec![Cf32::ZERO; n];
+    fx[..x.len()].copy_from_slice(x);
+    let mut fh = vec![Cf32::ZERO; n];
+    fh[..h.len()].copy_from_slice(h);
+    plan.forward(&mut fx);
+    plan.forward(&mut fh);
+    for (a, b) in fx.iter_mut().zip(&fh) {
+        *a *= b.conj();
+    }
+    plan.inverse(&mut fx);
+    fx.truncate(x.len() - h.len() + 1);
+    fx
+}
+
+/// Pre-engine normalized correlation on top of [`legacy_xcorr_fft`].
+fn legacy_xcorr_normalized(x: &[Cf32], h: &[Cf32]) -> Vec<f32> {
+    if h.is_empty() || x.len() < h.len() {
+        return Vec::new();
+    }
+    let raw = legacy_xcorr_fft(x, h);
+    let h_energy: f32 = h.iter().map(|z| z.norm_sqr()).sum();
+    let mut prefix = Vec::with_capacity(x.len() + 1);
+    prefix.push(0.0f64);
+    let mut acc = 0.0f64;
+    for z in x {
+        acc += z.norm_sqr() as f64;
+        prefix.push(acc);
+    }
+    let m = h.len();
+    let max_win = (0..raw.len())
+        .map(|i| prefix[i + m] - prefix[i])
+        .fold(0.0f64, f64::max);
+    let floor = (max_win * 1e-9).max(1e-30);
+    raw.iter()
+        .enumerate()
+        .map(|(i, r)| {
+            let win = prefix[i + m] - prefix[i];
+            if win <= floor {
+                0.0
+            } else {
+                (r.abs() / (win * h_energy as f64).sqrt() as f32).min(1.0)
+            }
+        })
+        .collect()
+}
+
+/// Pre-engine matched bank: re-synthesize every preamble per call.
+fn legacy_matched_detect(reg: &Registry, capture: &[Cf32], auto_factor: f32) -> usize {
+    let mut n = 0usize;
+    for tech in reg.techs() {
+        let template = tech.preamble_waveform(FS);
+        if template.len() > capture.len() {
+            continue;
+        }
+        let ncc = legacy_xcorr_normalized(capture, &template);
+        let threshold = ncc_noise_threshold(capture.len(), template.len(), auto_factor);
+        n += find_peaks(&ncc, threshold, (template.len() / 2).max(512)).len();
+    }
+    n
+}
+
+/// Pre-engine universal detection: the summed template was built once
+/// (as today) but every call correlated with a fresh capture-sized FFT.
+fn legacy_universal_detect(template: &[Cf32], capture: &[Cf32], auto_factor: f32) -> usize {
+    if template.len() > capture.len() {
+        return 0;
+    }
+    let threshold = ncc_noise_threshold(capture.len(), template.len(), auto_factor);
+    let ncc = legacy_xcorr_normalized(capture, template);
+    find_peaks(&ncc, threshold, (template.len() / 2).max(512)).len()
+}
+
+fn capture(seed: u64) -> Vec<Cf32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reg = Registry::prototype();
+    let xbee = reg.get(TechId::XBee).unwrap().clone();
+    let lora = reg.get(TechId::LoRa).unwrap().clone();
+    let events = vec![
+        TxEvent::new(xbee, vec![0x42; 10], 80_000),
+        TxEvent::new(lora, vec![0x17; 6], 280_000),
+    ];
+    let np = snr_to_noise_power(5.0, 0.0);
+    compose(&events, CAPTURE_LEN, FS, np, &mut rng).samples
+}
+
+fn main() {
+    let (iters, seed) = parse_args(10, 7);
+    let cap = capture(seed);
+    let reg = Registry::prototype();
+
+    // --- Baseline: the pre-engine path. ---
+    let universal_template = galiot_gateway::build_universal_preamble(&reg, FS, 0.6).template;
+    let mut sink = 0usize;
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        sink += legacy_matched_detect(&reg, &cap, 1.4);
+        sink += legacy_universal_detect(&universal_template, &cap, 1.4);
+    }
+    let baseline_s = t0.elapsed().as_secs_f64();
+
+    // --- Engine path: the shipped detectors. ---
+    let matched = MatchedFilterBank::new(reg.clone(), 0.0);
+    let universal = UniversalDetector::auto(&reg, FS);
+    // Warm the caches so steady-state throughput is measured (one
+    // detect pass builds the bank and every plan).
+    sink += matched.detect(&cap, FS).len();
+    sink += universal.detect(&cap, FS).len();
+    let before = engine::stats();
+    let t1 = Instant::now();
+    for _ in 0..iters {
+        sink += matched.detect(&cap, FS).len();
+        sink += universal.detect(&cap, FS).len();
+    }
+    let engine_s = t1.elapsed().as_secs_f64();
+    let stats = engine::stats().since(&before);
+
+    let samples = (iters * 2 * CAPTURE_LEN) as f64;
+    let baseline_msps = samples / baseline_s / 1e6;
+    let engine_msps = samples / engine_s / 1e6;
+    let speedup = engine_msps / baseline_msps;
+    let hit_rate = stats.plan_hits as f64 / (stats.plan_hits + stats.plan_misses).max(1) as f64;
+
+    println!("# Detector throughput, matched bank + universal path ({iters} iters, seed {seed})");
+    tsv_row(&["path", "msamples_per_s", "speedup"]);
+    tsv_row(&[
+        "baseline_replan".to_string(),
+        format!("{baseline_msps:.2}"),
+        "1.00".into(),
+    ]);
+    tsv_row(&[
+        "cached_engine".to_string(),
+        format!("{engine_msps:.2}"),
+        format!("{speedup:.2}"),
+    ]);
+    println!(
+        "# steady-state plan-cache hit rate: {hit_rate:.4} ({} hits / {} misses)",
+        stats.plan_hits, stats.plan_misses
+    );
+    println!("# detections accumulated (anti-DCE): {sink}");
+
+    let json = format!(
+        "{{\n  \"bench\": \"detector_throughput\",\n  \"capture_len\": {CAPTURE_LEN},\n  \
+         \"iters\": {iters},\n  \"seed\": {seed},\n  \
+         \"baseline_msamples_per_s\": {baseline_msps:.3},\n  \
+         \"engine_msamples_per_s\": {engine_msps:.3},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"plan_cache_hits\": {},\n  \"plan_cache_misses\": {},\n  \
+         \"plan_cache_hit_rate\": {hit_rate:.4}\n}}\n",
+        stats.plan_hits, stats.plan_misses
+    );
+    std::fs::write("BENCH_pr2.json", json).expect("write BENCH_pr2.json");
+    eprintln!("wrote BENCH_pr2.json (speedup {speedup:.2}x)");
+}

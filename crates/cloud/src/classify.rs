@@ -6,8 +6,6 @@
 //! against each technology's own preamble and estimating per-signal
 //! received power from the matched-filter response.
 
-use galiot_dsp::corr::{xcorr_fft, xcorr_normalized};
-use galiot_dsp::power::energy;
 use galiot_dsp::Cf32;
 use galiot_phy::registry::Registry;
 use galiot_phy::TechId;
@@ -39,12 +37,15 @@ impl Classified {
 /// order of Algorithm 1 ("dependent only on the power of the signal").
 pub fn classify(segment: &[Cf32], fs: f64, registry: &Registry, threshold: f32) -> Vec<Classified> {
     let mut found = Vec::new();
-    for tech in registry.techs() {
-        let template = tech.preamble_waveform(fs);
+    // One template bank per (registry, fs): preamble waveforms and
+    // their forward FFTs are synthesized once, not per classify call.
+    let bank = registry.template_bank(fs);
+    for (i, tech) in registry.techs().iter().enumerate() {
+        let template = bank.template(i);
         if template.len() > segment.len() || template.is_empty() {
             continue;
         }
-        let ncc = xcorr_normalized(segment, &template);
+        let ncc = template.xcorr_normalized(segment);
         let Some((start, score)) = ncc
             .iter()
             .enumerate()
@@ -57,17 +58,18 @@ pub fn classify(segment: &[Cf32], fs: f64, registry: &Registry, threshold: f32) 
             continue;
         }
         // Amplitude from the raw matched-filter output at the peak:
-        // corr = a * E_template for a scaled template copy.
-        let raw = xcorr_fft(
-            &segment[start..(start + template.len()).min(segment.len())],
-            &template,
-        );
-        let e = energy(&template);
-        let amplitude = if e > 0.0 && !raw.is_empty() {
-            raw[0].abs() / e
-        } else {
-            0.0
-        };
+        // corr = a * E_template for a scaled template copy. A direct
+        // dot product at the known lag beats an FFT correlation whose
+        // only used output is lag zero.
+        let h = template.waveform();
+        let end = (start + h.len()).min(segment.len());
+        let dot: Cf32 = segment[start..end]
+            .iter()
+            .zip(h)
+            .map(|(x, t)| *x * t.conj())
+            .fold(Cf32::ZERO, |acc, z| acc + z);
+        let e = template.energy();
+        let amplitude = if e > 0.0 { dot.abs() / e } else { 0.0 };
         found.push(Classified {
             tech: tech.id(),
             start,

@@ -103,7 +103,7 @@ pub fn kill_css(
     };
     let down = galiot_dsp::chirp::downchirp(bw, sps, fs);
     let up = galiot_dsp::chirp::upchirp(bw, sps, fs);
-    let plan = Fft::new(sps.next_power_of_two());
+    let plan = galiot_dsp::engine::plan(sps.next_power_of_two());
 
     let lo = span.start.min(base.len());
     let hi = span.end.min(base.len());

@@ -28,6 +28,12 @@ pub struct GaliotConfig {
     pub detect_threshold: f32,
     /// Whether the edge tries to decode before shipping to the cloud.
     pub edge_decoding: bool,
+    /// The edge decoder's collision cluster guard in seconds:
+    /// preamble-correlation peaks closer than this count as one
+    /// packet. Expressed in time so shipping decisions do not change
+    /// with the capture rate (2.048 ms ≡ the historical 2,048-sample
+    /// guard at the prototype's 1 Msps).
+    pub edge_cluster_guard_s: f64,
     /// Largest payload (bytes) the deployment expects — sizes the
     /// shipped window ("twice the maximum packet length", Sec. 4)
     /// without assuming worst-case 255-byte LoRa frames.
@@ -66,6 +72,7 @@ impl Default for GaliotConfig {
             // detectors; energy detection falls back to 6 dB.
             detect_threshold: 0.0,
             edge_decoding: true,
+            edge_cluster_guard_s: galiot_gateway::DEFAULT_CLUSTER_GUARD_S,
             max_expected_payload: 32,
             compression_bits: 8,
             backhaul_bps: 20e6,

@@ -48,6 +48,16 @@ pub struct Metrics {
     /// Segments whose decode panicked inside a worker (the pool
     /// survives these; see the failure-injection tests).
     pub decode_poisoned: usize,
+    /// FFT plan-cache hits in the DSP engine over the run (process-wide
+    /// counters sampled before/after, so concurrent runs can bleed into
+    /// each other's numbers; treat as indicative, not exact).
+    pub plan_cache_hits: u64,
+    /// FFT plan-cache misses (plans actually constructed) over the run.
+    pub plan_cache_misses: u64,
+    /// Preamble template banks synthesized over the run.
+    pub template_bank_builds: u64,
+    /// Template-bank cache hits over the run.
+    pub template_bank_hits: u64,
 }
 
 impl Metrics {
@@ -119,6 +129,27 @@ impl Metrics {
         self.gateway_busy_ns += other.gateway_busy_ns;
         self.cloud_busy_ns += other.cloud_busy_ns;
         self.decode_poisoned += other.decode_poisoned;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
+        self.template_bank_builds += other.template_bank_builds;
+        self.template_bank_hits += other.template_bank_hits;
+    }
+
+    /// Fraction of FFT plan lookups served from the cache, or `None`
+    /// when no lookups were recorded.
+    pub fn plan_cache_hit_rate(&self) -> Option<f64> {
+        let total = self.plan_cache_hits + self.plan_cache_misses;
+        (total > 0).then(|| self.plan_cache_hits as f64 / total as f64)
+    }
+
+    /// Copies the DSP engine counter deltas since `before` into this
+    /// block (see [`galiot_dsp::engine::stats`]).
+    pub fn record_engine_stats(&mut self, before: &galiot_dsp::engine::EngineStats) {
+        let d = galiot_dsp::engine::stats().since(before);
+        self.plan_cache_hits += d.plan_hits;
+        self.plan_cache_misses += d.plan_misses;
+        self.template_bank_builds += d.bank_builds;
+        self.template_bank_hits += d.bank_hits;
     }
 
     /// Frames decoded across the worker pool, pre-deduplication — can
@@ -195,6 +226,22 @@ mod tests {
             ..Default::default()
         };
         assert!((m.shipped_fraction(8) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_cache_hit_rate_math() {
+        assert_eq!(Metrics::default().plan_cache_hit_rate(), None);
+        let m = Metrics {
+            plan_cache_hits: 3,
+            plan_cache_misses: 1,
+            ..Default::default()
+        };
+        assert_eq!(m.plan_cache_hit_rate(), Some(0.75));
+        let mut sum = Metrics::default();
+        sum.merge(&m);
+        sum.merge(&m);
+        assert_eq!(sum.plan_cache_hits, 6);
+        assert_eq!(sum.plan_cache_misses, 2);
     }
 
     #[test]

@@ -74,7 +74,8 @@ impl Galiot {
         Galiot {
             front_end: RtlSdrFrontEnd::new(config.front_end),
             detector,
-            edge: EdgeDecoder::new(registry.clone()),
+            edge: EdgeDecoder::new(registry.clone())
+                .with_cluster_guard_s(config.edge_cluster_guard_s),
             cloud: CloudDecoder::with_params(registry.clone(), config.cloud),
             registry,
             config,
@@ -100,6 +101,7 @@ impl Galiot {
     /// Processes one analog capture end to end.
     pub fn process_capture(&self, analog: &[Cf32]) -> RunReport {
         let fs = self.config.fs;
+        let engine_before = galiot_dsp::engine::stats();
         let mut metrics = Metrics {
             samples_processed: analog.len() as u64,
             ..Metrics::default()
@@ -172,6 +174,7 @@ impl Galiot {
                 });
             }
         }
+        metrics.record_engine_stats(&engine_before);
         RunReport {
             frames,
             metrics,
@@ -208,6 +211,14 @@ mod tests {
         assert_eq!(report.frames[0].frame.payload, vec![1, 2, 3, 4]);
         // Nothing shipped: the edge handled it.
         assert_eq!(report.metrics.shipped_segments, 0);
+        // The DSP engine counters are folded into the metrics: the run
+        // must have exercised the FFT plan cache.
+        let m = &report.metrics;
+        assert!(
+            m.plan_cache_hits + m.plan_cache_misses > 0,
+            "no plan lookups recorded: {m:?}"
+        );
+        assert!(m.plan_cache_hit_rate().is_some());
     }
 
     #[test]

@@ -86,6 +86,9 @@ pub struct StreamingGaliot {
     workers: Vec<thread::JoinHandle<()>>,
     reassembly: Option<thread::JoinHandle<()>>,
     metrics: SharedMetrics,
+    /// DSP engine counters sampled at start; the delta is folded into
+    /// the metrics when the pipeline joins.
+    engine_before: Option<galiot_dsp::engine::EngineStats>,
 }
 
 impl StreamingGaliot {
@@ -94,6 +97,7 @@ impl StreamingGaliot {
     pub fn start(config: GaliotConfig, registry: Registry) -> Self {
         let fs = config.fs;
         let n_workers = config.effective_cloud_workers();
+        let engine_before = galiot_dsp::engine::stats();
         let metrics = SharedMetrics::new();
         metrics.with(|m| m.cloud_workers = n_workers);
 
@@ -143,6 +147,7 @@ impl StreamingGaliot {
             workers,
             reassembly: Some(reassembly),
             metrics,
+            engine_before: Some(engine_before),
         }
     }
 
@@ -174,6 +179,9 @@ impl StreamingGaliot {
         }
         if let Some(r) = self.reassembly.take() {
             let _ = r.join();
+        }
+        if let Some(before) = self.engine_before.take() {
+            self.metrics.with(|m| m.record_engine_stats(&before));
         }
     }
 
@@ -214,9 +222,9 @@ fn spawn_gateway(
                 .max_frame_samples_for(fs, config.max_expected_payload)
                 .max(1);
             let params = ExtractParams::paper(window);
-            let edge = config
-                .edge_decoding
-                .then(|| EdgeDecoder::new(registry.clone()));
+            let edge = config.edge_decoding.then(|| {
+                EdgeDecoder::new(registry.clone()).with_cluster_guard_s(config.edge_cluster_guard_s)
+            });
             let uplink_bps = config.emulate_backhaul.then_some(config.backhaul_bps);
 
             // A segment is "settled" once the buffer extends at least

@@ -7,7 +7,6 @@
 //! (for the streaming detectors) are provided, along with normalized
 //! correlation and peak picking.
 
-use crate::fft::{next_pow2, Fft};
 use crate::num::Cf32;
 
 /// Sliding cross-correlation, direct form.
@@ -31,34 +30,19 @@ pub fn xcorr_direct(x: &[Cf32], h: &[Cf32]) -> Vec<Cf32> {
     out
 }
 
-/// Sliding cross-correlation via FFT (circular correlation on a
-/// zero-padded block), identical output to [`xcorr_direct`].
+/// Sliding cross-correlation via FFT, identical output to
+/// [`xcorr_direct`] (to floating-point tolerance).
 ///
-/// Cost is `O((N+M) log(N+M))` instead of `O(N M)`; the detectors use
-/// this form on every capture block.
+/// Cost is `O((N+M) log M)` instead of `O(N M)`; the detectors use
+/// this form on every capture block. Since the correlation-engine
+/// rewrite this delegates to [`crate::engine::xcorr_cached`]: FFT
+/// plans come from the process-wide cache and long signals run
+/// overlap-save on a template-sized block, so no call re-plans
+/// twiddles or transforms at capture size. Hold a
+/// [`crate::engine::Template`] instead when correlating the same
+/// template repeatedly — that also memoizes the template's spectrum.
 pub fn xcorr_fft(x: &[Cf32], h: &[Cf32]) -> Vec<Cf32> {
-    if h.is_empty() || x.len() < h.len() {
-        return Vec::new();
-    }
-    let out_len = x.len() - h.len() + 1;
-    let n = next_pow2(x.len() + h.len());
-    let plan = Fft::new(n);
-
-    let mut fx = vec![Cf32::ZERO; n];
-    fx[..x.len()].copy_from_slice(x);
-    plan.forward(&mut fx);
-
-    let mut fh = vec![Cf32::ZERO; n];
-    fh[..h.len()].copy_from_slice(h);
-    plan.forward(&mut fh);
-
-    // Correlation theorem: corr(x, h) = IFFT(FFT(x) * conj(FFT(h))).
-    for (a, b) in fx.iter_mut().zip(fh.iter()) {
-        *a *= b.conj();
-    }
-    plan.inverse(&mut fx);
-    fx.truncate(out_len);
-    fx
+    crate::engine::xcorr_cached(x, h)
 }
 
 /// Normalized sliding cross-correlation magnitude in `[0, 1]`.
@@ -110,14 +94,17 @@ pub struct Peak {
 /// Finds local maxima above `threshold`, suppressing any later peak
 /// closer than `min_distance` samples to a previously accepted,
 /// stronger peak. Peaks are returned in index order.
+///
+/// Only true *interior* maxima qualify: the first and last sample are
+/// never peaks, because a monotone ramp cut off at a segment or chunk
+/// boundary would otherwise register a phantom detection there (the
+/// real peak lies in the neighbouring block, which will report it).
 pub fn find_peaks(corr: &[f32], threshold: f32, min_distance: usize) -> Vec<Peak> {
     let mut candidates: Vec<Peak> = corr
         .iter()
         .enumerate()
         .filter(|&(i, &v)| {
-            v >= threshold
-                && (i == 0 || corr[i - 1] <= v)
-                && (i + 1 == corr.len() || corr[i + 1] < v)
+            v >= threshold && i > 0 && i + 1 < corr.len() && corr[i - 1] <= v && corr[i + 1] < v
         })
         .map(|(i, &v)| Peak { index: i, value: v })
         .collect();
@@ -289,6 +276,26 @@ mod tests {
         corr[70] = 0.8;
         let peaks = find_peaks(&corr, 0.5, 10);
         assert_eq!(peaks.len(), 2);
+    }
+
+    #[test]
+    fn find_peaks_rejects_boundary_ramps() {
+        // A monotone edge ramp — what a correlation looks like when a
+        // packet's peak falls just past a segment/chunk boundary — must
+        // not produce a phantom peak at either end.
+        let rising: Vec<f32> = (0..50).map(|i| i as f32 / 49.0).collect();
+        assert!(find_peaks(&rising, 0.1, 4).is_empty(), "phantom at tail");
+        let falling: Vec<f32> = rising.iter().rev().copied().collect();
+        assert!(find_peaks(&falling, 0.1, 4).is_empty(), "phantom at head");
+        // An interior peak on the same data is still found.
+        let mut bump = rising;
+        bump[25] = 2.0;
+        let peaks = find_peaks(&bump, 0.1, 4);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 25);
+        // Degenerate lengths cannot host an interior maximum.
+        assert!(find_peaks(&[1.0], 0.1, 1).is_empty());
+        assert!(find_peaks(&[1.0, 2.0], 0.1, 1).is_empty());
     }
 
     #[test]

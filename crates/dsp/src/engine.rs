@@ -1,0 +1,572 @@
+//! The correlation engine: cached FFT plans, precomputed correlation
+//! templates, and an overlap-save streaming correlator with reusable
+//! scratch buffers.
+//!
+//! Packet detection and SIC are correlation-bound: the gateway runs
+//! one universal-preamble correlation over every capture block, and
+//! the cloud runs correlation-heavy classification and kill filters on
+//! every shipped segment. Before this module existed, each of those
+//! calls re-planned an FFT (recomputing twiddles and bit-reversal
+//! tables) and re-synthesized its template from scratch. The engine
+//! memoizes both:
+//!
+//! * [`plan`] — a process-wide, thread-safe cache of [`Fft`] plans by
+//!   size. Plans are immutable after construction (`&self` methods
+//!   only), so a single `Arc<Fft>` per size is shared by every thread,
+//!   including the cloud worker pool.
+//! * [`Template`] — a correlation template with its forward FFT
+//!   precomputed at a fixed engine block size, correlated against
+//!   arbitrary-length signals by overlap-save with per-thread scratch
+//!   buffers (zero steady-state allocation beyond the output).
+//! * [`TemplateBank`] — an indexed set of templates, built once per
+//!   registry-and-sample-rate pair by the PHY layer.
+//! * [`FsCache`] — a tiny sample-rate-keyed memo used by callers that
+//!   receive `fs` at call time rather than construction time.
+//!
+//! Hit/miss counters ([`stats`]) make the caching observable; the core
+//! crate surfaces them in its `Metrics`.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::fft::{next_pow2, Fft};
+use crate::num::Cf32;
+
+// ---------------------------------------------------------------------------
+// Plan cache
+// ---------------------------------------------------------------------------
+
+static PLAN_CACHE: OnceLock<Mutex<HashMap<usize, Arc<Fft>>>> = OnceLock::new();
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+static BANK_BUILDS: AtomicU64 = AtomicU64::new(0);
+static BANK_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Returns the shared FFT plan of size `n`, planning it on first use.
+///
+/// Subsequent calls for the same size — from any thread — return the
+/// same `Arc`, so twiddle and bit-reversal tables are computed once per
+/// process rather than once per correlation.
+///
+/// # Panics
+/// Panics if `n` is zero or not a power of two (same contract as
+/// [`Fft::new`]).
+pub fn plan(n: usize) -> Arc<Fft> {
+    let cache = PLAN_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    {
+        let map = cache.lock().expect("plan cache poisoned");
+        if let Some(p) = map.get(&n) {
+            PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+            return p.clone();
+        }
+    }
+    // Plan outside the lock: planning a large FFT is exactly the cost
+    // this cache exists to hide, and other sizes should not wait on it.
+    let fresh = Arc::new(Fft::new(n));
+    let mut map = cache.lock().expect("plan cache poisoned");
+    let entry = map.entry(n).or_insert_with(|| fresh);
+    PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
+    entry.clone()
+}
+
+/// A snapshot of the engine's cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Plan-cache lookups that found an existing plan.
+    pub plan_hits: u64,
+    /// Plan-cache lookups that had to plan a new FFT.
+    pub plan_misses: u64,
+    /// Template banks synthesized from scratch.
+    pub bank_builds: u64,
+    /// Template-bank lookups served from a cache.
+    pub bank_hits: u64,
+}
+
+impl EngineStats {
+    /// Counter-wise difference `self - earlier` (saturating), for
+    /// attributing cache activity to one pipeline run.
+    pub fn since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            plan_hits: self.plan_hits.saturating_sub(earlier.plan_hits),
+            plan_misses: self.plan_misses.saturating_sub(earlier.plan_misses),
+            bank_builds: self.bank_builds.saturating_sub(earlier.bank_builds),
+            bank_hits: self.bank_hits.saturating_sub(earlier.bank_hits),
+        }
+    }
+}
+
+/// Snapshots the process-wide cache counters.
+pub fn stats() -> EngineStats {
+    EngineStats {
+        plan_hits: PLAN_HITS.load(Ordering::Relaxed),
+        plan_misses: PLAN_MISSES.load(Ordering::Relaxed),
+        bank_builds: BANK_BUILDS.load(Ordering::Relaxed),
+        bank_hits: BANK_HITS.load(Ordering::Relaxed),
+    }
+}
+
+/// Records one template-bank build (called by bank caches).
+pub fn note_bank_build() {
+    BANK_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one template-bank cache hit (called by bank caches).
+pub fn note_bank_hit() {
+    BANK_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread scratch
+// ---------------------------------------------------------------------------
+
+/// Reusable per-thread work buffers for the overlap-save correlator.
+#[derive(Default)]
+struct Scratch {
+    /// FFT work block (signal block in, correlation block out).
+    block: Vec<Cf32>,
+    /// Raw correlation output for normalized variants.
+    raw: Vec<Cf32>,
+    /// Prefix sums for sliding-window energy.
+    prefix: Vec<f64>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+// ---------------------------------------------------------------------------
+// Templates
+// ---------------------------------------------------------------------------
+
+/// A correlation template with a precomputed conjugated spectrum.
+///
+/// Correlating against a `Template` runs overlap-save at the
+/// template's block size: the template's forward FFT is computed once
+/// at construction, and each correlation call only transforms signal
+/// blocks (two cached-plan FFTs per block, no allocation beyond the
+/// output vector).
+#[derive(Clone, Debug)]
+pub struct Template {
+    waveform: Vec<Cf32>,
+    /// `sum |h|^2` — reused by normalized correlation.
+    energy: f32,
+    /// Overlap-save FFT size (power of two, `>= waveform.len()`).
+    fft_len: usize,
+    /// `conj(FFT(h zero-padded to fft_len))`.
+    spectrum_conj: Vec<Cf32>,
+}
+
+/// Picks the engine's default overlap-save block for a template of
+/// `m` samples: small enough that short captures don't pay for a
+/// giant transform, large enough that the per-block overlap (`m - 1`
+/// wasted samples) stays a minor fraction.
+fn default_block(m: usize) -> usize {
+    next_pow2(4 * m.max(1)).max(256)
+}
+
+impl Template {
+    /// Builds a template with the engine's default block size.
+    pub fn new(h: &[Cf32]) -> Self {
+        Self::with_block(h, default_block(h.len()))
+    }
+
+    /// Builds a template with an explicit overlap-save FFT size.
+    ///
+    /// # Panics
+    /// Panics if `fft_len` is not a power of two at least as large as
+    /// the template (unless the template is empty).
+    pub fn with_block(h: &[Cf32], fft_len: usize) -> Self {
+        if h.is_empty() {
+            return Template {
+                waveform: Vec::new(),
+                energy: 0.0,
+                fft_len: 1,
+                spectrum_conj: Vec::new(),
+            };
+        }
+        assert!(
+            fft_len.is_power_of_two() && fft_len >= h.len(),
+            "block size {fft_len} invalid for template of {} samples",
+            h.len()
+        );
+        let mut spectrum = vec![Cf32::ZERO; fft_len];
+        spectrum[..h.len()].copy_from_slice(h);
+        plan(fft_len).forward(&mut spectrum);
+        for z in spectrum.iter_mut() {
+            *z = z.conj();
+        }
+        Template {
+            waveform: h.to_vec(),
+            energy: h.iter().map(|z| z.norm_sqr()).sum(),
+            fft_len,
+            spectrum_conj: spectrum,
+        }
+    }
+
+    /// The template waveform.
+    pub fn waveform(&self) -> &[Cf32] {
+        &self.waveform
+    }
+
+    /// Template length in samples.
+    pub fn len(&self) -> usize {
+        self.waveform.len()
+    }
+
+    /// Whether the template is empty.
+    pub fn is_empty(&self) -> bool {
+        self.waveform.is_empty()
+    }
+
+    /// Template energy `sum |h|^2`.
+    pub fn energy(&self) -> f32 {
+        self.energy
+    }
+
+    /// Sliding cross-correlation of `x` against this template
+    /// (identical semantics to [`crate::corr::xcorr_fft`]): overlap-save
+    /// with the cached plan, writing into `out`.
+    pub fn xcorr_into(&self, x: &[Cf32], out: &mut Vec<Cf32>) {
+        out.clear();
+        SCRATCH.with(|s| {
+            let scratch = &mut *s.borrow_mut();
+            self.xcorr_scratch(x, &mut scratch.block, out);
+        });
+    }
+
+    /// [`Template::xcorr_into`], returning a fresh vector.
+    pub fn xcorr(&self, x: &[Cf32]) -> Vec<Cf32> {
+        let mut out = Vec::new();
+        self.xcorr_into(x, &mut out);
+        out
+    }
+
+    /// Overlap-save core against a caller-supplied block buffer.
+    fn xcorr_scratch(&self, x: &[Cf32], block: &mut Vec<Cf32>, out: &mut Vec<Cf32>) {
+        let m = self.waveform.len();
+        if m == 0 || x.len() < m {
+            return;
+        }
+        let out_len = x.len() - m + 1;
+        out.reserve(out_len);
+        let n = self.fft_len;
+        let step = n - m + 1;
+        let plan = plan(n);
+        block.resize(n, Cf32::ZERO);
+        let mut pos = 0usize;
+        while pos < out_len {
+            let take = (x.len() - pos).min(n);
+            block[..take].copy_from_slice(&x[pos..pos + take]);
+            for z in block[take..].iter_mut() {
+                *z = Cf32::ZERO;
+            }
+            plan.forward(block);
+            // Correlation theorem: corr = IFFT(FFT(x) * conj(FFT(h))).
+            for (a, b) in block.iter_mut().zip(self.spectrum_conj.iter()) {
+                *a *= *b;
+            }
+            plan.inverse(block);
+            // Outputs 0..step of a block are full-overlap correlations;
+            // later ones wrap circularly and belong to the next block.
+            let emit = step.min(out_len - pos);
+            out.extend_from_slice(&block[..emit]);
+            pos += emit;
+        }
+    }
+
+    /// Normalized sliding correlation magnitude in `[0, 1]` (identical
+    /// semantics to [`crate::corr::xcorr_normalized`]), using the
+    /// precomputed template energy and per-thread scratch.
+    pub fn xcorr_normalized(&self, x: &[Cf32]) -> Vec<f32> {
+        let m = self.waveform.len();
+        if m == 0 || x.len() < m {
+            return Vec::new();
+        }
+        SCRATCH.with(|s| {
+            let scratch = &mut *s.borrow_mut();
+            let Scratch { block, raw, prefix } = scratch;
+            raw.clear();
+            self.xcorr_scratch(x, block, raw);
+            // Sliding window energy of x via prefix sums (f64 to avoid
+            // drift).
+            prefix.clear();
+            prefix.reserve(x.len() + 1);
+            prefix.push(0.0f64);
+            let mut acc = 0.0f64;
+            for z in x {
+                acc += z.norm_sqr() as f64;
+                prefix.push(acc);
+            }
+            let mut out = Vec::with_capacity(raw.len());
+            let max_win = (0..raw.len())
+                .map(|i| prefix[i + m] - prefix[i])
+                .fold(0.0f64, f64::max);
+            let floor = (max_win * 1e-9).max(1e-30);
+            for (i, r) in raw.iter().enumerate() {
+                let win = prefix[i + m] - prefix[i];
+                if win <= floor {
+                    out.push(0.0);
+                } else {
+                    let denom = (win * self.energy as f64).sqrt() as f32;
+                    out.push((r.abs() / denom).min(1.0));
+                }
+            }
+            out
+        })
+    }
+}
+
+/// One-shot cached-plan correlation for callers without a persistent
+/// [`Template`] (the engine-backed implementation of
+/// [`crate::corr::xcorr_fft`]).
+///
+/// The template spectrum is still computed per call (there is nothing
+/// to memoize it against), but the FFT plans come from the cache and
+/// the signal side runs overlap-save, so long captures use a few small
+/// transforms instead of one enormous freshly-planned one.
+pub fn xcorr_cached(x: &[Cf32], h: &[Cf32]) -> Vec<Cf32> {
+    if h.is_empty() || x.len() < h.len() {
+        return Vec::new();
+    }
+    // For short signals a single block the size of the whole problem
+    // beats overlap-save's per-block overhead.
+    let single = next_pow2(x.len() + h.len());
+    let block = default_block(h.len()).min(single);
+    Template::with_block(h, block).xcorr(x)
+}
+
+// ---------------------------------------------------------------------------
+// Template banks
+// ---------------------------------------------------------------------------
+
+/// An indexed set of [`Template`]s sharing one sample rate.
+///
+/// The PHY registry builds one bank per `(registry, fs)` pair — every
+/// technology's preamble synthesized and FFT'd exactly once — and the
+/// gateway detectors, edge decoder and cloud classifier all correlate
+/// through it. Entries are in the caller's insertion order with a
+/// caller-chosen `u32` key (the technology id).
+#[derive(Clone, Debug)]
+pub struct TemplateBank {
+    fs: f64,
+    keys: Vec<u32>,
+    templates: Vec<Template>,
+}
+
+impl TemplateBank {
+    /// Builds a bank from `(key, waveform)` pairs at sample rate `fs`.
+    pub fn build(fs: f64, items: impl IntoIterator<Item = (u32, Vec<Cf32>)>) -> Self {
+        let mut keys = Vec::new();
+        let mut templates = Vec::new();
+        for (key, wf) in items {
+            keys.push(key);
+            templates.push(Template::new(&wf));
+        }
+        TemplateBank {
+            fs,
+            keys,
+            templates,
+        }
+    }
+
+    /// The sample rate the bank's waveforms were synthesized for.
+    pub fn fs(&self) -> f64 {
+        self.fs
+    }
+
+    /// Number of templates.
+    pub fn len(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// Whether the bank is empty.
+    pub fn is_empty(&self) -> bool {
+        self.templates.is_empty()
+    }
+
+    /// The caller-assigned key of entry `i`.
+    pub fn key(&self, i: usize) -> u32 {
+        self.keys[i]
+    }
+
+    /// The template at index `i`.
+    pub fn template(&self, i: usize) -> &Template {
+        &self.templates[i]
+    }
+
+    /// The waveform of entry `i`.
+    pub fn waveform(&self, i: usize) -> &[Cf32] {
+        self.templates[i].waveform()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sample-rate-keyed cache
+// ---------------------------------------------------------------------------
+
+/// A tiny thread-safe memo keyed by sample rate.
+///
+/// Detectors receive `fs` per call rather than at construction, so
+/// they cannot precompute at build time; an `FsCache` lets them build
+/// once per distinct rate (deployments use one, tests a handful).
+/// Clones share the underlying cache — a registry cloned into the
+/// gateway, edge and cloud components therefore builds its template
+/// bank once for all three.
+#[derive(Debug)]
+pub struct FsCache<T>(Arc<Mutex<FsEntries<T>>>);
+
+/// The entries of an [`FsCache`]: `(fs.to_bits(), value)` pairs.
+type FsEntries<T> = Vec<(u64, Arc<T>)>;
+
+impl<T> Clone for FsCache<T> {
+    fn clone(&self) -> Self {
+        FsCache(self.0.clone())
+    }
+}
+
+impl<T> Default for FsCache<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> FsCache<T> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        FsCache(Arc::new(Mutex::new(Vec::new())))
+    }
+
+    /// Returns the cached value for `fs`, building it with `make` on
+    /// first use. Records bank hit/build counters.
+    pub fn get_or(&self, fs: f64, make: impl FnOnce() -> T) -> Arc<T> {
+        let key = fs.to_bits();
+        {
+            let slots = self.0.lock().expect("fs cache poisoned");
+            if let Some((_, v)) = slots.iter().find(|(k, _)| *k == key) {
+                note_bank_hit();
+                return v.clone();
+            }
+        }
+        // Build outside the lock; racing builders agree on the result
+        // (construction is deterministic), first insert wins.
+        note_bank_build();
+        let fresh = Arc::new(make());
+        let mut slots = self.0.lock().expect("fs cache poisoned");
+        if let Some((_, v)) = slots.iter().find(|(k, _)| *k == key) {
+            return v.clone();
+        }
+        slots.push((key, fresh.clone()));
+        fresh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corr::xcorr_direct;
+
+    fn wave(n: usize, f: f32) -> Vec<Cf32> {
+        (0..n).map(|i| Cf32::cis(i as f32 * f)).collect()
+    }
+
+    #[test]
+    fn plans_are_shared_and_counted() {
+        let before = stats();
+        let a = plan(1 << 14);
+        let b = plan(1 << 14);
+        assert!(Arc::ptr_eq(&a, &b));
+        let after = stats().since(&before);
+        assert!(after.plan_hits >= 1);
+    }
+
+    #[test]
+    fn template_xcorr_matches_direct() {
+        let x = wave(1000, 0.7);
+        let h = wave(37, 1.3);
+        let t = Template::new(&h);
+        let a = xcorr_direct(&x, &h);
+        let b = t.xcorr(&x);
+        assert_eq!(a.len(), b.len());
+        for (p, q) in a.iter().zip(b.iter()) {
+            assert!((*p - *q).abs() < 2e-3, "{p:?} vs {q:?}");
+        }
+    }
+
+    #[test]
+    fn overlap_save_spans_many_blocks() {
+        // Force several overlap-save blocks: template 33, block 256.
+        let x = wave(5_000, 0.31);
+        let h = wave(33, 0.9);
+        let t = Template::with_block(&h, 256);
+        let a = xcorr_direct(&x, &h);
+        let b = t.xcorr(&x);
+        assert_eq!(a.len(), b.len());
+        for (p, q) in a.iter().zip(b.iter()) {
+            assert!((*p - *q).abs() < 2e-3);
+        }
+    }
+
+    #[test]
+    fn template_normalized_finds_embedded_copy() {
+        let h = wave(64, 0.37);
+        let mut x = vec![Cf32::ZERO; 700];
+        for (k, &v) in h.iter().enumerate() {
+            x[300 + k] = v * 2.0;
+        }
+        let t = Template::new(&h);
+        let ncc = t.xcorr_normalized(&x);
+        let (idx, val) = ncc
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &v)| (i, v))
+            .unwrap();
+        assert_eq!(idx, 300);
+        assert!(val > 0.999);
+    }
+
+    #[test]
+    fn degenerate_templates_are_safe() {
+        let t = Template::new(&[]);
+        assert!(t.is_empty());
+        assert!(t.xcorr(&wave(10, 0.5)).is_empty());
+        assert!(t.xcorr_normalized(&wave(10, 0.5)).is_empty());
+        // Signal shorter than template.
+        let t = Template::new(&wave(8, 0.5));
+        assert!(t.xcorr(&wave(4, 0.5)).is_empty());
+        // Signal exactly template-length: one output, the dot product.
+        let h = wave(16, 0.23);
+        let one = Template::new(&h).xcorr(&h);
+        assert_eq!(one.len(), 1);
+        assert!((one[0].abs() - 16.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn bank_preserves_order_and_keys() {
+        let bank = TemplateBank::build(1e6, vec![(7u32, wave(10, 0.1)), (9u32, wave(20, 0.2))]);
+        assert_eq!(bank.len(), 2);
+        assert_eq!(bank.key(0), 7);
+        assert_eq!(bank.key(1), 9);
+        assert_eq!(bank.waveform(1).len(), 20);
+        assert_eq!(bank.fs(), 1e6);
+    }
+
+    #[test]
+    fn fs_cache_builds_once_per_rate() {
+        let cache: FsCache<usize> = FsCache::new();
+        let mut builds = 0usize;
+        for &fs in &[1e6, 1e6, 2e6, 1e6] {
+            let _ = cache.get_or(fs, || {
+                builds += 1;
+                builds
+            });
+        }
+        assert_eq!(builds, 2, "one build per distinct rate");
+        // Clones share the cache.
+        let clone = cache.clone();
+        let v = clone.get_or(1e6, || unreachable!("must be cached"));
+        assert_eq!(*v, 1);
+    }
+}

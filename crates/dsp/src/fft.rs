@@ -120,15 +120,16 @@ impl Fft {
 
 /// One-shot forward FFT of a power-of-two-length slice.
 ///
-/// Convenience wrapper that plans and runs; prefer holding an [`Fft`]
-/// in hot paths.
+/// Convenience wrapper over the shared plan cache
+/// ([`crate::engine::plan`]); repeated calls at the same size reuse
+/// one plan.
 pub fn fft(buf: &mut [Cf32]) {
-    Fft::new(buf.len()).forward(buf);
+    crate::engine::plan(buf.len()).forward(buf);
 }
 
 /// One-shot normalized inverse FFT of a power-of-two-length slice.
 pub fn ifft(buf: &mut [Cf32]) {
-    Fft::new(buf.len()).inverse(buf);
+    crate::engine::plan(buf.len()).inverse(buf);
 }
 
 /// Returns the index of the maximum-magnitude bin of a spectrum.

@@ -10,6 +10,10 @@
 //!   design (low/high/band-pass, band-stop), decimation, interpolation;
 //! * [`corr`] — direct and FFT cross-correlation, normalized matched
 //!   filtering and peak picking (the heart of packet detection);
+//! * [`engine`] — the correlation engine: a process-wide FFT plan
+//!   cache, precomputed correlation templates ([`engine::Template`],
+//!   [`engine::TemplateBank`]) and an overlap-save streaming
+//!   correlator with per-thread scratch buffers;
 //! * [`chirp`] — CSS up/down chirps and symbol chirps (LoRa, KILL-CSS);
 //! * [`mix`] — NCO, frequency translation and tone estimation;
 //! * [`goertzel`] — single-bin DFT for FSK tone decisions;
@@ -29,6 +33,7 @@
 
 pub mod chirp;
 pub mod corr;
+pub mod engine;
 pub mod fft;
 pub mod fir;
 pub mod goertzel;

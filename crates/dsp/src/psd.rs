@@ -6,7 +6,7 @@
 //! registry recipe — the paper's "generalized set of filters" direction
 //! (Sec. 5).
 
-use crate::fft::Fft;
+use crate::engine;
 use crate::num::Cf32;
 use crate::spectral::Band;
 
@@ -98,7 +98,7 @@ pub fn welch_psd(signal: &[Cf32], fs: f64, nfft: usize) -> Psd {
     if signal.len() < nfft {
         return Psd { power, fs };
     }
-    let plan = Fft::new(nfft);
+    let plan = engine::plan(nfft);
     let win: Vec<f32> = (0..nfft)
         .map(|i| 0.5 - 0.5 * (2.0 * std::f32::consts::PI * i as f32 / nfft as f32).cos())
         .collect();

@@ -14,7 +14,8 @@
 //! KILL-CSS, whose caller works on symbol-aligned power-of-two windows
 //! where the dechirped tones are exactly bin-aligned.
 
-use crate::fft::{freq_to_bin, next_pow2, Fft};
+use crate::engine;
+use crate::fft::{freq_to_bin, next_pow2};
 use crate::num::Cf32;
 
 /// A frequency band in Hz, `lo <= hi`, interpreted at complex baseband
@@ -66,7 +67,7 @@ fn stft_apply(signal: &[Cf32], fs: f64, gain: impl Fn(f64) -> f32) -> Vec<Cf32> 
     }
     let n = stft_frame(signal.len());
     let hop = n / 2;
-    let plan = Fft::new(n);
+    let plan = engine::plan(n);
     // sqrt-Hann analysis and synthesis windows: their product is Hann,
     // which sums to 1 at 50 % overlap (COLA).
     let win: Vec<f32> = (0..n)
@@ -154,7 +155,7 @@ pub fn suppress_bins(signal: &[Cf32], bins: &[usize]) -> Vec<Cf32> {
         return Vec::new();
     }
     let n = next_pow2(signal.len());
-    let plan = Fft::new(n);
+    let plan = engine::plan(n);
     let mut buf = vec![Cf32::ZERO; n];
     buf[..signal.len()].copy_from_slice(signal);
     plan.forward(&mut buf);
@@ -175,7 +176,7 @@ pub fn band_energy_fraction(signal: &[Cf32], fs: f64, bands: &[Band]) -> f32 {
         return 0.0;
     }
     let n = next_pow2(signal.len());
-    let plan = Fft::new(n);
+    let plan = engine::plan(n);
     let mut buf = vec![Cf32::ZERO; n];
     buf[..signal.len()].copy_from_slice(signal);
     plan.forward(&mut buf);

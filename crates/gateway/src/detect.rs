@@ -5,7 +5,7 @@
 //!
 //! GalioT's own detector lives in [`crate::universal`].
 
-use galiot_dsp::corr::{find_peaks, xcorr_normalized};
+use galiot_dsp::corr::find_peaks;
 use galiot_dsp::power::{noise_floor, sliding_power};
 use galiot_dsp::{db_to_lin, Cf32};
 use galiot_phy::registry::Registry;
@@ -141,12 +141,15 @@ impl PacketDetector for MatchedFilterBank {
 
     fn detect(&self, capture: &[Cf32], fs: f64) -> Vec<Detection> {
         let mut detections: Vec<Detection> = Vec::new();
-        for tech in self.registry.techs() {
-            let template = tech.preamble_waveform(fs);
+        // Bank entries are index-aligned with techs(); templates carry
+        // their forward FFT, so each pass is correlate-only.
+        let bank = self.registry.template_bank(fs);
+        for (i, tech) in self.registry.techs().iter().enumerate() {
+            let template = bank.template(i);
             if template.len() > capture.len() {
                 continue;
             }
-            let ncc = xcorr_normalized(capture, &template);
+            let ncc = template.xcorr_normalized(capture);
             let min_distance = if self.min_distance == 0 {
                 (template.len() / 2).max(512)
             } else {
@@ -172,11 +175,8 @@ impl PacketDetector for MatchedFilterBank {
     fn complexity_per_sample(&self, fs: f64) -> f64 {
         // One correlation tap per template sample per technology
         // (FFT implementations lower the constant, not the scaling).
-        self.registry
-            .techs()
-            .iter()
-            .map(|t| t.preamble_waveform(fs).len() as f64)
-            .sum()
+        let bank = self.registry.template_bank(fs);
+        (0..bank.len()).map(|i| bank.template(i).len() as f64).sum()
     }
 }
 

@@ -6,7 +6,7 @@
 //! demodulator on a segment; if the segment looks like a single clean
 //! packet it is finished locally, otherwise it travels on.
 
-use galiot_dsp::corr::{find_peaks, xcorr_normalized};
+use galiot_dsp::corr::find_peaks;
 use galiot_phy::registry::Registry;
 use galiot_phy::{DecodedFrame, PhyError};
 
@@ -33,15 +33,39 @@ pub struct EdgeReport {
     pub failures: Vec<(&'static str, PhyError)>,
 }
 
+/// Default collision cluster guard, in seconds: peaks closer than this
+/// belong to one packet's preamble. 2.048 ms reproduces the historical
+/// 2,048-sample guard at the prototype's 1 Msps capture rate.
+pub const DEFAULT_CLUSTER_GUARD_S: f64 = 2.048e-3;
+
 /// The edge decoder.
 pub struct EdgeDecoder {
     registry: Registry,
+    /// Collision cluster guard as a time constant (seconds); the
+    /// sample-domain guard is derived from the capture rate at use, so
+    /// shipping decisions are invariant under resampling.
+    cluster_guard_s: f64,
 }
 
 impl EdgeDecoder {
     /// Creates an edge decoder over a registry.
     pub fn new(registry: Registry) -> Self {
-        EdgeDecoder { registry }
+        EdgeDecoder {
+            registry,
+            cluster_guard_s: DEFAULT_CLUSTER_GUARD_S,
+        }
+    }
+
+    /// Sets the collision cluster guard (seconds). Peak clusters closer
+    /// than this are counted as one packet.
+    pub fn with_cluster_guard_s(mut self, guard_s: f64) -> Self {
+        self.cluster_guard_s = guard_s;
+        self
+    }
+
+    /// The collision cluster guard in seconds.
+    pub fn cluster_guard_s(&self) -> f64 {
+        self.cluster_guard_s
     }
 
     /// The registry in use.
@@ -84,25 +108,29 @@ impl EdgeDecoder {
     /// Collision evidence: two or more spatially distinct preamble-
     /// correlation peak clusters anywhere in the segment (regardless of
     /// technology — co-located peaks of correlated preambles count as
-    /// one cluster).
-    fn collision_suspected(&self, seg: &Segment, fs: f64) -> bool {
+    /// one cluster). The cluster guard is `cluster_guard_s` converted
+    /// to samples at `fs`, so the verdict does not change with the
+    /// capture rate.
+    pub fn collision_suspected(&self, seg: &Segment, fs: f64) -> bool {
         let mut peak_positions: Vec<usize> = Vec::new();
-        for tech in self.registry.techs() {
-            let template = tech.preamble_waveform(fs);
+        let bank = self.registry.template_bank(fs);
+        for i in 0..bank.len() {
+            let template = bank.template(i);
             if template.is_empty() || template.len() > seg.samples.len() {
                 continue;
             }
-            let ncc = xcorr_normalized(&seg.samples, &template);
+            let ncc = template.xcorr_normalized(&seg.samples);
             for p in find_peaks(&ncc, 0.25, template.len() / 2) {
                 peak_positions.push(p.index);
             }
         }
         peak_positions.sort_unstable();
-        // Count clusters separated by more than a guard distance.
+        // Count clusters separated by more than the guard distance.
+        let guard = (self.cluster_guard_s * fs).round().max(1.0) as usize;
         let mut clusters = 0usize;
         let mut last: Option<usize> = None;
         for pos in peak_positions {
-            if last.is_none_or(|l| pos - l > 2_048) {
+            if last.is_none_or(|l| pos - l > guard) {
                 clusters += 1;
             }
             last = Some(pos);
@@ -188,6 +216,54 @@ mod tests {
                     .iter()
                     .any(|t| t.tech == f.tech && t.payload == f.payload));
             }
+        }
+    }
+
+    fn two_copy_segment(fs: f64, gap_s: f64) -> Segment {
+        let reg = Registry::prototype();
+        let xbee = reg.get(TechId::XBee).unwrap().clone();
+        let pre = xbee.preamble_waveform(fs);
+        let gap = (gap_s * fs).round() as usize;
+        // Offset the first copy so its correlation peak is interior
+        // (find_peaks rejects boundary samples).
+        let at = (1.0e-3 * fs).round() as usize;
+        let mut samples = vec![galiot_dsp::Cf32::ZERO; at + gap + 2 * pre.len() + 4_000];
+        for (k, &s) in pre.iter().enumerate() {
+            samples[at + k] += s;
+            samples[at + gap + k] += s;
+        }
+        seg_from(samples, 0)
+    }
+
+    #[test]
+    fn cluster_guard_scales_with_sample_rate() {
+        // Two XBee preambles 3.3 ms apart leave a peak-cluster gap of
+        // ~1.56 ms (the periodic preamble's correlation sidelobes
+        // bridge part of the spacing). That is inside the default
+        // 2.048 ms guard, so the verdict is "one cluster, no
+        // collision" — and it must stay that way at 2 Msps, where the
+        // same gap is ~3,113 samples. A hard-coded 2,048-sample guard
+        // (the old behavior) would have flipped to a false collision
+        // there and shipped the segment needlessly.
+        for &fs in &[1_000_000.0, 2_000_000.0] {
+            let edge = EdgeDecoder::new(Registry::prototype());
+            assert_eq!(
+                (edge.cluster_guard_s() * fs).round() as usize,
+                if fs > 1.5e6 { 4_096 } else { 2_048 }
+            );
+            assert!(
+                !edge.collision_suspected(&two_copy_segment(fs, 3.3e-3), fs),
+                "false collision at fs={fs}"
+            );
+        }
+        // Tightening the guard below the cluster gap makes both rates
+        // agree the clusters are distinct.
+        for &fs in &[1_000_000.0, 2_000_000.0] {
+            let edge = EdgeDecoder::new(Registry::prototype()).with_cluster_guard_s(1.0e-3);
+            assert!(
+                edge.collision_suspected(&two_copy_segment(fs, 3.3e-3), fs),
+                "missed collision at fs={fs}"
+            );
         }
     }
 

@@ -19,7 +19,7 @@ pub mod universal;
 
 pub use backhaul::{compress, decompress, Backhaul, CompressedSegment, ShippedSegment};
 pub use detect::{score_detections, Detection, EnergyDetector, MatchedFilterBank, PacketDetector};
-pub use edge::{EdgeDecoder, EdgeOutcome, EdgeReport};
+pub use edge::{EdgeDecoder, EdgeOutcome, EdgeReport, DEFAULT_CLUSTER_GUARD_S};
 pub use extract::{extract, shipped_fraction, ExtractParams, Segment};
 pub use frontend::{FrontEndParams, HoppingFrontEnd, RtlSdrFrontEnd};
 pub use universal::{build as build_universal_preamble, UniversalDetector, UniversalPreamble};

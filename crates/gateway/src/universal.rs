@@ -18,6 +18,7 @@
 //! number of technologies.
 
 use galiot_dsp::corr::{find_peaks, xcorr_normalized};
+use galiot_dsp::engine::Template;
 use galiot_dsp::power::normalize_power;
 use galiot_dsp::Cf32;
 use galiot_phy::registry::Registry;
@@ -53,10 +54,15 @@ pub struct UniversalPreamble {
 /// `01010101` FSK preambles of same-rate technologies correlate near
 /// 1.0, cross-modulation pairs near 0).
 pub fn build(reg: &Registry, fs: f64, coalesce_threshold: f32) -> UniversalPreamble {
-    let waveforms: Vec<(TechId, Vec<Cf32>)> = reg
+    // The registry's template bank already holds every preamble
+    // waveform at this rate; construction borrows them instead of
+    // re-synthesizing each PHY.
+    let bank = reg.template_bank(fs);
+    let waveforms: Vec<(TechId, &[Cf32])> = reg
         .techs()
         .iter()
-        .map(|t| (t.id(), t.preamble_waveform(fs)))
+        .enumerate()
+        .map(|(i, t)| (t.id(), bank.waveform(i)))
         .collect();
 
     // Union-find-lite over the correlation graph.
@@ -64,7 +70,7 @@ pub fn build(reg: &Registry, fs: f64, coalesce_threshold: f32) -> UniversalPream
     let mut group_of: Vec<usize> = (0..n).collect();
     for i in 0..n {
         for j in i + 1..n {
-            let (a, b) = (&waveforms[i].1, &waveforms[j].1);
+            let (a, b) = (waveforms[i].1, waveforms[j].1);
             let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
             if short.is_empty() || long.is_empty() {
                 continue;
@@ -87,20 +93,20 @@ pub fn build(reg: &Registry, fs: f64, coalesce_threshold: f32) -> UniversalPream
     let mut groups: Vec<PreambleGroup> = Vec::new();
     let mut reps: Vec<&[Cf32]> = Vec::new();
     let mut seen: Vec<usize> = Vec::new();
-    for (i, (id, wf)) in waveforms.iter().enumerate() {
+    for (i, &(id, wf)) in waveforms.iter().enumerate() {
         let g = group_of[i];
         if let Some(pos) = seen.iter().position(|&s| s == g) {
-            groups[pos].members.push(*id);
+            groups[pos].members.push(id);
             if wf.len() < groups[pos].rep_len {
-                groups[pos].representative = *id;
+                groups[pos].representative = id;
                 groups[pos].rep_len = wf.len();
                 reps[pos] = wf;
             }
         } else {
             seen.push(g);
             groups.push(PreambleGroup {
-                members: vec![*id],
-                representative: *id,
+                members: vec![id],
+                representative: id,
                 rep_len: wf.len(),
             });
             reps.push(wf);
@@ -125,6 +131,11 @@ pub fn build(reg: &Registry, fs: f64, coalesce_threshold: f32) -> UniversalPream
 /// correlation against the summed template.
 pub struct UniversalDetector {
     preamble: UniversalPreamble,
+    /// The summed template with its forward FFT precomputed at the
+    /// engine block size — every [`UniversalDetector::detect`] call is
+    /// correlate-only (no synthesis, no planning, no allocation beyond
+    /// the output).
+    template: Template,
     /// Normalized-correlation threshold for a peak to count. Zero
     /// selects the analytic noise threshold
     /// ([`crate::detect::ncc_noise_threshold`] with `auto_factor`).
@@ -144,8 +155,10 @@ impl UniversalDetector {
         // suppressing within half a template collapses them into one
         // detection per packet.
         let min_distance = (preamble.template.len() / 2).max(512);
+        let template = Template::new(&preamble.template);
         UniversalDetector {
             preamble,
+            template,
             threshold,
             auto_factor: 1.4,
             min_distance,
@@ -181,7 +194,7 @@ impl PacketDetector for UniversalDetector {
                 self.auto_factor,
             )
         };
-        let ncc = xcorr_normalized(capture, &self.preamble.template);
+        let ncc = self.template.xcorr_normalized(capture);
         find_peaks(&ncc, threshold, self.min_distance)
             .into_iter()
             .map(|p| Detection {

@@ -13,7 +13,6 @@
 //! capture of the paper's RTL-SDR prototype (the 2.4 GHz standard runs
 //! 2 Mchip/s; the code path is identical at any rate `fs` affords).
 
-use galiot_dsp::corr::xcorr_normalized;
 use galiot_dsp::fir::Fir;
 use galiot_dsp::mix::mix;
 use galiot_dsp::pulse::half_sine;
@@ -75,6 +74,10 @@ impl Default for DsssParams {
 #[derive(Clone, Debug)]
 pub struct DsssPhy {
     params: DsssParams,
+    /// Baseband preamble+SFD sync template, memoized per sample rate
+    /// with its forward FFT precomputed — demodulation correlates
+    /// against it on every attempt.
+    sync: galiot_dsp::engine::FsCache<galiot_dsp::engine::Template>,
 }
 
 impl DsssPhy {
@@ -84,7 +87,21 @@ impl DsssPhy {
     /// Panics if the chip rate is non-positive.
     pub fn new(params: DsssParams) -> Self {
         assert!(params.chip_rate > 0.0, "chip rate must be positive");
-        DsssPhy { params }
+        DsssPhy {
+            params,
+            sync: galiot_dsp::engine::FsCache::new(),
+        }
+    }
+
+    /// The cached DC (un-mixed) preamble+SFD sync template at `fs`.
+    fn sync_template(&self, fs: f64) -> std::sync::Arc<galiot_dsp::engine::Template> {
+        self.sync.get_or(fs, || {
+            let at_dc = DsssPhy::new(DsssParams {
+                center_offset_hz: 0.0,
+                ..self.params
+            });
+            galiot_dsp::engine::Template::new(&at_dc.preamble_waveform(fs))
+        })
     }
 
     /// The parameters in use.
@@ -146,12 +163,10 @@ impl DsssPhy {
     /// The reference waveform of one symbol at DC (used both by the
     /// demodulator and by the cloud's KILL-CODES projection filter).
     pub fn symbol_reference(&self, symbol: u8, fs: f64) -> Result<Vec<Cf32>, PhyError> {
-        let at_dc = DsssPhy {
-            params: DsssParams {
-                center_offset_hz: 0.0,
-                ..self.params
-            },
-        };
+        let at_dc = DsssPhy::new(DsssParams {
+            center_offset_hz: 0.0,
+            ..self.params
+        });
         at_dc.chips_to_waveform(&Self::symbol_chips(symbol), fs)
     }
 
@@ -281,15 +296,9 @@ impl Technology for DsssPhy {
         }
         let base = self.channelize(capture, fs);
 
-        // Sync on the preamble+SFD waveform.
-        let at_dc = DsssPhy {
-            params: DsssParams {
-                center_offset_hz: 0.0,
-                ..self.params
-            },
-        };
-        let template = at_dc.preamble_waveform(fs);
-        let ncc = xcorr_normalized(&base, &template);
+        // Sync on the preamble+SFD waveform (cached template: the
+        // waveform is synthesized and FFT'd once per sample rate).
+        let ncc = self.sync_template(fs).xcorr_normalized(&base);
         let (start, peak) = ncc
             .iter()
             .enumerate()

@@ -311,7 +311,9 @@ impl Technology for LoraPhy {
         }
 
         let down = downchirp(bw, n, bw);
-        let plan = Fft::new(n);
+        // Shared cached plan: every demod call (and every cloud worker)
+        // reuses one 2^sf-point plan instead of re-planning per frame.
+        let plan = galiot_dsp::engine::plan(n);
 
         // --- Coarse sync: dechirp windows on an n-sample grid. Any
         // full window inside the preamble (a continuous repetition of

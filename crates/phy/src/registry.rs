@@ -8,6 +8,8 @@
 
 use std::sync::Arc;
 
+use galiot_dsp::engine::{FsCache, TemplateBank};
+
 use crate::ble::{BleParams, BlePhy};
 use crate::common::{ModClass, TechId, Technology};
 use crate::dsss::{DsssParams, DsssPhy};
@@ -23,6 +25,12 @@ pub type TechHandle = Arc<dyn Technology>;
 #[derive(Clone, Default)]
 pub struct Registry {
     techs: Vec<TechHandle>,
+    /// Preamble template banks memoized per sample rate. Clones share
+    /// the cache (a registry cloned into the gateway, edge and cloud
+    /// components builds its bank once for all three); mutating the
+    /// technology set detaches this instance onto a fresh cache so
+    /// stale banks can never serve a different registry.
+    banks: FsCache<TemplateBank>,
 }
 
 impl Registry {
@@ -62,13 +70,37 @@ impl Registry {
     /// Adds a technology (the "software update" path).
     pub fn push(&mut self, tech: TechHandle) {
         self.techs.push(tech);
+        self.banks = FsCache::new();
     }
 
     /// Removes a technology by id; returns whether one was removed.
     pub fn remove(&mut self, id: TechId) -> bool {
         let before = self.techs.len();
         self.techs.retain(|t| t.id() != id);
-        self.techs.len() != before
+        if self.techs.len() != before {
+            self.banks = FsCache::new();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The preamble [`TemplateBank`] for this registry at capture rate
+    /// `fs`: every technology's preamble waveform synthesized and its
+    /// forward FFT precomputed, exactly once per `(registry, fs)` pair.
+    ///
+    /// Entry `i` corresponds to `techs()[i]` (keys carry the
+    /// [`TechId`] as a `u32`). This is the hot-path replacement for
+    /// calling [`Technology::preamble_waveform`] per detection pass.
+    pub fn template_bank(&self, fs: f64) -> Arc<TemplateBank> {
+        self.banks.get_or(fs, || {
+            TemplateBank::build(
+                fs,
+                self.techs
+                    .iter()
+                    .map(|t| (t.id() as u32, t.preamble_waveform(fs))),
+            )
+        })
     }
 
     /// The technologies, in registration order.
@@ -265,6 +297,31 @@ mod tests {
         }
         assert!(m > 0);
         assert_eq!(Registry::new().max_frame_samples(fs), 0);
+    }
+
+    #[test]
+    fn template_bank_is_cached_and_detached_on_mutation() {
+        let fs = 1e6;
+        let mut r = Registry::prototype();
+        let a = r.template_bank(fs);
+        let b = r.template_bank(fs);
+        assert!(Arc::ptr_eq(&a, &b), "same registry+fs must share a bank");
+        assert_eq!(a.len(), r.len());
+        // Entries line up with techs() and carry the TechId as key.
+        for (i, t) in r.techs().iter().enumerate() {
+            assert_eq!(a.key(i), t.id() as u32);
+            assert_eq!(a.waveform(i).len(), t.preamble_waveform(fs).len());
+        }
+        // A clone shares the cache...
+        let clone = r.clone();
+        assert!(Arc::ptr_eq(&clone.template_bank(fs), &a));
+        // ...until the tech set changes, which detaches the mutated
+        // instance onto a fresh cache sized to the new set.
+        r.remove(TechId::ZWave);
+        let c = r.template_bank(fs);
+        assert_eq!(c.len(), 2);
+        // The untouched clone still sees its original 3-tech bank.
+        assert!(Arc::ptr_eq(&clone.template_bank(fs), &a));
     }
 
     #[test]

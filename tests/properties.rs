@@ -108,6 +108,44 @@ proptest! {
     }
 
     #[test]
+    fn cached_overlap_save_matches_direct_at_any_length(
+        xlen in 0usize..300,
+        hsel in 0usize..4,
+        hraw in 1usize..97,
+        seed in any::<u64>(),
+    ) {
+        // The cached-plan/overlap-save path must agree with the direct
+        // form at *every* length combination: empty template, template
+        // exactly the signal length, non-power-of-two and template
+        // longer than the signal (empty output) included.
+        let hlen = match hsel {
+            0 => 0,
+            1 => xlen,
+            2 => (hraw | 1).max(3), // odd, never a power of two
+            _ => hraw,
+        };
+        // Deterministic splitmix-style generator so lengths and
+        // content shrink independently.
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            ((z >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+        };
+        let x: Vec<Cf32> = (0..xlen).map(|_| Cf32::new(next(), next())).collect();
+        let h: Vec<Cf32> = (0..hlen).map(|_| Cf32::new(next(), next())).collect();
+        let a = xcorr_direct(&x, &h);
+        let b = xcorr_fft(&x, &h);
+        prop_assert_eq!(a.len(), b.len());
+        let scale = a.iter().map(|z| z.abs()).fold(1.0f32, f32::max);
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((*p - *q).abs() < 2e-3 * scale, "{p:?} vs {q:?}");
+        }
+    }
+
+    #[test]
     fn ncc_is_always_bounded(
         xs in proptest::collection::vec(-100.0f32..100.0, 64..200),
         hs in proptest::collection::vec(-100.0f32..100.0, 4..32),
