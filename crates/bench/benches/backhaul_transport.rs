@@ -1,0 +1,51 @@
+//! Criterion benchmarks for the backhaul transport hot path: block
+//! floating-point compression at each rung of the degradation ladder,
+//! wire-codec encode/decode (framing + CRC32), and the seeded
+//! impairment model itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use galiot_dsp::Cf32;
+use galiot_gateway::{
+    crc32, decode_segment, encode_segment, FaultyLink, LinkFaults, ShippedSegment,
+};
+
+/// A realistic shipped segment: ~32k samples, the size of a collision
+/// cluster at 1 Msps.
+const SEG_SAMPLES: usize = 32_768;
+
+fn segment_samples() -> Vec<Cf32> {
+    (0..SEG_SAMPLES)
+        .map(|i| Cf32::cis(i as f32 * 0.37) * (0.2 + 0.8 * ((i / 512) % 2) as f32))
+        .collect()
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backhaul_transport_32k");
+    g.sample_size(20);
+    let samples = segment_samples();
+
+    // The degradation ladder: what each compression rung costs.
+    for bits in [8u32, 6, 4] {
+        g.bench_function(format!("pack_{bits}bit"), |b| {
+            b.iter(|| ShippedSegment::pack(1, 0, &samples, bits, 1024))
+        });
+    }
+
+    let seg = ShippedSegment::pack(1, 0, &samples, 8, 1024);
+    g.bench_function("encode_segment", |b| b.iter(|| encode_segment(&seg)));
+
+    let wire = encode_segment(&seg);
+    g.bench_function("decode_segment", |b| {
+        b.iter(|| decode_segment(&wire).expect("clean datagram"))
+    });
+    g.bench_function("crc32_datagram", |b| b.iter(|| crc32(&wire)));
+
+    g.bench_function("faulty_link_harsh_transmit", |b| {
+        let mut link = FaultyLink::new(LinkFaults::harsh(0.1, 7));
+        b.iter(|| link.transmit(&wire))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_transport);
+criterion_main!(benches);

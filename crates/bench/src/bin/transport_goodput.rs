@@ -1,0 +1,150 @@
+//! Transport goodput versus link loss: pushes a fixed batch of
+//! segments through the windowed-ARQ transport (send queue → faulty
+//! wire → dedup receiver) at several loss rates and reports the
+//! delivered-payload goodput, retransmit overhead and loss accounting.
+//!
+//! Writes `BENCH_pr3.json` and prints a TSV summary.
+//! Usage: `transport_goodput [segments] [seed]`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use galiot_bench::{parse_args, tsv_row};
+use galiot_core::metrics::SharedMetrics;
+use galiot_core::transport::{spawn_arq_receiver, spawn_arq_sender, QueuedSegment, SendQueue};
+use galiot_core::ArqParams;
+use galiot_dsp::Cf32;
+use galiot_gateway::{LinkFaults, ShippedSegment};
+
+/// Per-segment payload: ~16k samples, a mid-size collision cluster.
+const SEG_SAMPLES: usize = 16_384;
+const LOSS_RATES: [f64; 4] = [0.0, 0.01, 0.05, 0.10];
+
+struct Cell {
+    loss: f64,
+    goodput_mbps: f64,
+    elapsed_s: f64,
+    retransmits: usize,
+    lost: usize,
+    duplicates: usize,
+    wire_sent: u64,
+}
+
+fn run_cell(n_segments: usize, loss: f64, seed: u64) -> Cell {
+    let samples: Vec<Cf32> = (0..SEG_SAMPLES)
+        .map(|i| Cf32::cis(i as f32 * 0.41) * 0.7)
+        .collect();
+    let metrics = SharedMetrics::new();
+    let queue = SendQueue::new(n_segments.max(1));
+    let (wire_tx, wire_rx) = crossbeam::channel::bounded::<Vec<u8>>(64);
+    let (ack_tx, ack_rx) = crossbeam::channel::unbounded::<Vec<u8>>();
+    let (seg_tx, seg_rx) = crossbeam::channel::unbounded::<ShippedSegment>();
+
+    let faults = LinkFaults {
+        loss,
+        corrupt: loss / 2.0,
+        duplicate: loss / 2.0,
+        reorder: loss / 2.0,
+        jitter_depth: 3,
+        seed,
+    };
+    let arq = ArqParams {
+        enabled: true,
+        base_timeout_s: 0.002,
+        ..ArqParams::default()
+    };
+    let t0 = Instant::now();
+    let sender = spawn_arq_sender(
+        Arc::clone(&queue),
+        wire_tx,
+        ack_rx,
+        arq,
+        faults,
+        None,
+        metrics.clone(),
+        |_| true,
+    );
+    let receiver = spawn_arq_receiver(
+        wire_rx,
+        ack_tx,
+        seg_tx,
+        LinkFaults {
+            seed: seed ^ 0xACAC,
+            ..faults
+        },
+        metrics.clone(),
+    );
+    for i in 0..n_segments {
+        queue.push(QueuedSegment {
+            seg: ShippedSegment::pack(i as u64, i * SEG_SAMPLES, &samples, 8, 1024),
+            power: 1.0,
+        });
+    }
+    queue.close();
+    sender.join().expect("sender");
+    receiver.join().expect("receiver");
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let delivered_bytes: usize = seg_rx.try_iter().map(|s| s.wire_bytes()).sum();
+    let m = metrics.snapshot();
+    Cell {
+        loss,
+        goodput_mbps: delivered_bytes as f64 * 8.0 / elapsed_s / 1e6,
+        elapsed_s,
+        retransmits: m.arq_retransmits,
+        lost: m.arq_lost,
+        duplicates: m.dup_segments_dropped,
+        wire_sent: m.wire_datagrams_sent,
+    }
+}
+
+fn main() {
+    let (n_segments, seed) = parse_args(64, 7);
+
+    println!(
+        "# Transport goodput vs loss ({n_segments} segments of {SEG_SAMPLES} samples, seed {seed})"
+    );
+    tsv_row(&[
+        "loss",
+        "goodput_mbps",
+        "elapsed_s",
+        "retransmits",
+        "lost",
+        "dup_dropped",
+        "wire_sent",
+    ]);
+    let cells: Vec<Cell> = LOSS_RATES
+        .iter()
+        .map(|&loss| {
+            let c = run_cell(n_segments, loss, seed);
+            tsv_row(&[
+                format!("{loss:.2}"),
+                format!("{:.2}", c.goodput_mbps),
+                format!("{:.3}", c.elapsed_s),
+                c.retransmits.to_string(),
+                c.lost.to_string(),
+                c.duplicates.to_string(),
+                c.wire_sent.to_string(),
+            ]);
+            c
+        })
+        .collect();
+
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"loss\": {:.2}, \"goodput_mbps\": {:.3}, \"elapsed_s\": {:.4}, \
+                 \"retransmits\": {}, \"lost\": {}, \"dup_dropped\": {}, \"wire_datagrams_sent\": {}}}",
+                c.loss, c.goodput_mbps, c.elapsed_s, c.retransmits, c.lost, c.duplicates, c.wire_sent
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"transport_goodput\",\n  \"segments\": {n_segments},\n  \
+         \"segment_samples\": {SEG_SAMPLES},\n  \"seed\": {seed},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_pr3.json", json).expect("write BENCH_pr3.json");
+    eprintln!("wrote BENCH_pr3.json");
+}

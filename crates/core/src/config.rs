@@ -1,7 +1,8 @@
 //! End-to-end GalioT configuration.
 
+use crate::transport::TransportConfig;
 use galiot_cloud::CloudParams;
-use galiot_gateway::FrontEndParams;
+use galiot_gateway::{FrontEndParams, LinkFaults};
 
 /// Which packet detector the gateway runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -60,6 +61,12 @@ pub struct GaliotConfig {
     /// ([`crate::pipeline::RunReport::last_arrival_s`]). Off by
     /// default: conformance tests compare decoded output, not timing.
     pub emulate_backhaul: bool,
+    /// The gateway→cloud segment transport: link impairments, ARQ,
+    /// send-queue sizing, and the compression-degradation ladder. The
+    /// default is a passthrough (perfect links, no ARQ) in which the
+    /// streaming pipeline behaves exactly as it did before the
+    /// transport existed.
+    pub transport: TransportConfig,
 }
 
 impl Default for GaliotConfig {
@@ -80,6 +87,7 @@ impl Default for GaliotConfig {
             cloud: CloudParams::default(),
             cloud_workers: 0,
             emulate_backhaul: false,
+            transport: TransportConfig::default(),
         }
     }
 }
@@ -107,6 +115,22 @@ impl GaliotConfig {
         self
     }
 
+    /// Returns the configuration with the streaming backhaul routed
+    /// over a faulty link (data direction uses `faults`; the ack
+    /// direction inherits the same rates under a decorrelated seed)
+    /// with windowed ARQ enabled to repair it.
+    pub fn with_faulty_link(mut self, faults: LinkFaults) -> Self {
+        self.transport = TransportConfig::over_faulty_link(faults);
+        self
+    }
+
+    /// Returns the configuration with an explicit transport setup
+    /// (full control over impairments, ARQ, and degradation knobs).
+    pub fn with_transport(mut self, transport: TransportConfig) -> Self {
+        self.transport = transport;
+        self
+    }
+
     /// The worker count [`crate::StreamingGaliot`] will actually spawn:
     /// `cloud_workers`, with `0` resolved to the machine's available
     /// parallelism.
@@ -130,6 +154,21 @@ mod tests {
         assert_eq!(c.front_end.adc_bits, 8);
         assert_eq!(c.detector, DetectorKind::Universal);
         assert!(c.edge_decoding);
+    }
+
+    #[test]
+    fn default_transport_is_a_passthrough() {
+        let c = GaliotConfig::prototype();
+        assert!(c.transport.is_passthrough());
+        let faulty = c.clone().with_faulty_link(LinkFaults::lossy(0.05, 7));
+        assert!(!faulty.transport.is_passthrough());
+        assert!(faulty.transport.arq.enabled);
+        assert_eq!(faulty.transport.data_faults.loss, 0.05);
+        assert_eq!(faulty.transport.ack_faults.loss, 0.05);
+        assert_ne!(
+            faulty.transport.ack_faults.seed, faulty.transport.data_faults.seed,
+            "ack link must be decorrelated from the data link"
+        );
     }
 
     #[test]

@@ -36,8 +36,12 @@ pub mod metrics;
 pub mod pipeline;
 pub mod sensing;
 pub mod streaming;
+pub mod transport;
 
 pub use config::{DetectorKind, GaliotConfig};
 pub use metrics::{Metrics, SharedMetrics};
 pub use pipeline::{Galiot, PipelineFrame, RunReport};
 pub use streaming::StreamingGaliot;
+pub use transport::{
+    degraded_bits, ArqParams, QueuedSegment, SendQueue, SendQueueTx, TransportConfig,
+};

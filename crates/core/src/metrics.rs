@@ -1,5 +1,17 @@
 //! System metrics: what the experiments measure.
+//!
+//! Counters fall into four groups: detection/decode outcomes, the
+//! streaming pool (per-worker counts, queue high-water marks, busy
+//! time), the DSP engine caches, and — since the fault-tolerant
+//! backhaul — the segment transport: the degradation ladder
+//! (`segments_downgraded`, `segments_shed`, `shipped_by_bits`,
+//! `send_queue_hwm`), the ARQ (`arq_retransmits`, `arq_acked`,
+//! `arq_lost`), and the wire itself (`wire_*`,
+//! `dup_segments_dropped`). The transport accounting invariant —
+//! every shipped segment is decoded by exactly one worker, shed, or
+//! declared lost — is asserted by `tests/transport_conformance.rs`.
 
+use galiot_gateway::LinkStats;
 use galiot_phy::{DecodedFrame, TechId};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -58,6 +70,44 @@ pub struct Metrics {
     pub template_bank_builds: u64,
     /// Template-bank cache hits over the run.
     pub template_bank_hits: u64,
+    /// Segments shipped with fewer compression bits than configured
+    /// because the send queue crossed its high-water mark.
+    pub segments_downgraded: usize,
+    /// Segments shed (dropped before transmission) by the send queue's
+    /// lowest-power-first overflow policy.
+    pub segments_shed: usize,
+    /// Deepest the transport send queue ever got.
+    pub send_queue_hwm: usize,
+    /// Segments shipped, keyed by the compression bits they actually
+    /// used (the degradation ladder makes this non-uniform).
+    pub shipped_by_bits: BTreeMap<u32, u64>,
+    /// ARQ retransmissions performed by the uplink sender.
+    pub arq_retransmits: usize,
+    /// Segments acknowledged end-to-end by the ARQ.
+    pub arq_acked: usize,
+    /// Segments the ARQ declared lost after exhausting retries.
+    pub arq_lost: usize,
+    /// Datagrams offered to the (possibly faulty) wire, both
+    /// directions, including retransmissions.
+    pub wire_datagrams_sent: u64,
+    /// Datagram copies that actually came out of the wire.
+    pub wire_datagrams_delivered: u64,
+    /// Datagrams the wire dropped.
+    pub wire_dropped: u64,
+    /// Datagrams the wire delivered with flipped bits.
+    pub wire_corrupted: u64,
+    /// Extra copies the wire duplicated.
+    pub wire_duplicated: u64,
+    /// Datagrams the wire delivered out of order.
+    pub wire_reordered: u64,
+    /// Payload bytes offered to the wire (pre-impairment, including
+    /// retransmissions).
+    pub wire_bytes_sent: u64,
+    /// Received datagrams rejected by framing/CRC/header validation.
+    pub wire_decode_errors: usize,
+    /// Duplicate segments (same sequence number) the receiver dropped
+    /// before they reached the decode pool.
+    pub dup_segments_dropped: usize,
 }
 
 impl Metrics {
@@ -133,6 +183,35 @@ impl Metrics {
         self.plan_cache_misses += other.plan_cache_misses;
         self.template_bank_builds += other.template_bank_builds;
         self.template_bank_hits += other.template_bank_hits;
+        self.segments_downgraded += other.segments_downgraded;
+        self.segments_shed += other.segments_shed;
+        self.send_queue_hwm = self.send_queue_hwm.max(other.send_queue_hwm);
+        for (k, v) in &other.shipped_by_bits {
+            *self.shipped_by_bits.entry(*k).or_default() += v;
+        }
+        self.arq_retransmits += other.arq_retransmits;
+        self.arq_acked += other.arq_acked;
+        self.arq_lost += other.arq_lost;
+        self.wire_datagrams_sent += other.wire_datagrams_sent;
+        self.wire_datagrams_delivered += other.wire_datagrams_delivered;
+        self.wire_dropped += other.wire_dropped;
+        self.wire_corrupted += other.wire_corrupted;
+        self.wire_duplicated += other.wire_duplicated;
+        self.wire_reordered += other.wire_reordered;
+        self.wire_bytes_sent += other.wire_bytes_sent;
+        self.wire_decode_errors += other.wire_decode_errors;
+        self.dup_segments_dropped += other.dup_segments_dropped;
+    }
+
+    /// Folds a [`LinkStats`] block (one direction of a faulty link)
+    /// into the wire counters.
+    pub fn record_link_stats(&mut self, stats: &LinkStats) {
+        self.wire_datagrams_sent += stats.sent;
+        self.wire_datagrams_delivered += stats.delivered;
+        self.wire_dropped += stats.dropped;
+        self.wire_corrupted += stats.corrupted;
+        self.wire_duplicated += stats.duplicated;
+        self.wire_reordered += stats.reordered;
     }
 
     /// Fraction of FFT plan lookups served from the cache, or `None`
@@ -260,6 +339,53 @@ mod tests {
         assert_eq!(a.total_decoded(), 2);
         assert_eq!(a.samples_processed, 30);
         assert_eq!(a.payload_bits[&TechId::LoRa], 24);
+    }
+
+    #[test]
+    fn transport_counters_merge_and_fold_link_stats() {
+        let mut a = Metrics {
+            segments_shed: 1,
+            arq_retransmits: 2,
+            arq_lost: 1,
+            send_queue_hwm: 3,
+            wire_decode_errors: 4,
+            ..Default::default()
+        };
+        a.shipped_by_bits.insert(8, 5);
+        let mut b = Metrics {
+            segments_downgraded: 2,
+            arq_acked: 7,
+            dup_segments_dropped: 1,
+            send_queue_hwm: 2,
+            ..Default::default()
+        };
+        b.shipped_by_bits.insert(8, 1);
+        b.shipped_by_bits.insert(6, 2);
+        b.record_link_stats(&LinkStats {
+            sent: 10,
+            delivered: 9,
+            dropped: 1,
+            corrupted: 2,
+            duplicated: 1,
+            reordered: 3,
+        });
+        a.merge(&b);
+        assert_eq!(a.segments_shed, 1);
+        assert_eq!(a.segments_downgraded, 2);
+        assert_eq!(a.send_queue_hwm, 3, "hwm merges by max");
+        assert_eq!(a.shipped_by_bits[&8], 6);
+        assert_eq!(a.shipped_by_bits[&6], 2);
+        assert_eq!(a.arq_retransmits, 2);
+        assert_eq!(a.arq_acked, 7);
+        assert_eq!(a.arq_lost, 1);
+        assert_eq!(a.wire_datagrams_sent, 10);
+        assert_eq!(a.wire_datagrams_delivered, 9);
+        assert_eq!(a.wire_dropped, 1);
+        assert_eq!(a.wire_corrupted, 2);
+        assert_eq!(a.wire_duplicated, 1);
+        assert_eq!(a.wire_reordered, 3);
+        assert_eq!(a.wire_decode_errors, 4);
+        assert_eq!(a.dup_segments_dropped, 1);
     }
 
     #[test]

@@ -60,6 +60,10 @@ use std::time::{Duration, Instant};
 use crate::config::GaliotConfig;
 use crate::metrics::SharedMetrics;
 use crate::pipeline::PipelineFrame;
+use crate::transport::{
+    degraded_bits, spawn_arq_receiver, spawn_arq_sender, QueuedSegment, SendQueue, SendQueueTx,
+};
+use std::sync::Arc;
 
 /// Compression block length, matching the batch pipeline's backhaul.
 const COMPRESS_BLOCK: usize = 1024;
@@ -83,6 +87,13 @@ pub struct StreamingGaliot {
     chunk_tx: Option<Sender<Vec<Cf32>>>,
     frames_rx: Receiver<PipelineFrame>,
     gateway: Option<thread::JoinHandle<()>>,
+    /// ARQ sender thread (transport mode only).
+    uplink: Option<thread::JoinHandle<()>>,
+    /// ARQ receiver thread (transport mode only).
+    ingress: Option<thread::JoinHandle<()>>,
+    /// Transport send queue, kept to fold its high-water mark into the
+    /// metrics at join time (transport mode only).
+    send_queue: Option<Arc<SendQueue>>,
     workers: Vec<thread::JoinHandle<()>>,
     reassembly: Option<thread::JoinHandle<()>>,
     metrics: SharedMetrics,
@@ -111,11 +122,77 @@ impl StreamingGaliot {
         // that decodes more frames than the bound.
         let (frames_tx, frames_rx) = unbounded::<PipelineFrame>();
 
+        // Route the gateway→pool segment flow. Passthrough (perfect
+        // links, no ARQ — the default) hands segments straight to the
+        // worker channel exactly as before the transport existed.
+        // Otherwise they go through the send queue → ARQ sender →
+        // FaultyLink wire → ARQ receiver → worker channel.
+        let transport = config.transport;
+        let uplink_bps = config.emulate_backhaul.then_some(config.backhaul_bps);
+        let mut uplink = None;
+        let mut ingress = None;
+        let mut send_queue = None;
+        let shipper = if transport.is_passthrough() {
+            Shipper {
+                mode: ShipMode::Direct(seg_tx),
+                base_bits: config.compression_bits,
+                uplink_bps,
+                metrics: metrics.clone(),
+            }
+        } else {
+            let queue = SendQueue::new(transport.send_queue_cap);
+            let (wire_tx, wire_rx) = bounded::<Vec<u8>>(64);
+            let (ack_tx, ack_rx) = unbounded::<Vec<u8>>();
+            let lost_tx = result_tx.clone();
+            uplink = Some(spawn_arq_sender(
+                queue.clone(),
+                wire_tx,
+                ack_rx,
+                transport.arq,
+                transport.data_faults,
+                uplink_bps,
+                metrics.clone(),
+                // A declared-lost segment still needs its slot in the
+                // in-order reassembly: an empty result models the gap
+                // notice the sender would piggyback on later traffic.
+                move |seq| {
+                    lost_tx
+                        .send(SegmentResult {
+                            seq,
+                            frames: Vec::new(),
+                        })
+                        .is_ok()
+                },
+            ));
+            ingress = Some(spawn_arq_receiver(
+                wire_rx,
+                ack_tx,
+                seg_tx,
+                transport.ack_faults,
+                metrics.clone(),
+            ));
+            send_queue = Some(queue.clone());
+            Shipper {
+                mode: ShipMode::Transport {
+                    tx: SendQueueTx::new(queue),
+                    hwm: transport.degrade_hwm,
+                    cap: transport.send_queue_cap,
+                    min_bits: transport.min_bits,
+                    result_tx: result_tx.clone(),
+                },
+                base_bits: config.compression_bits,
+                // Serialization time is paid on the uplink thread in
+                // transport mode, not in the gateway.
+                uplink_bps: None,
+                metrics: metrics.clone(),
+            }
+        };
+
         let gateway = spawn_gateway(
             &config,
             &registry,
             chunk_rx,
-            seg_tx,
+            shipper,
             result_tx.clone(),
             metrics.clone(),
         );
@@ -144,6 +221,9 @@ impl StreamingGaliot {
             chunk_tx: Some(chunk_tx),
             frames_rx,
             gateway: Some(gateway),
+            uplink,
+            ingress,
+            send_queue,
             workers,
             reassembly: Some(reassembly),
             metrics,
@@ -171,14 +251,29 @@ impl StreamingGaliot {
 
     fn join_all(&mut self) {
         drop(self.chunk_tx.take());
+        // Join order follows the data flow: the gateway closes the send
+        // queue (via its `SendQueueTx`), which ends the uplink, whose
+        // dropped wire sender ends the ingress, whose dropped segment
+        // sender ends the workers, whose dropped result senders end the
+        // reassembly.
         if let Some(g) = self.gateway.take() {
             let _ = g.join();
+        }
+        if let Some(u) = self.uplink.take() {
+            let _ = u.join();
+        }
+        if let Some(i) = self.ingress.take() {
+            let _ = i.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
         if let Some(r) = self.reassembly.take() {
             let _ = r.join();
+        }
+        if let Some(q) = self.send_queue.take() {
+            self.metrics
+                .with(|m| m.send_queue_hwm = m.send_queue_hwm.max(q.high_water_mark()));
         }
         if let Some(before) = self.engine_before.take() {
             self.metrics.with(|m| m.record_engine_stats(&before));
@@ -206,7 +301,7 @@ fn spawn_gateway(
     config: &GaliotConfig,
     registry: &Registry,
     chunk_rx: Receiver<Vec<Cf32>>,
-    seg_tx: Sender<ShippedSegment>,
+    shipper: Shipper,
     result_tx: Sender<SegmentResult>,
     metrics: SharedMetrics,
 ) -> thread::JoinHandle<()> {
@@ -225,7 +320,6 @@ fn spawn_gateway(
             let edge = config.edge_decoding.then(|| {
                 EdgeDecoder::new(registry.clone()).with_cluster_guard_s(config.edge_cluster_guard_s)
             });
-            let uplink_bps = config.emulate_backhaul.then_some(config.backhaul_bps);
 
             // A segment is "settled" once the buffer extends at least
             // this far past it: extraction can then neither lengthen it
@@ -303,27 +397,11 @@ fn spawn_gateway(
                             }
                             continue;
                         }
-                        let shipped = ShippedSegment::pack(
-                            this_seq,
-                            abs_start,
-                            &abs_seg.samples,
-                            config.compression_bits,
-                            COMPRESS_BLOCK,
-                        );
-                        if !ship(&shipped, &seg_tx, &metrics, uplink_bps) {
+                        if !shipper.ship(this_seq, abs_start, &abs_seg.samples) {
                             return false;
                         }
-                    } else {
-                        let shipped = ShippedSegment::pack(
-                            this_seq,
-                            abs_start,
-                            &seg.samples,
-                            config.compression_bits,
-                            COMPRESS_BLOCK,
-                        );
-                        if !ship(&shipped, &seg_tx, &metrics, uplink_bps) {
-                            return false;
-                        }
+                    } else if !shipper.ship(this_seq, abs_start, &seg.samples) {
+                        return false;
                     }
                 }
                 metrics.with(|m| m.gateway_busy_ns += t0.elapsed().as_nanos() as u64);
@@ -352,6 +430,92 @@ fn spawn_gateway(
             }
         })
         .expect("spawn gateway thread")
+}
+
+/// Where the gateway's compressed segments go.
+enum ShipMode {
+    /// Straight into the worker-pool channel (perfect backhaul — the
+    /// historical behavior).
+    Direct(Sender<ShippedSegment>),
+    /// Into the transport send queue, with the compression ladder and
+    /// lowest-power shedding driven by queue depth. The owned
+    /// [`SendQueueTx`] closes the queue when the gateway thread ends,
+    /// however it ends.
+    Transport {
+        tx: SendQueueTx,
+        hwm: usize,
+        cap: usize,
+        min_bits: u32,
+        result_tx: Sender<SegmentResult>,
+    },
+}
+
+/// The gateway's shipping policy: packs a finalized segment at the
+/// right compression level and hands it to whichever path is active.
+struct Shipper {
+    mode: ShipMode,
+    base_bits: u32,
+    uplink_bps: Option<f64>,
+    metrics: SharedMetrics,
+}
+
+impl Shipper {
+    /// Packs and ships one segment. Returns `false` when downstream is
+    /// gone and the gateway should stop.
+    fn ship(&self, seq: u64, abs_start: usize, samples: &[Cf32]) -> bool {
+        match &self.mode {
+            ShipMode::Direct(tx) => {
+                let shipped =
+                    ShippedSegment::pack(seq, abs_start, samples, self.base_bits, COMPRESS_BLOCK);
+                let ok = ship(&shipped, tx, &self.metrics, self.uplink_bps);
+                if ok {
+                    self.metrics
+                        .with(|m| *m.shipped_by_bits.entry(self.base_bits).or_default() += 1);
+                }
+                ok
+            }
+            ShipMode::Transport {
+                tx,
+                hwm,
+                cap,
+                min_bits,
+                result_tx,
+            } => {
+                let depth = tx.queue().len();
+                let bits = degraded_bits(self.base_bits, *min_bits, depth, *hwm, *cap);
+                let shipped = ShippedSegment::pack(seq, abs_start, samples, bits, COMPRESS_BLOCK);
+                let wire = shipped.wire_bytes() as u64;
+                let power =
+                    samples.iter().map(|c| c.norm_sqr()).sum::<f32>() / samples.len().max(1) as f32;
+                self.metrics.with(|m| {
+                    m.shipped_segments += 1;
+                    m.shipped_bytes += wire;
+                    *m.shipped_by_bits.entry(bits).or_default() += 1;
+                    if bits < self.base_bits {
+                        m.segments_downgraded += 1;
+                    }
+                });
+                if let Some(victim) = tx.queue().push(QueuedSegment {
+                    seg: shipped,
+                    power,
+                }) {
+                    // The shed victim's sequence slot still needs a gap
+                    // notice so reassembly can advance past it.
+                    self.metrics.with(|m| m.segments_shed += 1);
+                    if result_tx
+                        .send(SegmentResult {
+                            seq: victim.seg.seq,
+                            frames: Vec::new(),
+                        })
+                        .is_err()
+                    {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
 }
 
 /// Ships one compressed segment towards the worker pool, updating the
@@ -500,7 +664,16 @@ fn spawn_reassembly(
                 true
             };
             while let Ok(result) = result_rx.recv() {
-                pending.insert(result.seq, result.frames);
+                // A sequence number can report twice under the faulty
+                // transport: a segment declared lost by the ARQ (empty
+                // gap notice) can still be delivered late by a
+                // reordering link and decoded. The first report wins;
+                // anything at an already-emitted seq is dropped so the
+                // final flush cannot replay it out of order.
+                if result.seq < next_seq {
+                    continue;
+                }
+                pending.entry(result.seq).or_insert(result.frames);
                 metrics.with(|m| m.reassembly_hwm = m.reassembly_hwm.max(pending.len()));
                 while let Some(frames) = pending.remove(&next_seq) {
                     next_seq += 1;
@@ -600,6 +773,43 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(starts, sorted, "frames out of capture order");
         assert_eq!(frames.len(), 4, "{starts:?}");
+    }
+
+    #[test]
+    fn streaming_over_a_harsh_faulty_link_still_decodes() {
+        use galiot_gateway::LinkFaults;
+        let mut rng = StdRng::seed_from_u64(5);
+        let reg = Registry::prototype();
+        let xbee = reg.get(TechId::XBee).unwrap().clone();
+        let ev = TxEvent::new(xbee, vec![0x5A, 0xA5], 300_000);
+        let np = snr_to_noise_power(15.0, 0.0);
+        let cap = compose(&[ev], 1_200_000, FS, np, &mut rng);
+
+        // 10% loss + corruption/duplication/reordering on both
+        // directions; the ARQ must make the link transparent.
+        let mut config = GaliotConfig::prototype().with_faulty_link(LinkFaults::harsh(0.1, 9));
+        config.edge_decoding = false; // force everything over the wire
+        let sys = StreamingGaliot::start(config, reg);
+        for chunk in cap.samples.chunks(65_536) {
+            sys.push_chunk(chunk.to_vec());
+        }
+        let metrics = sys.metrics().clone();
+        let frames = sys.finish();
+        assert!(
+            frames.iter().any(|f| f.frame.payload == vec![0x5A, 0xA5]),
+            "frame lost to the faulty link: {} frames",
+            frames.len()
+        );
+        let m = metrics.snapshot();
+        assert_eq!(m.arq_lost, 0, "{m:?}");
+        assert_eq!(m.segments_shed, 0, "{m:?}");
+        assert_eq!(m.arq_acked, m.shipped_segments, "{m:?}");
+        assert!(m.wire_datagrams_sent > 0, "{m:?}");
+        assert_eq!(
+            m.shipped_segments,
+            m.per_worker_segments.values().sum::<usize>(),
+            "every shipped segment must reach exactly one worker: {m:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,688 @@
+//! The unreliable-backhaul segment transport: a windowed ARQ sender
+//! and a deduplicating receiver speaking the versioned datagram format
+//! of [`galiot_gateway::backhaul`], plus the gateway-side send queue
+//! whose depth drives graceful degradation (compression step-down,
+//! then lowest-power load shedding).
+//!
+//! # Topology
+//!
+//! ```text
+//!  gateway ──▶ SendQueue ──▶ ARQ sender ══ FaultyLink ══▶ receiver ──▶ worker pool
+//!   (shed          │           ▲   (loss/corrupt/dup/      │ (CRC check,
+//!    lowest        │           │    reorder, seeded)       │  dedup by seq,
+//!    power)        ▼           └──══ FaultyLink ◀══────────┘  ack)
+//!              compression          (acks, lossy too)
+//!              ladder 8→6→4
+//! ```
+//!
+//! The sender keeps at most `window` datagrams in flight, retransmits
+//! on per-segment timeouts with exponential backoff and jitter, and —
+//! after `max_retries` — declares a segment lost and reports the gap
+//! (via the `on_lost` hook) so the reassembly stage can advance past
+//! it instead of stalling. The receiver validates every datagram's
+//! framing and CRC32, acks everything it can parse (acks are cheap and
+//! ack loss is survivable — the sender just retransmits and the
+//! receiver's dedup set absorbs the duplicate), and forwards each
+//! sequence number to the decode pool exactly once.
+//!
+//! Degradation is strictly ordered, per the paper's "bandwidth
+//! limited" uplink: a congested send queue first *costs fidelity*
+//! (fewer bits per I/Q rail, tracked per segment so the cloud decodes
+//! with the right scale), and only sheds whole segments — lowest mean
+//! power first, those are the ones SIC was least likely to save — once
+//! the queue is full.
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use galiot_gateway::{
+    decode_ack, decode_segment, encode_ack, encode_segment, FaultyLink, LinkFaults, ShippedSegment,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::metrics::SharedMetrics;
+
+/// Automatic-repeat-request knobs of the segment transport.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArqParams {
+    /// Whether the sender tracks acks and retransmits at all. Off, the
+    /// transport is fire-and-forget (every loss is silent).
+    pub enabled: bool,
+    /// Maximum unacknowledged segments in flight (1 = stop-and-wait).
+    pub window: usize,
+    /// Initial per-segment retransmit timeout, seconds.
+    pub base_timeout_s: f64,
+    /// Ceiling the exponential backoff saturates at, seconds.
+    pub max_timeout_s: f64,
+    /// Timeout multiplier per retry (exponential backoff).
+    pub backoff: f64,
+    /// Random extra fraction added to each backoff step (decorrelates
+    /// retransmit storms).
+    pub jitter: f64,
+    /// Retransmissions before a segment is declared lost.
+    pub max_retries: u32,
+    /// Seed of the backoff-jitter generator.
+    pub seed: u64,
+}
+
+impl Default for ArqParams {
+    fn default() -> Self {
+        ArqParams {
+            enabled: false,
+            window: 8,
+            base_timeout_s: 0.002,
+            max_timeout_s: 0.25,
+            backoff: 2.0,
+            jitter: 0.5,
+            max_retries: 10,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Full configuration of the gateway→cloud segment transport.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TransportConfig {
+    /// Impairments of the data direction (gateway → cloud).
+    pub data_faults: LinkFaults,
+    /// Impairments of the ack direction (cloud → gateway).
+    pub ack_faults: LinkFaults,
+    /// ARQ behavior.
+    pub arq: ArqParams,
+    /// Send-queue capacity; beyond it the lowest-power queued segment
+    /// is shed.
+    pub send_queue_cap: usize,
+    /// Queue depth at which the compression ladder starts stepping
+    /// down (8→6→4 bits).
+    pub degrade_hwm: usize,
+    /// Floor of the compression ladder, bits per I/Q rail.
+    pub min_bits: u32,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            data_faults: LinkFaults::none(),
+            ack_faults: LinkFaults::none(),
+            arq: ArqParams::default(),
+            send_queue_cap: 32,
+            degrade_hwm: 8,
+            min_bits: 4,
+        }
+    }
+}
+
+impl TransportConfig {
+    /// Whether the streaming pipeline can skip the transport entirely
+    /// (perfect links, no ARQ): segments then flow straight from the
+    /// gateway to the worker pool exactly as before this subsystem.
+    pub fn is_passthrough(&self) -> bool {
+        !self.arq.enabled && self.data_faults.is_perfect() && self.ack_faults.is_perfect()
+    }
+
+    /// ARQ over perfect links — exercises the wire codec and windowed
+    /// delivery without impairments.
+    pub fn reliable() -> Self {
+        TransportConfig {
+            arq: ArqParams {
+                enabled: true,
+                ..ArqParams::default()
+            },
+            ..TransportConfig::default()
+        }
+    }
+
+    /// ARQ over a faulty data link (the ack direction inherits the
+    /// same impairment rates under a decorrelated seed).
+    pub fn over_faulty_link(faults: LinkFaults) -> Self {
+        TransportConfig {
+            data_faults: faults,
+            ack_faults: LinkFaults {
+                seed: faults.seed ^ 0x9E37_79B9_7F4A_7C15,
+                ..faults
+            },
+            arq: ArqParams {
+                enabled: true,
+                ..ArqParams::default()
+            },
+            ..TransportConfig::default()
+        }
+    }
+}
+
+/// The compression ladder: how many bits per I/Q rail a segment gets,
+/// given the current send-queue depth. Below `hwm` the configured
+/// `base` is used; past `hwm` compression steps down two bits; midway
+/// between `hwm` and `cap` it drops to `floor` (shedding takes over at
+/// `cap` itself).
+pub fn degraded_bits(base: u32, floor: u32, depth: usize, hwm: usize, cap: usize) -> u32 {
+    let floor = floor.clamp(1, base.max(1));
+    let hwm = hwm.max(1);
+    let second = (hwm + cap.saturating_sub(hwm) / 2).max(hwm + 1);
+    if depth >= second {
+        floor
+    } else if depth >= hwm {
+        base.saturating_sub(2).max(floor)
+    } else {
+        base
+    }
+}
+
+/// One segment queued for transmission, annotated with the mean power
+/// the shedding policy ranks by.
+#[derive(Clone, Debug)]
+pub struct QueuedSegment {
+    /// The compressed segment to ship.
+    pub seg: ShippedSegment,
+    /// Mean power of the segment's samples before compression.
+    pub power: f32,
+}
+
+struct SqState {
+    q: VecDeque<QueuedSegment>,
+    closed: bool,
+    hwm: usize,
+}
+
+/// The gateway-side send queue: bounded, never blocks the producer —
+/// overflow sheds the lowest-power queued segment instead (decode
+/// effort goes to the segments SIC has the best chance on).
+pub struct SendQueue {
+    state: Mutex<SqState>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl SendQueue {
+    /// Creates a queue holding at most `cap` segments (min 1).
+    pub fn new(cap: usize) -> Arc<Self> {
+        Arc::new(SendQueue {
+            state: Mutex::new(SqState {
+                q: VecDeque::new(),
+                closed: false,
+                hwm: 0,
+            }),
+            ready: Condvar::new(),
+            cap: cap.max(1),
+        })
+    }
+
+    /// Enqueues a segment. Returns the shed victim — the lowest-power
+    /// segment, possibly the one just pushed — when the queue was
+    /// already full; the caller must account for the victim (its
+    /// sequence number still needs a gap notice downstream).
+    pub fn push(&self, item: QueuedSegment) -> Option<QueuedSegment> {
+        let mut st = self.state.lock().unwrap();
+        st.q.push_back(item);
+        st.hwm = st.hwm.max(st.q.len());
+        let victim = if st.q.len() > self.cap {
+            let (idx, _) =
+                st.q.iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        a.power
+                            .partial_cmp(&b.power)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .expect("queue cannot be empty right after a push");
+            st.q.remove(idx)
+        } else {
+            None
+        };
+        drop(st);
+        self.ready.notify_one();
+        victim
+    }
+
+    /// Dequeues the oldest segment, blocking while the queue is empty
+    /// and open. `None` means closed and drained.
+    pub fn pop(&self) -> Option<QueuedSegment> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.q.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).unwrap();
+        }
+    }
+
+    /// Dequeues without blocking.
+    pub fn try_pop(&self) -> Option<QueuedSegment> {
+        self.state.lock().unwrap().q.pop_front()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().q.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Deepest the queue ever got.
+    pub fn high_water_mark(&self) -> usize {
+        self.state.lock().unwrap().hwm
+    }
+
+    /// Closes the queue; `pop` returns `None` once drained.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// Producer handle that closes the queue when dropped, so the consumer
+/// side always observes end-of-stream even if the producer thread
+/// bails early.
+pub struct SendQueueTx(Arc<SendQueue>);
+
+impl SendQueueTx {
+    /// Wraps a queue in a closing producer handle.
+    pub fn new(queue: Arc<SendQueue>) -> Self {
+        SendQueueTx(queue)
+    }
+
+    /// The underlying queue.
+    pub fn queue(&self) -> &SendQueue {
+        &self.0
+    }
+}
+
+impl Drop for SendQueueTx {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+/// A datagram tracked by the ARQ window.
+struct Flight {
+    bytes: Vec<u8>,
+    retries: u32,
+    timeout: Duration,
+    deadline: Instant,
+}
+
+/// Offers `bytes` to the lossy link and forwards whatever comes out.
+/// Returns `false` when the far end is gone.
+fn push_link(
+    link: &mut FaultyLink,
+    bytes: &[u8],
+    wire_tx: &Sender<Vec<u8>>,
+    metrics: &SharedMetrics,
+) -> bool {
+    metrics.with(|m| m.wire_bytes_sent += bytes.len() as u64);
+    for d in link.transmit(bytes) {
+        if wire_tx.send(d).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+/// Spawns the ARQ sender: pulls segments off the send queue, keeps up
+/// to `arq.window` datagrams in flight over the (possibly faulty) data
+/// link, retransmits on timeout with exponential backoff + jitter, and
+/// declares a segment lost after `arq.max_retries` — invoking
+/// `on_lost(seq)` so downstream reassembly can tolerate the gap
+/// (return `false` from the hook to stop the sender). With
+/// `serialize_bps` set, each datagram also pays its real-time
+/// serialization delay on the uplink.
+#[allow(clippy::too_many_arguments)] // one endpoint per wiring half: queue + 2 channels + knobs
+pub fn spawn_arq_sender(
+    queue: Arc<SendQueue>,
+    wire_tx: Sender<Vec<u8>>,
+    ack_rx: Receiver<Vec<u8>>,
+    arq: ArqParams,
+    faults: LinkFaults,
+    serialize_bps: Option<f64>,
+    metrics: SharedMetrics,
+    on_lost: impl Fn(u64) -> bool + Send + 'static,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("galiot-uplink".into())
+        .spawn(move || {
+            let mut link = FaultyLink::new(faults);
+            let mut rng = StdRng::seed_from_u64(arq.seed);
+            let mut in_flight: BTreeMap<u64, Flight> = BTreeMap::new();
+            let max_timeout = Duration::from_secs_f64(arq.max_timeout_s.max(arq.base_timeout_s));
+
+            'run: loop {
+                // Top the window up (ARQ off: everything is
+                // fire-and-forget, the window stays empty).
+                while !arq.enabled || in_flight.len() < arq.window.max(1) {
+                    let item = if in_flight.is_empty() {
+                        match queue.pop() {
+                            Some(item) => item,
+                            None => break 'run, // closed and drained
+                        }
+                    } else {
+                        match queue.try_pop() {
+                            Some(item) => item,
+                            None => break,
+                        }
+                    };
+                    let bytes = encode_segment(&item.seg);
+                    if let Some(bps) = serialize_bps {
+                        thread::sleep(Duration::from_secs_f64(bytes.len() as f64 * 8.0 / bps));
+                    }
+                    if !push_link(&mut link, &bytes, &wire_tx, &metrics) {
+                        break 'run;
+                    }
+                    if arq.enabled {
+                        let timeout = Duration::from_secs_f64(
+                            arq.base_timeout_s * (1.0 + arq.jitter * rng.gen::<f64>()),
+                        );
+                        in_flight.insert(
+                            item.seg.seq,
+                            Flight {
+                                bytes,
+                                retries: 0,
+                                timeout,
+                                deadline: Instant::now() + timeout,
+                            },
+                        );
+                    }
+                }
+                if in_flight.is_empty() {
+                    continue;
+                }
+
+                // Wait for acks until the earliest retransmit deadline.
+                let deadline = in_flight
+                    .values()
+                    .map(|f| f.deadline)
+                    .min()
+                    .expect("in_flight is non-empty");
+                let wait = deadline.saturating_duration_since(Instant::now());
+                match ack_rx.recv_timeout(wait) {
+                    Ok(bytes) => match decode_ack(&bytes) {
+                        Ok(seq) => {
+                            if in_flight.remove(&seq).is_some() {
+                                metrics.with(|m| m.arq_acked += 1);
+                            }
+                        }
+                        Err(_) => metrics.with(|m| m.wire_decode_errors += 1),
+                    },
+                    Err(RecvTimeoutError::Timeout) => {
+                        let now = Instant::now();
+                        let expired: Vec<u64> = in_flight
+                            .iter()
+                            .filter(|(_, f)| f.deadline <= now)
+                            .map(|(s, _)| *s)
+                            .collect();
+                        for seq in expired {
+                            let f = in_flight.get_mut(&seq).expect("expired seq is in flight");
+                            if f.retries >= arq.max_retries {
+                                in_flight.remove(&seq);
+                                metrics.with(|m| m.arq_lost += 1);
+                                if !on_lost(seq) {
+                                    break 'run;
+                                }
+                            } else {
+                                f.retries += 1;
+                                f.timeout = f
+                                    .timeout
+                                    .mul_f64(arq.backoff * (1.0 + arq.jitter * rng.gen::<f64>()))
+                                    .min(max_timeout);
+                                f.deadline = now + f.timeout;
+                                let bytes = f.bytes.clone();
+                                metrics.with(|m| m.arq_retransmits += 1);
+                                if let Some(bps) = serialize_bps {
+                                    thread::sleep(Duration::from_secs_f64(
+                                        bytes.len() as f64 * 8.0 / bps,
+                                    ));
+                                }
+                                if !push_link(&mut link, &bytes, &wire_tx, &metrics) {
+                                    break 'run;
+                                }
+                            }
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // Receiver is gone (pool shutdown): nothing
+                        // will ever be acked again.
+                        break 'run;
+                    }
+                }
+            }
+
+            // Traffic over: flush delay-jittered copies still inside
+            // the link model.
+            for d in link.drain() {
+                if wire_tx.send(d).is_err() {
+                    break;
+                }
+            }
+            metrics.with(|m| m.record_link_stats(&link.stats));
+        })
+        .expect("spawn ARQ sender thread")
+}
+
+/// Spawns the cloud-ingress ARQ receiver: validates every datagram
+/// (framing + CRC32 + header consistency), acks everything parseable
+/// over the (possibly faulty) ack link, drops duplicates by sequence
+/// number, and forwards each unique segment to the decode pool.
+pub fn spawn_arq_receiver(
+    wire_rx: Receiver<Vec<u8>>,
+    ack_tx: Sender<Vec<u8>>,
+    seg_tx: Sender<ShippedSegment>,
+    ack_faults: LinkFaults,
+    metrics: SharedMetrics,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("galiot-ingress".into())
+        .spawn(move || {
+            let mut ack_link = FaultyLink::new(ack_faults);
+            // Every sequence number ever forwarded. One u64 per shipped
+            // segment for the run — the price of exactly-once delivery
+            // into the pool under duplication and sender re-sends.
+            let mut seen: HashSet<u64> = HashSet::new();
+            while let Ok(bytes) = wire_rx.recv() {
+                match decode_segment(&bytes) {
+                    Ok(seg) => {
+                        // Ack first, even for duplicates: the original
+                        // ack may have been the casualty.
+                        for d in ack_link.transmit(&encode_ack(seg.seq)) {
+                            let _ = ack_tx.send(d);
+                        }
+                        if !seen.insert(seg.seq) {
+                            metrics.with(|m| m.dup_segments_dropped += 1);
+                            continue;
+                        }
+                        if seg_tx.send(seg).is_err() {
+                            break; // pool is gone
+                        }
+                        let depth = seg_tx.len();
+                        metrics.with(|m| m.seg_queue_hwm = m.seg_queue_hwm.max(depth));
+                    }
+                    Err(_) => metrics.with(|m| m.wire_decode_errors += 1),
+                }
+            }
+            // Late acks for traffic the sender no longer waits on are
+            // harmless; flush the ack link's jitter buffer anyway.
+            for d in ack_link.drain() {
+                let _ = ack_tx.send(d);
+            }
+            metrics.with(|m| m.record_link_stats(&ack_link.stats));
+        })
+        .expect("spawn ARQ receiver thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel::{bounded, unbounded};
+    use galiot_dsp::Cf32;
+
+    fn seg(seq: u64, amp: f32, n: usize) -> QueuedSegment {
+        let samples: Vec<Cf32> = (0..n).map(|i| Cf32::cis(i as f32 * 0.3) * amp).collect();
+        QueuedSegment {
+            seg: ShippedSegment::pack(seq, seq as usize * 1000, &samples, 8, 64),
+            power: amp * amp,
+        }
+    }
+
+    #[test]
+    fn degradation_ladder_steps_8_6_4() {
+        // Defaults: hwm 8, cap 32 → second threshold at 20.
+        assert_eq!(degraded_bits(8, 4, 0, 8, 32), 8);
+        assert_eq!(degraded_bits(8, 4, 7, 8, 32), 8);
+        assert_eq!(degraded_bits(8, 4, 8, 8, 32), 6);
+        assert_eq!(degraded_bits(8, 4, 19, 8, 32), 6);
+        assert_eq!(degraded_bits(8, 4, 20, 8, 32), 4);
+        assert_eq!(degraded_bits(8, 4, 1000, 8, 32), 4);
+        // The floor is respected even when base-2 would undershoot it.
+        assert_eq!(degraded_bits(5, 4, 8, 8, 32), 4);
+        // Degenerate hwm never divides by zero or exceeds base.
+        assert_eq!(degraded_bits(8, 4, 5, 0, 4), 4);
+    }
+
+    #[test]
+    fn send_queue_sheds_the_lowest_power_segment() {
+        let q = SendQueue::new(2);
+        assert!(q.push(seg(0, 1.0, 64)).is_none());
+        assert!(q.push(seg(1, 0.1, 64)).is_none());
+        // Overflow: seq 1 is the quietest of the three → shed.
+        let victim = q.push(seg(2, 0.5, 64)).expect("must shed");
+        assert_eq!(victim.seg.seq, 1);
+        assert_eq!(q.len(), 2);
+        // An incoming segment quieter than everything queued sheds
+        // itself.
+        let victim = q.push(seg(3, 0.01, 64)).expect("must shed");
+        assert_eq!(victim.seg.seq, 3);
+        let order: Vec<u64> = std::iter::from_fn(|| q.try_pop())
+            .map(|i| i.seg.seq)
+            .collect();
+        assert_eq!(order, vec![0, 2], "FIFO among survivors");
+    }
+
+    #[test]
+    fn send_queue_close_wakes_blocked_consumer() {
+        let q = SendQueue::new(4);
+        let q2 = q.clone();
+        let consumer = thread::spawn(move || {
+            let first = q2.pop();
+            let second = q2.pop();
+            (first.map(|i| i.seg.seq), second.map(|i| i.seg.seq))
+        });
+        q.push(seg(7, 1.0, 32));
+        let tx = SendQueueTx::new(q.clone());
+        assert_eq!(tx.queue().high_water_mark(), 1);
+        drop(tx); // closing handle → consumer unblocks with None
+        let (first, second) = consumer.join().unwrap();
+        assert_eq!(first, Some(7));
+        assert_eq!(second, None);
+    }
+
+    /// End-to-end ARQ over a 30 % lossy link with duplication and
+    /// reordering: every segment must reach the pool exactly once.
+    #[test]
+    fn arq_delivers_everything_over_a_bad_link() {
+        let metrics = SharedMetrics::new();
+        let q = SendQueue::new(64);
+        let (wire_tx, wire_rx) = bounded::<Vec<u8>>(64);
+        let (ack_tx, ack_rx) = unbounded::<Vec<u8>>();
+        let (seg_tx, seg_rx) = unbounded::<ShippedSegment>();
+        let faults = LinkFaults::harsh(0.3, 41);
+        let arq = ArqParams {
+            enabled: true,
+            base_timeout_s: 0.005,
+            ..ArqParams::default()
+        };
+        let sender = spawn_arq_sender(
+            q.clone(),
+            wire_tx,
+            ack_rx,
+            arq,
+            faults,
+            None,
+            metrics.clone(),
+            |_| true,
+        );
+        let receiver = spawn_arq_receiver(
+            wire_rx,
+            ack_tx,
+            seg_tx,
+            LinkFaults::lossy(0.2, 77),
+            metrics.clone(),
+        );
+
+        let n = 24u64;
+        for i in 0..n {
+            assert!(q.push(seg(i, 1.0, 128)).is_none(), "no shedding expected");
+        }
+        q.close();
+        sender.join().unwrap();
+        receiver.join().unwrap();
+
+        let mut got: Vec<u64> = seg_rx.try_iter().map(|s| s.seq).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<u64>>(), "exactly-once delivery");
+        let m = metrics.snapshot();
+        assert_eq!(m.arq_lost, 0, "{m:?}");
+        assert_eq!(m.arq_acked as u64, n, "{m:?}");
+        assert!(m.arq_retransmits > 0, "a 30% link must retransmit: {m:?}");
+        assert!(m.wire_dropped > 0 && m.wire_bytes_sent > 0, "{m:?}");
+    }
+
+    /// With retries disabled over a one-way lossy link, exactly the
+    /// dropped data datagrams are declared lost — no silent gaps.
+    #[test]
+    fn zero_retry_arq_declares_exactly_the_dropped_segments() {
+        let metrics = SharedMetrics::new();
+        let q = SendQueue::new(64);
+        let (wire_tx, wire_rx) = bounded::<Vec<u8>>(64);
+        let (ack_tx, ack_rx) = unbounded::<Vec<u8>>();
+        let (seg_tx, seg_rx) = unbounded::<ShippedSegment>();
+        let lost = Arc::new(Mutex::new(Vec::<u64>::new()));
+        let lost2 = lost.clone();
+        let arq = ArqParams {
+            enabled: true,
+            max_retries: 0,
+            base_timeout_s: 0.020,
+            ..ArqParams::default()
+        };
+        let sender = spawn_arq_sender(
+            q.clone(),
+            wire_tx,
+            ack_rx,
+            arq,
+            LinkFaults::lossy(0.4, 23),
+            None,
+            metrics.clone(),
+            move |seq| {
+                lost2.lock().unwrap().push(seq);
+                true
+            },
+        );
+        let receiver =
+            spawn_arq_receiver(wire_rx, ack_tx, seg_tx, LinkFaults::none(), metrics.clone());
+
+        let n = 30u64;
+        for i in 0..n {
+            q.push(seg(i, 1.0, 64));
+        }
+        q.close();
+        sender.join().unwrap();
+        receiver.join().unwrap();
+
+        let delivered: HashSet<u64> = seg_rx.try_iter().map(|s| s.seq).collect();
+        let mut declared: Vec<u64> = lost.lock().unwrap().clone();
+        declared.sort_unstable();
+        let mut missing: Vec<u64> = (0..n).filter(|s| !delivered.contains(s)).collect();
+        missing.sort_unstable();
+        assert_eq!(declared, missing, "declared-lost ≠ actually-missing");
+        assert!(!declared.is_empty(), "a 40% link should have dropped some");
+        let m = metrics.snapshot();
+        assert_eq!(m.arq_lost, declared.len());
+        assert_eq!(m.arq_acked as u64 + m.arq_lost as u64, n);
+    }
+}

@@ -1,16 +1,24 @@
-//! Backhaul: I/Q compression and the bandwidth-limited home uplink.
+//! Backhaul: I/Q compression, the segment wire codec, and models of
+//! the bandwidth-limited (and unreliable) home uplink.
 //!
 //! Streaming raw 1 Msps complex floats is 64 Mb/s — already beyond many
 //! home uplinks, and the paper notes raw multi-technology captures
 //! "could be huge (tens of Gbps)". The gateway therefore ships only
 //! detected segments, re-quantized to a few bits with a per-block
-//! scale. This module implements that wire format and a simple
-//! serialization-delay model of the cable uplink.
+//! scale. This module implements that compression, the versioned
+//! datagram format segments travel in ([`encode_segment`] /
+//! [`decode_segment`], CRC32-protected and length-framed), a
+//! serialization-delay model of the cable uplink ([`Backhaul`]), and a
+//! deterministic impairment model of a *bad* uplink ([`FaultyLink`]:
+//! loss, bit corruption, duplication, reordering) that the streaming
+//! pipeline's ARQ layer is tested against.
 
 use galiot_dsp::Cf32;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Compressed representation of one I/Q segment.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CompressedSegment {
     /// Bits per I (and per Q) sample.
     pub bits: u32,
@@ -86,32 +94,120 @@ pub fn compress(samples: &[Cf32], bits: u32, block_len: usize) -> CompressedSegm
     }
 }
 
-/// Reconstructs samples from a compressed segment.
-pub fn decompress(c: &CompressedSegment) -> Vec<Cf32> {
-    let levels = ((1u32 << c.bits) / 2) as f32;
-    let mask = (1u32 << c.bits) - 1;
-    let mut out = Vec::with_capacity(c.len);
+/// Why a [`CompressedSegment`] header is internally inconsistent and
+/// cannot be decoded safely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CodecError {
+    /// `bits` outside the supported 1..=16 range.
+    BadBits,
+    /// `block_len` is zero.
+    BadBlockLen,
+    /// `scales` holds a different number of entries than
+    /// `len.div_ceil(block_len)` blocks require.
+    ScaleCountMismatch,
+    /// `data` is not exactly the packed size `len` samples at `bits`
+    /// bits per rail occupy.
+    DataLenMismatch,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            CodecError::BadBits => "bits per rail outside 1..=16",
+            CodecError::BadBlockLen => "zero block length",
+            CodecError::ScaleCountMismatch => "scale count disagrees with len/block_len",
+            CodecError::DataLenMismatch => "packed data size disagrees with len and bits",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Exact byte count `len` samples occupy at `bits` bits per I/Q rail.
+fn packed_len(len: usize, bits: u32) -> usize {
+    (2 * len * bits as usize).div_ceil(8)
+}
+
+/// The shared unpacking loop. `bits`, `block_len`, `scales` and `data`
+/// must already be sanitized: `1 <= bits <= 16`, `block_len >= 1`, and
+/// out-of-range scale or data reads are tolerated (missing scales read
+/// as 0, missing bytes as 0).
+fn unpack_codes(bits: u32, block_len: usize, scales: &[f32], data: &[u8], len: usize) -> Vec<Cf32> {
+    let levels = ((1u32 << bits) / 2) as f32;
+    let mask = (1u32 << bits) - 1;
+    let mut out = Vec::with_capacity(len);
     let mut acc: u32 = 0;
     let mut nbits: u32 = 0;
-    let mut byte_iter = c.data.iter();
+    let mut byte_iter = data.iter();
     let mut next_code = || -> u16 {
-        while nbits < c.bits {
+        while nbits < bits {
             acc |= (*byte_iter.next().unwrap_or(&0) as u32) << nbits;
             nbits += 8;
         }
         let code = (acc & mask) as u16;
-        acc >>= c.bits;
-        nbits -= c.bits;
+        acc >>= bits;
+        nbits -= bits;
         code
     };
-    for i in 0..c.len {
-        let scale = c.scales[i / c.block_len];
+    for i in 0..len {
+        let scale = scales.get(i / block_len).copied().unwrap_or(0.0);
         let dq = |code: u16| -> f32 { ((code as f32 - (levels - 0.5)) / (levels - 0.5)) * scale };
         let re = dq(next_code());
         let im = dq(next_code());
         out.push(Cf32::new(re, im));
     }
     out
+}
+
+/// Validates a compressed segment's header before decoding.
+///
+/// A hostile or corrupted header whose `scales`/`len`/`data` disagree
+/// must not be trusted: the unchecked decode loop would index past the
+/// packed codes (or past `scales`). Wire-facing paths use this; a
+/// trusted in-process segment can keep calling [`decompress`].
+pub fn validate_header(c: &CompressedSegment) -> Result<(), CodecError> {
+    if !(1..=16).contains(&c.bits) {
+        return Err(CodecError::BadBits);
+    }
+    if c.block_len == 0 {
+        return Err(CodecError::BadBlockLen);
+    }
+    if c.scales.len() != c.len.div_ceil(c.block_len) {
+        return Err(CodecError::ScaleCountMismatch);
+    }
+    if c.data.len() != packed_len(c.len, c.bits) {
+        return Err(CodecError::DataLenMismatch);
+    }
+    Ok(())
+}
+
+/// Reconstructs samples from a compressed segment, rejecting
+/// inconsistent headers instead of reading out of bounds.
+pub fn try_decompress(c: &CompressedSegment) -> Result<Vec<Cf32>, CodecError> {
+    validate_header(c)?;
+    Ok(unpack_codes(c.bits, c.block_len, &c.scales, &c.data, c.len))
+}
+
+/// Reconstructs samples from a compressed segment.
+///
+/// Never panics: a segment whose header is internally inconsistent
+/// (mismatched `scales`/`len`/`data`, zero `block_len`, out-of-range
+/// `bits`) is decoded tolerantly — missing scales read as zero and
+/// missing code bytes as silence — so the output always has the
+/// declared `len`. Use [`try_decompress`] when the segment crossed a
+/// wire and inconsistency should be surfaced as an error.
+pub fn decompress(c: &CompressedSegment) -> Vec<Cf32> {
+    match try_decompress(c) {
+        Ok(out) => out,
+        Err(_) => unpack_codes(
+            c.bits.clamp(1, 16),
+            c.block_len.max(1),
+            &c.scales,
+            &c.data,
+            c.len,
+        ),
+    }
 }
 
 /// One unit of gateway→cloud traffic: a compressed segment plus the
@@ -123,7 +219,7 @@ pub fn decompress(c: &CompressedSegment) -> Vec<Cf32> {
 /// decode worker finishes first. `start` locates the segment in
 /// absolute capture coordinates so decoded frame offsets survive the
 /// trip.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShippedSegment {
     /// Gateway emission sequence number (0-based, dense).
     pub seq: u64,
@@ -155,6 +251,434 @@ impl ShippedSegment {
     }
 }
 
+// ---------------------------------------------------------------------
+// Wire codec: versioned datagrams with length framing and CRC32.
+// ---------------------------------------------------------------------
+
+/// CRC32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 (IEEE 802.3) of `bytes` — the checksum every backhaul
+/// datagram carries in its trailer.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Magic prefix of every backhaul datagram.
+pub const WIRE_MAGIC: [u8; 4] = *b"GIoT";
+/// Current wire-format version.
+pub const WIRE_VERSION: u8 = 1;
+/// Datagram kind byte: a shipped segment.
+const KIND_DATA: u8 = 1;
+/// Datagram kind byte: an acknowledgement.
+const KIND_ACK: u8 = 2;
+/// Fixed header: magic(4) + version(1) + kind(1) + reserved(2).
+const HEADER_LEN: usize = 8;
+/// Data datagram fields after the header: seq(8) + start(8) + bits(4)
+/// + block_len(4) + len(8) + n_scales(4) + data_len(4).
+const DATA_FIELDS_LEN: usize = 40;
+/// CRC32 trailer length.
+const TRAILER_LEN: usize = 4;
+
+/// Why a received datagram was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Shorter than the smallest well-formed datagram of its kind.
+    TooShort,
+    /// Magic prefix mismatch.
+    BadMagic,
+    /// Unknown wire-format version.
+    BadVersion,
+    /// Unknown datagram kind, or the kind the caller did not expect.
+    BadKind,
+    /// The datagram length disagrees with the lengths its header
+    /// declares (truncated or padded in transit).
+    LengthMismatch,
+    /// CRC32 trailer mismatch (bits flipped in transit).
+    BadCrc,
+    /// The framing was intact but the decoded header is internally
+    /// inconsistent.
+    Header(CodecError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::TooShort => f.write_str("datagram too short"),
+            WireError::BadMagic => f.write_str("bad magic"),
+            WireError::BadVersion => f.write_str("unsupported wire version"),
+            WireError::BadKind => f.write_str("unexpected datagram kind"),
+            WireError::LengthMismatch => f.write_str("length framing mismatch"),
+            WireError::BadCrc => f.write_str("CRC32 mismatch"),
+            WireError::Header(e) => write!(f, "inconsistent segment header: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+fn get_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+fn header(kind: u8) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.push(WIRE_VERSION);
+    out.push(kind);
+    out.extend_from_slice(&[0, 0]);
+    out
+}
+
+/// Checks the fixed header and returns the datagram kind.
+fn check_header(bytes: &[u8]) -> Result<u8, WireError> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(WireError::TooShort);
+    }
+    if bytes[..4] != WIRE_MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    if bytes[4] != WIRE_VERSION {
+        return Err(WireError::BadVersion);
+    }
+    let kind = bytes[5];
+    if kind != KIND_DATA && kind != KIND_ACK {
+        return Err(WireError::BadKind);
+    }
+    Ok(kind)
+}
+
+/// Verifies the CRC32 trailer over everything before it.
+fn check_crc(bytes: &[u8]) -> Result<(), WireError> {
+    let body = bytes.len() - TRAILER_LEN;
+    if crc32(&bytes[..body]) != get_u32(bytes, body) {
+        return Err(WireError::BadCrc);
+    }
+    Ok(())
+}
+
+/// Serializes a shipped segment into one versioned, CRC32-protected,
+/// length-framed datagram (the actual on-the-wire representation —
+/// [`ShippedSegment::wire_bytes`] is the pre-existing analytic
+/// estimate and stays slightly smaller).
+pub fn encode_segment(seg: &ShippedSegment) -> Vec<u8> {
+    let c = &seg.compressed;
+    let mut out = header(KIND_DATA);
+    out.reserve(DATA_FIELDS_LEN + 4 * c.scales.len() + c.data.len() + TRAILER_LEN);
+    put_u64(&mut out, seg.seq);
+    put_u64(&mut out, seg.start as u64);
+    put_u32(&mut out, c.bits);
+    put_u32(&mut out, c.block_len as u32);
+    put_u64(&mut out, c.len as u64);
+    put_u32(&mut out, c.scales.len() as u32);
+    put_u32(&mut out, c.data.len() as u32);
+    for s in &c.scales {
+        put_u32(&mut out, s.to_bits());
+    }
+    out.extend_from_slice(&c.data);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Parses and validates one data datagram back into a
+/// [`ShippedSegment`].
+///
+/// Every failure mode is an `Err`, never a panic or garbage samples:
+/// framing is checked against the declared lengths, the CRC32 trailer
+/// catches corruption, and the decoded header must satisfy
+/// [`validate_header`] before any sample is reconstructed.
+pub fn decode_segment(bytes: &[u8]) -> Result<ShippedSegment, WireError> {
+    if check_header(bytes)? != KIND_DATA {
+        return Err(WireError::BadKind);
+    }
+    if bytes.len() < HEADER_LEN + DATA_FIELDS_LEN + TRAILER_LEN {
+        return Err(WireError::TooShort);
+    }
+    let f = HEADER_LEN;
+    let n_scales = get_u32(bytes, f + 32) as usize;
+    let data_len = get_u32(bytes, f + 36) as usize;
+    let expect = HEADER_LEN + DATA_FIELDS_LEN + 4 * n_scales + data_len + TRAILER_LEN;
+    if bytes.len() != expect {
+        return Err(WireError::LengthMismatch);
+    }
+    check_crc(bytes)?;
+    let seq = get_u64(bytes, f);
+    let start = get_u64(bytes, f + 8) as usize;
+    let bits = get_u32(bytes, f + 16);
+    let block_len = get_u32(bytes, f + 20) as usize;
+    let len = get_u64(bytes, f + 24) as usize;
+    let scales_at = f + DATA_FIELDS_LEN;
+    let scales: Vec<f32> = (0..n_scales)
+        .map(|i| f32::from_bits(get_u32(bytes, scales_at + 4 * i)))
+        .collect();
+    let data = bytes[scales_at + 4 * n_scales..bytes.len() - TRAILER_LEN].to_vec();
+    let compressed = CompressedSegment {
+        bits,
+        scales,
+        block_len,
+        data,
+        len,
+    };
+    validate_header(&compressed).map_err(WireError::Header)?;
+    Ok(ShippedSegment {
+        seq,
+        start,
+        compressed,
+    })
+}
+
+/// Serializes an acknowledgement for sequence number `seq`.
+pub fn encode_ack(seq: u64) -> Vec<u8> {
+    let mut out = header(KIND_ACK);
+    put_u64(&mut out, seq);
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    out
+}
+
+/// Parses and validates one ack datagram, returning the acked
+/// sequence number.
+pub fn decode_ack(bytes: &[u8]) -> Result<u64, WireError> {
+    if check_header(bytes)? != KIND_ACK {
+        return Err(WireError::BadKind);
+    }
+    if bytes.len() != HEADER_LEN + 8 + TRAILER_LEN {
+        return Err(WireError::LengthMismatch);
+    }
+    check_crc(bytes)?;
+    Ok(get_u64(bytes, HEADER_LEN))
+}
+
+// ---------------------------------------------------------------------
+// FaultyLink: a deterministic, seedable impairment model.
+// ---------------------------------------------------------------------
+
+/// Impairment rates of an unreliable backhaul link. All probabilities
+/// are per datagram and independently drawn from a seeded generator,
+/// so a given `(faults, traffic)` pair always misbehaves identically.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a datagram is silently dropped.
+    pub loss: f64,
+    /// Probability a surviving datagram has 1–3 random bits flipped.
+    pub corrupt: f64,
+    /// Probability a surviving datagram is delivered twice.
+    pub duplicate: f64,
+    /// Probability a surviving copy is held back and delivered after
+    /// up to [`LinkFaults::jitter_depth`] later datagrams (delay
+    /// jitter expressed in queue positions, which is what reorders).
+    pub reorder: f64,
+    /// Maximum datagrams a held-back copy can lag.
+    pub jitter_depth: usize,
+    /// Seed of the link's fault generator.
+    pub seed: u64,
+}
+
+impl LinkFaults {
+    /// A perfect link: nothing dropped, corrupted, duplicated or
+    /// reordered.
+    pub fn none() -> Self {
+        LinkFaults {
+            loss: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            jitter_depth: 0,
+            seed: 0,
+        }
+    }
+
+    /// A link that only loses datagrams, at rate `loss`.
+    pub fn lossy(loss: f64, seed: u64) -> Self {
+        LinkFaults {
+            loss,
+            seed,
+            ..LinkFaults::none()
+        }
+    }
+
+    /// A link with every impairment on at the given base rate: loss at
+    /// `rate`, corruption/duplication/reordering at `rate / 2`, delay
+    /// jitter up to 3 queue positions.
+    pub fn harsh(rate: f64, seed: u64) -> Self {
+        LinkFaults {
+            loss: rate,
+            corrupt: rate / 2.0,
+            duplicate: rate / 2.0,
+            reorder: rate / 2.0,
+            jitter_depth: 3,
+            seed,
+        }
+    }
+
+    /// Whether this link never misbehaves.
+    pub fn is_perfect(&self) -> bool {
+        self.loss <= 0.0 && self.corrupt <= 0.0 && self.duplicate <= 0.0 && self.reorder <= 0.0
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// Counters of what a [`FaultyLink`] did to the traffic it carried.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Datagrams offered to the link.
+    pub sent: u64,
+    /// Datagram copies that came out the far end.
+    pub delivered: u64,
+    /// Datagrams silently dropped.
+    pub dropped: u64,
+    /// Delivered copies with flipped bits.
+    pub corrupted: u64,
+    /// Extra copies delivered by duplication.
+    pub duplicated: u64,
+    /// Copies delivered out of order.
+    pub reordered: u64,
+}
+
+impl LinkStats {
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.corrupted += other.corrupted;
+        self.duplicated += other.duplicated;
+        self.reordered += other.reordered;
+    }
+}
+
+/// A deterministic unreliable link: datagrams go in, and a possibly
+/// smaller, corrupted, duplicated and reordered set comes out.
+///
+/// The model is synchronous so tests stay deterministic: each
+/// [`FaultyLink::transmit`] returns the datagrams arriving *now*
+/// (after this send), and held-back copies ride out with later
+/// transmits. [`FaultyLink::drain`] flushes whatever is still in
+/// flight when traffic stops.
+#[derive(Debug)]
+pub struct FaultyLink {
+    faults: LinkFaults,
+    rng: StdRng,
+    /// Held-back copies: (transmits remaining before release, bytes).
+    held: Vec<(usize, Vec<u8>)>,
+    /// What the link has done so far.
+    pub stats: LinkStats,
+}
+
+impl FaultyLink {
+    /// Creates a link with the given impairment rates, seeded from
+    /// `faults.seed`.
+    pub fn new(faults: LinkFaults) -> Self {
+        FaultyLink {
+            rng: StdRng::seed_from_u64(faults.seed),
+            faults,
+            held: Vec::new(),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Offers one datagram; returns every datagram that arrives at the
+    /// far end as a consequence (possibly none, possibly several,
+    /// possibly older held-back traffic).
+    pub fn transmit(&mut self, datagram: &[u8]) -> Vec<Vec<u8>> {
+        self.stats.sent += 1;
+        let mut out: Vec<Vec<u8>> = Vec::new();
+
+        if self.rng.gen_bool(self.faults.loss.clamp(0.0, 1.0)) {
+            self.stats.dropped += 1;
+        } else {
+            let mut copy = datagram.to_vec();
+            if !copy.is_empty() && self.rng.gen_bool(self.faults.corrupt.clamp(0.0, 1.0)) {
+                let flips = self.rng.gen_range(1usize..=3);
+                for _ in 0..flips {
+                    let bit = self.rng.gen_range(0..copy.len() * 8);
+                    copy[bit / 8] ^= 1 << (bit % 8);
+                }
+                self.stats.corrupted += 1;
+            }
+            let copies = if self.rng.gen_bool(self.faults.duplicate.clamp(0.0, 1.0)) {
+                self.stats.duplicated += 1;
+                2
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                let depth = self.faults.jitter_depth;
+                if depth > 0 && self.rng.gen_bool(self.faults.reorder.clamp(0.0, 1.0)) {
+                    let lag = self.rng.gen_range(1..=depth);
+                    self.held.push((lag, copy.clone()));
+                    self.stats.reordered += 1;
+                } else {
+                    out.push(copy.clone());
+                }
+            }
+        }
+
+        // Age held-back copies; release the expired ones *after* the
+        // current datagram so they genuinely arrive late.
+        let mut still_held = Vec::new();
+        for (lag, bytes) in self.held.drain(..) {
+            if lag <= 1 {
+                out.push(bytes);
+            } else {
+                still_held.push((lag - 1, bytes));
+            }
+        }
+        self.held = still_held;
+
+        self.stats.delivered += out.len() as u64;
+        out
+    }
+
+    /// Flushes every held-back copy (the link going idle long enough
+    /// that all delayed traffic lands).
+    pub fn drain(&mut self) -> Vec<Vec<u8>> {
+        let out: Vec<Vec<u8>> = self.held.drain(..).map(|(_, b)| b).collect();
+        self.stats.delivered += out.len() as u64;
+        out
+    }
+}
+
 /// A bandwidth-limited uplink with FIFO serialization.
 #[derive(Clone, Debug)]
 pub struct Backhaul {
@@ -181,6 +705,7 @@ impl Backhaul {
     /// Creates a backhaul with the given rate and latency.
     pub fn new(rate_bps: f64, latency_s: f64) -> Self {
         assert!(rate_bps > 0.0, "rate must be positive");
+        assert!(latency_s >= 0.0, "latency must be non-negative and finite");
         Backhaul {
             rate_bps,
             latency_s,
@@ -191,8 +716,19 @@ impl Backhaul {
 
     /// Ships `bytes` at time `now_s`; returns the arrival time at the
     /// cloud, accounting for queueing behind earlier transfers.
+    ///
+    /// The busy-until clock is monotone by construction: a `now_s`
+    /// earlier than a previous call (callers iterating segments out of
+    /// capture order, or a non-finite timestamp) is clamped to the
+    /// clock instead of rewinding it, so arrival times never run
+    /// backwards across calls.
     pub fn ship(&mut self, bytes: usize, now_s: f64) -> f64 {
-        let start = now_s.max(self.queued_until_s);
+        let now = if now_s.is_finite() {
+            now_s
+        } else {
+            self.queued_until_s
+        };
+        let start = now.max(self.queued_until_s);
         let tx_time = bytes as f64 * 8.0 / self.rate_bps;
         self.queued_until_s = start + tx_time;
         self.bytes_shipped += bytes as u64;
@@ -309,5 +845,233 @@ mod tests {
     #[should_panic(expected = "bits")]
     fn rejects_zero_bits() {
         let _ = compress(&tone(10, 1.0), 0, 4);
+    }
+
+    // --- clock monotonicity regression (PR 3 bugfix) ---
+
+    #[test]
+    fn ship_clock_never_runs_backwards() {
+        let mut b = Backhaul::new(8e6, 0.010); // 1 MB/s
+        let t1 = b.ship(500_000, 1.0);
+        // A caller handing in an *earlier* timestamp must queue behind
+        // the first transfer, not rewind the busy-until clock.
+        let t2 = b.ship(500_000, 0.25);
+        assert!(t2 > t1, "arrival ran backwards: {t2} < {t1}");
+        // Non-finite timestamps are clamped to the clock.
+        let t3 = b.ship(500_000, f64::NAN);
+        let t4 = b.ship(500_000, f64::NEG_INFINITY);
+        assert!(t3 > t2 && t4 > t3);
+        // Queue opened at now=1.0; four 0.5 s transfers back to back.
+        assert!((t4 - (1.0 + 4.0 * 0.5 + 0.010)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency")]
+    fn rejects_negative_latency() {
+        let _ = Backhaul::new(1e6, -0.5);
+    }
+
+    // --- header validation (PR 3 bugfix: decompress trusted the
+    // header and could index past the packed codes) ---
+
+    #[test]
+    fn mismatched_scales_decompress_without_panic() {
+        let mut c = compress(&tone(1000, 0.5), 8, 100);
+        c.scales.truncate(3); // header now lies: 10 blocks, 3 scales
+        assert_eq!(
+            validate_header(&c),
+            Err(CodecError::ScaleCountMismatch),
+            "inconsistency must be detectable"
+        );
+        assert!(try_decompress(&c).is_err());
+        // The tolerant decoder survives and keeps the declared length.
+        assert_eq!(decompress(&c).len(), 1000);
+    }
+
+    #[test]
+    fn zero_block_len_decompresses_without_panic() {
+        let mut c = compress(&tone(64, 0.5), 6, 16);
+        c.block_len = 0;
+        assert_eq!(try_decompress(&c), Err(CodecError::BadBlockLen));
+        assert_eq!(decompress(&c).len(), 64);
+    }
+
+    #[test]
+    fn hostile_bits_decompress_without_panic() {
+        let mut c = compress(&tone(64, 0.5), 8, 16);
+        c.bits = 31; // would shift-overflow the unchecked decoder
+        assert_eq!(try_decompress(&c), Err(CodecError::BadBits));
+        assert_eq!(decompress(&c).len(), 64);
+    }
+
+    #[test]
+    fn data_length_mismatch_is_an_error_not_a_guess() {
+        let mut c = compress(&tone(256, 0.5), 8, 64);
+        c.data.truncate(c.data.len() - 5);
+        assert_eq!(try_decompress(&c), Err(CodecError::DataLenMismatch));
+        assert_eq!(decompress(&c).len(), 256);
+    }
+
+    #[test]
+    fn consistent_segments_validate_and_roundtrip() {
+        let sig = tone(777, 0.8);
+        let c = compress(&sig, 7, 50);
+        assert_eq!(validate_header(&c), Ok(()));
+        assert_eq!(try_decompress(&c).unwrap().len(), sig.len());
+    }
+
+    // --- wire codec ---
+
+    #[test]
+    fn wire_roundtrip_is_byte_exact() {
+        let sig = tone(1234, 0.6);
+        let seg = ShippedSegment::pack(42, 98_765, &sig, 8, 256);
+        let bytes = encode_segment(&seg);
+        let back = decode_segment(&bytes).unwrap();
+        assert_eq!(back.seq, 42);
+        assert_eq!(back.start, 98_765);
+        assert_eq!(back.compressed.bits, 8);
+        assert_eq!(back.compressed.scales, seg.compressed.scales);
+        assert_eq!(back.compressed.data, seg.compressed.data);
+        assert_eq!(encode_segment(&back), bytes);
+    }
+
+    #[test]
+    fn wire_rejects_any_single_bit_flip() {
+        let seg = ShippedSegment::pack(7, 1000, &tone(200, 0.5), 6, 64);
+        let clean = encode_segment(&seg);
+        // Flip a bit in a few representative regions: magic, kind,
+        // each header field, a scale, the payload, the CRC itself.
+        for &at in &[0, 5, 9, 30, 49, clean.len() / 2, clean.len() - 1] {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x10;
+            assert!(
+                decode_segment(&bytes).is_err(),
+                "flip at byte {at} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn wire_rejects_truncation_and_padding() {
+        let seg = ShippedSegment::pack(7, 1000, &tone(100, 0.5), 8, 64);
+        let clean = encode_segment(&seg);
+        for keep in [0, 3, 11, clean.len() - 1] {
+            assert!(decode_segment(&clean[..keep]).is_err());
+        }
+        let mut padded = clean.clone();
+        padded.push(0);
+        assert!(decode_segment(&padded).is_err());
+    }
+
+    #[test]
+    fn ack_roundtrips_and_kinds_do_not_cross() {
+        let ack = encode_ack(u64::MAX - 3);
+        assert_eq!(decode_ack(&ack).unwrap(), u64::MAX - 3);
+        assert_eq!(decode_segment(&ack), Err(WireError::BadKind));
+        let seg = encode_segment(&ShippedSegment::pack(1, 0, &tone(10, 0.5), 8, 8));
+        assert_eq!(decode_ack(&seg), Err(WireError::BadKind));
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The classic IEEE 802.3 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    // --- FaultyLink ---
+
+    #[test]
+    fn perfect_link_is_transparent() {
+        let mut link = FaultyLink::new(LinkFaults::none());
+        for i in 0..50u8 {
+            let out = link.transmit(&[i]);
+            assert_eq!(out, vec![vec![i]]);
+        }
+        assert!(link.drain().is_empty());
+        assert_eq!(link.stats.sent, 50);
+        assert_eq!(link.stats.delivered, 50);
+        assert_eq!(link.stats.dropped + link.stats.corrupted, 0);
+    }
+
+    #[test]
+    fn lossy_link_drops_at_roughly_the_configured_rate() {
+        let mut link = FaultyLink::new(LinkFaults::lossy(0.2, 99));
+        let mut delivered = 0usize;
+        for i in 0..1000u32 {
+            delivered += link.transmit(&i.to_le_bytes()).len();
+        }
+        assert_eq!(link.stats.dropped as usize + delivered, 1000);
+        assert!(
+            (150..=250).contains(&(1000 - delivered)),
+            "dropped {}",
+            1000 - delivered
+        );
+    }
+
+    #[test]
+    fn faulty_link_is_deterministic_for_a_seed() {
+        let run = |seed: u64| -> Vec<Vec<u8>> {
+            let mut link = FaultyLink::new(LinkFaults::harsh(0.2, seed));
+            let mut out = Vec::new();
+            for i in 0..200u32 {
+                out.extend(link.transmit(&i.to_le_bytes()));
+            }
+            out.extend(link.drain());
+            out
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6), "different seeds should diverge");
+    }
+
+    #[test]
+    fn harsh_link_reorders_and_duplicates() {
+        let mut link = FaultyLink::new(LinkFaults::harsh(0.3, 11));
+        let mut arrivals: Vec<u32> = Vec::new();
+        for i in 0..400u32 {
+            for d in link.transmit(&i.to_le_bytes()) {
+                arrivals.push(u32::from_le_bytes(d[..4].try_into().unwrap()));
+            }
+        }
+        for d in link.drain() {
+            arrivals.push(u32::from_le_bytes(d[..4].try_into().unwrap()));
+        }
+        assert!(link.stats.duplicated > 0, "{:?}", link.stats);
+        assert!(link.stats.reordered > 0, "{:?}", link.stats);
+        assert!(link.stats.dropped > 0, "{:?}", link.stats);
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        assert_ne!(arrivals, sorted, "no reordering ever observed");
+        // Nothing stuck: every non-dropped datagram eventually arrived.
+        assert_eq!(
+            link.stats.delivered,
+            400 - link.stats.dropped + link.stats.duplicated
+        );
+    }
+
+    #[test]
+    fn corrupting_link_defeats_neither_crc_nor_framing() {
+        let mut link = FaultyLink::new(LinkFaults {
+            corrupt: 1.0,
+            ..LinkFaults::none()
+        });
+        let seg = ShippedSegment::pack(3, 500, &tone(300, 0.5), 8, 64);
+        let clean = encode_segment(&seg);
+        let mut mangled = 0;
+        for _ in 0..50 {
+            for d in link.transmit(&clean) {
+                // (An even number of flips landing on one bit can
+                // cancel; only actually-mangled copies must be caught.)
+                if d != clean {
+                    mangled += 1;
+                    assert!(
+                        decode_segment(&d).is_err(),
+                        "a corrupted datagram slipped past CRC32"
+                    );
+                }
+            }
+        }
+        assert!(mangled >= 45, "corrupt=1.0 barely corrupted: {mangled}");
     }
 }

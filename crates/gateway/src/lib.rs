@@ -17,7 +17,11 @@ pub mod extract;
 pub mod frontend;
 pub mod universal;
 
-pub use backhaul::{compress, decompress, Backhaul, CompressedSegment, ShippedSegment};
+pub use backhaul::{
+    compress, crc32, decode_ack, decode_segment, decompress, encode_ack, encode_segment,
+    try_decompress, validate_header, Backhaul, CodecError, CompressedSegment, FaultyLink,
+    LinkFaults, LinkStats, ShippedSegment, WireError,
+};
 pub use detect::{score_detections, Detection, EnergyDetector, MatchedFilterBank, PacketDetector};
 pub use edge::{EdgeDecoder, EdgeOutcome, EdgeReport, DEFAULT_CLUSTER_GUARD_S};
 pub use extract::{extract, shipped_fraction, ExtractParams, Segment};

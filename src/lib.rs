@@ -43,9 +43,11 @@ pub use galiot_phy as phy;
 pub mod prelude {
     pub use galiot_channel::{compose, forced_collision, snr_to_noise_power, TxEvent};
     pub use galiot_cloud::{CloudDecoder, Recovery};
-    pub use galiot_core::{DetectorKind, Galiot, GaliotConfig, StreamingGaliot};
+    pub use galiot_core::{
+        ArqParams, DetectorKind, Galiot, GaliotConfig, StreamingGaliot, TransportConfig,
+    };
     pub use galiot_dsp::Cf32;
-    pub use galiot_gateway::{PacketDetector, UniversalDetector};
+    pub use galiot_gateway::{LinkFaults, PacketDetector, UniversalDetector};
     pub use galiot_phy::registry::Registry;
     pub use galiot_phy::{DecodedFrame, TechId, Technology};
 }

@@ -6,7 +6,10 @@
 use galiot::dsp::corr::{ncc_real, xcorr_direct, xcorr_fft};
 use galiot::dsp::fft::Fft;
 use galiot::dsp::Cf32;
-use galiot::gateway::{compress, decompress, CompressedSegment, ShippedSegment};
+use galiot::gateway::{
+    compress, decode_ack, decode_segment, decompress, encode_ack, encode_segment, try_decompress,
+    validate_header, CompressedSegment, ShippedSegment,
+};
 use galiot::phy::bits::{
     bits_to_bytes_lsb, bits_to_bytes_msb, bytes_to_bits_lsb, bytes_to_bits_msb, manchester_decode,
     manchester_encode, Pn9,
@@ -257,6 +260,107 @@ proptest! {
         };
         let out = decompress(&c);
         prop_assert_eq!(out.len(), len);
+    }
+}
+
+proptest! {
+    // Versioned wire codec: framing, CRC and header validation must be
+    // byte-exact on the happy path and reject — never panic on — any
+    // single-bit corruption, truncation or padding.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn wire_encoding_roundtrips_byte_exact(
+        res in proptest::collection::vec(-3.0f32..3.0, 0..400),
+        bits in 1u32..17,
+        block_exp in 0u32..9,
+        seq in any::<u64>(),
+        start in 0usize..1_000_000,
+    ) {
+        let sig: Vec<Cf32> = res.iter().map(|&r| Cf32::new(r, r * 0.4 - 0.2)).collect();
+        let seg = ShippedSegment::pack(seq, start, &sig, bits, 1usize << block_exp);
+        let wire = encode_segment(&seg);
+        let back = decode_segment(&wire).expect("clean datagram must decode");
+        prop_assert_eq!(&back, &seg);
+        // Determinism: re-encoding the decoded segment is the identity
+        // on bytes, so retransmissions are bit-identical.
+        prop_assert_eq!(encode_segment(&back), wire);
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected(
+        res in proptest::collection::vec(-2.0f32..2.0, 1..200),
+        seq in any::<u64>(),
+        flip in any::<usize>(),
+    ) {
+        let sig: Vec<Cf32> = res.iter().map(|&r| Cf32::new(r, -r)).collect();
+        let mut wire = encode_segment(&ShippedSegment::pack(seq, 0, &sig, 8, 64));
+        let bit = flip % (wire.len() * 8);
+        wire[bit / 8] ^= 1 << (bit % 8);
+        // CRC32 has Hamming distance ≥ 4 at these datagram sizes, and
+        // header fields are cross-checked: one flipped bit can never
+        // slip through, and must never panic the decoder.
+        prop_assert!(decode_segment(&wire).is_err());
+    }
+
+    #[test]
+    fn truncated_or_padded_datagrams_are_rejected(
+        res in proptest::collection::vec(-2.0f32..2.0, 1..200),
+        cut in 1usize..64,
+        pad in 1usize..16,
+    ) {
+        let sig: Vec<Cf32> = res.iter().map(|&r| Cf32::new(r * 0.5, r)).collect();
+        let wire = encode_segment(&ShippedSegment::pack(3, 9, &sig, 6, 32));
+        let truncated = &wire[..wire.len().saturating_sub(cut)];
+        prop_assert!(decode_segment(truncated).is_err());
+        let mut padded = wire.clone();
+        padded.extend(std::iter::repeat_n(0xA5u8, pad));
+        prop_assert!(decode_segment(&padded).is_err());
+    }
+
+    #[test]
+    fn acks_roundtrip_and_reject_any_bit_flip(seq in any::<u64>(), flip in any::<usize>()) {
+        let wire = encode_ack(seq);
+        prop_assert_eq!(decode_ack(&wire).expect("clean ack"), seq);
+        let mut bad = wire.clone();
+        let bit = flip % (bad.len() * 8);
+        bad[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(decode_ack(&bad).is_err());
+        // An ack is never a segment and vice versa.
+        prop_assert!(decode_segment(&wire).is_err());
+    }
+
+    #[test]
+    fn inconsistent_headers_fail_validation_but_decode_tolerantly(
+        res in proptest::collection::vec(-1.0f32..1.0, 1..300),
+        extra_scales in 1usize..8,
+        shrink_data in 1usize..32,
+    ) {
+        // Regression for the decompress-trusts-its-header bug: a header
+        // whose scale count or data length disagrees with `len` must be
+        // an explicit decode error, while the tolerant path still
+        // yields the declared sample count without panicking.
+        let sig: Vec<Cf32> = res.iter().map(|&r| Cf32::new(r, r)).collect();
+        let clean = compress(&sig, 8, 64);
+        prop_assert!(validate_header(&clean).is_ok());
+
+        let mut more_scales = clean.clone();
+        more_scales.scales.extend(std::iter::repeat_n(1.0f32, extra_scales));
+        prop_assert!(validate_header(&more_scales).is_err());
+        prop_assert!(try_decompress(&more_scales).is_err());
+        prop_assert_eq!(decompress(&more_scales).len(), sig.len());
+
+        let mut short_data = clean.clone();
+        let keep = short_data.data.len().saturating_sub(shrink_data);
+        short_data.data.truncate(keep);
+        prop_assert!(validate_header(&short_data).is_err());
+        prop_assert!(try_decompress(&short_data).is_err());
+        prop_assert_eq!(decompress(&short_data).len(), sig.len());
+
+        let mut bad_bits = clean;
+        bad_bits.bits = 0;
+        prop_assert!(validate_header(&bad_bits).is_err());
+        prop_assert_eq!(decompress(&bad_bits).len(), sig.len());
     }
 }
 

@@ -17,6 +17,7 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct State<T> {
         queue: VecDeque<T>,
@@ -61,6 +62,15 @@ pub mod channel {
     pub enum TryRecvError {
         /// The channel is currently empty but still connected.
         Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout elapsed.
+        Timeout,
         /// The channel is empty and all senders are gone.
         Disconnected,
     }
@@ -145,6 +155,36 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 st = self.inner.not_empty.wait(st).unwrap();
+            }
+        }
+
+        /// Receives one message, blocking at most `timeout`. Matches
+        /// `crossbeam-channel`: returns [`RecvTimeoutError::Timeout`]
+        /// when the deadline passes with the channel still connected,
+        /// [`RecvTimeoutError::Disconnected`] when it is empty and
+        /// every sender is gone.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut st = self.inner.state.lock().unwrap();
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.inner.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timed_out) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(st, deadline - now)
+                    .unwrap();
+                st = guard;
             }
         }
 
@@ -320,6 +360,35 @@ pub mod channel {
             drop(tx);
             let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
             assert_eq!(total, 100);
+        }
+
+        #[test]
+        fn recv_timeout_times_out_then_delivers() {
+            use std::time::Duration;
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn recv_timeout_wakes_on_send_from_other_thread() {
+            use std::time::Duration;
+            let (tx, rx) = bounded::<u8>(1);
+            let sender = thread::spawn(move || {
+                thread::sleep(Duration::from_millis(20));
+                tx.send(5).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(5));
+            sender.join().unwrap();
         }
 
         #[test]
