@@ -1,0 +1,171 @@
+//! End-to-end stage latency profile of the streaming pipeline, plus
+//! the trace-overhead regression gate.
+//!
+//! Runs a seeded three-technology collision workload through the full
+//! streaming system (gateway → ARQ transport → worker pool →
+//! reassembly) inside a trace session and reports p50/p95/p99/max per
+//! stage. Then measures what the instrumentation costs when *disabled*
+//! — the paper's gateway is a constrained box, so spans must be free
+//! when nobody is looking — and fails the run if the traced-but-idle
+//! detector is more than 3% slower than the span-free baseline.
+//!
+//! Writes `BENCH_pr4.json` (stage summaries + overhead numbers) and
+//! `trace_pr4.json` (chrome://tracing timeline of the workload).
+//! Usage: `pipeline_trace [trials] [seed]` or `--trials N --seed S`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use galiot_bench::{parse_args, tsv_row};
+use galiot_channel::{compose, forced_collision, snr_to_noise_power, TxEvent};
+use galiot_core::{GaliotConfig, StreamingGaliot, TransportConfig};
+use galiot_gateway::{LinkFaults, PacketDetector, UniversalDetector};
+use galiot_phy::registry::Registry;
+use galiot_phy::TechId;
+use galiot_trace::{Stage, TraceSession};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FS: f64 = 1_000_000.0;
+/// Disabled-path overhead budget: 3% over the uninstrumented baseline.
+const OVERHEAD_BUDGET: f64 = 0.03;
+
+/// The seeded workload: all three prototype technologies, one forced
+/// cross-technology collision cluster plus separated traffic, so every
+/// pipeline stage (including SIC and the kill filters) gets samples.
+fn workload(seed: u64) -> Vec<galiot_dsp::Cf32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let registry = Registry::prototype();
+    let mut events = forced_collision(&registry, 10, &[0.0, 1.0], 20_000, 50_000, &mut rng);
+    let lora = registry.get(TechId::LoRa).unwrap().clone();
+    let zwave = registry.get(TechId::ZWave).unwrap().clone();
+    events.push(TxEvent::new(lora, vec![0x5A; 12], 300_000));
+    events.push(TxEvent::new(zwave, vec![0xA5; 6], 650_000));
+    let np = snr_to_noise_power(25.0, 0.0);
+    compose(&events, 1_000_000, FS, np, &mut rng).samples
+}
+
+fn main() {
+    let (trials, seed) = parse_args(3, 4040);
+    let samples = workload(seed);
+
+    // ── Traced run: the stage latency profile ────────────────────────
+    let mut t = TransportConfig::over_faulty_link(LinkFaults::none());
+    t.arq.base_timeout_s = 0.050;
+    let mut config = GaliotConfig::prototype()
+        .with_cloud_workers(2)
+        .with_transport(t);
+    config.edge_decoding = false;
+
+    let session = TraceSession::start();
+    let sys = StreamingGaliot::start(config, Registry::prototype());
+    let metrics = sys.metrics().clone();
+    for c in samples.chunks(65_536) {
+        sys.push_chunk(c.to_vec());
+    }
+    let frames = sys.finish();
+    let trace = session.finish();
+    let mut m = metrics.snapshot();
+    m.record_trace(&trace);
+
+    trace
+        .write_chrome_trace(std::path::Path::new("trace_pr4.json"))
+        .expect("write trace_pr4.json");
+
+    println!("# pipeline_trace: seed={seed} frames={}", frames.len());
+    tsv_row(&["stage", "count", "p50_ns", "p95_ns", "p99_ns", "max_ns"]);
+    for (stage, h) in trace.stage_histograms() {
+        if h.count() == 0 {
+            continue;
+        }
+        let s = h.summary();
+        tsv_row(&[
+            stage.name().to_string(),
+            s.count.to_string(),
+            s.p50_ns.to_string(),
+            s.p95_ns.to_string(),
+            s.p99_ns.to_string(),
+            s.max_ns.to_string(),
+        ]);
+    }
+
+    // ── Overhead regression: disabled tracing must be near-free ──────
+    // `detect_raw` is the span-free inherent method; the trait `detect`
+    // adds the (currently disabled — the session above is finished)
+    // span guard. Best-of-N wall time for each, interleaved so thermal
+    // or scheduler drift hits both sides alike.
+    assert!(!galiot_trace::enabled(), "session leaked into the bench");
+    let registry = Registry::prototype();
+    let detector = UniversalDetector::new(&registry, FS, 0.0);
+    let detections = detector.detect_raw(&samples, FS).len();
+    let mut best_raw = u64::MAX;
+    let mut best_disabled = u64::MAX;
+    for _ in 0..trials.max(3) {
+        let t0 = Instant::now();
+        let d = detector.detect_raw(&samples, FS);
+        best_raw = best_raw.min(t0.elapsed().as_nanos() as u64);
+        assert_eq!(d.len(), detections, "detector is nondeterministic");
+        let t0 = Instant::now();
+        let d = detector.detect(&samples, FS);
+        best_disabled = best_disabled.min(t0.elapsed().as_nanos() as u64);
+        assert_eq!(d.len(), detections, "span wrapper changed the result");
+    }
+    let overhead = best_disabled as f64 / best_raw as f64 - 1.0;
+    println!(
+        "# overhead: raw={best_raw}ns disabled={best_disabled}ns ({:+.2}%)",
+        overhead * 100.0
+    );
+
+    // ── BENCH_pr4.json ───────────────────────────────────────────────
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"pipeline_trace\",\n  \"seed\": {seed},\n  \
+         \"samples\": {},\n  \"frames\": {},\n  \"shipped_segments\": {},\n  \
+         \"sic_rounds\": {},\n  \"kill_applications\": {},\n  \
+         \"span_records\": {},\n  \"event_records\": {},\n  \"stages\": {{",
+        samples.len(),
+        frames.len(),
+        m.shipped_segments,
+        m.sic_rounds,
+        m.kill_applications,
+        trace.spans.len(),
+        trace.events.len(),
+    );
+    let mut first = true;
+    for (stage, h) in trace.stage_histograms() {
+        if h.count() == 0 {
+            continue;
+        }
+        if !first {
+            json.push(',');
+        }
+        first = false;
+        json.push_str("\n    ");
+        json.push_str(&galiot_trace::export::summary_json(stage.name(), h));
+    }
+    let _ = write!(
+        json,
+        "\n  }},\n  \"overhead\": {{\n    \"baseline_detect_raw_ns\": {best_raw},\n    \
+         \"tracing_disabled_detect_ns\": {best_disabled},\n    \
+         \"overhead_fraction\": {overhead:.6},\n    \
+         \"budget_fraction\": {OVERHEAD_BUDGET}\n  }}\n}}\n"
+    );
+    std::fs::write("BENCH_pr4.json", &json).expect("write BENCH_pr4.json");
+    println!("# wrote BENCH_pr4.json and trace_pr4.json");
+
+    // Sanity: the workload exercised the cloud tier at all.
+    assert!(m.shipped_segments > 0, "nothing shipped: {m}");
+    assert!(m.sic_rounds > 0, "no SIC rounds on a collision workload");
+    assert!(
+        trace.histogram(Stage::WorkerDecode).count() > 0,
+        "no worker-decode spans recorded"
+    );
+    // The regression gate itself.
+    assert!(
+        overhead <= OVERHEAD_BUDGET,
+        "disabled tracing costs {:.2}% (> {:.0}% budget): {best_disabled}ns vs {best_raw}ns",
+        overhead * 100.0,
+        OVERHEAD_BUDGET * 100.0
+    );
+}

@@ -19,3 +19,21 @@ pub use collide::{compose, random_payload, snr_to_noise_power, Capture, TruthRec
 pub use impair::Impairments;
 pub use noise::{add_awgn, add_awgn_snr, awgn};
 pub use traffic::{forced_collision, generate, TrafficParams};
+
+/// The seed a test scenario should use: its fixed `default`, unless
+/// `GALIOT_TEST_SEED` is set — in which case the override is
+/// XOR-combined with the default, so a single environment value sweeps
+/// every scenario while distinct scenarios stay distinct.
+///
+/// Companion to `GALIOT_FAULT_SEED` (which sweeps link-impairment
+/// patterns only); both are documented in EXPERIMENTS.md. Golden-vector
+/// tests deliberately do *not* use this — their seeds are pinned.
+pub fn scenario_seed(default: u64) -> u64 {
+    match std::env::var("GALIOT_TEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(sweep) => sweep ^ default,
+        None => default,
+    }
+}

@@ -114,6 +114,11 @@ impl CloudDecoder {
         let mut already: Vec<(TechId, Vec<u8>)> = Vec::new();
 
         while result.rounds < self.params.max_rounds {
+            // One span per *successful* round, so the sic_round
+            // histogram count reconciles exactly with `rounds`; the
+            // final nothing-left probe is discarded.
+            let round_span =
+                galiot_trace::span(galiot_trace::Stage::SicRound, galiot_trace::NO_SEQ);
             let candidates = classify(
                 &residual,
                 fs,
@@ -121,6 +126,7 @@ impl CloudDecoder {
                 self.params.classify_threshold,
             );
             if candidates.is_empty() {
+                round_span.discard();
                 break;
             }
             let mut round: Option<(DecodedFrame, Recovery)> = None;
@@ -184,7 +190,10 @@ impl CloudDecoder {
                     result.frames.push((frame, how));
                     result.rounds += 1;
                 }
-                None => break,
+                None => {
+                    round_span.discard();
+                    break;
+                }
             }
         }
         result

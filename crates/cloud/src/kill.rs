@@ -368,6 +368,7 @@ pub fn apply_kill(
     grid_start: usize,
     span: std::ops::Range<usize>,
 ) -> Vec<Cf32> {
+    let _span = galiot_trace::span(galiot_trace::Stage::KillFilter, galiot_trace::NO_SEQ);
     match tech.kill_recipe(fs) {
         KillRecipe::Frequency(bands) => kill_frequency(samples, fs, &bands),
         KillRecipe::Css {

@@ -57,34 +57,34 @@ pub fn sic_decode(segment: &[Cf32], fs: f64, registry: &Registry, params: &SicPa
     let mut already: Vec<(TechId, Vec<u8>)> = Vec::new();
 
     while result.rounds < params.max_rounds {
-        let candidates = classify(&residual, fs, registry, params.classify_threshold);
-        // Strict SIC: only the strongest remaining signal is eligible.
-        let Some(strongest) = candidates.first() else {
+        // One span per successful round (the stall probe is
+        // discarded), mirroring the CloudDecode instrumentation.
+        let round_span = galiot_trace::span(galiot_trace::Stage::SicRound, galiot_trace::NO_SEQ);
+        let frame = (|| {
+            let candidates = classify(&residual, fs, registry, params.classify_threshold);
+            // Strict SIC: only the strongest remaining signal is eligible.
+            let strongest = candidates.first()?;
+            let tech = registry.get(strongest.tech)?;
+            let frame = tech.demodulate(&residual, fs).ok()?;
+            if already
+                .iter()
+                .any(|(t, p)| *t == frame.tech && *p == frame.payload)
+            {
+                return None;
+            }
+            cancel_frame(
+                &mut residual,
+                tech.as_ref(),
+                &frame,
+                fs,
+                params.cancel_slack,
+            )?;
+            Some(frame)
+        })();
+        let Some(frame) = frame else {
+            round_span.discard();
             break;
         };
-        let Some(tech) = registry.get(strongest.tech) else {
-            break;
-        };
-        let Ok(frame) = tech.demodulate(&residual, fs) else {
-            break;
-        };
-        if already
-            .iter()
-            .any(|(t, p)| *t == frame.tech && *p == frame.payload)
-        {
-            break;
-        }
-        if cancel_frame(
-            &mut residual,
-            tech.as_ref(),
-            &frame,
-            fs,
-            params.cancel_slack,
-        )
-        .is_none()
-        {
-            break;
-        }
         already.push((frame.tech, frame.payload.clone()));
         result.frames.push(frame);
         result.rounds += 1;

@@ -39,6 +39,9 @@ pub mod streaming;
 pub mod transport;
 
 pub use config::{DetectorKind, GaliotConfig};
+/// Re-export of the observability layer so downstream users can start
+/// trace sessions without depending on `galiot-trace` directly.
+pub use galiot_trace as trace;
 pub use metrics::{Metrics, SharedMetrics};
 pub use pipeline::{Galiot, PipelineFrame, RunReport};
 pub use streaming::StreamingGaliot;

@@ -162,7 +162,12 @@ impl Galiot {
             let at_cloud = decompress(&compressed);
 
             // Cloud: Algorithm 1.
+            let decode_span =
+                galiot_trace::span(galiot_trace::Stage::WorkerDecode, galiot_trace::NO_SEQ);
             let result = self.cloud.decode(&at_cloud, fs);
+            drop(decode_span);
+            metrics.sic_rounds += result.rounds as u64;
+            metrics.kill_applications += result.kills as u64;
             for (mut frame, how) in result.frames {
                 frame.start += seg.start;
                 let via_kill = matches!(how, Recovery::AfterKill { .. });

@@ -156,6 +156,7 @@ impl StreamingGaliot {
                 // in-order reassembly: an empty result models the gap
                 // notice the sender would piggyback on later traffic.
                 move |seq| {
+                    galiot_trace::event(galiot_trace::EventKind::Lost, seq);
                     lost_tx
                         .send(SegmentResult {
                             seq,
@@ -495,6 +496,7 @@ impl Shipper {
                         m.segments_downgraded += 1;
                     }
                 });
+                galiot_trace::event(galiot_trace::EventKind::Ship, seq);
                 if let Some(victim) = tx.queue().push(QueuedSegment {
                     seg: shipped,
                     power,
@@ -502,6 +504,7 @@ impl Shipper {
                     // The shed victim's sequence slot still needs a gap
                     // notice so reassembly can advance past it.
                     self.metrics.with(|m| m.segments_shed += 1);
+                    galiot_trace::event(galiot_trace::EventKind::Shed, victim.seg.seq);
                     if result_tx
                         .send(SegmentResult {
                             seq: victim.seg.seq,
@@ -535,6 +538,10 @@ fn ship(
     if let Some(bps) = uplink_bps {
         thread::sleep(Duration::from_secs_f64(bytes as f64 * 8.0 / bps));
     }
+    // Mark the handoff before the send so the ship event
+    // happens-before everything the receiving worker records for this
+    // seq (the trace-conformance journey check relies on the order).
+    galiot_trace::event(galiot_trace::EventKind::Ship, shipped.seq);
     if seg_tx.send(shipped.clone()).is_err() {
         return false;
     }
@@ -576,35 +583,47 @@ fn spawn_worker(
                     thread::sleep(lat);
                 }
                 let t0 = Instant::now();
+                let decode_span = galiot_trace::span(galiot_trace::Stage::WorkerDecode, seg.seq);
                 let decoded = catch_unwind(AssertUnwindSafe(|| {
                     let samples = seg.unpack();
                     decoder.decode(&samples, fs)
                 }));
+                drop(decode_span);
                 let busy = t0.elapsed().as_nanos() as u64;
-                let frames: Vec<PipelineFrame> = match decoded {
-                    Ok(result) => result
-                        .frames
-                        .into_iter()
-                        .map(|(mut frame, how)| {
-                            frame.start += seg.start;
-                            let via_kill = matches!(how, Recovery::AfterKill { .. });
-                            PipelineFrame {
-                                frame,
-                                at_edge: false,
-                                via_kill,
-                            }
-                        })
-                        .collect(),
+                let (frames, rounds, kills) = match decoded {
+                    Ok(result) => {
+                        let rounds = result.rounds as u64;
+                        let kills = result.kills as u64;
+                        let frames: Vec<PipelineFrame> = result
+                            .frames
+                            .into_iter()
+                            .map(|(mut frame, how)| {
+                                frame.start += seg.start;
+                                let via_kill = matches!(how, Recovery::AfterKill { .. });
+                                PipelineFrame {
+                                    frame,
+                                    at_edge: false,
+                                    via_kill,
+                                }
+                            })
+                            .collect();
+                        (frames, rounds, kills)
+                    }
                     Err(_) => {
                         metrics.with(|m| m.decode_poisoned += 1);
-                        Vec::new()
+                        (Vec::new(), 0, 0)
                     }
                 };
                 metrics.with(|m| {
                     m.cloud_busy_ns += busy;
+                    m.sic_rounds += rounds;
+                    m.kill_applications += kills;
                     *m.per_worker_segments.entry(wid).or_default() += 1;
                     *m.per_worker_decoded.entry(wid).or_default() += frames.len();
                 });
+                // Terminal mark: the segment's journey ends here even
+                // when the decode yielded nothing (or panicked).
+                galiot_trace::event(galiot_trace::EventKind::Decode, seg.seq);
                 if result_tx
                     .send(SegmentResult {
                         seq: seg.seq,
@@ -676,6 +695,7 @@ fn spawn_reassembly(
                 pending.entry(result.seq).or_insert(result.frames);
                 metrics.with(|m| m.reassembly_hwm = m.reassembly_hwm.max(pending.len()));
                 while let Some(frames) = pending.remove(&next_seq) {
+                    let _span = galiot_trace::span(galiot_trace::Stage::Reassembly, next_seq);
                     next_seq += 1;
                     if !emit(frames) {
                         return;
@@ -683,7 +703,8 @@ fn spawn_reassembly(
                 }
             }
             // Producers are gone; flush whatever remains in order.
-            for (_, frames) in std::mem::take(&mut pending) {
+            for (seq, frames) in std::mem::take(&mut pending) {
+                let _span = galiot_trace::span(galiot_trace::Stage::Reassembly, seq);
                 if !emit(frames) {
                     return;
                 }

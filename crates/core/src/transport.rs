@@ -369,6 +369,7 @@ pub fn spawn_arq_sender(
                             None => break,
                         }
                     };
+                    let send_span = galiot_trace::span(galiot_trace::Stage::ArqSend, item.seg.seq);
                     let bytes = encode_segment(&item.seg);
                     if let Some(bps) = serialize_bps {
                         thread::sleep(Duration::from_secs_f64(bytes.len() as f64 * 8.0 / bps));
@@ -376,6 +377,7 @@ pub fn spawn_arq_sender(
                     if !push_link(&mut link, &bytes, &wire_tx, &metrics) {
                         break 'run;
                     }
+                    drop(send_span);
                     if arq.enabled {
                         let timeout = Duration::from_secs_f64(
                             arq.base_timeout_s * (1.0 + arq.jitter * rng.gen::<f64>()),
@@ -435,6 +437,8 @@ pub fn spawn_arq_sender(
                                 f.deadline = now + f.timeout;
                                 let bytes = f.bytes.clone();
                                 metrics.with(|m| m.arq_retransmits += 1);
+                                let send_span =
+                                    galiot_trace::span(galiot_trace::Stage::ArqSend, seq);
                                 if let Some(bps) = serialize_bps {
                                     thread::sleep(Duration::from_secs_f64(
                                         bytes.len() as f64 * 8.0 / bps,
@@ -443,6 +447,7 @@ pub fn spawn_arq_sender(
                                 if !push_link(&mut link, &bytes, &wire_tx, &metrics) {
                                     break 'run;
                                 }
+                                drop(send_span);
                             }
                         }
                     }
@@ -486,8 +491,13 @@ pub fn spawn_arq_receiver(
             // into the pool under duplication and sender re-sends.
             let mut seen: HashSet<u64> = HashSet::new();
             while let Ok(bytes) = wire_rx.recv() {
+                // One span per datagram handled, tagged with the seq
+                // once (and if) the wire bytes decode.
+                let mut recv_span =
+                    galiot_trace::span(galiot_trace::Stage::ArqRecv, galiot_trace::NO_SEQ);
                 match decode_segment(&bytes) {
                     Ok(seg) => {
+                        recv_span.set_seq(seg.seq);
                         // Ack first, even for duplicates: the original
                         // ack may have been the casualty.
                         for d in ack_link.transmit(&encode_ack(seg.seq)) {

@@ -47,6 +47,7 @@ impl CompressedSegment {
 /// # Panics
 /// Panics unless `1 <= bits <= 16` and `block_len > 0`.
 pub fn compress(samples: &[Cf32], bits: u32, block_len: usize) -> CompressedSegment {
+    let _span = galiot_trace::span(galiot_trace::Stage::Compress, galiot_trace::NO_SEQ);
     assert!((1..=16).contains(&bits), "bits must be 1..=16");
     assert!(block_len > 0, "block length must be positive");
     let levels = ((1u32 << bits) / 2) as f32; // per polarity

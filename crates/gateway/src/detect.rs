@@ -132,14 +132,11 @@ impl MatchedFilterBank {
     pub fn registry(&self) -> &Registry {
         &self.registry
     }
-}
 
-impl PacketDetector for MatchedFilterBank {
-    fn name(&self) -> &'static str {
-        "matched-bank"
-    }
-
-    fn detect(&self, capture: &[Cf32], fs: f64) -> Vec<Detection> {
+    /// The detection pass without the tracing span: the baseline the
+    /// trace-overhead regression bench compares against. Production
+    /// callers use the [`PacketDetector`] impl.
+    pub fn detect_raw(&self, capture: &[Cf32], fs: f64) -> Vec<Detection> {
         let mut detections: Vec<Detection> = Vec::new();
         // Bank entries are index-aligned with techs(); templates carry
         // their forward FFT, so each pass is correlate-only.
@@ -170,6 +167,17 @@ impl PacketDetector for MatchedFilterBank {
         }
         detections.sort_by_key(|d| d.start);
         detections
+    }
+}
+
+impl PacketDetector for MatchedFilterBank {
+    fn name(&self) -> &'static str {
+        "matched-bank"
+    }
+
+    fn detect(&self, capture: &[Cf32], fs: f64) -> Vec<Detection> {
+        let _span = galiot_trace::span(galiot_trace::Stage::MatchedDetect, galiot_trace::NO_SEQ);
+        self.detect_raw(capture, fs)
     }
 
     fn complexity_per_sample(&self, fs: f64) -> f64 {

@@ -96,6 +96,7 @@ impl EdgeDecoder {
     /// through a collision, so "one decode succeeded" alone is not
     /// enough: the still-buried frame would be silently lost.
     pub fn process(&self, seg: &Segment, fs: f64) -> EdgeOutcome {
+        let _span = galiot_trace::span(galiot_trace::Stage::EdgeDecode, galiot_trace::NO_SEQ);
         let report = self.try_all(seg, fs);
         match report.decoded.len() {
             1 if !self.collision_suspected(seg, fs) => {

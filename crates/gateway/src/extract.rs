@@ -50,6 +50,7 @@ impl ExtractParams {
 
 /// Cuts segments around detections, merging any that overlap.
 pub fn extract(capture: &[Cf32], detections: &[Detection], p: ExtractParams) -> Vec<Segment> {
+    let _span = galiot_trace::span(galiot_trace::Stage::Extract, galiot_trace::NO_SEQ);
     if detections.is_empty() || capture.is_empty() {
         return Vec::new();
     }

@@ -84,6 +84,7 @@ impl RtlSdrFrontEnd {
     /// clipping to full scale, and quantization to the ADC grid.
     /// Output remains in float full-scale units (`-1.0..=1.0` grid).
     pub fn digitize(&self, analog: &[Cf32]) -> Vec<Cf32> {
+        let _span = galiot_trace::span(galiot_trace::Stage::FrontendCapture, galiot_trace::NO_SEQ);
         let p = &self.params;
         let gain = if p.auto_gain {
             let rms = galiot_dsp::power::mean_power(analog).sqrt();

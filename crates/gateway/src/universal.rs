@@ -174,14 +174,11 @@ impl UniversalDetector {
     pub fn preamble(&self) -> &UniversalPreamble {
         &self.preamble
     }
-}
 
-impl PacketDetector for UniversalDetector {
-    fn name(&self) -> &'static str {
-        "universal-preamble"
-    }
-
-    fn detect(&self, capture: &[Cf32], _fs: f64) -> Vec<Detection> {
+    /// The detection pass without the tracing span: the baseline the
+    /// trace-overhead regression bench compares against. Production
+    /// callers use the [`PacketDetector`] impl.
+    pub fn detect_raw(&self, capture: &[Cf32], _fs: f64) -> Vec<Detection> {
         if self.preamble.template.len() > capture.len() {
             return Vec::new();
         }
@@ -203,6 +200,17 @@ impl PacketDetector for UniversalDetector {
                 tech: None,
             })
             .collect()
+    }
+}
+
+impl PacketDetector for UniversalDetector {
+    fn name(&self) -> &'static str {
+        "universal-preamble"
+    }
+
+    fn detect(&self, capture: &[Cf32], fs: f64) -> Vec<Detection> {
+        let _span = galiot_trace::span(galiot_trace::Stage::UniversalDetect, galiot_trace::NO_SEQ);
+        self.detect_raw(capture, fs)
     }
 
     fn complexity_per_sample(&self, _fs: f64) -> f64 {

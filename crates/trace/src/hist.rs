@@ -1,0 +1,235 @@
+//! Log-bucketed latency histogram with exact mergeability.
+//!
+//! Buckets are powers of two in nanoseconds: bucket 0 holds values
+//! `{0, 1}`, bucket `i` (for `i >= 1`) holds `[2^i, 2^(i+1))`. The 64
+//! buckets cover the entire `u64` range, so [`Histogram::record`]
+//! never saturates or clips. Merging is element-wise integer
+//! addition, which makes it exactly associative and commutative — the
+//! property the conformance oracle relies on when per-thread and
+//! per-run recordings are folded into one report (and which the
+//! property tests in `tests/hist_props.rs` pin down).
+//!
+//! Quantiles are reported as the upper bound of the first bucket
+//! whose cumulative count reaches the target rank, clamped to the
+//! exact maximum ever recorded. Both pieces are monotone, so
+//! `p50 <= p95 <= p99 <= max` holds for arbitrary inputs.
+
+/// Number of log2 buckets; covers all of `u64`.
+pub const N_BUCKETS: usize = 64;
+
+/// A mergeable log2-bucketed histogram of `u64` samples (nanoseconds
+/// by convention throughout this crate, but the math is
+/// unit-agnostic).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    pub(crate) buckets: [u64; N_BUCKETS],
+    pub(crate) count: u64,
+    pub(crate) sum: u128,
+    pub(crate) max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [0; N_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket that holds `v`: `floor(log2(max(v, 1)))`.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        (63 - (v | 1).leading_zeros()) as usize
+    }
+
+    /// Inclusive `(lo, hi)` value bounds of bucket `i`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < N_BUCKETS, "bucket index out of range");
+        match i {
+            0 => (0, 1),
+            63 => (1 << 63, u64::MAX),
+            _ => (1u64 << i, (1u64 << (i + 1)) - 1),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    /// Fold `other` into `self` (element-wise; exact, order-independent).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact maximum recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; N_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Upper-bound quantile estimate: the upper bound of the first
+    /// bucket whose cumulative count reaches rank `ceil(q * count)`,
+    /// clamped to the exact recorded maximum. Monotone in `q`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                let (_, hi) = Self::bucket_bounds(i);
+                return hi.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Point summary for reports.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            p50_ns: self.p50(),
+            p95_ns: self.p95(),
+            p99_ns: self.p99(),
+            max_ns: self.max,
+            mean_ns: self.mean(),
+        }
+    }
+}
+
+/// Point summary of a [`Histogram`]: what the JSON reports carry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Median estimate, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile estimate, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile estimate, nanoseconds.
+    pub p99_ns: u64,
+    /// Exact maximum, nanoseconds.
+    pub max_ns: u64,
+    /// Exact mean, nanoseconds.
+    pub mean_ns: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, u64::MAX - 1, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "v={v} bucket={i} bounds=({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_clamped() {
+        let mut h = Histogram::new();
+        for v in [3u64, 3, 3, 100, 5000, 5001] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.max(), 5001);
+        assert!(h.p50() <= h.p95());
+        assert!(h.p95() <= h.p99());
+        assert!(h.p99() <= h.max());
+        // All samples in the top bucket => every quantile clamps to max.
+        let mut one = Histogram::new();
+        one.record(7777);
+        assert_eq!(one.p50(), 7777);
+        assert_eq!(one.p99(), 7777);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_recording_concatenation() {
+        let xs = [1u64, 9, 40, 40, 1000];
+        let ys = [0u64, 2, 65535, 12];
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for &v in &xs {
+            a.record(v);
+            both.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+}

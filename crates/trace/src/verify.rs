@@ -1,0 +1,231 @@
+//! The trace as a test oracle: structural invariants every healthy
+//! pipeline run must satisfy.
+//!
+//! Observability that nothing checks is write-only telemetry. These
+//! functions turn a drained [`Trace`] into standing correctness
+//! assertions, used by `tests/trace_conformance.rs`:
+//!
+//! 1. **Terminal accounting** ([`check_ship_terminals`]): every
+//!    shipped segment's journey must end — a `ship` event with no
+//!    `decode`/`shed`/`lost` for the same seq means the pipeline
+//!    silently swallowed a segment.
+//! 2. **Well-formed nesting** ([`check_nesting`]): within one thread,
+//!    spans must be properly nested (a SIC round entirely inside its
+//!    worker-decode span, never straddling it) — partial overlap
+//!    means a guard leaked across stage boundaries.
+//! 3. **No drops** ([`check_no_drops`]): full rings count drops
+//!    rather than wrapping; a conformance run must size its rings so
+//!    the count stays zero, otherwise the other two checks are
+//!    vacuous.
+
+use crate::{EventKind, SpanRec, Trace, NO_SEQ};
+use std::collections::BTreeMap;
+
+/// Totals from [`check_ship_terminals`], for reconciliation against
+/// `Metrics` counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShipAccounting {
+    /// Distinct segment seqs with a `ship` event.
+    pub shipped: u64,
+    /// Total `decode` events.
+    pub decoded: u64,
+    /// Total `shed` events.
+    pub shed: u64,
+    /// Total `lost` events.
+    pub lost: u64,
+}
+
+/// Check that every `ship` event's seq reaches at least one terminal
+/// event (`decode`, `shed`, or `lost`), and that no terminal event
+/// refers to a seq that was never shipped. Returns per-kind totals.
+pub fn check_ship_terminals(trace: &Trace) -> Result<ShipAccounting, String> {
+    let mut acc = ShipAccounting::default();
+    // seq -> (shipped?, terminal count)
+    let mut by_seq: BTreeMap<u64, (bool, u64)> = BTreeMap::new();
+    for e in &trace.events {
+        if e.seq == NO_SEQ {
+            return Err(format!("{} event without a seq tag", e.kind.name()));
+        }
+        let entry = by_seq.entry(e.seq).or_insert((false, 0));
+        match e.kind {
+            EventKind::Ship => {
+                entry.0 = true;
+            }
+            EventKind::Decode => {
+                entry.1 += 1;
+                acc.decoded += 1;
+            }
+            EventKind::Shed => {
+                entry.1 += 1;
+                acc.shed += 1;
+            }
+            EventKind::Lost => {
+                entry.1 += 1;
+                acc.lost += 1;
+            }
+        }
+    }
+    for (seq, (shipped, terminals)) in &by_seq {
+        if *shipped {
+            acc.shipped += 1;
+            if *terminals == 0 {
+                return Err(format!(
+                    "segment seq {seq} was shipped but has no terminal decode/shed/lost event"
+                ));
+            }
+        } else {
+            return Err(format!(
+                "segment seq {seq} has a terminal event but was never shipped"
+            ));
+        }
+    }
+    Ok(acc)
+}
+
+/// Check that, within every thread, spans are properly nested under
+/// the half-open interval `[start, start + dur)`: any two spans are
+/// either disjoint or one contains the other.
+pub fn check_nesting(trace: &Trace) -> Result<(), String> {
+    let mut by_tid: BTreeMap<usize, Vec<&SpanRec>> = BTreeMap::new();
+    for s in &trace.spans {
+        by_tid.entry(s.tid).or_default().push(s);
+    }
+    for (tid, mut spans) in by_tid {
+        // Equal starts: the longer span is the enclosing one.
+        spans.sort_by_key(|s| (s.start_ns, std::cmp::Reverse(s.dur_ns)));
+        let mut stack: Vec<u64> = Vec::new();
+        for s in spans {
+            let end = s.start_ns + s.dur_ns;
+            while stack.last().is_some_and(|&top| top <= s.start_ns) {
+                stack.pop();
+            }
+            if let Some(&top) = stack.last() {
+                if end > top {
+                    return Err(format!(
+                        "thread {tid}: {} span [{}..{}) partially overlaps an \
+                         enclosing span ending at {top}",
+                        s.stage.name(),
+                        s.start_ns,
+                        end
+                    ));
+                }
+            }
+            stack.push(end);
+        }
+    }
+    Ok(())
+}
+
+/// Check that no ring overflowed during the session.
+pub fn check_no_drops(trace: &Trace) -> Result<(), String> {
+    if trace.dropped > 0 {
+        Err(format!(
+            "{} records dropped: rings too small for this run",
+            trace.dropped
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EventRec, Stage};
+
+    fn span(tid: usize, stage: Stage, start: u64, dur: u64) -> SpanRec {
+        SpanRec {
+            tid,
+            stage,
+            seq: NO_SEQ,
+            start_ns: start,
+            dur_ns: dur,
+        }
+    }
+
+    fn event(kind: EventKind, seq: u64, t: u64) -> EventRec {
+        EventRec {
+            tid: 0,
+            kind,
+            seq,
+            t_ns: t,
+        }
+    }
+
+    #[test]
+    fn terminal_accounting_accepts_complete_chains() {
+        let mut trace = Trace::default();
+        trace.events = vec![
+            event(EventKind::Ship, 0, 10),
+            event(EventKind::Ship, 1, 11),
+            event(EventKind::Ship, 2, 12),
+            event(EventKind::Decode, 0, 20),
+            event(EventKind::Shed, 1, 21),
+            event(EventKind::Lost, 2, 22),
+        ];
+        let acc = check_ship_terminals(&trace).unwrap();
+        assert_eq!(
+            acc,
+            ShipAccounting {
+                shipped: 3,
+                decoded: 1,
+                shed: 1,
+                lost: 1
+            }
+        );
+    }
+
+    #[test]
+    fn terminal_accounting_rejects_swallowed_segments() {
+        let mut trace = Trace::default();
+        trace.events = vec![
+            event(EventKind::Ship, 0, 10),
+            event(EventKind::Ship, 1, 11),
+            event(EventKind::Decode, 0, 20),
+        ];
+        let err = check_ship_terminals(&trace).unwrap_err();
+        assert!(err.contains("seq 1"), "{err}");
+    }
+
+    #[test]
+    fn terminal_accounting_rejects_unshipped_terminals() {
+        let mut trace = Trace::default();
+        trace.events = vec![event(EventKind::Decode, 5, 20)];
+        let err = check_ship_terminals(&trace).unwrap_err();
+        assert!(err.contains("never shipped"), "{err}");
+    }
+
+    #[test]
+    fn nesting_accepts_containment_and_adjacency() {
+        let mut trace = Trace::default();
+        trace.spans = vec![
+            span(0, Stage::WorkerDecode, 100, 100),
+            span(0, Stage::SicRound, 110, 30),
+            span(0, Stage::KillFilter, 115, 10),
+            span(0, Stage::SicRound, 140, 60), // inner end == outer end
+            span(0, Stage::WorkerDecode, 200, 50), // starts exactly at prior end
+            // Other thread overlapping thread 0 freely: fine.
+            span(1, Stage::Compress, 120, 500),
+        ];
+        check_nesting(&trace).unwrap();
+    }
+
+    #[test]
+    fn nesting_rejects_partial_overlap() {
+        let mut trace = Trace::default();
+        trace.spans = vec![
+            span(0, Stage::WorkerDecode, 100, 50),
+            span(0, Stage::SicRound, 140, 30), // straddles the end at 150
+        ];
+        let err = check_nesting(&trace).unwrap_err();
+        assert!(err.contains("partially overlaps"), "{err}");
+    }
+
+    #[test]
+    fn drop_check() {
+        let mut trace = Trace::default();
+        check_no_drops(&trace).unwrap();
+        trace.dropped = 3;
+        assert!(check_no_drops(&trace).is_err());
+    }
+}

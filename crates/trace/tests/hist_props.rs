@@ -1,0 +1,132 @@
+//! Property tests for the log-bucketed histogram: the algebraic laws
+//! the conformance oracle and the `Metrics` fold rely on.
+//!
+//! - merge is associative and commutative (exact, element-wise);
+//! - every recorded value falls inside its reported bucket's bounds;
+//! - quantiles are ordered: p50 <= p95 <= p99 <= max, and max is the
+//!   exact maximum of the inputs.
+
+use galiot_trace::{Histogram, N_BUCKETS};
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+        ys in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let (a, b) = (hist_of(&xs), hist_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(any::<u64>(), 0..48),
+        ys in proptest::collection::vec(any::<u64>(), 0..48),
+        zs in proptest::collection::vec(any::<u64>(), 0..48),
+    ) {
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let a = hist_of(&xs);
+        let mut merged = Histogram::new();
+        merged.merge(&a);
+        prop_assert_eq!(&merged, &a);
+        let mut merged = a.clone();
+        merged.merge(&Histogram::new());
+        prop_assert_eq!(&merged, &a);
+    }
+
+    #[test]
+    fn merge_equals_concatenated_recording(
+        xs in proptest::collection::vec(any::<u64>(), 0..64),
+        ys in proptest::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mut merged = hist_of(&xs);
+        merged.merge(&hist_of(&ys));
+        let mut concat = xs.clone();
+        concat.extend_from_slice(&ys);
+        prop_assert_eq!(merged, hist_of(&concat));
+    }
+
+    #[test]
+    fn recorded_values_fall_in_their_bucket_bounds(v in any::<u64>()) {
+        let i = Histogram::bucket_index(v);
+        prop_assert!(i < N_BUCKETS);
+        let (lo, hi) = Histogram::bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "v={} bucket={} bounds=({},{})", v, i, lo, hi);
+        // And the histogram actually lands it there.
+        let h = hist_of(&[v]);
+        prop_assert_eq!(h.buckets()[i], 1);
+        prop_assert_eq!(h.buckets().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_full_range(
+        xs in proptest::collection::vec(any::<u64>(), 1..128),
+    ) {
+        let h = hist_of(&xs);
+        prop_assert!(h.p50() <= h.p95());
+        prop_assert!(h.p95() <= h.p99());
+        prop_assert!(h.p99() <= h.max());
+        prop_assert_eq!(h.max(), xs.iter().copied().max().unwrap());
+        prop_assert_eq!(h.count(), xs.len() as u64);
+        prop_assert_eq!(h.sum(), xs.iter().map(|&v| v as u128).sum::<u128>());
+    }
+
+    #[test]
+    fn quantiles_are_ordered_latency_like(
+        xs in proptest::collection::vec(50u64..5_000_000, 1..128),
+    ) {
+        // Realistic nanosecond latencies cluster in few buckets —
+        // the regime the per-stage reports actually see.
+        let h = hist_of(&xs);
+        prop_assert!(h.p50() <= h.p95());
+        prop_assert!(h.p95() <= h.p99());
+        prop_assert!(h.p99() <= h.max());
+        // A quantile never exceeds max and never reports below the
+        // lower bound of the smallest occupied bucket.
+        let min = xs.iter().copied().min().unwrap();
+        let (lo, _) = Histogram::bucket_bounds(Histogram::bucket_index(min));
+        prop_assert!(h.p50() >= lo);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        xs in proptest::collection::vec(any::<u64>(), 1..64),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&xs);
+        let (lo_q, hi_q) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        prop_assert!(h.quantile(lo_q) <= h.quantile(hi_q));
+    }
+}

@@ -38,6 +38,7 @@ pub use galiot_core as core;
 pub use galiot_dsp as dsp;
 pub use galiot_gateway as gateway;
 pub use galiot_phy as phy;
+pub use galiot_trace as trace;
 
 /// The names almost every user of the library needs.
 pub mod prelude {

@@ -2,7 +2,7 @@
 //! through the public facade, from simulated air to decoded payloads.
 
 use galiot::channel::{
-    compose, forced_collision, generate, snr_to_noise_power, TrafficParams, TxEvent,
+    compose, forced_collision, generate, scenario_seed, snr_to_noise_power, TrafficParams, TxEvent,
 };
 use galiot::prelude::*;
 use rand::rngs::StdRng;
@@ -15,7 +15,7 @@ fn every_prototype_technology_roundtrips_through_the_pipeline() {
     let registry = Registry::prototype();
     let system = Galiot::new(GaliotConfig::prototype(), registry.clone());
     for (i, tech) in registry.techs().iter().enumerate() {
-        let mut rng = StdRng::seed_from_u64(100 + i as u64);
+        let mut rng = StdRng::seed_from_u64(scenario_seed(100 + i as u64));
         let payload = vec![i as u8 + 1; 10];
         let ev = TxEvent::new(tech.clone(), payload.clone(), 60_000);
         let np = snr_to_noise_power(12.0, 0.0);
@@ -35,7 +35,7 @@ fn every_prototype_technology_roundtrips_through_the_pipeline() {
 
 #[test]
 fn full_overlap_collision_is_resolved_end_to_end() {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = StdRng::seed_from_u64(scenario_seed(7));
     let registry = Registry::prototype();
     let events = forced_collision(&registry, 10, &[0.0, 1.0], 20_000, 50_000, &mut rng);
     let truth: Vec<(TechId, Vec<u8>)> = events
@@ -59,7 +59,7 @@ fn full_overlap_collision_is_resolved_end_to_end() {
 
 #[test]
 fn poisson_traffic_mostly_recovered_at_comfortable_snr() {
-    let mut rng = StdRng::seed_from_u64(8);
+    let mut rng = StdRng::seed_from_u64(scenario_seed(8));
     let registry = Registry::prototype();
     let params = TrafficParams {
         rate_hz: 1.5,
@@ -103,7 +103,7 @@ fn poisson_traffic_mostly_recovered_at_comfortable_snr() {
 
 #[test]
 fn batch_and_streaming_agree_on_the_same_capture() {
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = StdRng::seed_from_u64(scenario_seed(9));
     let registry = Registry::prototype();
     let xbee = registry.get(TechId::XBee).unwrap().clone();
     let zwave = registry.get(TechId::ZWave).unwrap().clone();
@@ -148,7 +148,7 @@ fn batch_and_streaming_agree_on_the_same_capture() {
 #[test]
 fn compression_does_not_break_cloud_decoding() {
     // 4-bit backhaul compression (aggressive) must still decode.
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = StdRng::seed_from_u64(scenario_seed(10));
     let registry = Registry::prototype();
     let lora = registry.get(TechId::LoRa).unwrap().clone();
     let ev = TxEvent::new(lora, vec![0x42; 12], 50_000);
@@ -172,7 +172,7 @@ fn detector_kinds_are_interchangeable_at_high_snr() {
         DetectorKind::MatchedBank,
         DetectorKind::Universal,
     ] {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = StdRng::seed_from_u64(scenario_seed(11));
         let registry = Registry::prototype();
         let zwave = registry.get(TechId::ZWave).unwrap().clone();
         let ev = TxEvent::new(zwave, vec![5; 6], 80_000);

@@ -101,7 +101,9 @@ fn claim_gateway_is_cheap_because_it_does_not_classify() {
     // carry no technology attribution.
     let reg = Registry::prototype();
     let det = UniversalDetector::auto(&reg, FS);
-    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(96);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(
+        galiot::channel::scenario_seed(96),
+    );
     let lora = reg.get(TechId::LoRa).unwrap().clone();
     let ev = galiot::channel::TxEvent::new(lora, vec![1; 8], 50_000);
     let np = galiot::channel::snr_to_noise_power(10.0, 0.0);

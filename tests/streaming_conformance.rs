@@ -8,7 +8,7 @@
 //! frames are decoded, never *what* is decoded or in what order it is
 //! delivered.
 
-use galiot::channel::{compose, forced_collision, snr_to_noise_power, TxEvent};
+use galiot::channel::{compose, forced_collision, scenario_seed, snr_to_noise_power, TxEvent};
 use galiot::core::PipelineFrame;
 use galiot::prelude::*;
 use rand::rngs::StdRng;
@@ -117,7 +117,7 @@ fn assert_conformance(samples: &[Cf32], registry: &Registry, label: &str) {
 /// Algorithm 1's SIC needs — the paper's headline case.
 #[test]
 fn conformance_on_two_tech_power_separated_collision() {
-    let mut rng = StdRng::seed_from_u64(40);
+    let mut rng = StdRng::seed_from_u64(scenario_seed(40));
     let registry = Registry::prototype();
     let events = forced_collision(&registry, 10, &[0.0, 1.0], 20_000, 50_000, &mut rng);
     let np = snr_to_noise_power(25.0, 0.0);
@@ -130,7 +130,7 @@ fn conformance_on_two_tech_power_separated_collision() {
 /// exercising the edge/cloud split and the ordering across both paths.
 #[test]
 fn conformance_on_mixed_edge_and_cloud_traffic() {
-    let mut rng = StdRng::seed_from_u64(41);
+    let mut rng = StdRng::seed_from_u64(scenario_seed(41));
     let registry = Registry::prototype();
     let xbee = registry.get(TechId::XBee).unwrap().clone();
     let zwave = registry.get(TechId::ZWave).unwrap().clone();
@@ -150,7 +150,7 @@ fn conformance_on_mixed_edge_and_cloud_traffic() {
 /// reorder across workers.
 #[test]
 fn conformance_on_repeated_collision_clusters() {
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = StdRng::seed_from_u64(scenario_seed(42));
     let registry = Registry::prototype();
     let mut events = forced_collision(&registry, 8, &[0.0, 1.0], 18_000, 60_000, &mut rng);
     events.extend(forced_collision(
@@ -172,7 +172,7 @@ fn conformance_on_repeated_collision_clusters() {
 /// cloud tier.
 #[test]
 fn pool_metrics_are_observable() {
-    let mut rng = StdRng::seed_from_u64(43);
+    let mut rng = StdRng::seed_from_u64(scenario_seed(43));
     let registry = Registry::prototype();
     let zwave = registry.get(TechId::ZWave).unwrap().clone();
     let xbee = registry.get(TechId::XBee).unwrap().clone();

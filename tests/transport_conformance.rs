@@ -7,8 +7,10 @@
 //! losses.
 //!
 //! The fault matrix is seeded (override with `GALIOT_FAULT_SEED`; CI
-//! pins it) so every cell is reproducible.
+//! pins it) so every cell is reproducible; scenario captures route
+//! through `GALIOT_TEST_SEED` (see EXPERIMENTS.md).
 
+use galiot::channel::scenario_seed;
 use galiot::core::Metrics;
 use galiot::prelude::*;
 use rand::rngs::StdRng;
@@ -169,7 +171,7 @@ fn assert_transport_conformance(samples: &[Cf32], registry: &Registry, edge: boo
 /// receiver-side reordering across workers.
 #[test]
 fn conformance_on_separated_multi_tech_traffic() {
-    let mut rng = StdRng::seed_from_u64(50);
+    let mut rng = StdRng::seed_from_u64(scenario_seed(50));
     let registry = Registry::prototype();
     let zwave = registry.get(TechId::ZWave).unwrap().clone();
     let xbee = registry.get(TechId::XBee).unwrap().clone();
@@ -201,7 +203,7 @@ fn conformance_on_separated_multi_tech_traffic() {
 /// the capture matches PR 1's streaming-conformance scenario.
 #[test]
 fn conformance_on_collision_cluster_over_faults() {
-    let mut rng = StdRng::seed_from_u64(40);
+    let mut rng = StdRng::seed_from_u64(scenario_seed(40));
     let registry = Registry::prototype();
     let events = forced_collision(&registry, 10, &[0.0, 1.0], 20_000, 50_000, &mut rng);
     let np = snr_to_noise_power(25.0, 0.0);
@@ -215,7 +217,7 @@ fn conformance_on_collision_cluster_over_faults() {
 /// output: the transport never loses silently and never cries wolf.
 #[test]
 fn declared_lost_segments_are_exactly_the_missing_ones() {
-    let mut rng = StdRng::seed_from_u64(52);
+    let mut rng = StdRng::seed_from_u64(scenario_seed(52));
     let registry = Registry::prototype();
     let zwave = registry.get(TechId::ZWave).unwrap().clone();
     let events: Vec<TxEvent> = (0..6)
@@ -288,7 +290,7 @@ fn declared_lost_segments_are_exactly_the_missing_ones() {
 /// consistent with what was offered, decoded, and dropped.
 #[test]
 fn degradation_counters_stay_consistent() {
-    let mut rng = StdRng::seed_from_u64(53);
+    let mut rng = StdRng::seed_from_u64(scenario_seed(53));
     let registry = Registry::prototype();
     let zwave = registry.get(TechId::ZWave).unwrap().clone();
     let xbee = registry.get(TechId::XBee).unwrap().clone();
