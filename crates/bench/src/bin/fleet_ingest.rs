@@ -1,0 +1,230 @@
+//! Fleet-ingest scaling: the same seeded capture heard by 1, 2, 4 and
+//! 8 gateway sessions, every session shipping over its own ~1%-loss
+//! impaired link into the shared sharded decode pool, with
+//! cross-gateway dedup on the way out.
+//!
+//! Reports, per gateway count: wall time, aggregate delivered-payload
+//! goodput, dedup rate (`suppressed / (delivered + suppressed)`), the
+//! per-gateway mux admissions, and the redundancy cost on the wire.
+//! The largest fleet runs inside a trace session and exports the
+//! gateway-tagged timeline.
+//!
+//! Writes `BENCH_pr6.json` and `trace_pr6.json`, prints a TSV summary.
+//! Usage: `fleet_ingest [--trials packet_pairs] [--seed S]`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use galiot_bench::{parse_args, pct, tsv_row};
+use galiot_channel::{compose, snr_to_noise_power, TxEvent};
+use galiot_core::{FleetGaliot, GaliotConfig, TransportConfig};
+use galiot_dsp::Cf32;
+use galiot_gateway::LinkFaults;
+use galiot_phy::registry::Registry;
+use galiot_phy::TechId;
+use galiot_trace::TraceSession;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FS: f64 = 1_000_000.0;
+const GATEWAY_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const WORKERS: usize = 4;
+const SHARDS: usize = 8;
+const LOSS: f64 = 0.01;
+
+/// Well-separated two-technology traffic: `pairs` Z-Wave/XBee packet
+/// pairs, each decodable alone, so delivered-frame counts are exact.
+fn workload(pairs: usize, seed: u64) -> Vec<Cf32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let registry = Registry::prototype();
+    let zwave = registry.get(TechId::ZWave).unwrap().clone();
+    let xbee = registry.get(TechId::XBee).unwrap().clone();
+    let events: Vec<TxEvent> = (0..pairs)
+        .flat_map(|i| {
+            [
+                TxEvent::new(
+                    zwave.clone(),
+                    vec![0x11 + i as u8; 6],
+                    120_000 + i * 700_000,
+                ),
+                TxEvent::new(xbee.clone(), vec![0x21 + i as u8; 6], 450_000 + i * 700_000),
+            ]
+        })
+        .collect();
+    let n = 250_000 + pairs * 700_000;
+    let np = snr_to_noise_power(20.0, 0.0);
+    compose(&events, n, FS, np, &mut rng).samples
+}
+
+struct Cell {
+    gateways: usize,
+    elapsed_s: f64,
+    frames: usize,
+    payload_bits: usize,
+    delivered: usize,
+    suppressed: usize,
+    wire_sent: u64,
+    retransmits: usize,
+    per_gateway_segments: Vec<(u16, usize)>,
+}
+
+impl Cell {
+    fn dedup_rate(&self) -> f64 {
+        let offered = self.delivered + self.suppressed;
+        if offered == 0 {
+            0.0
+        } else {
+            self.suppressed as f64 / offered as f64
+        }
+    }
+
+    fn goodput_kbps(&self) -> f64 {
+        self.payload_bits as f64 / self.elapsed_s / 1e3
+    }
+}
+
+fn run_cell(gateways: usize, samples: &[Cf32], seed: u64, traced: bool) -> Cell {
+    let faults = LinkFaults {
+        loss: LOSS,
+        corrupt: 0.005,
+        duplicate: 0.01,
+        reorder: 0.02,
+        jitter_depth: 3,
+        seed,
+    };
+    let mut t = TransportConfig::over_faulty_link(faults);
+    t.arq.max_retries = 12;
+    t.arq.base_timeout_s = 0.001;
+    t.send_queue_cap = 1024;
+    t.degrade_hwm = 1 << 20;
+    let mut config = GaliotConfig::prototype()
+        .with_gateways(gateways)
+        .with_cloud_workers(WORKERS)
+        .with_ingest_shards(SHARDS)
+        .with_transport(t);
+    config.edge_decoding = false;
+
+    let session = traced.then(TraceSession::start);
+    let t0 = Instant::now();
+    let fleet = FleetGaliot::start(config, Registry::prototype());
+    let metrics = fleet.metrics().clone();
+    for c in samples.chunks(65_536) {
+        fleet.push_chunk(c.to_vec());
+    }
+    let frames = fleet.finish();
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    if let Some(session) = session {
+        session
+            .finish()
+            .write_chrome_trace(std::path::Path::new("trace_pr6.json"))
+            .expect("write trace_pr6.json");
+    }
+
+    let m = metrics.snapshot();
+    assert_eq!(
+        m.per_gateway_decoded.values().sum::<usize>(),
+        m.fleet_delivered + m.dedup_suppressed,
+        "fleet accounting leaked: {m:?}"
+    );
+    Cell {
+        gateways,
+        elapsed_s,
+        payload_bits: frames.iter().map(|f| f.frame.payload.len() * 8).sum(),
+        frames: frames.len(),
+        delivered: m.fleet_delivered,
+        suppressed: m.dedup_suppressed,
+        wire_sent: m.wire_datagrams_sent,
+        retransmits: m.arq_retransmits,
+        per_gateway_segments: m.per_gateway_segments.into_iter().collect(),
+    }
+}
+
+fn main() {
+    let (pairs, seed) = parse_args(2, 606);
+    let samples = workload(pairs, seed);
+
+    println!(
+        "# Fleet ingest scaling ({} samples, {WORKERS} workers, {SHARDS} shards, {:.0}% loss, seed {seed})",
+        samples.len(),
+        LOSS * 100.0
+    );
+    tsv_row(&[
+        "gateways",
+        "elapsed_s",
+        "frames",
+        "goodput_kbps",
+        "dedup_rate",
+        "suppressed",
+        "wire_sent",
+        "retransmits",
+    ]);
+    let max_gateways = *GATEWAY_COUNTS.last().unwrap();
+    let cells: Vec<Cell> = GATEWAY_COUNTS
+        .iter()
+        .map(|&g| {
+            // Trace the largest fleet: its timeline shows all sessions
+            // interleaving through the shared pool, gateway-tagged.
+            let c = run_cell(g, &samples, seed ^ (g as u64) << 8, g == max_gateways);
+            tsv_row(&[
+                c.gateways.to_string(),
+                format!("{:.3}", c.elapsed_s),
+                c.frames.to_string(),
+                format!("{:.2}", c.goodput_kbps()),
+                pct(c.dedup_rate()),
+                c.suppressed.to_string(),
+                c.wire_sent.to_string(),
+                c.retransmits.to_string(),
+            ]);
+            c
+        })
+        .collect();
+
+    // Every fleet size must deliver the same frame set (that is the
+    // keystone invariant; the conformance suite pins it exactly).
+    let baseline = cells[0].frames;
+    for c in &cells {
+        assert_eq!(
+            c.frames, baseline,
+            "{} gateways delivered {} frames, 1 gateway delivered {baseline}",
+            c.gateways, c.frames
+        );
+    }
+
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let per_gw: Vec<String> = c
+                .per_gateway_segments
+                .iter()
+                .map(|(gw, n)| format!("\"{gw}\": {n}"))
+                .collect();
+            format!(
+                "    {{\"gateways\": {}, \"elapsed_s\": {:.4}, \"frames\": {}, \
+                 \"goodput_kbps\": {:.3}, \"dedup_rate\": {:.4}, \"delivered\": {}, \
+                 \"suppressed\": {}, \"wire_datagrams_sent\": {}, \"retransmits\": {}, \
+                 \"per_gateway_segments\": {{{}}}}}",
+                c.gateways,
+                c.elapsed_s,
+                c.frames,
+                c.goodput_kbps(),
+                c.dedup_rate(),
+                c.delivered,
+                c.suppressed,
+                c.wire_sent,
+                c.retransmits,
+                per_gw.join(", ")
+            )
+        })
+        .collect();
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"fleet_ingest\",\n  \"samples\": {},\n  \"packet_pairs\": {pairs},\n  \
+         \"workers\": {WORKERS},\n  \"shards\": {SHARDS},\n  \"loss\": {LOSS},\n  \
+         \"seed\": {seed},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        samples.len(),
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_pr6.json", &json).expect("write BENCH_pr6.json");
+    println!("# wrote BENCH_pr6.json and trace_pr6.json");
+}

@@ -14,11 +14,13 @@
 pub mod cancel;
 pub mod classify;
 pub mod decode;
+pub mod ingest;
 pub mod kill;
 pub mod sic;
 
 pub use cancel::{cancel_frame, CancelReport};
 pub use classify::{classify, Classified};
 pub use decode::{CloudDecoder, CloudParams, CloudResult, Recovery};
+pub use ingest::{shard_for, FairnessGate, FleetMerge, GatewayId, SessionInfo, SessionRegistry};
 pub use kill::{apply_kill, kill_codes, kill_css, kill_frequency, kill_frequency_adaptive};
 pub use sic::{sic_decode, SicParams, SicResult};

@@ -67,6 +67,16 @@ pub struct GaliotConfig {
     /// streaming pipeline behaves exactly as it did before the
     /// transport existed.
     pub transport: TransportConfig,
+    /// Number of gateway sessions in [`crate::FleetGaliot`]'s fleet,
+    /// each with its own sequence space, transport, and (in transport
+    /// mode) decorrelated link-fault seeds. The single-gateway
+    /// pipelines ignore this knob. Minimum 1.
+    pub gateways: usize,
+    /// Number of routing shards the fleet ingest hashes (gateway, seq)
+    /// onto before folding shards onto workers. `0` means "one shard
+    /// per worker". More shards than workers is legal and keeps
+    /// routing stable across worker-count changes.
+    pub ingest_shards: usize,
 }
 
 impl Default for GaliotConfig {
@@ -88,6 +98,8 @@ impl Default for GaliotConfig {
             cloud_workers: 0,
             emulate_backhaul: false,
             transport: TransportConfig::default(),
+            gateways: 1,
+            ingest_shards: 0,
         }
     }
 }
@@ -141,6 +153,29 @@ impl GaliotConfig {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         }
     }
+
+    /// Returns the configuration with `gateways` fleet sessions.
+    pub fn with_gateways(mut self, gateways: usize) -> Self {
+        self.gateways = gateways;
+        self
+    }
+
+    /// Returns the configuration with an explicit ingest shard count.
+    pub fn with_ingest_shards(mut self, shards: usize) -> Self {
+        self.ingest_shards = shards;
+        self
+    }
+
+    /// The shard count the fleet ingest will actually route over:
+    /// `ingest_shards`, with `0` resolved to one shard per effective
+    /// worker.
+    pub fn effective_ingest_shards(&self) -> usize {
+        if self.ingest_shards > 0 {
+            self.ingest_shards
+        } else {
+            self.effective_cloud_workers()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -177,5 +212,16 @@ mod tests {
         assert_eq!(c.cloud_workers, 0);
         assert!(c.effective_cloud_workers() >= 1);
         assert_eq!(c.clone().with_cloud_workers(3).effective_cloud_workers(), 3);
+    }
+
+    #[test]
+    fn fleet_knobs_default_to_one_gateway_and_per_worker_shards() {
+        let c = GaliotConfig::prototype().with_cloud_workers(4);
+        assert_eq!(c.gateways, 1);
+        assert_eq!(c.ingest_shards, 0);
+        assert_eq!(c.effective_ingest_shards(), 4, "0 → one shard per worker");
+        let c = c.with_gateways(3).with_ingest_shards(16);
+        assert_eq!(c.gateways, 3);
+        assert_eq!(c.effective_ingest_shards(), 16);
     }
 }

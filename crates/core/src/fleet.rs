@@ -1,0 +1,588 @@
+//! The multi-gateway fleet pipeline: N independent gateway sessions —
+//! each with its own sequence space, transport, and (in transport
+//! mode) decorrelated link-fault seeds — feeding one shared cloud
+//! decode pool through a sharded, fairness-gated ingest, with
+//! cross-gateway duplicate suppression on the way out.
+//!
+//! # Topology
+//!
+//! ```text
+//!              chunks (broadcast)          per-session inbox
+//!  push_chunk ──▶ gateway 1 ─[transport 1]─▶ mux 1 ─┐ shard_for(gw,seq)
+//!             ──▶ gateway 2 ─[transport 2]─▶ mux 2 ─┼─▶ worker 0..W ─┐
+//!             ──▶   ...                       ...   ┘ (FairnessGate) │
+//!                                                                    ▼
+//!        frames ◀── FleetMerge (dedup, capture order) ◀── per-session
+//!                                                         reassembly
+//! ```
+//!
+//! Every gateway hears (roughly) the same air — the paper's deployment
+//! shape is redundant cheap SDRs covering one neighbourhood — so the
+//! same over-the-air frame decodes once per session. The merge keeps
+//! the best-power copy and counts the rest as `dedup_suppressed`; the
+//! fleet conformance suite pins the keystone invariant that N sessions
+//! deliver exactly the single-gateway frame set, once, for any worker
+//! count, shard count, and per-link fault seeds.
+//!
+//! Ingest-side fleet mechanics — [`SessionRegistry`],
+//! [`galiot_cloud::shard_for`], [`galiot_cloud::FairnessGate`],
+//! [`galiot_cloud::FleetMerge`] — live in `galiot-cloud`; this module
+//! wires them to the per-session machinery of [`crate::streaming`] and
+//! [`crate::transport`].
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use galiot_cloud::{shard_for, FairnessGate, FleetMerge, SessionInfo, SessionRegistry};
+use galiot_dsp::Cf32;
+use galiot_gateway::{GatewayId, LinkFaults, ShippedSegment};
+use galiot_phy::registry::Registry;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread;
+
+use crate::config::GaliotConfig;
+use crate::metrics::SharedMetrics;
+use crate::pipeline::PipelineFrame;
+use crate::streaming::{
+    spawn_gateway, spawn_worker, SegmentResult, ShipMode, Shipper, DEDUP_SLACK,
+};
+use crate::transport::{spawn_arq_receiver, spawn_arq_sender, SendQueue, SendQueueTx};
+
+/// In-flight decode credits each session may hold between its mux and
+/// the worker pool (see [`FairnessGate`]).
+const SESSION_QUOTA: usize = 8;
+
+/// Decorrelates a per-link seed across fleet sessions. Session index 0
+/// (wire gateway 1) keeps the configured seed, so a one-gateway fleet
+/// reproduces [`crate::StreamingGaliot`]'s wire behavior exactly.
+fn session_seed(seed: u64, index: u64) -> u64 {
+    seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// A running multi-gateway GalioT fleet.
+///
+/// Feed raw capture chunks with [`FleetGaliot::push_chunk`] — every
+/// session receives each chunk, modelling N gateways hearing the same
+/// air — close the intake with [`FleetGaliot::finish`], and collect
+/// deduplicated, capture-ordered frames from the output receiver.
+pub struct FleetGaliot {
+    chunk_txs: Vec<Sender<Vec<Cf32>>>,
+    frames_rx: Receiver<PipelineFrame>,
+    gateways: Vec<thread::JoinHandle<()>>,
+    uplinks: Vec<thread::JoinHandle<()>>,
+    ingresses: Vec<thread::JoinHandle<()>>,
+    muxes: Vec<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+    merge: Option<thread::JoinHandle<()>>,
+    send_queues: Vec<Arc<SendQueue>>,
+    registry: Arc<SessionRegistry>,
+    metrics: SharedMetrics,
+    engine_before: Option<galiot_dsp::engine::EngineStats>,
+}
+
+impl FleetGaliot {
+    /// Spawns `config.gateways` gateway sessions (wire ids 1..=N), a
+    /// shared pool of `config.effective_cloud_workers()` decode
+    /// workers, and the fleet merge.
+    pub fn start(config: GaliotConfig, phy_registry: Registry) -> Self {
+        let fs = config.fs;
+        let n_gateways = config.gateways.max(1);
+        let n_workers = config.effective_cloud_workers();
+        let n_shards = config.effective_ingest_shards();
+        let engine_before = galiot_dsp::engine::stats();
+        let metrics = SharedMetrics::new();
+        metrics.with(|m| {
+            m.cloud_workers = n_workers;
+            m.fleet_gateways = n_gateways;
+            m.ingest_shards = n_shards;
+        });
+
+        let registry = Arc::new(SessionRegistry::new());
+        let gate = Arc::new(FairnessGate::new(SESSION_QUOTA));
+        let (result_tx, result_rx) = unbounded::<SegmentResult>();
+        let (frames_tx, frames_rx) = unbounded::<PipelineFrame>();
+
+        // Shared worker pool, one bounded channel per worker so shard
+        // routing is deterministic (an MPMC free-for-all would let
+        // scheduling decide who decodes what).
+        let mut worker_txs: Vec<Sender<ShippedSegment>> = Vec::with_capacity(n_workers);
+        let mut workers = Vec::with_capacity(n_workers);
+        for wid in 0..n_workers {
+            let (tx, rx) = bounded::<ShippedSegment>(2 * n_gateways.max(4));
+            worker_txs.push(tx);
+            workers.push(spawn_worker(
+                wid,
+                phy_registry.clone(),
+                &config,
+                fs,
+                rx,
+                result_tx.clone(),
+                Some(gate.clone()),
+                metrics.clone(),
+            ));
+        }
+
+        let mut chunk_txs = Vec::with_capacity(n_gateways);
+        let mut gateways = Vec::with_capacity(n_gateways);
+        let mut uplinks = Vec::new();
+        let mut ingresses = Vec::new();
+        let mut muxes = Vec::with_capacity(n_gateways);
+        let mut send_queues = Vec::new();
+        let transport = config.transport;
+
+        for index in 0..n_gateways {
+            let gw = GatewayId(index as u16 + 1);
+            registry.register(gw);
+            let (chunk_tx, chunk_rx) = bounded::<Vec<Cf32>>(8);
+            chunk_txs.push(chunk_tx);
+            // The session inbox: segments that survived this session's
+            // backhaul, awaiting shard routing.
+            let (inbox_tx, inbox_rx) = bounded::<ShippedSegment>(2 * n_workers.max(4));
+
+            let shipper = if transport.is_passthrough() {
+                Shipper {
+                    gateway: gw,
+                    mode: ShipMode::Direct(inbox_tx),
+                    base_bits: config.compression_bits,
+                    uplink_bps: config.emulate_backhaul.then_some(config.backhaul_bps),
+                    metrics: metrics.clone(),
+                }
+            } else {
+                // Each session owns a full transport stack over its own
+                // impaired links, seeds decorrelated per session.
+                let mut t = transport;
+                t.data_faults = LinkFaults {
+                    seed: session_seed(t.data_faults.seed, index as u64),
+                    ..t.data_faults
+                };
+                t.ack_faults = LinkFaults {
+                    seed: session_seed(t.ack_faults.seed, index as u64),
+                    ..t.ack_faults
+                };
+                t.arq.seed = session_seed(t.arq.seed, index as u64);
+                let queue = SendQueue::new(t.send_queue_cap);
+                let (wire_tx, wire_rx) = bounded::<Vec<u8>>(64);
+                let (ack_tx, ack_rx) = unbounded::<Vec<u8>>();
+                let lost_tx = result_tx.clone();
+                uplinks.push(spawn_arq_sender(
+                    queue.clone(),
+                    wire_tx,
+                    ack_rx,
+                    t.arq,
+                    t.data_faults,
+                    config.emulate_backhaul.then_some(config.backhaul_bps),
+                    metrics.clone(),
+                    move |seq| {
+                        galiot_trace::event(
+                            galiot_trace::EventKind::Lost,
+                            galiot_trace::tag_seq(gw.0, seq),
+                        );
+                        lost_tx
+                            .send(SegmentResult {
+                                gateway: gw,
+                                seq,
+                                frames: Vec::new(),
+                                watermark: 0,
+                                power: 0.0,
+                            })
+                            .is_ok()
+                    },
+                ));
+                ingresses.push(spawn_arq_receiver(
+                    wire_rx,
+                    ack_tx,
+                    inbox_tx,
+                    t.ack_faults,
+                    metrics.clone(),
+                ));
+                send_queues.push(queue.clone());
+                Shipper {
+                    gateway: gw,
+                    mode: ShipMode::Transport {
+                        tx: SendQueueTx::new(queue),
+                        hwm: t.degrade_hwm,
+                        cap: t.send_queue_cap,
+                        min_bits: t.min_bits,
+                        result_tx: result_tx.clone(),
+                    },
+                    base_bits: config.compression_bits,
+                    uplink_bps: None,
+                    metrics: metrics.clone(),
+                }
+            };
+
+            gateways.push(spawn_gateway(
+                &config,
+                &phy_registry,
+                chunk_rx,
+                shipper,
+                result_tx.clone(),
+                metrics.clone(),
+            ));
+            muxes.push(spawn_mux(
+                inbox_rx,
+                worker_txs.clone(),
+                gate.clone(),
+                registry.clone(),
+                n_shards,
+                metrics.clone(),
+            ));
+        }
+        // Disconnection must propagate down the dataflow: muxes hold
+        // the only worker senders, workers + gateways + lost hooks the
+        // only result senders.
+        drop(worker_txs);
+        drop(result_tx);
+
+        let merge = spawn_merge(result_rx, frames_tx, n_gateways, metrics.clone());
+
+        FleetGaliot {
+            chunk_txs,
+            frames_rx,
+            gateways,
+            uplinks,
+            ingresses,
+            muxes,
+            workers,
+            merge: Some(merge),
+            send_queues,
+            registry,
+            metrics,
+            engine_before: Some(engine_before),
+        }
+    }
+
+    /// Feeds one capture chunk to every session; blocks if any session
+    /// is saturated.
+    pub fn push_chunk(&self, chunk: Vec<Cf32>) {
+        for tx in &self.chunk_txs {
+            let _ = tx.send(chunk.clone());
+        }
+    }
+
+    /// The deduplicated frame output channel, in capture order.
+    pub fn frames(&self) -> &Receiver<PipelineFrame> {
+        &self.frames_rx
+    }
+
+    /// Shared metrics handle.
+    pub fn metrics(&self) -> &SharedMetrics {
+        &self.metrics
+    }
+
+    /// Point-in-time view of every session the ingest has heard from.
+    pub fn sessions(&self) -> Vec<SessionInfo> {
+        self.registry.snapshot()
+    }
+
+    fn join_all(&mut self) {
+        self.chunk_txs.clear();
+        // Join order follows the dataflow (cf. StreamingGaliot): each
+        // gateway closes its send queue / inbox, ending its uplink,
+        // whose dropped wire ends its ingress, whose dropped inbox
+        // ends its mux; dropped worker senders end the pool; dropped
+        // result senders end the merge.
+        for g in self.gateways.drain(..) {
+            let _ = g.join();
+        }
+        for u in self.uplinks.drain(..) {
+            let _ = u.join();
+        }
+        for i in self.ingresses.drain(..) {
+            let _ = i.join();
+        }
+        for m in self.muxes.drain(..) {
+            let _ = m.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(m) = self.merge.take() {
+            let _ = m.join();
+        }
+        for q in self.send_queues.drain(..) {
+            self.metrics
+                .with(|m| m.send_queue_hwm = m.send_queue_hwm.max(q.high_water_mark()));
+        }
+        if let Some(before) = self.engine_before.take() {
+            self.metrics.with(|m| m.record_engine_stats(&before));
+        }
+    }
+
+    /// Closes the intake, waits for the whole fleet, and returns all
+    /// remaining frames (deduplicated, in capture order).
+    pub fn finish(mut self) -> Vec<PipelineFrame> {
+        self.join_all();
+        self.frames_rx.try_iter().collect()
+    }
+}
+
+impl Drop for FleetGaliot {
+    fn drop(&mut self) {
+        self.join_all();
+    }
+}
+
+/// Per-session mux: stamps the session registry, takes a fairness
+/// credit, and routes each surviving segment to its shard's worker.
+/// The worker returns the credit after decoding.
+fn spawn_mux(
+    inbox_rx: Receiver<ShippedSegment>,
+    worker_txs: Vec<Sender<ShippedSegment>>,
+    gate: Arc<FairnessGate>,
+    registry: Arc<SessionRegistry>,
+    n_shards: usize,
+    metrics: SharedMetrics,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("galiot-mux".into())
+        .spawn(move || {
+            let n_workers = worker_txs.len().max(1);
+            while let Ok(seg) = inbox_rx.recv() {
+                registry.touch(seg.gateway);
+                metrics.with(|m| *m.per_gateway_segments.entry(seg.gateway.0).or_default() += 1);
+                if !gate.acquire(seg.gateway) {
+                    return; // gate closed: fleet is tearing down
+                }
+                // Two-level routing keeps the shard map stable across
+                // worker-count changes: (gateway, seq) → shard → worker.
+                let wid = shard_for(seg.gateway, seg.seq, n_shards) % n_workers;
+                let gw = seg.gateway;
+                if worker_txs[wid].send(seg).is_err() {
+                    gate.release(gw);
+                    return; // pool is gone
+                }
+            }
+        })
+        .expect("spawn fleet mux thread")
+}
+
+/// Per-session in-order reassembly state feeding the fleet merge.
+#[derive(Default)]
+struct SessionLane {
+    pending: BTreeMap<u64, SegmentResult>,
+    next_seq: u64,
+}
+
+/// The fleet merge thread: restores each session's emission order,
+/// offers every decoded frame to the cross-gateway dedup, and emits
+/// released groups in capture order, recording frame metrics exactly
+/// once per delivered frame.
+fn spawn_merge(
+    result_rx: Receiver<SegmentResult>,
+    frames_tx: Sender<PipelineFrame>,
+    n_gateways: usize,
+    metrics: SharedMetrics,
+) -> thread::JoinHandle<()> {
+    thread::Builder::new()
+        .name("galiot-fleet-merge".into())
+        .spawn(move || {
+            let mut lanes: Vec<SessionLane> =
+                (0..n_gateways).map(|_| SessionLane::default()).collect();
+            let mut merge: FleetMerge<PipelineFrame> =
+                FleetMerge::new(n_gateways, DEDUP_SLACK as u64);
+
+            let emit = |released: Vec<PipelineFrame>, merge_suppressed: u64| -> bool {
+                metrics.with(|m| {
+                    m.dedup_suppressed = merge_suppressed as usize;
+                    m.fleet_delivered += released.len();
+                    for pf in &released {
+                        m.record_frame(&pf.frame, pf.at_edge, pf.via_kill);
+                    }
+                });
+                for pf in released {
+                    if frames_tx.send(pf).is_err() {
+                        return false;
+                    }
+                }
+                true
+            };
+
+            // Feeds one in-order segment result into the merge: offer
+            // its frames (capture order within the segment), advance
+            // the session watermark, release whatever became final.
+            let offer_segment =
+                |merge: &mut FleetMerge<PipelineFrame>, index: usize, result: SegmentResult| {
+                    let SegmentResult {
+                        gateway,
+                        seq,
+                        mut frames,
+                        watermark,
+                        power,
+                    } = result;
+                    let _span = galiot_trace::span(
+                        galiot_trace::Stage::Reassembly,
+                        galiot_trace::tag_seq(gateway.0, seq),
+                    );
+                    frames.sort_by_key(|pf| pf.frame.start);
+                    if !frames.is_empty() {
+                        metrics.with(|m| {
+                            *m.per_gateway_decoded.entry(gateway.0).or_default() += frames.len()
+                        });
+                    }
+                    for pf in frames {
+                        let (tech, start) = (pf.frame.tech, pf.frame.start);
+                        let payload = pf.frame.payload.clone();
+                        merge.offer(index, tech, &payload, start, power, pf);
+                    }
+                    // Watermark 0 means "start unknown" (a lost-segment
+                    // gap notice): hold the horizon rather than risk
+                    // releasing a group a late copy could still match.
+                    (watermark > 0).then_some(watermark)
+                };
+
+            while let Ok(result) = result_rx.recv() {
+                let index = (result.gateway.0 as usize).wrapping_sub(1);
+                if index >= n_gateways {
+                    continue; // not a fleet session (defensive)
+                }
+                let lane = &mut lanes[index];
+                // As in single-gateway reassembly, a seq can report
+                // twice under the faulty transport (declared lost, then
+                // delivered late by a reordering link): first wins.
+                if result.seq < lane.next_seq {
+                    continue;
+                }
+                lane.pending.entry(result.seq).or_insert(result);
+                metrics.with(|m| {
+                    let depth: usize = lanes.iter().map(|l| l.pending.len()).sum();
+                    m.reassembly_hwm = m.reassembly_hwm.max(depth);
+                });
+                let lane = &mut lanes[index];
+                while let Some(r) = lane.pending.remove(&lane.next_seq) {
+                    lane.next_seq += 1;
+                    if let Some(wm) = offer_segment(&mut merge, index, r) {
+                        let released = merge.advance(index, wm);
+                        if !emit(released, merge.suppressed()) {
+                            return;
+                        }
+                    }
+                }
+            }
+
+            // Producers are gone: flush each lane's stragglers in seq
+            // order, then retire every session so the last groups
+            // become final.
+            for (index, lane) in lanes.iter_mut().enumerate() {
+                for (_, r) in std::mem::take(&mut lane.pending) {
+                    offer_segment(&mut merge, index, r);
+                }
+            }
+            for index in 0..n_gateways {
+                let released = merge.finish(index);
+                if !emit(released, merge.suppressed()) {
+                    return;
+                }
+            }
+        })
+        .expect("spawn fleet merge thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use galiot_channel::{compose, snr_to_noise_power, TxEvent};
+    use galiot_phy::TechId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const FS: f64 = 1_000_000.0;
+
+    fn capture(seed: u64) -> galiot_channel::Capture {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let reg = Registry::prototype();
+        let xbee = reg.get(TechId::XBee).unwrap().clone();
+        let zwave = reg.get(TechId::ZWave).unwrap().clone();
+        let events = vec![
+            TxEvent::new(xbee, vec![0xA1, 0xB2], 200_000),
+            TxEvent::new(zwave, vec![0x5C; 4], 800_000),
+        ];
+        let np = snr_to_noise_power(18.0, 0.0);
+        compose(&events, 1_400_000, FS, np, &mut rng)
+    }
+
+    fn run_fleet(
+        config: GaliotConfig,
+        cap: &galiot_channel::Capture,
+    ) -> (Vec<PipelineFrame>, crate::Metrics) {
+        let fleet = FleetGaliot::start(config, Registry::prototype());
+        for chunk in cap.samples.chunks(65_536) {
+            fleet.push_chunk(chunk.to_vec());
+        }
+        let metrics = fleet.metrics().clone();
+        let frames = fleet.finish();
+        (frames, metrics.snapshot())
+    }
+
+    #[test]
+    fn two_gateways_deliver_the_frame_set_exactly_once() {
+        let cap = capture(11);
+        // Edge decoding off: every segment must flow through the
+        // sharded ingest, so the mux accounting is exercised.
+        let mut config = GaliotConfig::prototype()
+            .with_cloud_workers(2)
+            .with_gateways(2);
+        config.edge_decoding = false;
+        let (frames, m) = run_fleet(config, &cap);
+        let payloads: Vec<&Vec<u8>> = frames.iter().map(|f| &f.frame.payload).collect();
+        assert!(payloads.contains(&&vec![0xA1, 0xB2]), "{payloads:?}");
+        assert!(payloads.contains(&&vec![0x5C; 4]), "{payloads:?}");
+        assert_eq!(frames.len(), 2, "duplicates leaked: {payloads:?}");
+        assert_eq!(m.fleet_gateways, 2);
+        assert_eq!(m.fleet_delivered, 2);
+        assert!(
+            m.dedup_suppressed >= 2,
+            "each frame decodes once per gateway: {m:?}"
+        );
+        let offered: usize = m.per_gateway_decoded.values().sum();
+        assert_eq!(offered, m.fleet_delivered + m.dedup_suppressed, "{m:?}");
+        // Both sessions show up in the ingest accounting.
+        assert_eq!(m.per_gateway_segments.len(), 2, "{m:?}");
+    }
+
+    #[test]
+    fn fleet_frames_arrive_in_capture_order() {
+        let cap = capture(12);
+        let config = GaliotConfig::prototype()
+            .with_cloud_workers(4)
+            .with_gateways(3)
+            .with_ingest_shards(7);
+        let (frames, m) = run_fleet(config, &cap);
+        let starts: Vec<usize> = frames.iter().map(|f| f.frame.start).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted, "fleet output out of capture order");
+        assert_eq!(m.ingest_shards, 7);
+        let offered: usize = m.per_gateway_decoded.values().sum();
+        assert_eq!(offered, m.fleet_delivered + m.dedup_suppressed, "{m:?}");
+    }
+
+    #[test]
+    fn session_registry_tracks_every_gateway() {
+        let cap = capture(13);
+        let config = GaliotConfig::prototype()
+            .with_cloud_workers(2)
+            .with_gateways(2);
+        let fleet = FleetGaliot::start(config, Registry::prototype());
+        for chunk in cap.samples.chunks(65_536) {
+            fleet.push_chunk(chunk.to_vec());
+        }
+        let sessions_early = fleet.sessions();
+        let _ = fleet.finish();
+        assert_eq!(sessions_early.len(), 2);
+        assert!(sessions_early.iter().all(|s| s.epoch > 0));
+        assert_eq!(sessions_early[0].gateway, GatewayId(1));
+        assert_eq!(sessions_early[1].gateway, GatewayId(2));
+    }
+
+    #[test]
+    fn empty_fleet_run_is_clean() {
+        let fleet = FleetGaliot::start(
+            GaliotConfig::prototype()
+                .with_gateways(2)
+                .with_cloud_workers(1),
+            Registry::prototype(),
+        );
+        let frames = fleet.finish();
+        assert!(frames.is_empty());
+    }
+}

@@ -32,6 +32,7 @@
 
 pub mod config;
 pub mod experiment;
+pub mod fleet;
 pub mod metrics;
 pub mod pipeline;
 pub mod sensing;
@@ -39,6 +40,7 @@ pub mod streaming;
 pub mod transport;
 
 pub use config::{DetectorKind, GaliotConfig};
+pub use fleet::FleetGaliot;
 /// Re-export of the observability layer so downstream users can start
 /// trace sessions without depending on `galiot-trace` directly.
 pub use galiot_trace as trace;

@@ -126,6 +126,25 @@ pub struct Metrics {
     /// Per-stage latency histograms folded in from a trace session
     /// (see [`Metrics::record_trace`]), keyed by stage name.
     pub stage_ns: BTreeMap<String, Histogram>,
+    /// Gateway sessions the fleet ingest ran with (0 for the
+    /// single-gateway pipelines, which have no fleet).
+    pub fleet_gateways: usize,
+    /// Routing shards the fleet ingest hashed (gateway, seq) onto
+    /// (0 outside the fleet pipeline).
+    pub ingest_shards: usize,
+    /// Segments each fleet session pushed into the shared decode pool,
+    /// keyed by gateway id.
+    pub per_gateway_segments: BTreeMap<u16, usize>,
+    /// Frames the shared pool decoded on behalf of each fleet session
+    /// (pre-dedup), keyed by gateway id.
+    pub per_gateway_decoded: BTreeMap<u16, usize>,
+    /// Cross-gateway duplicate frames the fleet merge suppressed
+    /// (kept the best-power copy, dropped the rest).
+    pub dedup_suppressed: usize,
+    /// Frames the fleet merge actually delivered (exactly-once, after
+    /// dedup). `sum(per_gateway_decoded) == fleet_delivered +
+    /// dedup_suppressed` is asserted by `tests/fleet_conformance.rs`.
+    pub fleet_delivered: usize,
 }
 
 impl Metrics {
@@ -218,6 +237,12 @@ impl Metrics {
             sic_rounds,
             kill_applications,
             stage_ns,
+            fleet_gateways,
+            ingest_shards,
+            per_gateway_segments,
+            per_gateway_decoded,
+            dedup_suppressed,
+            fleet_delivered,
         } = other;
         self.detections += detections;
         self.segments += segments;
@@ -269,6 +294,16 @@ impl Metrics {
         for (k, v) in stage_ns {
             self.stage_ns.entry(k.clone()).or_default().merge(v);
         }
+        self.fleet_gateways = self.fleet_gateways.max(*fleet_gateways);
+        self.ingest_shards = self.ingest_shards.max(*ingest_shards);
+        for (k, v) in per_gateway_segments {
+            *self.per_gateway_segments.entry(*k).or_default() += v;
+        }
+        for (k, v) in per_gateway_decoded {
+            *self.per_gateway_decoded.entry(*k).or_default() += v;
+        }
+        self.dedup_suppressed += dedup_suppressed;
+        self.fleet_delivered += fleet_delivered;
     }
 
     /// Folds a drained trace's per-stage latency histograms into
@@ -297,7 +332,8 @@ impl Metrics {
              \"decode_poisoned\":{},\"segments_downgraded\":{},\"segments_shed\":{},\
              \"arq_retransmits\":{},\"arq_acked\":{},\"arq_lost\":{},\
              \"dup_segments_dropped\":{},\"sic_rounds\":{},\"kill_applications\":{},\
-             \"stages\":{{",
+             \"fleet_gateways\":{},\"ingest_shards\":{},\"fleet_delivered\":{},\
+             \"dedup_suppressed\":{},\"stages\":{{",
             self.detections,
             self.segments,
             self.edge_decoded,
@@ -316,6 +352,10 @@ impl Metrics {
             self.dup_segments_dropped,
             self.sic_rounds,
             self.kill_applications,
+            self.fleet_gateways,
+            self.ingest_shards,
+            self.fleet_delivered,
+            self.dedup_suppressed,
         );
         let mut first = true;
         for (name, h) in &self.stage_ns {
@@ -411,6 +451,12 @@ impl fmt::Display for Metrics {
             sic_rounds,
             kill_applications,
             stage_ns,
+            fleet_gateways,
+            ingest_shards,
+            per_gateway_segments,
+            per_gateway_decoded,
+            dedup_suppressed,
+            fleet_delivered,
         } = self;
         writeln!(
             f,
@@ -453,6 +499,13 @@ impl fmt::Display for Metrics {
             f,
             "engine: plan_cache_hits={plan_cache_hits} plan_cache_misses={plan_cache_misses} \
              template_bank_builds={template_bank_builds} template_bank_hits={template_bank_hits}"
+        )?;
+        writeln!(
+            f,
+            "fleet: fleet_gateways={fleet_gateways} ingest_shards={ingest_shards} \
+             fleet_delivered={fleet_delivered} dedup_suppressed={dedup_suppressed} \
+             per_gateway_segments={per_gateway_segments:?} \
+             per_gateway_decoded={per_gateway_decoded:?}"
         )?;
         writeln!(f, "payload_bits: {payload_bits:?}")?;
         if stage_ns.is_empty() {
@@ -669,6 +722,12 @@ mod tests {
             sic_rounds: 38,
             kill_applications: 39,
             stage_ns: BTreeMap::from([("worker_decode".to_string(), stage_hist)]),
+            fleet_gateways: 40,
+            ingest_shards: 41,
+            per_gateway_segments: BTreeMap::from([(1u16, 42usize)]),
+            per_gateway_decoded: BTreeMap::from([(1u16, 43usize)]),
+            dedup_suppressed: 44,
+            fleet_delivered: 45,
         }
     }
 
@@ -694,10 +753,18 @@ mod tests {
         assert_eq!(twice.detections, 2 * full.detections);
         assert_eq!(twice.sic_rounds, 2 * full.sic_rounds);
         assert_eq!(twice.kill_applications, 2 * full.kill_applications);
+        assert_eq!(twice.dedup_suppressed, 2 * full.dedup_suppressed);
+        assert_eq!(twice.fleet_delivered, 2 * full.fleet_delivered);
+        assert_eq!(
+            twice.per_gateway_decoded[&1],
+            2 * full.per_gateway_decoded[&1]
+        );
         // hwm-style fields take the max, not the sum.
         assert_eq!(twice.seg_queue_hwm, full.seg_queue_hwm);
         assert_eq!(twice.send_queue_hwm, full.send_queue_hwm);
         assert_eq!(twice.cloud_workers, full.cloud_workers);
+        assert_eq!(twice.fleet_gateways, full.fleet_gateways);
+        assert_eq!(twice.ingest_shards, full.ingest_shards);
         // Histograms merge by concatenation.
         assert_eq!(
             twice.stage_ns["worker_decode"].count(),
@@ -752,6 +819,12 @@ mod tests {
             "kill_applications",
             "payload_bits",
             "stage_ns",
+            "fleet_gateways",
+            "ingest_shards",
+            "per_gateway_segments",
+            "per_gateway_decoded",
+            "dedup_suppressed",
+            "fleet_delivered",
         ] {
             assert!(text.contains(label), "Display output missing {label:?}");
         }

@@ -47,7 +47,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use galiot_cloud::{CloudDecoder, Recovery};
 use galiot_dsp::Cf32;
 use galiot_gateway::{
-    extract, EdgeDecoder, EdgeOutcome, ExtractParams, PacketDetector, RtlSdrFrontEnd,
+    extract, EdgeDecoder, EdgeOutcome, ExtractParams, GatewayId, PacketDetector, RtlSdrFrontEnd,
     ShippedSegment, UniversalDetector,
 };
 use galiot_phy::registry::Registry;
@@ -69,13 +69,25 @@ use std::sync::Arc;
 const COMPRESS_BLOCK: usize = 1024;
 
 /// Start-offset slack when deduplicating frames re-decoded from
-/// overlapping segment emissions.
-const DEDUP_SLACK: usize = 4_096;
+/// overlapping segment emissions. The fleet merge uses the same window
+/// for cross-gateway suppression so single- and multi-gateway delivery
+/// agree.
+pub(crate) const DEDUP_SLACK: usize = 4_096;
 
-/// One segment's decode outcome travelling to the reassembly stage.
-struct SegmentResult {
-    seq: u64,
-    frames: Vec<PipelineFrame>,
+/// One segment's decode outcome travelling to the reassembly stage (or
+/// to the fleet merge in multi-gateway mode).
+pub(crate) struct SegmentResult {
+    /// Emitting session; `GatewayId(0)` in single-gateway mode.
+    pub(crate) gateway: GatewayId,
+    pub(crate) seq: u64,
+    pub(crate) frames: Vec<PipelineFrame>,
+    /// Capture start of the segment in absolute samples — the session
+    /// watermark the fleet merge advances on. 0 means unknown (e.g. a
+    /// lost-segment gap notice), which conservatively holds dedup back.
+    pub(crate) watermark: u64,
+    /// Mean received power of the segment's samples — the fleet
+    /// merge's best-copy criterion. 0.0 when no samples were decoded.
+    pub(crate) power: f32,
 }
 
 /// A running streaming GalioT instance.
@@ -134,6 +146,7 @@ impl StreamingGaliot {
         let mut send_queue = None;
         let shipper = if transport.is_passthrough() {
             Shipper {
+                gateway: GatewayId(0),
                 mode: ShipMode::Direct(seg_tx),
                 base_bits: config.compression_bits,
                 uplink_bps,
@@ -159,8 +172,11 @@ impl StreamingGaliot {
                     galiot_trace::event(galiot_trace::EventKind::Lost, seq);
                     lost_tx
                         .send(SegmentResult {
+                            gateway: GatewayId(0),
                             seq,
                             frames: Vec::new(),
+                            watermark: 0,
+                            power: 0.0,
                         })
                         .is_ok()
                 },
@@ -174,6 +190,7 @@ impl StreamingGaliot {
             ));
             send_queue = Some(queue.clone());
             Shipper {
+                gateway: GatewayId(0),
                 mode: ShipMode::Transport {
                     tx: SendQueueTx::new(queue),
                     hwm: transport.degrade_hwm,
@@ -207,6 +224,7 @@ impl StreamingGaliot {
                     fs,
                     seg_rx.clone(),
                     result_tx.clone(),
+                    None,
                     metrics.clone(),
                 )
             })
@@ -298,7 +316,7 @@ impl Drop for StreamingGaliot {
 /// Gateway thread: digitize chunks into a rolling buffer, detect on
 /// fixed, chunk-size-independent flush windows, edge-decode clean
 /// segments and ship the rest compressed.
-fn spawn_gateway(
+pub(crate) fn spawn_gateway(
     config: &GaliotConfig,
     registry: &Registry,
     chunk_rx: Receiver<Vec<Cf32>>,
@@ -383,14 +401,19 @@ fn spawn_gateway(
                         abs_seg.start = abs_start;
                         if let EdgeOutcome::DecodedLocally(frame) = edge.process(&abs_seg, fs) {
                             metrics.with(|m| m.gateway_busy_ns += t0.elapsed().as_nanos() as u64);
+                            let power = abs_seg.samples.iter().map(|c| c.norm_sqr()).sum::<f32>()
+                                / abs_seg.samples.len().max(1) as f32;
                             let ok = result_tx
                                 .send(SegmentResult {
+                                    gateway: shipper.gateway,
                                     seq: this_seq,
                                     frames: vec![PipelineFrame {
                                         frame,
                                         at_edge: true,
                                         via_kill: false,
                                     }],
+                                    watermark: abs_start as u64,
+                                    power,
                                 })
                                 .is_ok();
                             if !ok {
@@ -434,7 +457,7 @@ fn spawn_gateway(
 }
 
 /// Where the gateway's compressed segments go.
-enum ShipMode {
+pub(crate) enum ShipMode {
     /// Straight into the worker-pool channel (perfect backhaul — the
     /// historical behavior).
     Direct(Sender<ShippedSegment>),
@@ -452,12 +475,14 @@ enum ShipMode {
 }
 
 /// The gateway's shipping policy: packs a finalized segment at the
-/// right compression level and hands it to whichever path is active.
-struct Shipper {
-    mode: ShipMode,
-    base_bits: u32,
-    uplink_bps: Option<f64>,
-    metrics: SharedMetrics,
+/// right compression level and hands it to whichever path is active,
+/// stamped with the session's [`GatewayId`].
+pub(crate) struct Shipper {
+    pub(crate) gateway: GatewayId,
+    pub(crate) mode: ShipMode,
+    pub(crate) base_bits: u32,
+    pub(crate) uplink_bps: Option<f64>,
+    pub(crate) metrics: SharedMetrics,
 }
 
 impl Shipper {
@@ -467,7 +492,8 @@ impl Shipper {
         match &self.mode {
             ShipMode::Direct(tx) => {
                 let shipped =
-                    ShippedSegment::pack(seq, abs_start, samples, self.base_bits, COMPRESS_BLOCK);
+                    ShippedSegment::pack(seq, abs_start, samples, self.base_bits, COMPRESS_BLOCK)
+                        .with_gateway(self.gateway);
                 let ok = ship(&shipped, tx, &self.metrics, self.uplink_bps);
                 if ok {
                     self.metrics
@@ -484,7 +510,8 @@ impl Shipper {
             } => {
                 let depth = tx.queue().len();
                 let bits = degraded_bits(self.base_bits, *min_bits, depth, *hwm, *cap);
-                let shipped = ShippedSegment::pack(seq, abs_start, samples, bits, COMPRESS_BLOCK);
+                let shipped = ShippedSegment::pack(seq, abs_start, samples, bits, COMPRESS_BLOCK)
+                    .with_gateway(self.gateway);
                 let wire = shipped.wire_bytes() as u64;
                 let power =
                     samples.iter().map(|c| c.norm_sqr()).sum::<f32>() / samples.len().max(1) as f32;
@@ -496,7 +523,10 @@ impl Shipper {
                         m.segments_downgraded += 1;
                     }
                 });
-                galiot_trace::event(galiot_trace::EventKind::Ship, seq);
+                galiot_trace::event(
+                    galiot_trace::EventKind::Ship,
+                    galiot_trace::tag_seq(self.gateway.0, seq),
+                );
                 if let Some(victim) = tx.queue().push(QueuedSegment {
                     seg: shipped,
                     power,
@@ -504,11 +534,17 @@ impl Shipper {
                     // The shed victim's sequence slot still needs a gap
                     // notice so reassembly can advance past it.
                     self.metrics.with(|m| m.segments_shed += 1);
-                    galiot_trace::event(galiot_trace::EventKind::Shed, victim.seg.seq);
+                    galiot_trace::event(
+                        galiot_trace::EventKind::Shed,
+                        galiot_trace::tag_seq(victim.seg.gateway.0, victim.seg.seq),
+                    );
                     if result_tx
                         .send(SegmentResult {
+                            gateway: victim.seg.gateway,
                             seq: victim.seg.seq,
                             frames: Vec::new(),
+                            watermark: victim.seg.start as u64,
+                            power: 0.0,
                         })
                         .is_err()
                     {
@@ -541,7 +577,10 @@ fn ship(
     // Mark the handoff before the send so the ship event
     // happens-before everything the receiving worker records for this
     // seq (the trace-conformance journey check relies on the order).
-    galiot_trace::event(galiot_trace::EventKind::Ship, shipped.seq);
+    galiot_trace::event(
+        galiot_trace::EventKind::Ship,
+        galiot_trace::tag_seq(shipped.gateway.0, shipped.seq),
+    );
     if seg_tx.send(shipped.clone()).is_err() {
         return false;
     }
@@ -555,16 +594,22 @@ fn ship(
 }
 
 /// One cloud decode worker: decompress, run Algorithm 1, forward the
-/// result tagged with the segment's sequence number. A panicking decode
-/// is contained — the worker reports an empty result for that segment
-/// and keeps serving the pool.
-fn spawn_worker(
+/// result tagged with the segment's session and sequence number. A
+/// panicking decode is contained — the worker reports an empty result
+/// for that segment and keeps serving the pool.
+///
+/// With a [`FairnessGate`](galiot_cloud::FairnessGate) attached (fleet
+/// mode), the worker returns the emitting session's in-flight credit
+/// after each segment, whatever the decode outcome.
+#[allow(clippy::too_many_arguments)] // one decode endpoint: inputs, outputs, knobs
+pub(crate) fn spawn_worker(
     wid: usize,
     registry: Registry,
     config: &GaliotConfig,
     fs: f64,
     seg_rx: Receiver<ShippedSegment>,
     result_tx: Sender<SegmentResult>,
+    gate: Option<Arc<galiot_cloud::FairnessGate>>,
     metrics: SharedMetrics,
 ) -> thread::JoinHandle<()> {
     let cloud_params = config.cloud;
@@ -582,16 +627,19 @@ fn spawn_worker(
                 if let Some(lat) = hop_latency {
                     thread::sleep(lat);
                 }
+                let tag = galiot_trace::tag_seq(seg.gateway.0, seg.seq);
                 let t0 = Instant::now();
-                let decode_span = galiot_trace::span(galiot_trace::Stage::WorkerDecode, seg.seq);
+                let decode_span = galiot_trace::span(galiot_trace::Stage::WorkerDecode, tag);
                 let decoded = catch_unwind(AssertUnwindSafe(|| {
                     let samples = seg.unpack();
-                    decoder.decode(&samples, fs)
+                    let power = samples.iter().map(|c| c.norm_sqr()).sum::<f32>()
+                        / samples.len().max(1) as f32;
+                    (power, decoder.decode(&samples, fs))
                 }));
                 drop(decode_span);
                 let busy = t0.elapsed().as_nanos() as u64;
-                let (frames, rounds, kills) = match decoded {
-                    Ok(result) => {
+                let (frames, power, rounds, kills) = match decoded {
+                    Ok((power, result)) => {
                         let rounds = result.rounds as u64;
                         let kills = result.kills as u64;
                         let frames: Vec<PipelineFrame> = result
@@ -607,11 +655,11 @@ fn spawn_worker(
                                 }
                             })
                             .collect();
-                        (frames, rounds, kills)
+                        (frames, power, rounds, kills)
                     }
                     Err(_) => {
                         metrics.with(|m| m.decode_poisoned += 1);
-                        (Vec::new(), 0, 0)
+                        (Vec::new(), 0.0, 0, 0)
                     }
                 };
                 metrics.with(|m| {
@@ -623,11 +671,17 @@ fn spawn_worker(
                 });
                 // Terminal mark: the segment's journey ends here even
                 // when the decode yielded nothing (or panicked).
-                galiot_trace::event(galiot_trace::EventKind::Decode, seg.seq);
+                galiot_trace::event(galiot_trace::EventKind::Decode, tag);
+                if let Some(gate) = &gate {
+                    gate.release(seg.gateway);
+                }
                 if result_tx
                     .send(SegmentResult {
+                        gateway: seg.gateway,
                         seq: seg.seq,
                         frames,
+                        watermark: seg.start as u64,
+                        power,
                     })
                     .is_err()
                 {

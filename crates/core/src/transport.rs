@@ -34,7 +34,8 @@
 
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use galiot_gateway::{
-    decode_ack, decode_segment, encode_ack, encode_segment, FaultyLink, LinkFaults, ShippedSegment,
+    decode_ack, decode_segment, encode_ack, encode_segment, FaultyLink, GatewayId, LinkFaults,
+    ShippedSegment,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -351,7 +352,10 @@ pub fn spawn_arq_sender(
         .spawn(move || {
             let mut link = FaultyLink::new(faults);
             let mut rng = StdRng::seed_from_u64(arq.seed);
-            let mut in_flight: BTreeMap<u64, Flight> = BTreeMap::new();
+            // Keyed by (gateway, seq): sequence numbers are dense per
+            // session, so a shared wire must never let one session's
+            // ack retire another's in-flight datagram.
+            let mut in_flight: BTreeMap<(GatewayId, u64), Flight> = BTreeMap::new();
             let max_timeout = Duration::from_secs_f64(arq.max_timeout_s.max(arq.base_timeout_s));
 
             'run: loop {
@@ -369,7 +373,10 @@ pub fn spawn_arq_sender(
                             None => break,
                         }
                     };
-                    let send_span = galiot_trace::span(galiot_trace::Stage::ArqSend, item.seg.seq);
+                    let send_span = galiot_trace::span(
+                        galiot_trace::Stage::ArqSend,
+                        galiot_trace::tag_seq(item.seg.gateway.0, item.seg.seq),
+                    );
                     let bytes = encode_segment(&item.seg);
                     if let Some(bps) = serialize_bps {
                         thread::sleep(Duration::from_secs_f64(bytes.len() as f64 * 8.0 / bps));
@@ -383,7 +390,7 @@ pub fn spawn_arq_sender(
                             arq.base_timeout_s * (1.0 + arq.jitter * rng.gen::<f64>()),
                         );
                         in_flight.insert(
-                            item.seg.seq,
+                            (item.seg.gateway, item.seg.seq),
                             Flight {
                                 bytes,
                                 retries: 0,
@@ -406,8 +413,11 @@ pub fn spawn_arq_sender(
                 let wait = deadline.saturating_duration_since(Instant::now());
                 match ack_rx.recv_timeout(wait) {
                     Ok(bytes) => match decode_ack(&bytes) {
-                        Ok(seq) => {
-                            if in_flight.remove(&seq).is_some() {
+                        Ok((gw, seq)) => {
+                            // An ack for another session's (gateway,
+                            // seq) — e.g. on a shared wire — must not
+                            // retire this one's flight.
+                            if in_flight.remove(&(gw, seq)).is_some() {
                                 metrics.with(|m| m.arq_acked += 1);
                             }
                         }
@@ -415,17 +425,17 @@ pub fn spawn_arq_sender(
                     },
                     Err(RecvTimeoutError::Timeout) => {
                         let now = Instant::now();
-                        let expired: Vec<u64> = in_flight
+                        let expired: Vec<(GatewayId, u64)> = in_flight
                             .iter()
                             .filter(|(_, f)| f.deadline <= now)
-                            .map(|(s, _)| *s)
+                            .map(|(k, _)| *k)
                             .collect();
-                        for seq in expired {
-                            let f = in_flight.get_mut(&seq).expect("expired seq is in flight");
+                        for key in expired {
+                            let f = in_flight.get_mut(&key).expect("expired seq is in flight");
                             if f.retries >= arq.max_retries {
-                                in_flight.remove(&seq);
+                                in_flight.remove(&key);
                                 metrics.with(|m| m.arq_lost += 1);
-                                if !on_lost(seq) {
+                                if !on_lost(key.1) {
                                     break 'run;
                                 }
                             } else {
@@ -437,8 +447,10 @@ pub fn spawn_arq_sender(
                                 f.deadline = now + f.timeout;
                                 let bytes = f.bytes.clone();
                                 metrics.with(|m| m.arq_retransmits += 1);
-                                let send_span =
-                                    galiot_trace::span(galiot_trace::Stage::ArqSend, seq);
+                                let send_span = galiot_trace::span(
+                                    galiot_trace::Stage::ArqSend,
+                                    galiot_trace::tag_seq(key.0 .0, key.1),
+                                );
                                 if let Some(bps) = serialize_bps {
                                     thread::sleep(Duration::from_secs_f64(
                                         bytes.len() as f64 * 8.0 / bps,
@@ -486,10 +498,11 @@ pub fn spawn_arq_receiver(
         .name("galiot-ingress".into())
         .spawn(move || {
             let mut ack_link = FaultyLink::new(ack_faults);
-            // Every sequence number ever forwarded. One u64 per shipped
-            // segment for the run — the price of exactly-once delivery
-            // into the pool under duplication and sender re-sends.
-            let mut seen: HashSet<u64> = HashSet::new();
+            // Every (gateway, seq) ever forwarded. Scoping the dedup
+            // key to the session matters: sequence spaces are dense
+            // *per gateway*, so with a global key gateway 2's seq 0
+            // would be swallowed as a "duplicate" of gateway 1's.
+            let mut seen: HashSet<(GatewayId, u64)> = HashSet::new();
             while let Ok(bytes) = wire_rx.recv() {
                 // One span per datagram handled, tagged with the seq
                 // once (and if) the wire bytes decode.
@@ -497,13 +510,13 @@ pub fn spawn_arq_receiver(
                     galiot_trace::span(galiot_trace::Stage::ArqRecv, galiot_trace::NO_SEQ);
                 match decode_segment(&bytes) {
                     Ok(seg) => {
-                        recv_span.set_seq(seg.seq);
+                        recv_span.set_seq(galiot_trace::tag_seq(seg.gateway.0, seg.seq));
                         // Ack first, even for duplicates: the original
                         // ack may have been the casualty.
-                        for d in ack_link.transmit(&encode_ack(seg.seq)) {
+                        for d in ack_link.transmit(&encode_ack(seg.gateway, seg.seq)) {
                             let _ = ack_tx.send(d);
                         }
-                        if !seen.insert(seg.seq) {
+                        if !seen.insert((seg.gateway, seg.seq)) {
                             metrics.with(|m| m.dup_segments_dropped += 1);
                             continue;
                         }
@@ -694,5 +707,82 @@ mod tests {
         let m = metrics.snapshot();
         assert_eq!(m.arq_lost, declared.len());
         assert_eq!(m.arq_acked as u64 + m.arq_lost as u64, n);
+    }
+
+    /// Regression for the seq-dedup scope bug: two gateway sessions
+    /// share one wire and emit the *same* dense sequence numbers. A
+    /// receiver deduplicating on the bare seq would swallow the whole
+    /// second session as "duplicates"; per-(gateway, seq) scoping must
+    /// deliver both, and each sender must ignore the other session's
+    /// acks.
+    #[test]
+    fn overlapping_seq_spaces_from_two_gateways_both_deliver() {
+        let metrics = SharedMetrics::new();
+        let (wire_tx, wire_rx) = bounded::<Vec<u8>>(64);
+        let (ack_tx, ack_rx) = unbounded::<Vec<u8>>();
+        let (seg_tx, seg_rx) = unbounded::<ShippedSegment>();
+        // Fan the single ack stream out to both senders; the sender's
+        // (gateway, seq) flight key makes foreign acks inert.
+        let (ack_tx_a, ack_rx_a) = unbounded::<Vec<u8>>();
+        let (ack_tx_b, ack_rx_b) = unbounded::<Vec<u8>>();
+        let fanout = thread::spawn(move || {
+            while let Ok(bytes) = ack_rx.recv() {
+                let _ = ack_tx_a.send(bytes.clone());
+                let _ = ack_tx_b.send(bytes);
+            }
+        });
+
+        let arq = ArqParams {
+            enabled: true,
+            base_timeout_s: 0.005,
+            ..ArqParams::default()
+        };
+        let n = 16u64;
+        let mut senders = Vec::new();
+        for (gw, ack_rx, seed) in [
+            (GatewayId(1), ack_rx_a, 41u64),
+            (GatewayId(2), ack_rx_b, 43),
+        ] {
+            let q = SendQueue::new(64);
+            senders.push(spawn_arq_sender(
+                q.clone(),
+                wire_tx.clone(),
+                ack_rx,
+                ArqParams { seed, ..arq },
+                LinkFaults::harsh(0.2, seed),
+                None,
+                metrics.clone(),
+                |_| true,
+            ));
+            for i in 0..n {
+                let mut item = seg(i, 1.0, 64);
+                item.seg = item.seg.with_gateway(gw);
+                assert!(q.push(item).is_none());
+            }
+            q.close();
+        }
+        drop(wire_tx);
+        let receiver = spawn_arq_receiver(
+            wire_rx,
+            ack_tx,
+            seg_tx,
+            LinkFaults::lossy(0.1, 7),
+            metrics.clone(),
+        );
+        for s in senders {
+            s.join().unwrap();
+        }
+        receiver.join().unwrap();
+        fanout.join().unwrap();
+
+        let mut got: Vec<(u16, u64)> = seg_rx.try_iter().map(|s| (s.gateway.0, s.seq)).collect();
+        got.sort_unstable();
+        let want: Vec<(u16, u64)> = (1..=2u16)
+            .flat_map(|g| (0..n).map(move |s| (g, s)))
+            .collect();
+        assert_eq!(got, want, "every (gateway, seq) exactly once");
+        let m = metrics.snapshot();
+        assert_eq!(m.arq_lost, 0, "{m:?}");
+        assert_eq!(m.arq_acked as u64, 2 * n, "{m:?}");
     }
 }

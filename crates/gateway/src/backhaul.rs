@@ -211,6 +211,21 @@ pub fn decompress(c: &CompressedSegment) -> Vec<Cf32> {
     }
 }
 
+/// Identity of one gateway session within a fleet.
+///
+/// Rides in the wire header of every datagram so the cloud can keep
+/// independent per-session sequence spaces. Id `0` is reserved for
+/// single-gateway deployments (and is what every pre-fleet v1 encoder
+/// implicitly wrote into the then-reserved header bytes).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GatewayId(pub u16);
+
+impl std::fmt::Display for GatewayId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "gw{}", self.0)
+    }
+}
+
 /// One unit of gateway→cloud traffic: a compressed segment plus the
 /// metadata the cloud tier needs to decode it independently and put
 /// its frames back in capture order.
@@ -219,10 +234,13 @@ pub fn decompress(c: &CompressedSegment) -> Vec<Cf32> {
 /// reassembly stage uses it to restore capture order no matter which
 /// decode worker finishes first. `start` locates the segment in
 /// absolute capture coordinates so decoded frame offsets survive the
-/// trip.
+/// trip. `gateway` namespaces `seq`: two sessions may emit the same
+/// sequence numbers and the cloud must never conflate them.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ShippedSegment {
-    /// Gateway emission sequence number (0-based, dense).
+    /// Emitting gateway session.
+    pub gateway: GatewayId,
+    /// Gateway emission sequence number (0-based, dense per gateway).
     pub seq: u64,
     /// First sample index of the segment in the original capture.
     pub start: usize,
@@ -231,13 +249,20 @@ pub struct ShippedSegment {
 }
 
 impl ShippedSegment {
-    /// Compresses `samples` into a shippable unit.
+    /// Compresses `samples` into a shippable unit (gateway 0).
     pub fn pack(seq: u64, start: usize, samples: &[Cf32], bits: u32, block_len: usize) -> Self {
         ShippedSegment {
+            gateway: GatewayId(0),
             seq,
             start,
             compressed: compress(samples, bits, block_len),
         }
+    }
+
+    /// Re-tags the segment as coming from `gateway`.
+    pub fn with_gateway(mut self, gateway: GatewayId) -> Self {
+        self.gateway = gateway;
+        self
     }
 
     /// Size on the wire in bytes (compressed payload + 16-byte
@@ -289,13 +314,18 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 
 /// Magic prefix of every backhaul datagram.
 pub const WIRE_MAGIC: [u8; 4] = *b"GIoT";
-/// Current wire-format version.
-pub const WIRE_VERSION: u8 = 1;
+/// Current wire-format version: v2 carries the emitting [`GatewayId`]
+/// in the two header bytes that v1 kept reserved (and zeroed).
+pub const WIRE_VERSION: u8 = 2;
+/// Oldest wire-format version still accepted on decode. v1 datagrams
+/// parse with gateway id 0, which is exactly what their single-gateway
+/// encoders meant.
+pub const WIRE_VERSION_MIN: u8 = 1;
 /// Datagram kind byte: a shipped segment.
 const KIND_DATA: u8 = 1;
 /// Datagram kind byte: an acknowledgement.
 const KIND_ACK: u8 = 2;
-/// Fixed header: magic(4) + version(1) + kind(1) + reserved(2).
+/// Fixed header: magic(4) + version(1) + kind(1) + gateway(2).
 const HEADER_LEN: usize = 8;
 /// Data datagram fields after the header: seq(8) + start(8) + bits(4)
 /// + block_len(4) + len(8) + n_scales(4) + data_len(4).
@@ -356,31 +386,35 @@ fn get_u64(bytes: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
 }
 
-fn header(kind: u8) -> Vec<u8> {
+fn header(kind: u8, gateway: GatewayId) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(&WIRE_MAGIC);
     out.push(WIRE_VERSION);
     out.push(kind);
-    out.extend_from_slice(&[0, 0]);
+    out.extend_from_slice(&gateway.0.to_le_bytes());
     out
 }
 
-/// Checks the fixed header and returns the datagram kind.
-fn check_header(bytes: &[u8]) -> Result<u8, WireError> {
+/// Checks the fixed header and returns the datagram kind plus the
+/// emitting gateway. Versions `WIRE_VERSION_MIN..=WIRE_VERSION` are
+/// accepted; v1 encoders zeroed the gateway bytes, so reading them
+/// unconditionally yields gateway 0 for genuine v1 traffic.
+fn check_header(bytes: &[u8]) -> Result<(u8, GatewayId), WireError> {
     if bytes.len() < HEADER_LEN + TRAILER_LEN {
         return Err(WireError::TooShort);
     }
     if bytes[..4] != WIRE_MAGIC {
         return Err(WireError::BadMagic);
     }
-    if bytes[4] != WIRE_VERSION {
+    if bytes[4] < WIRE_VERSION_MIN || bytes[4] > WIRE_VERSION {
         return Err(WireError::BadVersion);
     }
     let kind = bytes[5];
     if kind != KIND_DATA && kind != KIND_ACK {
         return Err(WireError::BadKind);
     }
-    Ok(kind)
+    let gateway = GatewayId(u16::from_le_bytes([bytes[6], bytes[7]]));
+    Ok((kind, gateway))
 }
 
 /// Verifies the CRC32 trailer over everything before it.
@@ -398,7 +432,7 @@ fn check_crc(bytes: &[u8]) -> Result<(), WireError> {
 /// estimate and stays slightly smaller).
 pub fn encode_segment(seg: &ShippedSegment) -> Vec<u8> {
     let c = &seg.compressed;
-    let mut out = header(KIND_DATA);
+    let mut out = header(KIND_DATA, seg.gateway);
     out.reserve(DATA_FIELDS_LEN + 4 * c.scales.len() + c.data.len() + TRAILER_LEN);
     put_u64(&mut out, seg.seq);
     put_u64(&mut out, seg.start as u64);
@@ -424,7 +458,8 @@ pub fn encode_segment(seg: &ShippedSegment) -> Vec<u8> {
 /// catches corruption, and the decoded header must satisfy
 /// [`validate_header`] before any sample is reconstructed.
 pub fn decode_segment(bytes: &[u8]) -> Result<ShippedSegment, WireError> {
-    if check_header(bytes)? != KIND_DATA {
+    let (kind, gateway) = check_header(bytes)?;
+    if kind != KIND_DATA {
         return Err(WireError::BadKind);
     }
     if bytes.len() < HEADER_LEN + DATA_FIELDS_LEN + TRAILER_LEN {
@@ -457,32 +492,35 @@ pub fn decode_segment(bytes: &[u8]) -> Result<ShippedSegment, WireError> {
     };
     validate_header(&compressed).map_err(WireError::Header)?;
     Ok(ShippedSegment {
+        gateway,
         seq,
         start,
         compressed,
     })
 }
 
-/// Serializes an acknowledgement for sequence number `seq`.
-pub fn encode_ack(seq: u64) -> Vec<u8> {
-    let mut out = header(KIND_ACK);
+/// Serializes an acknowledgement from `gateway`'s session for
+/// sequence number `seq`.
+pub fn encode_ack(gateway: GatewayId, seq: u64) -> Vec<u8> {
+    let mut out = header(KIND_ACK, gateway);
     put_u64(&mut out, seq);
     let crc = crc32(&out);
     put_u32(&mut out, crc);
     out
 }
 
-/// Parses and validates one ack datagram, returning the acked
-/// sequence number.
-pub fn decode_ack(bytes: &[u8]) -> Result<u64, WireError> {
-    if check_header(bytes)? != KIND_ACK {
+/// Parses and validates one ack datagram, returning the session it
+/// belongs to and the acked sequence number.
+pub fn decode_ack(bytes: &[u8]) -> Result<(GatewayId, u64), WireError> {
+    let (kind, gateway) = check_header(bytes)?;
+    if kind != KIND_ACK {
         return Err(WireError::BadKind);
     }
     if bytes.len() != HEADER_LEN + 8 + TRAILER_LEN {
         return Err(WireError::LengthMismatch);
     }
     check_crc(bytes)?;
-    Ok(get_u64(bytes, HEADER_LEN))
+    Ok((gateway, get_u64(bytes, HEADER_LEN)))
 }
 
 // ---------------------------------------------------------------------
@@ -967,11 +1005,54 @@ mod tests {
 
     #[test]
     fn ack_roundtrips_and_kinds_do_not_cross() {
-        let ack = encode_ack(u64::MAX - 3);
-        assert_eq!(decode_ack(&ack).unwrap(), u64::MAX - 3);
+        let ack = encode_ack(GatewayId(9), u64::MAX - 3);
+        assert_eq!(decode_ack(&ack).unwrap(), (GatewayId(9), u64::MAX - 3));
         assert_eq!(decode_segment(&ack), Err(WireError::BadKind));
         let seg = encode_segment(&ShippedSegment::pack(1, 0, &tone(10, 0.5), 8, 8));
         assert_eq!(decode_ack(&seg), Err(WireError::BadKind));
+    }
+
+    #[test]
+    fn gateway_id_rides_the_header_of_both_kinds() {
+        let seg = ShippedSegment::pack(5, 40, &tone(64, 0.5), 8, 16).with_gateway(GatewayId(513));
+        let bytes = encode_segment(&seg);
+        assert_eq!(bytes[4], WIRE_VERSION);
+        assert_eq!(u16::from_le_bytes([bytes[6], bytes[7]]), 513);
+        let back = decode_segment(&bytes).unwrap();
+        assert_eq!(back.gateway, GatewayId(513));
+        assert_eq!(encode_segment(&back), bytes);
+
+        let (gw, seq) = decode_ack(&encode_ack(GatewayId(7), 11)).unwrap();
+        assert_eq!((gw, seq), (GatewayId(7), 11));
+    }
+
+    #[test]
+    fn v1_datagrams_still_decode_as_gateway_zero() {
+        // A v1 encoder is today's encoder with the version byte set to
+        // 1 and zeroed reserved bytes; re-sign the CRC after the edit.
+        let seg = ShippedSegment::pack(21, 300, &tone(128, 0.5), 8, 32);
+        let mut bytes = encode_segment(&seg);
+        bytes[4] = 1;
+        bytes[6] = 0;
+        bytes[7] = 0;
+        let body = bytes.len() - 4;
+        let crc = crc32(&bytes[..body]);
+        bytes[body..].copy_from_slice(&crc.to_le_bytes());
+        let back = decode_segment(&bytes).unwrap();
+        assert_eq!(back.gateway, GatewayId(0));
+        assert_eq!(back.seq, 21);
+        assert_eq!(back.compressed, seg.compressed);
+
+        // Versions outside [min, current] are rejected even when the
+        // CRC is re-signed to match.
+        for v in [0u8, WIRE_VERSION + 1, 255] {
+            let mut bad = encode_segment(&seg);
+            bad[4] = v;
+            let body = bad.len() - 4;
+            let crc = crc32(&bad[..body]);
+            bad[body..].copy_from_slice(&crc.to_le_bytes());
+            assert_eq!(decode_segment(&bad), Err(WireError::BadVersion));
+        }
     }
 
     #[test]

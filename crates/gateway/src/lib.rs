@@ -20,7 +20,7 @@ pub mod universal;
 pub use backhaul::{
     compress, crc32, decode_ack, decode_segment, decompress, encode_ack, encode_segment,
     try_decompress, validate_header, Backhaul, CodecError, CompressedSegment, FaultyLink,
-    LinkFaults, LinkStats, ShippedSegment, WireError,
+    GatewayId, LinkFaults, LinkStats, ShippedSegment, WireError, WIRE_VERSION, WIRE_VERSION_MIN,
 };
 pub use detect::{score_detections, Detection, EnergyDetector, MatchedFilterBank, PacketDetector};
 pub use edge::{EdgeDecoder, EdgeOutcome, EdgeReport, DEFAULT_CLUSTER_GUARD_S};

@@ -62,6 +62,37 @@ pub const NO_SEQ: u64 = u64::MAX;
 /// Default per-thread ring capacity (records).
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
 
+/// Bit position of the gateway id inside a gateway-tagged seq word.
+const GATEWAY_SHIFT: u32 = 48;
+/// Mask of the per-gateway sequence-number bits of a tagged seq word.
+const SEQ_MASK: u64 = (1u64 << GATEWAY_SHIFT) - 1;
+
+/// Folds a gateway id into a span/event seq word so fleet traces can
+/// be disaggregated per session: gateway in the top 16 bits, the
+/// per-gateway sequence number in the low 48.
+///
+/// Gateway 0 (the single-gateway deployment) maps to the raw seq, so
+/// every pre-fleet trace consumer sees unchanged numbers. [`NO_SEQ`]
+/// is preserved for any gateway — an untagged record stays untagged.
+pub fn tag_seq(gateway: u16, seq: u64) -> u64 {
+    if gateway == 0 || seq == NO_SEQ {
+        seq
+    } else {
+        ((gateway as u64) << GATEWAY_SHIFT) | (seq & SEQ_MASK)
+    }
+}
+
+/// Splits a tagged seq word back into `(gateway, seq)`. The inverse
+/// of [`tag_seq`] for every seq below 2^48 (gateway emission counters
+/// are dense from 0, so real traffic never gets close).
+pub fn split_seq(tagged: u64) -> (u16, u64) {
+    if tagged == NO_SEQ {
+        (0, NO_SEQ)
+    } else {
+        ((tagged >> GATEWAY_SHIFT) as u16, tagged & SEQ_MASK)
+    }
+}
+
 /// A traced pipeline stage. The discriminant indexes the global
 /// per-stage histogram table and [`Stage::ALL`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -645,6 +676,26 @@ mod tests {
         assert!(trace.events.is_empty());
         assert_eq!(trace.dropped, 0);
         assert_eq!(trace.histogram(Stage::Compress).count(), 0);
+    }
+
+    #[test]
+    fn tagged_seqs_roundtrip_and_gateway_zero_is_transparent() {
+        assert_eq!(tag_seq(0, 17), 17);
+        assert_eq!(tag_seq(0, NO_SEQ), NO_SEQ);
+        assert_eq!(tag_seq(9, NO_SEQ), NO_SEQ);
+        assert_eq!(split_seq(NO_SEQ), (0, NO_SEQ));
+        for (gw, seq) in [
+            (1u16, 0u64),
+            (1, 17),
+            (2, 17),
+            (513, 1 << 40),
+            (u16::MAX - 1, 3),
+        ] {
+            let tagged = tag_seq(gw, seq);
+            assert_eq!(split_seq(tagged), (gw, seq), "gw {gw} seq {seq}");
+        }
+        // Distinct sessions with identical seqs never collide.
+        assert_ne!(tag_seq(1, 5), tag_seq(2, 5));
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!    the count stays zero, otherwise the other two checks are
 //!    vacuous.
 
-use crate::{EventKind, SpanRec, Trace, NO_SEQ};
+use crate::{split_seq, EventKind, SpanRec, Trace, NO_SEQ};
 use std::collections::BTreeMap;
 
 /// Totals from [`check_ship_terminals`], for reconciliation against
@@ -80,6 +80,68 @@ pub fn check_ship_terminals(trace: &Trace) -> Result<ShipAccounting, String> {
         }
     }
     Ok(acc)
+}
+
+/// Per-gateway terminal accounting for fleet traces: groups every
+/// lifecycle event by the gateway id folded into its seq word (see
+/// [`crate::tag_seq`]) and runs the [`check_ship_terminals`] invariant
+/// independently per session. A single-gateway trace comes back as one
+/// entry under gateway 0.
+///
+/// This is the cross-gateway oracle: it catches a mux or shard that
+/// conflates two sessions' sequence spaces (a terminal event would
+/// land under the wrong gateway and leave the right one unterminated).
+pub fn check_gateway_terminals(trace: &Trace) -> Result<BTreeMap<u16, ShipAccounting>, String> {
+    let mut out = BTreeMap::new();
+    // gateway -> seq -> (shipped?, terminal count)
+    let mut by_gw: BTreeMap<u16, BTreeMap<u64, (bool, u64)>> = BTreeMap::new();
+    for e in &trace.events {
+        if e.seq == NO_SEQ {
+            return Err(format!("{} event without a seq tag", e.kind.name()));
+        }
+        let (gw, seq) = split_seq(e.seq);
+        let acc: &mut ShipAccounting = out.entry(gw).or_default();
+        let entry = by_gw
+            .entry(gw)
+            .or_default()
+            .entry(seq)
+            .or_insert((false, 0));
+        match e.kind {
+            EventKind::Ship => entry.0 = true,
+            EventKind::Decode => {
+                entry.1 += 1;
+                acc.decoded += 1;
+            }
+            EventKind::Shed => {
+                entry.1 += 1;
+                acc.shed += 1;
+            }
+            EventKind::Lost => {
+                entry.1 += 1;
+                acc.lost += 1;
+            }
+        }
+    }
+    for (gw, by_seq) in &by_gw {
+        let acc = out.get_mut(gw).expect("accounting entry exists");
+        for (seq, (shipped, terminals)) in by_seq {
+            if *shipped {
+                acc.shipped += 1;
+                if *terminals == 0 {
+                    return Err(format!(
+                        "gateway {gw}: segment seq {seq} was shipped but has no \
+                         terminal decode/shed/lost event"
+                    ));
+                }
+            } else {
+                return Err(format!(
+                    "gateway {gw}: segment seq {seq} has a terminal event but was \
+                     never shipped"
+                ));
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Check that, within every thread, spans are properly nested under
@@ -192,6 +254,55 @@ mod tests {
         let mut trace = Trace::default();
         trace.events = vec![event(EventKind::Decode, 5, 20)];
         let err = check_ship_terminals(&trace).unwrap_err();
+        assert!(err.contains("never shipped"), "{err}");
+    }
+
+    #[test]
+    fn gateway_accounting_splits_sessions_and_survives_overlapping_seqs() {
+        use crate::tag_seq;
+        let mut trace = Trace::default();
+        // Gateways 1 and 2 both emit seqs {0, 1}; gateway 0 emits seq 0.
+        trace.events = vec![
+            event(EventKind::Ship, tag_seq(1, 0), 1),
+            event(EventKind::Ship, tag_seq(1, 1), 2),
+            event(EventKind::Ship, tag_seq(2, 0), 3),
+            event(EventKind::Ship, tag_seq(2, 1), 4),
+            event(EventKind::Ship, tag_seq(0, 0), 5),
+            event(EventKind::Decode, tag_seq(1, 0), 10),
+            event(EventKind::Decode, tag_seq(1, 1), 11),
+            event(EventKind::Lost, tag_seq(2, 0), 12),
+            event(EventKind::Shed, tag_seq(2, 1), 13),
+            event(EventKind::Decode, tag_seq(0, 0), 14),
+        ];
+        let by_gw = check_gateway_terminals(&trace).unwrap();
+        assert_eq!(by_gw.len(), 3);
+        assert_eq!(by_gw[&1].shipped, 2);
+        assert_eq!(by_gw[&1].decoded, 2);
+        assert_eq!(
+            by_gw[&2],
+            ShipAccounting {
+                shipped: 2,
+                decoded: 0,
+                shed: 1,
+                lost: 1
+            }
+        );
+        assert_eq!(by_gw[&0].decoded, 1);
+    }
+
+    #[test]
+    fn gateway_accounting_rejects_cross_session_conflation() {
+        use crate::tag_seq;
+        let mut trace = Trace::default();
+        // Gateway 2's seq 0 terminates under gateway 1: both sessions
+        // are now broken and the check must say so.
+        trace.events = vec![
+            event(EventKind::Ship, tag_seq(1, 0), 1),
+            event(EventKind::Ship, tag_seq(2, 0), 2),
+            event(EventKind::Decode, tag_seq(1, 0), 10),
+            event(EventKind::Decode, tag_seq(1, 1), 11),
+        ];
+        let err = check_gateway_terminals(&trace).unwrap_err();
         assert!(err.contains("never shipped"), "{err}");
     }
 

@@ -45,9 +45,11 @@ pub mod prelude {
     pub use galiot_channel::{compose, forced_collision, snr_to_noise_power, TxEvent};
     pub use galiot_cloud::{CloudDecoder, Recovery};
     pub use galiot_core::{
-        ArqParams, DetectorKind, Galiot, GaliotConfig, StreamingGaliot, TransportConfig,
+        ArqParams, DetectorKind, FleetGaliot, Galiot, GaliotConfig, StreamingGaliot,
+        TransportConfig,
     };
     pub use galiot_dsp::Cf32;
+    pub use galiot_gateway::GatewayId;
     pub use galiot_gateway::{LinkFaults, PacketDetector, UniversalDetector};
     pub use galiot_phy::registry::Registry;
     pub use galiot_phy::{DecodedFrame, TechId, Technology};

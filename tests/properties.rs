@@ -8,7 +8,7 @@ use galiot::dsp::fft::Fft;
 use galiot::dsp::Cf32;
 use galiot::gateway::{
     compress, decode_ack, decode_segment, decompress, encode_ack, encode_segment, try_decompress,
-    validate_header, CompressedSegment, ShippedSegment,
+    validate_header, CompressedSegment, GatewayId, ShippedSegment,
 };
 use galiot::phy::bits::{
     bits_to_bytes_lsb, bits_to_bytes_msb, bytes_to_bits_lsb, bytes_to_bits_msb, manchester_decode,
@@ -319,9 +319,13 @@ proptest! {
     }
 
     #[test]
-    fn acks_roundtrip_and_reject_any_bit_flip(seq in any::<u64>(), flip in any::<usize>()) {
-        let wire = encode_ack(seq);
-        prop_assert_eq!(decode_ack(&wire).expect("clean ack"), seq);
+    fn acks_roundtrip_and_reject_any_bit_flip(
+        gw in any::<u16>(),
+        seq in any::<u64>(),
+        flip in any::<usize>(),
+    ) {
+        let wire = encode_ack(GatewayId(gw), seq);
+        prop_assert_eq!(decode_ack(&wire).expect("clean ack"), (GatewayId(gw), seq));
         let mut bad = wire.clone();
         let bit = flip % (bad.len() * 8);
         bad[bit / 8] ^= 1 << (bit % 8);
