@@ -26,9 +26,9 @@
 //! own frame records through.
 
 use galiot_phy::TechId;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// A gateway identity as carried on the wire.
 pub use galiot_gateway::backhaul::GatewayId;
@@ -51,6 +51,9 @@ pub struct SessionInfo {
     pub last_seen: u64,
     /// Segments ingested from this session so far.
     pub segments: u64,
+    /// Declared dead by liveness tracking; a dead session stays dead
+    /// until it re-registers under a fresh epoch.
+    pub dead: bool,
 }
 
 #[derive(Default)]
@@ -58,6 +61,7 @@ struct SessionRecord {
     epoch: u64,
     last_seen: u64,
     segments: u64,
+    dead: bool,
 }
 
 /// Tracks every gateway session feeding the cloud.
@@ -79,14 +83,20 @@ impl SessionRegistry {
     }
 
     /// Registers (or re-registers) a gateway session, returning its
-    /// epoch. Re-registration resets the segment count: the old
-    /// session's traffic is not the new session's.
+    /// epoch. Re-registration resets the segment count (the old
+    /// session's traffic is not the new session's), revives a session
+    /// previously declared dead, and stamps last-seen so a freshly
+    /// booted gateway gets a full silence horizon before liveness can
+    /// evict it.
     pub fn register(&self, gateway: GatewayId) -> u64 {
         let epoch = self.epochs.fetch_add(1, Ordering::Relaxed) + 1;
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let mut sessions = self.sessions.lock().unwrap();
         let rec = sessions.entry(gateway).or_default();
         rec.epoch = epoch;
         rec.segments = 0;
+        rec.last_seen = now;
+        rec.dead = false;
         epoch
     }
 
@@ -101,6 +111,75 @@ impl SessionRegistry {
         rec.segments += 1;
     }
 
+    /// Epoch-fenced [`touch`](Self::touch): records the segment only
+    /// if the session is alive and still on `epoch`. Returns `false`
+    /// — without stamping anything — when the session is dead or has
+    /// re-registered under a newer epoch, i.e. when the segment is
+    /// stale in-flight traffic from a crashed instance and must be
+    /// dropped at the mux.
+    pub fn touch_current(&self, gateway: GatewayId, epoch: u64) -> bool {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut sessions = self.sessions.lock().unwrap();
+        let rec = sessions.entry(gateway).or_default();
+        if rec.dead || rec.epoch != epoch {
+            return false;
+        }
+        rec.last_seen = now;
+        rec.segments += 1;
+        true
+    }
+
+    /// Stamps `gateway`'s last-seen time without counting a segment:
+    /// proof of life from downstream (a decode result reaching the
+    /// merge), as opposed to ingest-side admission.
+    pub fn heartbeat(&self, gateway: GatewayId) {
+        let now = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut sessions = self.sessions.lock().unwrap();
+        let rec = sessions.entry(gateway).or_default();
+        rec.last_seen = now;
+    }
+
+    /// Alive sessions whose silence exceeds `horizon` logical events,
+    /// ordered by gateway. Dead sessions are not re-reported.
+    pub fn stale(&self, horizon: u64) -> Vec<GatewayId> {
+        let now = self.clock.load(Ordering::Relaxed);
+        let sessions = self.sessions.lock().unwrap();
+        let mut out: Vec<GatewayId> = sessions
+            .iter()
+            .filter(|(_, rec)| !rec.dead && now.saturating_sub(rec.last_seen) > horizon)
+            .map(|(&gateway, _)| gateway)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Declares `gateway` dead if — checked atomically under the
+    /// registry lock — it is still alive and still silent past
+    /// `horizon`. Returns whether the session transitioned to dead
+    /// here; `false` means it revived (re-registered or produced
+    /// traffic) between the caller's staleness probe and this call.
+    pub fn mark_dead_if_stale(&self, gateway: GatewayId, horizon: u64) -> bool {
+        let now = self.clock.load(Ordering::Relaxed);
+        let mut sessions = self.sessions.lock().unwrap();
+        let rec = sessions.entry(gateway).or_default();
+        if rec.dead || now.saturating_sub(rec.last_seen) <= horizon {
+            return false;
+        }
+        rec.dead = true;
+        true
+    }
+
+    /// The epoch `gateway` is currently registered under (0 if never
+    /// registered).
+    pub fn current_epoch(&self, gateway: GatewayId) -> u64 {
+        self.sessions
+            .lock()
+            .unwrap()
+            .get(&gateway)
+            .map(|rec| rec.epoch)
+            .unwrap_or(0)
+    }
+
     /// Point-in-time view of every known session, ordered by gateway.
     pub fn snapshot(&self) -> Vec<SessionInfo> {
         let sessions = self.sessions.lock().unwrap();
@@ -111,6 +190,7 @@ impl SessionRegistry {
                 epoch: rec.epoch,
                 last_seen: rec.last_seen,
                 segments: rec.segments,
+                dead: rec.dead,
             })
             .collect();
         out.sort_by_key(|s| s.gateway);
@@ -176,6 +256,19 @@ impl FairnessGate {
         }
     }
 
+    /// Takes one credit for `gateway` as an RAII guard, blocking while
+    /// the session is at quota. The credit is returned when the guard
+    /// drops — on every path, including a panicking decode worker or a
+    /// segment discarded in a queue at teardown, so no path can leak a
+    /// credit and starve the session. Returns `None` if the gate was
+    /// closed instead.
+    pub fn acquire_guard(self: &Arc<Self>, gateway: GatewayId) -> Option<CreditGuard> {
+        self.acquire(gateway).then(|| CreditGuard {
+            gate: Arc::clone(self),
+            gateway,
+        })
+    }
+
     /// Takes one credit for `gateway`, blocking while the session is
     /// at quota. Returns `false` if the gate was closed instead.
     pub fn acquire(&self, gateway: GatewayId) -> bool {
@@ -203,6 +296,18 @@ impl FairnessGate {
         self.freed.notify_all();
     }
 
+    /// Reclaims every credit `gateway` currently holds (session
+    /// declared dead), returning how many were reclaimed. Guards the
+    /// dead session still holds release harmlessly later:
+    /// [`release`](Self::release) saturates at zero.
+    pub fn revoke(&self, gateway: GatewayId) -> usize {
+        let mut st = self.state.lock().unwrap();
+        let reclaimed = st.in_flight.insert(gateway.0, 0).unwrap_or(0);
+        drop(st);
+        self.freed.notify_all();
+        reclaimed
+    }
+
     /// Unblocks every waiter permanently (teardown).
     pub fn close(&self) {
         self.state.lock().unwrap().closed = true;
@@ -218,6 +323,30 @@ impl FairnessGate {
             .in_flight
             .get(&gateway.0)
             .unwrap_or(&0)
+    }
+}
+
+/// One [`FairnessGate`] credit held by a segment in flight between its
+/// session's mux and a decode worker. Dropping the guard returns the
+/// credit; attach it to the segment so whoever drops the segment —
+/// worker, panicking worker, or a torn-down queue — returns the credit
+/// with it.
+pub struct CreditGuard {
+    gate: Arc<FairnessGate>,
+    gateway: GatewayId,
+}
+
+impl Drop for CreditGuard {
+    fn drop(&mut self) {
+        self.gate.release(self.gateway);
+    }
+}
+
+impl std::fmt::Debug for CreditGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CreditGuard")
+            .field("gateway", &self.gateway)
+            .finish()
     }
 }
 
@@ -262,10 +391,20 @@ pub struct FleetMerge<T> {
     /// Per-session watermark; `u64::MAX` once the session finished.
     progress: Vec<u64>,
     pending: Vec<Group<T>>,
+    /// Identities of the most recently released groups. The watermark
+    /// invariant makes a post-release duplicate impossible from a
+    /// session that only ever moves forward — but a session revived by
+    /// [`reopen`](Self::reopen) after a crash/restart race replays air
+    /// the fleet already delivered, and its copies must be suppressed,
+    /// not re-released.
+    released_recent: VecDeque<(TechId, Vec<u8>, u64)>,
     next_order: u64,
     suppressed: u64,
     delivered: u64,
 }
+
+/// Released-group identities remembered for revived-session dedup.
+const RELEASED_MEMORY: usize = 256;
 
 impl<T> FleetMerge<T> {
     /// Creates a merge over `n_gateways` sessions with a duplicate
@@ -275,6 +414,7 @@ impl<T> FleetMerge<T> {
             slack,
             progress: vec![0; n_gateways.max(1)],
             pending: Vec::new(),
+            released_recent: VecDeque::new(),
             next_order: 0,
             suppressed: 0,
             delivered: 0,
@@ -294,6 +434,14 @@ impl<T> FleetMerge<T> {
         item: T,
     ) {
         let start = start as u64;
+        if self
+            .released_recent
+            .iter()
+            .any(|(t, p, s)| *t == tech && s.abs_diff(start) < self.slack && *p == *payload)
+        {
+            self.suppressed += 1;
+            return;
+        }
         for g in &mut self.pending {
             if g.tech == tech && g.start.abs_diff(start) < self.slack && g.payload == *payload {
                 self.suppressed += 1;
@@ -330,10 +478,25 @@ impl<T> FleetMerge<T> {
     }
 
     /// Marks session `gateway` as finished — it will never offer
-    /// again — and returns every group that became final.
+    /// again — and returns every group that became final. This is also
+    /// the failover finalization rule: declaring a dead session
+    /// finished removes it from the release horizon so capture-order
+    /// delivery resumes for the survivors instead of stalling forever
+    /// on a watermark that will never advance.
     pub fn finish(&mut self, gateway: usize) -> Vec<T> {
         self.progress[gateway] = u64::MAX;
         self.drain_final()
+    }
+
+    /// Re-admits a previously [`finish`](Self::finish)ed session to
+    /// the release horizon with its watermark regressed to
+    /// `watermark` — the one sanctioned regression, used when a
+    /// session declared dead comes back (gateway restart racing the
+    /// liveness verdict). Re-offers of already-released air are caught
+    /// by the release memory, so exactly-once delivery survives the
+    /// revival.
+    pub fn reopen(&mut self, gateway: usize, watermark: u64) {
+        self.progress[gateway] = watermark;
     }
 
     fn drain_final(&mut self) -> Vec<T> {
@@ -357,6 +520,13 @@ impl<T> FleetMerge<T> {
         self.pending = keep;
         released.sort_by_key(|g| (g.start, g.order));
         self.delivered += released.len() as u64;
+        for g in &released {
+            self.released_recent
+                .push_back((g.tech, g.payload.clone(), g.start));
+        }
+        while self.released_recent.len() > RELEASED_MEMORY {
+            self.released_recent.pop_front();
+        }
         released.into_iter().map(|g| g.item).collect()
     }
 
@@ -501,6 +671,100 @@ mod tests {
         let out = m.finish(0);
         assert_eq!(out, vec![1]);
         assert_eq!(m.suppressed(), 1);
+    }
+
+    #[test]
+    fn registry_declares_silent_sessions_dead_and_register_revives() {
+        let reg = SessionRegistry::new();
+        reg.register(GatewayId(1));
+        reg.register(GatewayId(2));
+        // Gateway 2 keeps talking; gateway 1 goes silent.
+        for _ in 0..6 {
+            reg.touch(GatewayId(2));
+        }
+        assert_eq!(reg.stale(5), vec![GatewayId(1)]);
+        assert!(reg.stale(100).is_empty(), "inside horizon = alive");
+        assert!(reg.mark_dead_if_stale(GatewayId(1), 5));
+        assert!(!reg.mark_dead_if_stale(GatewayId(1), 5), "already dead");
+        assert!(reg.stale(5).is_empty(), "dead sessions are not re-reported");
+        let snap = reg.snapshot();
+        assert!(snap[0].dead && !snap[1].dead, "{snap:?}");
+        // Revival: a fresh registration clears the verdict and grants a
+        // full horizon of silence before liveness can fire again.
+        reg.register(GatewayId(1));
+        assert!(!reg.snapshot()[0].dead);
+        assert!(!reg.mark_dead_if_stale(GatewayId(1), 5));
+    }
+
+    #[test]
+    fn touch_current_fences_stale_epochs_and_dead_sessions() {
+        let reg = SessionRegistry::new();
+        let e1 = reg.register(GatewayId(7));
+        assert!(reg.touch_current(GatewayId(7), e1));
+        let e2 = reg.register(GatewayId(7));
+        assert!(!reg.touch_current(GatewayId(7), e1), "stale epoch fenced");
+        assert!(reg.touch_current(GatewayId(7), e2));
+        assert_eq!(reg.current_epoch(GatewayId(7)), e2);
+        assert_eq!(reg.snapshot()[0].segments, 1, "fenced touch must not count");
+        // A dead session admits nothing, not even its current epoch.
+        for _ in 0..4 {
+            reg.touch(GatewayId(8));
+        }
+        assert!(reg.mark_dead_if_stale(GatewayId(7), 2));
+        assert!(!reg.touch_current(GatewayId(7), e2));
+    }
+
+    #[test]
+    fn credit_guard_returns_credit_on_drop_and_revoke_reclaims() {
+        use std::sync::Arc;
+        let gate = Arc::new(FairnessGate::new(2));
+        let g1 = gate.acquire_guard(GatewayId(3)).unwrap();
+        let g2 = gate.acquire_guard(GatewayId(3)).unwrap();
+        assert_eq!(gate.held(GatewayId(3)), 2);
+        drop(g1);
+        assert_eq!(gate.held(GatewayId(3)), 1, "drop must return the credit");
+        // Dead-session reclaim: outstanding credits zeroed at once,
+        // and the straggler guard's later release saturates harmlessly.
+        assert_eq!(gate.revoke(GatewayId(3)), 1);
+        assert_eq!(gate.held(GatewayId(3)), 0);
+        drop(g2);
+        assert_eq!(gate.held(GatewayId(3)), 0);
+        // Blocked waiter wakes when revoke frees the quota.
+        let full = gate.acquire_guard(GatewayId(4)).unwrap();
+        let _full2 = gate.acquire_guard(GatewayId(4)).unwrap();
+        let g2c = gate.clone();
+        let waiter = std::thread::spawn(move || g2c.acquire_guard(GatewayId(4)).is_some());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        gate.revoke(GatewayId(4));
+        assert!(waiter.join().unwrap());
+        drop(full);
+        gate.close();
+        assert!(gate.acquire_guard(GatewayId(4)).is_none());
+    }
+
+    #[test]
+    fn merge_reopen_suppresses_replayed_released_groups() {
+        let mut m: FleetMerge<u32> = FleetMerge::new(2, 100);
+        m.offer(0, TechId::ZWave, b"frame", 1000, 0.5, 1);
+        m.offer(1, TechId::ZWave, b"frame", 1010, 0.9, 2);
+        // Session 1 dies → finished; session 0 advances → release.
+        m.finish(1);
+        let out = m.advance(0, 5000);
+        assert_eq!(out, vec![2]);
+        // Session 1 restarts and replays the same air from scratch.
+        m.reopen(1, 0);
+        m.offer(1, TechId::ZWave, b"frame", 1005, 0.95, 3);
+        // A genuinely new frame from the revived session still flows —
+        // once every lane's watermark covers it again.
+        m.offer(1, TechId::ZWave, b"later", 9000, 0.4, 4);
+        assert!(
+            m.advance(1, 20_000).is_empty(),
+            "survivor watermark still gates release"
+        );
+        let out = m.advance(0, 20_000);
+        assert_eq!(out, vec![4], "replayed copy must not re-release");
+        assert_eq!(m.suppressed(), 2);
+        assert_eq!(m.delivered(), 2);
     }
 
     #[test]

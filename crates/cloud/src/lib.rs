@@ -21,6 +21,8 @@ pub mod sic;
 pub use cancel::{cancel_frame, CancelReport};
 pub use classify::{classify, Classified};
 pub use decode::{CloudDecoder, CloudParams, CloudResult, Recovery};
-pub use ingest::{shard_for, FairnessGate, FleetMerge, GatewayId, SessionInfo, SessionRegistry};
+pub use ingest::{
+    shard_for, CreditGuard, FairnessGate, FleetMerge, GatewayId, SessionInfo, SessionRegistry,
+};
 pub use kill::{apply_kill, kill_codes, kill_css, kill_frequency, kill_frequency_adaptive};
 pub use sic::{sic_decode, SicParams, SicResult};

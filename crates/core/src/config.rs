@@ -15,6 +15,23 @@ pub enum DetectorKind {
     Universal,
 }
 
+/// One injected gateway crash for [`crate::FleetGaliot`] failover
+/// testing: session `session` dies immediately before emitting its
+/// `after_segments`-th segment (0 = silent from the first would-be
+/// segment). With `restart` set the session supervisor brings a new
+/// instance up under a bumped [`galiot_cloud::SessionRegistry`] epoch,
+/// resuming the capture where the dead instance stopped consuming it.
+/// Each spec fires at most once, on the session's first life.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Fleet session index (0-based, i.e. wire gateway `session + 1`).
+    pub session: usize,
+    /// Number of segments the first instance emits before dying.
+    pub after_segments: u64,
+    /// Whether a replacement instance is started after the crash.
+    pub restart: bool,
+}
+
 /// Full system configuration.
 #[derive(Clone, Debug)]
 pub struct GaliotConfig {
@@ -77,6 +94,15 @@ pub struct GaliotConfig {
     /// per worker". More shards than workers is legal and keeps
     /// routing stable across worker-count changes.
     pub ingest_shards: usize,
+    /// Injected gateway crashes for fleet failover testing. Empty in
+    /// production configurations.
+    pub crashes: Vec<CrashSpec>,
+    /// Fleet liveness horizon in registry logical-clock events: a
+    /// session silent for more than this many events (while holding no
+    /// in-flight credits) is declared dead, its merge watermark is
+    /// finalized, and its credits are reclaimed. `0` disables
+    /// liveness-driven eviction.
+    pub liveness_horizon: u64,
 }
 
 impl Default for GaliotConfig {
@@ -100,6 +126,8 @@ impl Default for GaliotConfig {
             transport: TransportConfig::default(),
             gateways: 1,
             ingest_shards: 0,
+            crashes: Vec::new(),
+            liveness_horizon: 64,
         }
     }
 }
@@ -163,6 +191,25 @@ impl GaliotConfig {
     /// Returns the configuration with an explicit ingest shard count.
     pub fn with_ingest_shards(mut self, shards: usize) -> Self {
         self.ingest_shards = shards;
+        self
+    }
+
+    /// Returns the configuration with one injected gateway crash
+    /// (fleet failover testing; see [`CrashSpec`]). May be called
+    /// repeatedly to crash several sessions.
+    pub fn with_crash(mut self, session: usize, after_segments: u64, restart: bool) -> Self {
+        self.crashes.push(CrashSpec {
+            session,
+            after_segments,
+            restart,
+        });
+        self
+    }
+
+    /// Returns the configuration with an explicit fleet liveness
+    /// horizon (`0` disables liveness-driven eviction).
+    pub fn with_liveness_horizon(mut self, horizon: u64) -> Self {
+        self.liveness_horizon = horizon;
         self
     }
 

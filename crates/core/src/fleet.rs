@@ -8,8 +8,8 @@
 //!
 //! ```text
 //!              chunks (broadcast)          per-session inbox
-//!  push_chunk ──▶ gateway 1 ─[transport 1]─▶ mux 1 ─┐ shard_for(gw,seq)
-//!             ──▶ gateway 2 ─[transport 2]─▶ mux 2 ─┼─▶ worker 0..W ─┐
+//!  push_chunk ──▶ session 1 ─[transport 1]─▶ mux 1 ─┐ shard_for(gw,seq)
+//!             ──▶ session 2 ─[transport 2]─▶ mux 2 ─┼─▶ worker 0..W ─┐
 //!             ──▶   ...                       ...   ┘ (FairnessGate) │
 //!                                                                    ▼
 //!        frames ◀── FleetMerge (dedup, capture order) ◀── per-session
@@ -24,6 +24,24 @@
 //! deliver exactly the single-gateway frame set, once, for any worker
 //! count, shard count, and per-link fault seeds.
 //!
+//! # Self-healing
+//!
+//! Each session runs under a supervisor thread that can survive the
+//! gateway instance crashing (fault injection via
+//! [`crate::config::CrashSpec`]; a real deployment's equivalent is the
+//! SDR process dying). A session moves through `alive → silent → dead`
+//! as observed by the [`SessionRegistry`] logical clock: once it has
+//! been silent past `liveness_horizon` events while holding no
+//! [`FairnessGate`] credits, the merge-side reaper declares it dead,
+//! reclaims its credits, and finalizes its [`FleetMerge`] watermark to
+//! `u64::MAX` so capture-order release resumes for the survivors
+//! instead of stalling forever. A restarted instance re-registers
+//! under a bumped epoch and numbers segments from
+//! `instance << EPOCH_SHIFT`, so its sequence space never collides
+//! with its past self; the superseded epoch's late traffic is fenced
+//! at the mux (registry epoch check) and at the merge (lane epoch
+//! floor) and accounted as `crash_lost_*`.
+//!
 //! Ingest-side fleet mechanics — [`SessionRegistry`],
 //! [`galiot_cloud::shard_for`], [`galiot_cloud::FairnessGate`],
 //! [`galiot_cloud::FleetMerge`] — live in `galiot-cloud`; this module
@@ -33,17 +51,19 @@
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use galiot_cloud::{shard_for, FairnessGate, FleetMerge, SessionInfo, SessionRegistry};
 use galiot_dsp::Cf32;
-use galiot_gateway::{GatewayId, LinkFaults, ShippedSegment};
+use galiot_gateway::{GatewayId, LinkFaults};
 use galiot_phy::registry::Registry;
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::thread;
 
-use crate::config::GaliotConfig;
+use crate::config::{CrashSpec, GaliotConfig};
 use crate::metrics::SharedMetrics;
 use crate::pipeline::PipelineFrame;
 use crate::streaming::{
-    spawn_gateway, spawn_worker, SegmentResult, ShipMode, Shipper, DEDUP_SLACK,
+    run_gateway, spawn_worker, PoolItem, ResultMsg, SegmentResult, SessionStart, ShipMode, Shipper,
+    DEDUP_SLACK,
 };
 use crate::transport::{spawn_arq_receiver, spawn_arq_sender, SendQueue, SendQueueTx};
 
@@ -51,11 +71,19 @@ use crate::transport::{spawn_arq_receiver, spawn_arq_sender, SendQueue, SendQueu
 /// the worker pool (see [`FairnessGate`]).
 const SESSION_QUOTA: usize = 8;
 
-/// Decorrelates a per-link seed across fleet sessions. Session index 0
-/// (wire gateway 1) keeps the configured seed, so a one-gateway fleet
-/// reproduces [`crate::StreamingGaliot`]'s wire behavior exactly.
-fn session_seed(seed: u64, index: u64) -> u64 {
-    seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+/// Decorrelates a per-link seed across fleet sessions and instances.
+/// Salt 0 (session index 0, first life) keeps the configured seed, so
+/// a one-gateway fleet reproduces [`crate::StreamingGaliot`]'s wire
+/// behavior exactly; a restarted instance draws fresh link randomness,
+/// as a rebooted radio would.
+fn session_seed(seed: u64, salt: u64) -> u64 {
+    seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Per-instance seed salt: session index in the low half, instance
+/// (life) number in the high half.
+fn instance_salt(index: usize, instance: u64) -> u64 {
+    index as u64 | (instance << 32)
 }
 
 /// A running multi-gateway GalioT fleet.
@@ -67,21 +95,22 @@ fn session_seed(seed: u64, index: u64) -> u64 {
 pub struct FleetGaliot {
     chunk_txs: Vec<Sender<Vec<Cf32>>>,
     frames_rx: Receiver<PipelineFrame>,
-    gateways: Vec<thread::JoinHandle<()>>,
-    uplinks: Vec<thread::JoinHandle<()>>,
-    ingresses: Vec<thread::JoinHandle<()>>,
-    muxes: Vec<thread::JoinHandle<()>>,
+    /// One supervisor per session; each owns its instances' gateway
+    /// loop and IO threads (transport, mux) across crash/restart.
+    sessions: Vec<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
     merge: Option<thread::JoinHandle<()>>,
-    send_queues: Vec<Arc<SendQueue>>,
+    /// Send queues created by session supervisors (one per transport
+    /// instance), drained for their high-water marks at join time.
+    send_queues: Arc<Mutex<Vec<Arc<SendQueue>>>>,
     registry: Arc<SessionRegistry>,
     metrics: SharedMetrics,
     engine_before: Option<galiot_dsp::engine::EngineStats>,
 }
 
 impl FleetGaliot {
-    /// Spawns `config.gateways` gateway sessions (wire ids 1..=N), a
-    /// shared pool of `config.effective_cloud_workers()` decode
+    /// Spawns `config.gateways` session supervisors (wire ids 1..=N),
+    /// a shared pool of `config.effective_cloud_workers()` decode
     /// workers, and the fleet merge.
     pub fn start(config: GaliotConfig, phy_registry: Registry) -> Self {
         let fs = config.fs;
@@ -98,16 +127,16 @@ impl FleetGaliot {
 
         let registry = Arc::new(SessionRegistry::new());
         let gate = Arc::new(FairnessGate::new(SESSION_QUOTA));
-        let (result_tx, result_rx) = unbounded::<SegmentResult>();
+        let (result_tx, result_rx) = unbounded::<ResultMsg>();
         let (frames_tx, frames_rx) = unbounded::<PipelineFrame>();
 
         // Shared worker pool, one bounded channel per worker so shard
         // routing is deterministic (an MPMC free-for-all would let
         // scheduling decide who decodes what).
-        let mut worker_txs: Vec<Sender<ShippedSegment>> = Vec::with_capacity(n_workers);
+        let mut worker_txs: Vec<Sender<PoolItem>> = Vec::with_capacity(n_workers);
         let mut workers = Vec::with_capacity(n_workers);
         for wid in 0..n_workers {
-            let (tx, rx) = bounded::<ShippedSegment>(2 * n_gateways.max(4));
+            let (tx, rx) = bounded::<PoolItem>(2 * n_gateways.max(4));
             worker_txs.push(tx);
             workers.push(spawn_worker(
                 wid,
@@ -116,132 +145,52 @@ impl FleetGaliot {
                 fs,
                 rx,
                 result_tx.clone(),
-                Some(gate.clone()),
                 metrics.clone(),
             ));
         }
 
+        let send_queues: Arc<Mutex<Vec<Arc<SendQueue>>>> = Arc::new(Mutex::new(Vec::new()));
         let mut chunk_txs = Vec::with_capacity(n_gateways);
-        let mut gateways = Vec::with_capacity(n_gateways);
-        let mut uplinks = Vec::new();
-        let mut ingresses = Vec::new();
-        let mut muxes = Vec::with_capacity(n_gateways);
-        let mut send_queues = Vec::new();
-        let transport = config.transport;
-
+        let mut sessions = Vec::with_capacity(n_gateways);
         for index in 0..n_gateways {
-            let gw = GatewayId(index as u16 + 1);
-            registry.register(gw);
             let (chunk_tx, chunk_rx) = bounded::<Vec<Cf32>>(8);
             chunk_txs.push(chunk_tx);
-            // The session inbox: segments that survived this session's
-            // backhaul, awaiting shard routing.
-            let (inbox_tx, inbox_rx) = bounded::<ShippedSegment>(2 * n_workers.max(4));
-
-            let shipper = if transport.is_passthrough() {
-                Shipper {
-                    gateway: gw,
-                    mode: ShipMode::Direct(inbox_tx),
-                    base_bits: config.compression_bits,
-                    uplink_bps: config.emulate_backhaul.then_some(config.backhaul_bps),
-                    metrics: metrics.clone(),
-                }
-            } else {
-                // Each session owns a full transport stack over its own
-                // impaired links, seeds decorrelated per session.
-                let mut t = transport;
-                t.data_faults = LinkFaults {
-                    seed: session_seed(t.data_faults.seed, index as u64),
-                    ..t.data_faults
-                };
-                t.ack_faults = LinkFaults {
-                    seed: session_seed(t.ack_faults.seed, index as u64),
-                    ..t.ack_faults
-                };
-                t.arq.seed = session_seed(t.arq.seed, index as u64);
-                let queue = SendQueue::new(t.send_queue_cap);
-                let (wire_tx, wire_rx) = bounded::<Vec<u8>>(64);
-                let (ack_tx, ack_rx) = unbounded::<Vec<u8>>();
-                let lost_tx = result_tx.clone();
-                uplinks.push(spawn_arq_sender(
-                    queue.clone(),
-                    wire_tx,
-                    ack_rx,
-                    t.arq,
-                    t.data_faults,
-                    config.emulate_backhaul.then_some(config.backhaul_bps),
-                    metrics.clone(),
-                    move |seq| {
-                        galiot_trace::event(
-                            galiot_trace::EventKind::Lost,
-                            galiot_trace::tag_seq(gw.0, seq),
-                        );
-                        lost_tx
-                            .send(SegmentResult {
-                                gateway: gw,
-                                seq,
-                                frames: Vec::new(),
-                                watermark: 0,
-                                power: 0.0,
-                            })
-                            .is_ok()
-                    },
-                ));
-                ingresses.push(spawn_arq_receiver(
-                    wire_rx,
-                    ack_tx,
-                    inbox_tx,
-                    t.ack_faults,
-                    metrics.clone(),
-                ));
-                send_queues.push(queue.clone());
-                Shipper {
-                    gateway: gw,
-                    mode: ShipMode::Transport {
-                        tx: SendQueueTx::new(queue),
-                        hwm: t.degrade_hwm,
-                        cap: t.send_queue_cap,
-                        min_bits: t.min_bits,
-                        result_tx: result_tx.clone(),
-                    },
-                    base_bits: config.compression_bits,
-                    uplink_bps: None,
-                    metrics: metrics.clone(),
-                }
-            };
-
-            gateways.push(spawn_gateway(
-                &config,
-                &phy_registry,
+            let crash = config.crashes.iter().find(|c| c.session == index).copied();
+            sessions.push(spawn_session(SessionSupervisor {
+                index,
+                config: config.clone(),
+                phy_registry: phy_registry.clone(),
                 chunk_rx,
-                shipper,
-                result_tx.clone(),
-                metrics.clone(),
-            ));
-            muxes.push(spawn_mux(
-                inbox_rx,
-                worker_txs.clone(),
-                gate.clone(),
-                registry.clone(),
+                worker_txs: worker_txs.clone(),
+                gate: gate.clone(),
+                registry: registry.clone(),
                 n_shards,
-                metrics.clone(),
-            ));
+                result_tx: result_tx.clone(),
+                send_queues: send_queues.clone(),
+                crash,
+                metrics: metrics.clone(),
+            }));
         }
-        // Disconnection must propagate down the dataflow: muxes hold
-        // the only worker senders, workers + gateways + lost hooks the
-        // only result senders.
+        // Disconnection must propagate down the dataflow: session
+        // supervisors hold the only worker senders, workers +
+        // supervisors the only result senders.
         drop(worker_txs);
         drop(result_tx);
 
-        let merge = spawn_merge(result_rx, frames_tx, n_gateways, metrics.clone());
+        let merge = spawn_merge(
+            result_rx,
+            frames_tx,
+            n_gateways,
+            registry.clone(),
+            gate.clone(),
+            config.liveness_horizon,
+            metrics.clone(),
+        );
 
         FleetGaliot {
             chunk_txs,
             frames_rx,
-            gateways,
-            uplinks,
-            ingresses,
-            muxes,
+            sessions,
             workers,
             merge: Some(merge),
             send_queues,
@@ -252,7 +201,8 @@ impl FleetGaliot {
     }
 
     /// Feeds one capture chunk to every session; blocks if any session
-    /// is saturated.
+    /// is saturated. Chunks to a dead (crashed, unrestarted) session
+    /// are discarded — its radio is gone.
     pub fn push_chunk(&self, chunk: Vec<Cf32>) {
         for tx in &self.chunk_txs {
             let _ = tx.send(chunk.clone());
@@ -276,22 +226,13 @@ impl FleetGaliot {
 
     fn join_all(&mut self) {
         self.chunk_txs.clear();
-        // Join order follows the dataflow (cf. StreamingGaliot): each
-        // gateway closes its send queue / inbox, ending its uplink,
-        // whose dropped wire ends its ingress, whose dropped inbox
-        // ends its mux; dropped worker senders end the pool; dropped
-        // result senders end the merge.
-        for g in self.gateways.drain(..) {
-            let _ = g.join();
-        }
-        for u in self.uplinks.drain(..) {
-            let _ = u.join();
-        }
-        for i in self.ingresses.drain(..) {
-            let _ = i.join();
-        }
-        for m in self.muxes.drain(..) {
-            let _ = m.join();
+        // Join order follows the dataflow: each supervisor's gateway
+        // instance closes its send queue / inbox, ending its uplink,
+        // ingress, and mux (joined inside the supervisor); exited
+        // supervisors drop the worker senders, ending the pool; the
+        // pool drops the result senders, ending the merge.
+        for s in self.sessions.drain(..) {
+            let _ = s.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
@@ -299,7 +240,7 @@ impl FleetGaliot {
         if let Some(m) = self.merge.take() {
             let _ = m.join();
         }
-        for q in self.send_queues.drain(..) {
+        for q in self.send_queues.lock().drain(..) {
             self.metrics
                 .with(|m| m.send_queue_hwm = m.send_queue_hwm.max(q.high_water_mark()));
         }
@@ -322,14 +263,240 @@ impl Drop for FleetGaliot {
     }
 }
 
-/// Per-session mux: stamps the session registry, takes a fairness
-/// credit, and routes each surviving segment to its shard's worker.
-/// The worker returns the credit after decoding.
-fn spawn_mux(
-    inbox_rx: Receiver<ShippedSegment>,
-    worker_txs: Vec<Sender<ShippedSegment>>,
+/// Everything a session supervisor owns for the lifetime of its slot.
+struct SessionSupervisor {
+    index: usize,
+    config: GaliotConfig,
+    phy_registry: Registry,
+    chunk_rx: Receiver<Vec<Cf32>>,
+    worker_txs: Vec<Sender<PoolItem>>,
     gate: Arc<FairnessGate>,
     registry: Arc<SessionRegistry>,
+    n_shards: usize,
+    result_tx: Sender<ResultMsg>,
+    send_queues: Arc<Mutex<Vec<Arc<SendQueue>>>>,
+    crash: Option<CrashSpec>,
+    metrics: SharedMetrics,
+}
+
+/// The IO threads one gateway instance runs with; joined when the
+/// instance ends (cleanly or by crash) before any successor starts, so
+/// epochs never overlap on the wire.
+struct SessionIo {
+    uplink: Option<thread::JoinHandle<()>>,
+    ingress: Option<thread::JoinHandle<()>>,
+    mux: thread::JoinHandle<()>,
+}
+
+impl SessionIo {
+    fn join(self) {
+        if let Some(u) = self.uplink {
+            let _ = u.join();
+        }
+        if let Some(i) = self.ingress {
+            let _ = i.join();
+        }
+        let _ = self.mux.join();
+    }
+}
+
+/// One gateway session's supervisor: runs successive gateway instances
+/// over the shared chunk feed, restarting after an injected crash when
+/// the [`CrashSpec`] asks for it. Each instance gets its own transport
+/// stack and epoch-fenced mux; the crashed instance's IO drains and is
+/// joined before the replacement registers, so a restarted session
+/// never overlaps its past self on the wire.
+fn spawn_session(sup: SessionSupervisor) -> thread::JoinHandle<()> {
+    let gw = GatewayId(sup.index as u16 + 1);
+    thread::Builder::new()
+        .name(format!("galiot-session-{}", gw.0))
+        .spawn(move || {
+            let mut capture_offset = 0usize;
+            let mut instance = 0u64;
+            loop {
+                let epoch = sup.registry.register(gw);
+                let seq_base = instance << galiot_trace::EPOCH_SHIFT;
+                if instance > 0 {
+                    sup.metrics.with(|m| m.sessions_restarted += 1);
+                    // Announced on the supervisor's own sender BEFORE
+                    // any of the new instance's IO exists: channel FIFO
+                    // then orders the revival ahead of every new-epoch
+                    // result at the merge.
+                    if sup
+                        .result_tx
+                        .send(ResultMsg::SessionRestarted {
+                            gateway: gw,
+                            seq_base,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                // Each spec fires once, on the session's first life.
+                let crash_after = if instance == 0 {
+                    sup.crash.map(|c| c.after_segments)
+                } else {
+                    None
+                };
+                let (shipper, io) = build_session_io(&sup, gw, epoch, instance);
+                let run = run_gateway(
+                    &sup.config,
+                    &sup.phy_registry,
+                    &sup.chunk_rx,
+                    shipper,
+                    &sup.result_tx,
+                    &sup.metrics,
+                    SessionStart {
+                        capture_offset,
+                        seq_base,
+                        crash_after,
+                    },
+                );
+                // The instance is over; its shipper is dropped, which
+                // closes the send queue / inbox. Drain and join its IO
+                // (a graceful-drain crash model: segments already in
+                // the transport complete their ARQ journey).
+                io.join();
+                if run.crashed {
+                    sup.metrics.with(|m| m.sessions_crashed += 1);
+                    if sup.crash.is_some_and(|c| c.restart) {
+                        instance += 1;
+                        capture_offset = run.consumed;
+                        continue;
+                    }
+                    // No restart: the slot stays dead. The liveness
+                    // reaper will notice the silence, reclaim credits,
+                    // and finalize the merge watermark; dropping
+                    // chunk_rx makes push_chunk discard this session's
+                    // chunks from here on.
+                }
+                return;
+            }
+        })
+        .expect("spawn fleet session supervisor")
+}
+
+/// Builds one gateway instance's IO: inbox, transport stack (faulty
+/// links decorrelated per session *and* per instance), and the
+/// epoch-fenced mux into the shared worker pool.
+fn build_session_io(
+    sup: &SessionSupervisor,
+    gw: GatewayId,
+    epoch: u64,
+    instance: u64,
+) -> (Shipper, SessionIo) {
+    let config = &sup.config;
+    let transport = config.transport;
+    let n_workers = sup.worker_txs.len();
+    // The session inbox: segments that survived this instance's
+    // backhaul, awaiting shard routing.
+    let (inbox_tx, inbox_rx) = bounded::<PoolItem>(2 * n_workers.max(4));
+
+    let mut uplink = None;
+    let mut ingress = None;
+    let shipper = if transport.is_passthrough() {
+        Shipper {
+            gateway: gw,
+            mode: ShipMode::Direct(inbox_tx),
+            base_bits: config.compression_bits,
+            uplink_bps: config.emulate_backhaul.then_some(config.backhaul_bps),
+            metrics: sup.metrics.clone(),
+        }
+    } else {
+        // Each instance owns a full transport stack over its own
+        // impaired links, seeds decorrelated per session and per life.
+        let salt = instance_salt(sup.index, instance);
+        let mut t = transport;
+        t.data_faults = LinkFaults {
+            seed: session_seed(t.data_faults.seed, salt),
+            ..t.data_faults
+        };
+        t.ack_faults = LinkFaults {
+            seed: session_seed(t.ack_faults.seed, salt),
+            ..t.ack_faults
+        };
+        t.arq.seed = session_seed(t.arq.seed, salt);
+        let queue = SendQueue::new(t.send_queue_cap);
+        let (wire_tx, wire_rx) = bounded::<Vec<u8>>(64);
+        let (ack_tx, ack_rx) = unbounded::<Vec<u8>>();
+        let lost_tx = sup.result_tx.clone();
+        uplink = Some(spawn_arq_sender(
+            queue.clone(),
+            wire_tx,
+            ack_rx,
+            t.arq,
+            t.data_faults,
+            config.emulate_backhaul.then_some(config.backhaul_bps),
+            sup.metrics.clone(),
+            move |seq| {
+                galiot_trace::event(
+                    galiot_trace::EventKind::Lost,
+                    galiot_trace::tag_seq(gw.0, seq),
+                );
+                lost_tx
+                    .send(ResultMsg::Segment(SegmentResult {
+                        gateway: gw,
+                        seq,
+                        frames: Vec::new(),
+                        watermark: None,
+                        power: 0.0,
+                    }))
+                    .is_ok()
+            },
+        ));
+        ingress = Some(spawn_arq_receiver(
+            wire_rx,
+            ack_tx,
+            inbox_tx,
+            t.ack_faults,
+            sup.metrics.clone(),
+        ));
+        sup.send_queues.lock().push(queue.clone());
+        Shipper {
+            gateway: gw,
+            mode: ShipMode::Transport {
+                tx: SendQueueTx::new(queue),
+                hwm: t.degrade_hwm,
+                cap: t.send_queue_cap,
+                min_bits: t.min_bits,
+                result_tx: sup.result_tx.clone(),
+            },
+            base_bits: config.compression_bits,
+            uplink_bps: None,
+            metrics: sup.metrics.clone(),
+        }
+    };
+
+    let mux = spawn_mux(
+        inbox_rx,
+        sup.worker_txs.clone(),
+        sup.gate.clone(),
+        sup.registry.clone(),
+        epoch,
+        sup.n_shards,
+        sup.metrics.clone(),
+    );
+    (
+        shipper,
+        SessionIo {
+            uplink,
+            ingress,
+            mux,
+        },
+    )
+}
+
+/// Per-instance mux: fences stale traffic against the session
+/// registry, takes a fairness credit, and routes each surviving
+/// segment to its shard's worker with the credit attached. The
+/// credit's guard returns it wherever the segment is dropped.
+fn spawn_mux(
+    inbox_rx: Receiver<PoolItem>,
+    worker_txs: Vec<Sender<PoolItem>>,
+    gate: Arc<FairnessGate>,
+    registry: Arc<SessionRegistry>,
+    epoch: u64,
     n_shards: usize,
     metrics: SharedMetrics,
 ) -> thread::JoinHandle<()> {
@@ -337,19 +504,31 @@ fn spawn_mux(
         .name("galiot-mux".into())
         .spawn(move || {
             let n_workers = worker_txs.len().max(1);
-            while let Ok(seg) = inbox_rx.recv() {
-                registry.touch(seg.gateway);
-                metrics.with(|m| *m.per_gateway_segments.entry(seg.gateway.0).or_default() += 1);
-                if !gate.acquire(seg.gateway) {
-                    return; // gate closed: fleet is tearing down
+            while let Ok(mut item) = inbox_rx.recv() {
+                let gw = item.seg.gateway;
+                // Epoch fence: traffic of a dead or superseded
+                // instance stops here, before it can consume a credit
+                // or a worker. A fenced segment gets a Lost terminal
+                // and is accounted to the crash, never to
+                // per_gateway_segments.
+                if !registry.touch_current(gw, epoch) {
+                    metrics.with(|m| m.crash_lost_segments += 1);
+                    galiot_trace::event(
+                        galiot_trace::EventKind::Lost,
+                        galiot_trace::tag_seq(gw.0, item.seg.seq),
+                    );
+                    continue;
                 }
+                metrics.with(|m| *m.per_gateway_segments.entry(gw.0).or_default() += 1);
+                let Some(credit) = gate.acquire_guard(gw) else {
+                    return; // gate closed: fleet is tearing down
+                };
+                item.credit = Some(credit);
                 // Two-level routing keeps the shard map stable across
                 // worker-count changes: (gateway, seq) → shard → worker.
-                let wid = shard_for(seg.gateway, seg.seq, n_shards) % n_workers;
-                let gw = seg.gateway;
-                if worker_txs[wid].send(seg).is_err() {
-                    gate.release(gw);
-                    return; // pool is gone
+                let wid = shard_for(gw, item.seg.seq, n_shards) % n_workers;
+                if worker_txs[wid].send(item).is_err() {
+                    return; // pool gone; the in-item guard frees the credit
                 }
             }
         })
@@ -361,25 +540,207 @@ fn spawn_mux(
 struct SessionLane {
     pending: BTreeMap<u64, SegmentResult>,
     next_seq: u64,
+    /// Results below this sequence belong to a superseded (pre-crash)
+    /// epoch of a restarted session and are dropped on the crash's
+    /// account.
+    epoch_floor: u64,
+    /// Set when the liveness reaper declares the session dead; a dead
+    /// lane drops everything until a restart revives it.
+    dead: bool,
+}
+
+/// The fleet merge's state machine, extracted from the merge thread
+/// for direct unit testing: per-session in-order lanes in front of the
+/// cross-gateway [`FleetMerge`], plus the failover transitions — death
+/// finalizes the session's watermark to `u64::MAX` so capture-order
+/// release resumes for the survivors; restart fences the superseded
+/// epoch's sequence space and revives the lane.
+struct MergeCore {
+    lanes: Vec<SessionLane>,
+    merge: FleetMerge<PipelineFrame>,
+    metrics: SharedMetrics,
+}
+
+impl MergeCore {
+    fn new(n_gateways: usize, metrics: SharedMetrics) -> Self {
+        MergeCore {
+            lanes: (0..n_gateways).map(|_| SessionLane::default()).collect(),
+            merge: FleetMerge::new(n_gateways, DEDUP_SLACK as u64),
+            metrics,
+        }
+    }
+
+    fn lane_index(&self, gateway: GatewayId) -> Option<usize> {
+        let index = (gateway.0 as usize).wrapping_sub(1);
+        (index < self.lanes.len()).then_some(index)
+    }
+
+    /// Feeds one in-order segment result into the merge: offer its
+    /// frames (capture order within the segment), advance the session
+    /// watermark, return whatever groups became final.
+    fn offer_segment(&mut self, index: usize, result: SegmentResult) -> Vec<PipelineFrame> {
+        let SegmentResult {
+            gateway,
+            seq,
+            mut frames,
+            watermark,
+            power,
+        } = result;
+        let _span = galiot_trace::span(
+            galiot_trace::Stage::Reassembly,
+            galiot_trace::tag_seq(gateway.0, seq),
+        );
+        frames.sort_by_key(|pf| pf.frame.start);
+        if !frames.is_empty() {
+            self.metrics
+                .with(|m| *m.per_gateway_decoded.entry(gateway.0).or_default() += frames.len());
+        }
+        for pf in frames {
+            let (tech, start) = (pf.frame.tech, pf.frame.start);
+            let payload = pf.frame.payload.clone();
+            self.merge.offer(index, tech, &payload, start, power, pf);
+        }
+        // `None` is a gap notice (lost segment, start unknown): hold
+        // the horizon rather than risk releasing a group a late copy
+        // could still match. `Some(0)` is genuine progress from a
+        // segment starting at capture sample 0 and must advance — the
+        // two no longer share a sentinel.
+        match watermark {
+            Some(wm) => self.merge.advance(index, wm),
+            None => Vec::new(),
+        }
+    }
+
+    /// One decode result from the pool (or a gap notice), drained
+    /// in-order through the session's lane.
+    fn on_result(&mut self, result: SegmentResult) -> Vec<PipelineFrame> {
+        let Some(index) = self.lane_index(result.gateway) else {
+            return Vec::new(); // not a fleet session (defensive)
+        };
+        let lane = &mut self.lanes[index];
+        if lane.dead || result.seq < lane.epoch_floor {
+            // Late traffic of a dead or superseded epoch: dropped on
+            // the crash's account. Counting its frames into both
+            // per_gateway_decoded and crash_lost_frames keeps the
+            // delivery identity closed.
+            let n = result.frames.len();
+            let gw = result.gateway.0;
+            self.metrics.with(|m| {
+                m.crash_lost_segments += 1;
+                if n > 0 {
+                    *m.per_gateway_decoded.entry(gw).or_default() += n;
+                    m.crash_lost_frames += n;
+                }
+            });
+            return Vec::new();
+        }
+        // As in single-gateway reassembly, a seq can report twice
+        // under the faulty transport (declared lost, then delivered
+        // late by a reordering link): first wins.
+        if result.seq < lane.next_seq {
+            return Vec::new();
+        }
+        lane.pending.entry(result.seq).or_insert(result);
+        self.metrics.with(|m| {
+            let depth: usize = self.lanes.iter().map(|l| l.pending.len()).sum();
+            m.reassembly_hwm = m.reassembly_hwm.max(depth);
+        });
+        let mut released = Vec::new();
+        loop {
+            // Re-borrow per iteration: offer_segment needs &mut self.
+            let lane = &mut self.lanes[index];
+            let Some(r) = lane.pending.remove(&lane.next_seq) else {
+                break;
+            };
+            lane.next_seq += 1;
+            released.extend(self.offer_segment(index, r));
+        }
+        released
+    }
+
+    /// Death transition: flush the lane's stragglers (the session will
+    /// never fill its gaps), then finalize its merge watermark so the
+    /// survivors' capture-order release resumes. Idempotent.
+    fn on_dead(&mut self, gateway: GatewayId) -> Vec<PipelineFrame> {
+        let Some(index) = self.lane_index(gateway) else {
+            return Vec::new();
+        };
+        if self.lanes[index].dead {
+            return Vec::new();
+        }
+        self.lanes[index].dead = true;
+        let pending = std::mem::take(&mut self.lanes[index].pending);
+        let mut released = Vec::new();
+        for (_, r) in pending {
+            released.extend(self.offer_segment(index, r));
+        }
+        released.extend(self.merge.finish(index));
+        released
+    }
+
+    /// Restart transition: flush pre-crash stragglers, fence the
+    /// superseded epoch (`epoch_floor`), and revive a dead lane —
+    /// including reopening its merge watermark, the one sanctioned
+    /// regression from the finalized `u64::MAX`.
+    fn on_restart(&mut self, gateway: GatewayId, seq_base: u64) -> Vec<PipelineFrame> {
+        let Some(index) = self.lane_index(gateway) else {
+            return Vec::new();
+        };
+        let pending = std::mem::take(&mut self.lanes[index].pending);
+        let mut released = Vec::new();
+        for (_, r) in pending {
+            released.extend(self.offer_segment(index, r));
+        }
+        let lane = &mut self.lanes[index];
+        lane.next_seq = seq_base;
+        lane.epoch_floor = seq_base;
+        if lane.dead {
+            lane.dead = false;
+            self.merge.reopen(index, 0);
+        }
+        released
+    }
+
+    /// End of input: flush every lane, then retire every session so
+    /// the last groups become final. (`FleetMerge::finish` is
+    /// idempotent for sessions the reaper already retired.)
+    fn finish(&mut self) -> Vec<PipelineFrame> {
+        let mut released = Vec::new();
+        for index in 0..self.lanes.len() {
+            let pending = std::mem::take(&mut self.lanes[index].pending);
+            for (_, r) in pending {
+                released.extend(self.offer_segment(index, r));
+            }
+        }
+        for index in 0..self.lanes.len() {
+            released.extend(self.merge.finish(index));
+        }
+        released
+    }
+
+    fn suppressed(&self) -> u64 {
+        self.merge.suppressed()
+    }
 }
 
 /// The fleet merge thread: restores each session's emission order,
-/// offers every decoded frame to the cross-gateway dedup, and emits
-/// released groups in capture order, recording frame metrics exactly
-/// once per delivered frame.
+/// offers every decoded frame to the cross-gateway dedup, emits
+/// released groups in capture order (recording frame metrics exactly
+/// once per delivered frame) — and runs the liveness reaper, declaring
+/// sessions dead after `liveness_horizon` logical events of silence.
 fn spawn_merge(
-    result_rx: Receiver<SegmentResult>,
+    result_rx: Receiver<ResultMsg>,
     frames_tx: Sender<PipelineFrame>,
     n_gateways: usize,
+    registry: Arc<SessionRegistry>,
+    gate: Arc<FairnessGate>,
+    liveness_horizon: u64,
     metrics: SharedMetrics,
 ) -> thread::JoinHandle<()> {
     thread::Builder::new()
         .name("galiot-fleet-merge".into())
         .spawn(move || {
-            let mut lanes: Vec<SessionLane> =
-                (0..n_gateways).map(|_| SessionLane::default()).collect();
-            let mut merge: FleetMerge<PipelineFrame> =
-                FleetMerge::new(n_gateways, DEDUP_SLACK as u64);
+            let mut core = MergeCore::new(n_gateways, metrics.clone());
 
             let emit = |released: Vec<PipelineFrame>, merge_suppressed: u64| -> bool {
                 metrics.with(|m| {
@@ -397,82 +758,48 @@ fn spawn_merge(
                 true
             };
 
-            // Feeds one in-order segment result into the merge: offer
-            // its frames (capture order within the segment), advance
-            // the session watermark, release whatever became final.
-            let offer_segment =
-                |merge: &mut FleetMerge<PipelineFrame>, index: usize, result: SegmentResult| {
-                    let SegmentResult {
-                        gateway,
-                        seq,
-                        mut frames,
-                        watermark,
-                        power,
-                    } = result;
-                    let _span = galiot_trace::span(
-                        galiot_trace::Stage::Reassembly,
-                        galiot_trace::tag_seq(gateway.0, seq),
-                    );
-                    frames.sort_by_key(|pf| pf.frame.start);
-                    if !frames.is_empty() {
-                        metrics.with(|m| {
-                            *m.per_gateway_decoded.entry(gateway.0).or_default() += frames.len()
-                        });
-                    }
-                    for pf in frames {
-                        let (tech, start) = (pf.frame.tech, pf.frame.start);
-                        let payload = pf.frame.payload.clone();
-                        merge.offer(index, tech, &payload, start, power, pf);
-                    }
-                    // Watermark 0 means "start unknown" (a lost-segment
-                    // gap notice): hold the horizon rather than risk
-                    // releasing a group a late copy could still match.
-                    (watermark > 0).then_some(watermark)
-                };
-
-            while let Ok(result) = result_rx.recv() {
-                let index = (result.gateway.0 as usize).wrapping_sub(1);
-                if index >= n_gateways {
-                    continue; // not a fleet session (defensive)
-                }
-                let lane = &mut lanes[index];
-                // As in single-gateway reassembly, a seq can report
-                // twice under the faulty transport (declared lost, then
-                // delivered late by a reordering link): first wins.
-                if result.seq < lane.next_seq {
-                    continue;
-                }
-                lane.pending.entry(result.seq).or_insert(result);
-                metrics.with(|m| {
-                    let depth: usize = lanes.iter().map(|l| l.pending.len()).sum();
-                    m.reassembly_hwm = m.reassembly_hwm.max(depth);
-                });
-                let lane = &mut lanes[index];
-                while let Some(r) = lane.pending.remove(&lane.next_seq) {
-                    lane.next_seq += 1;
-                    if let Some(wm) = offer_segment(&mut merge, index, r) {
-                        let released = merge.advance(index, wm);
-                        if !emit(released, merge.suppressed()) {
-                            return;
+            while let Ok(msg) = result_rx.recv() {
+                let released = match msg {
+                    ResultMsg::Segment(result) => {
+                        // Proof of life: a result reaching the merge
+                        // means the session's pipeline is flowing.
+                        registry.heartbeat(result.gateway);
+                        let mut rel = core.on_result(result);
+                        // The liveness reaper piggybacks on result
+                        // traffic: silence is only measurable while
+                        // the rest of the fleet advances the logical
+                        // clock, which is exactly when a stalled
+                        // watermark blocks survivors. A session still
+                        // holding pool credits has results on the way
+                        // (the credit is dropped only after the result
+                        // is queued here) — only quiesced silence is
+                        // death.
+                        if liveness_horizon > 0 {
+                            for gw in registry.stale(liveness_horizon) {
+                                if gate.held(gw) == 0
+                                    && registry.mark_dead_if_stale(gw, liveness_horizon)
+                                {
+                                    gate.revoke(gw);
+                                    rel.extend(core.on_dead(gw));
+                                }
+                            }
                         }
+                        rel
                     }
-                }
-            }
-
-            // Producers are gone: flush each lane's stragglers in seq
-            // order, then retire every session so the last groups
-            // become final.
-            for (index, lane) in lanes.iter_mut().enumerate() {
-                for (_, r) in std::mem::take(&mut lane.pending) {
-                    offer_segment(&mut merge, index, r);
-                }
-            }
-            for index in 0..n_gateways {
-                let released = merge.finish(index);
-                if !emit(released, merge.suppressed()) {
+                    ResultMsg::SessionRestarted { gateway, seq_base } => {
+                        registry.heartbeat(gateway);
+                        core.on_restart(gateway, seq_base)
+                    }
+                };
+                if !emit(released, core.suppressed()) {
                     return;
                 }
             }
+
+            // Producers are gone: flush the stragglers and retire
+            // every session so the last groups become final.
+            let released = core.finish();
+            let _ = emit(released, core.suppressed());
         })
         .expect("spawn fleet merge thread")
 }
@@ -534,7 +861,13 @@ mod tests {
             "each frame decodes once per gateway: {m:?}"
         );
         let offered: usize = m.per_gateway_decoded.values().sum();
-        assert_eq!(offered, m.fleet_delivered + m.dedup_suppressed, "{m:?}");
+        assert_eq!(
+            offered,
+            m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames,
+            "{m:?}"
+        );
+        assert_eq!(m.sessions_crashed, 0, "{m:?}");
+        assert_eq!(m.crash_lost_segments, 0, "{m:?}");
         // Both sessions show up in the ingest accounting.
         assert_eq!(m.per_gateway_segments.len(), 2, "{m:?}");
     }
@@ -553,7 +886,11 @@ mod tests {
         assert_eq!(starts, sorted, "fleet output out of capture order");
         assert_eq!(m.ingest_shards, 7);
         let offered: usize = m.per_gateway_decoded.values().sum();
-        assert_eq!(offered, m.fleet_delivered + m.dedup_suppressed, "{m:?}");
+        assert_eq!(
+            offered,
+            m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames,
+            "{m:?}"
+        );
     }
 
     #[test]
@@ -570,6 +907,7 @@ mod tests {
         let _ = fleet.finish();
         assert_eq!(sessions_early.len(), 2);
         assert!(sessions_early.iter().all(|s| s.epoch > 0));
+        assert!(sessions_early.iter().all(|s| !s.dead));
         assert_eq!(sessions_early[0].gateway, GatewayId(1));
         assert_eq!(sessions_early[1].gateway, GatewayId(2));
     }
@@ -584,5 +922,179 @@ mod tests {
         );
         let frames = fleet.finish();
         assert!(frames.is_empty());
+    }
+
+    // -----------------------------------------------------------------
+    // MergeCore unit tests: the failover state machine without threads.
+    // -----------------------------------------------------------------
+
+    fn frame(tech: TechId, payload: &[u8], start: usize) -> PipelineFrame {
+        PipelineFrame {
+            frame: galiot_phy::DecodedFrame {
+                tech,
+                payload: payload.to_vec(),
+                start,
+                len: 100,
+            },
+            at_edge: false,
+            via_kill: false,
+        }
+    }
+
+    fn seg(gw: u16, seq: u64, frames: Vec<PipelineFrame>, watermark: Option<u64>) -> SegmentResult {
+        SegmentResult {
+            gateway: GatewayId(gw),
+            seq,
+            frames,
+            watermark,
+            power: 1.0,
+        }
+    }
+
+    #[test]
+    fn watermark_zero_advances_but_gap_notice_holds() {
+        // Regression for the release-gate bug: a segment starting at
+        // capture sample 0 used to be indistinguishable from a lost
+        // segment's gap notice (both watermark 0), holding the fleet
+        // horizon back. With Option watermarks, Some(0) is progress.
+        let metrics = SharedMetrics::new();
+        let mut core = MergeCore::new(2, metrics);
+        // Session 1 decodes a frame at capture start 0 and reports
+        // watermark Some(0); session 2 has already advanced past it.
+        let rel = core.on_result(seg(1, 0, vec![frame(TechId::XBee, &[1], 0)], Some(0)));
+        assert!(rel.is_empty(), "session 2 has not spoken yet");
+        let rel = core.on_result(seg(2, 0, Vec::new(), Some(50_000)));
+        assert!(
+            rel.is_empty(),
+            "session 1's Some(0) watermark must hold the group (0 + slack > 0)"
+        );
+        // Session 1 advances past the group: both sessions' watermarks
+        // now clear start 0 + slack, so the frame releases mid-stream.
+        let rel = core.on_result(seg(1, 1, Vec::new(), Some(50_000)));
+        assert_eq!(rel.len(), 1, "Some(0) then Some(50k) must release");
+        // A gap notice (None) must NOT advance: session 1's next
+        // report is a loss, and a frame offered at its frontier stays
+        // held even though both numeric watermarks would clear it.
+        let rel = core.on_result(seg(
+            2,
+            1,
+            vec![frame(TechId::XBee, &[2], 60_000)],
+            Some(70_000),
+        ));
+        assert!(rel.is_empty());
+        let rel = core.on_result(seg(1, 2, Vec::new(), None));
+        assert!(rel.is_empty(), "gap notice must not release anything");
+        let rel = core.finish();
+        assert_eq!(rel.len(), 1, "finish releases the held frame");
+    }
+
+    #[test]
+    fn dead_session_watermark_finalizes_and_releases_survivors() {
+        // The tentpole stall: session 2 dies silently at watermark 0;
+        // session 1 keeps streaming. Without the death transition the
+        // merge would hold every group behind session 2's frozen
+        // watermark until teardown.
+        let metrics = SharedMetrics::new();
+        let mut core = MergeCore::new(2, metrics.clone());
+        let rel = core.on_result(seg(
+            1,
+            0,
+            vec![frame(TechId::ZWave, &[7; 4], 10_000)],
+            Some(10_000),
+        ));
+        assert!(rel.is_empty());
+        let rel = core.on_result(seg(1, 1, Vec::new(), Some(90_000)));
+        assert!(
+            rel.is_empty(),
+            "survivor frames stall behind the silent session"
+        );
+        let rel = core.on_dead(GatewayId(2));
+        assert_eq!(rel.len(), 1, "death finalizes the watermark mid-stream");
+        // Idempotent: a second death report changes nothing.
+        assert!(core.on_dead(GatewayId(2)).is_empty());
+        // Survivor traffic keeps releasing promptly afterwards.
+        let rel = core.on_result(seg(
+            1,
+            2,
+            vec![frame(TechId::ZWave, &[8; 4], 100_000)],
+            Some(100_000),
+        ));
+        let rel2 = core.on_result(seg(1, 3, Vec::new(), Some(200_000)));
+        assert_eq!(rel.len() + rel2.len(), 1, "post-death flow is unblocked");
+    }
+
+    #[test]
+    fn restart_fences_superseded_epoch_and_revives_lane() {
+        let metrics = SharedMetrics::new();
+        let mut core = MergeCore::new(2, metrics.clone());
+        let seq_base = 1u64 << galiot_trace::EPOCH_SHIFT;
+        let mut delivered = 0usize;
+        // Old epoch delivers seq 0, then the session dies.
+        delivered += core
+            .on_result(seg(
+                1,
+                0,
+                vec![frame(TechId::XBee, &[1], 5_000)],
+                Some(5_000),
+            ))
+            .len();
+        delivered += core.on_dead(GatewayId(1)).len();
+        // Restart under the bumped epoch.
+        delivered += core.on_restart(GatewayId(1), seq_base).len();
+        // A late old-epoch result (seq below the floor) is dropped and
+        // accounted to the crash, frames included.
+        let rel = core.on_result(seg(
+            1,
+            1,
+            vec![frame(TechId::XBee, &[9], 8_000)],
+            Some(8_000),
+        ));
+        assert!(rel.is_empty());
+        let m = metrics.snapshot();
+        assert_eq!(m.crash_lost_segments, 1, "{m:?}");
+        assert_eq!(m.crash_lost_frames, 1, "{m:?}");
+        // The new epoch's traffic flows from seq_base.
+        delivered += core
+            .on_result(seg(
+                1,
+                seq_base,
+                vec![frame(TechId::XBee, &[2], 20_000)],
+                Some(20_000),
+            ))
+            .len();
+        delivered += core.on_result(seg(2, 0, Vec::new(), Some(90_000))).len();
+        let rel = core.on_result(seg(1, seq_base + 1, Vec::new(), Some(90_000)));
+        assert_eq!(rel.len(), 1, "revived lane releases new-epoch frames");
+        delivered += rel.len();
+        // Identity: every decoded frame is delivered, suppressed, or
+        // crash-lost.
+        delivered += core.finish().len();
+        let m = metrics.snapshot();
+        let offered: usize = m.per_gateway_decoded.values().sum();
+        assert_eq!(
+            offered,
+            delivered + core.suppressed() as usize + m.crash_lost_frames,
+            "{m:?}"
+        );
+    }
+
+    #[test]
+    fn dead_lane_drops_results_on_the_crash_account() {
+        let metrics = SharedMetrics::new();
+        let mut core = MergeCore::new(1, metrics.clone());
+        let _ = core.on_dead(GatewayId(1));
+        let rel = core.on_result(seg(
+            1,
+            0,
+            vec![frame(TechId::XBee, &[3], 1_000)],
+            Some(1_000),
+        ));
+        assert!(rel.is_empty());
+        let rel = core.on_result(seg(1, 1, Vec::new(), None));
+        assert!(rel.is_empty(), "late gap notices count to the crash too");
+        let m = metrics.snapshot();
+        assert_eq!(m.crash_lost_segments, 2, "{m:?}");
+        assert_eq!(m.crash_lost_frames, 1, "{m:?}");
+        assert_eq!(m.per_gateway_decoded.get(&1), Some(&1), "{m:?}");
     }
 }

@@ -39,7 +39,7 @@ pub mod sensing;
 pub mod streaming;
 pub mod transport;
 
-pub use config::{DetectorKind, GaliotConfig};
+pub use config::{CrashSpec, DetectorKind, GaliotConfig};
 pub use fleet::FleetGaliot;
 /// Re-export of the observability layer so downstream users can start
 /// trace sessions without depending on `galiot-trace` directly.
@@ -48,5 +48,6 @@ pub use metrics::{Metrics, SharedMetrics};
 pub use pipeline::{Galiot, PipelineFrame, RunReport};
 pub use streaming::StreamingGaliot;
 pub use transport::{
-    degraded_bits, ArqParams, QueuedSegment, SendQueue, SendQueueTx, TransportConfig,
+    degraded_bits, ArqClock, ArqParams, QueuedSegment, SendQueue, SendQueueTx, TransportConfig,
+    ARQ_DEDUP_WINDOW,
 };

@@ -143,8 +143,25 @@ pub struct Metrics {
     pub dedup_suppressed: usize,
     /// Frames the fleet merge actually delivered (exactly-once, after
     /// dedup). `sum(per_gateway_decoded) == fleet_delivered +
-    /// dedup_suppressed` is asserted by `tests/fleet_conformance.rs`.
+    /// dedup_suppressed + crash_lost_frames` is asserted by
+    /// `tests/fleet_conformance.rs` and `tests/failover_conformance.rs`.
     pub fleet_delivered: usize,
+    /// Fleet gateway instances that hit an injected crash. (A session
+    /// the liveness reaper declares dead shows up as `dead` in the
+    /// registry snapshot instead — the reaper observes silence, not
+    /// its cause.)
+    pub sessions_crashed: usize,
+    /// Crashed fleet sessions brought back up under a bumped epoch.
+    pub sessions_restarted: usize,
+    /// Segments attributed to a crashed session and dropped on its
+    /// account: stale-epoch segments fenced at the ingest mux, plus
+    /// results (including late gap notices) of a dead or superseded
+    /// epoch discarded at the merge.
+    pub crash_lost_segments: usize,
+    /// Frames decoded on behalf of a crashed session but discarded
+    /// because the session was already dead or superseded when they
+    /// reported — the crash term closing the fleet delivery identity.
+    pub crash_lost_frames: usize,
 }
 
 impl Metrics {
@@ -243,6 +260,10 @@ impl Metrics {
             per_gateway_decoded,
             dedup_suppressed,
             fleet_delivered,
+            sessions_crashed,
+            sessions_restarted,
+            crash_lost_segments,
+            crash_lost_frames,
         } = other;
         self.detections += detections;
         self.segments += segments;
@@ -304,6 +325,10 @@ impl Metrics {
         }
         self.dedup_suppressed += dedup_suppressed;
         self.fleet_delivered += fleet_delivered;
+        self.sessions_crashed += sessions_crashed;
+        self.sessions_restarted += sessions_restarted;
+        self.crash_lost_segments += crash_lost_segments;
+        self.crash_lost_frames += crash_lost_frames;
     }
 
     /// Folds a drained trace's per-stage latency histograms into
@@ -333,7 +358,9 @@ impl Metrics {
              \"arq_retransmits\":{},\"arq_acked\":{},\"arq_lost\":{},\
              \"dup_segments_dropped\":{},\"sic_rounds\":{},\"kill_applications\":{},\
              \"fleet_gateways\":{},\"ingest_shards\":{},\"fleet_delivered\":{},\
-             \"dedup_suppressed\":{},\"stages\":{{",
+             \"dedup_suppressed\":{},\"sessions_crashed\":{},\
+             \"sessions_restarted\":{},\"crash_lost_segments\":{},\
+             \"crash_lost_frames\":{},\"stages\":{{",
             self.detections,
             self.segments,
             self.edge_decoded,
@@ -356,6 +383,10 @@ impl Metrics {
             self.ingest_shards,
             self.fleet_delivered,
             self.dedup_suppressed,
+            self.sessions_crashed,
+            self.sessions_restarted,
+            self.crash_lost_segments,
+            self.crash_lost_frames,
         );
         let mut first = true;
         for (name, h) in &self.stage_ns {
@@ -457,6 +488,10 @@ impl fmt::Display for Metrics {
             per_gateway_decoded,
             dedup_suppressed,
             fleet_delivered,
+            sessions_crashed,
+            sessions_restarted,
+            crash_lost_segments,
+            crash_lost_frames,
         } = self;
         writeln!(
             f,
@@ -506,6 +541,13 @@ impl fmt::Display for Metrics {
              fleet_delivered={fleet_delivered} dedup_suppressed={dedup_suppressed} \
              per_gateway_segments={per_gateway_segments:?} \
              per_gateway_decoded={per_gateway_decoded:?}"
+        )?;
+        writeln!(
+            f,
+            "failover: sessions_crashed={sessions_crashed} \
+             sessions_restarted={sessions_restarted} \
+             crash_lost_segments={crash_lost_segments} \
+             crash_lost_frames={crash_lost_frames}"
         )?;
         writeln!(f, "payload_bits: {payload_bits:?}")?;
         if stage_ns.is_empty() {
@@ -728,6 +770,10 @@ mod tests {
             per_gateway_decoded: BTreeMap::from([(1u16, 43usize)]),
             dedup_suppressed: 44,
             fleet_delivered: 45,
+            sessions_crashed: 46,
+            sessions_restarted: 47,
+            crash_lost_segments: 48,
+            crash_lost_frames: 49,
         }
     }
 
@@ -755,6 +801,10 @@ mod tests {
         assert_eq!(twice.kill_applications, 2 * full.kill_applications);
         assert_eq!(twice.dedup_suppressed, 2 * full.dedup_suppressed);
         assert_eq!(twice.fleet_delivered, 2 * full.fleet_delivered);
+        assert_eq!(twice.sessions_crashed, 2 * full.sessions_crashed);
+        assert_eq!(twice.sessions_restarted, 2 * full.sessions_restarted);
+        assert_eq!(twice.crash_lost_segments, 2 * full.crash_lost_segments);
+        assert_eq!(twice.crash_lost_frames, 2 * full.crash_lost_frames);
         assert_eq!(
             twice.per_gateway_decoded[&1],
             2 * full.per_gateway_decoded[&1]
@@ -825,6 +875,10 @@ mod tests {
             "per_gateway_decoded",
             "dedup_suppressed",
             "fleet_delivered",
+            "sessions_crashed",
+            "sessions_restarted",
+            "crash_lost_segments",
+            "crash_lost_frames",
         ] {
             assert!(text.contains(label), "Display output missing {label:?}");
         }

@@ -82,12 +82,44 @@ pub(crate) struct SegmentResult {
     pub(crate) seq: u64,
     pub(crate) frames: Vec<PipelineFrame>,
     /// Capture start of the segment in absolute samples — the session
-    /// watermark the fleet merge advances on. 0 means unknown (e.g. a
-    /// lost-segment gap notice), which conservatively holds dedup back.
-    pub(crate) watermark: u64,
+    /// watermark the fleet merge advances on. `None` means unknown
+    /// (e.g. a lost-segment gap notice), which holds release back;
+    /// `Some(0)` is genuine progress from a segment starting at
+    /// capture sample 0 — the two must not share a sentinel.
+    pub(crate) watermark: Option<u64>,
     /// Mean received power of the segment's samples — the fleet
     /// merge's best-copy criterion. 0.0 when no samples were decoded.
     pub(crate) power: f32,
+}
+
+/// What flows over the result channel: decode outcomes, plus fleet
+/// control messages that must be ordered against them (crossbeam
+/// channels are FIFO per sender, and the session supervisor emits the
+/// control message before any of the new instance's traffic).
+pub(crate) enum ResultMsg {
+    /// One segment's decode outcome.
+    Segment(SegmentResult),
+    /// A crashed fleet session restarted under a bumped epoch; its
+    /// new instance numbers segments from `seq_base`. Single-gateway
+    /// reassembly never sees this.
+    SessionRestarted { gateway: GatewayId, seq_base: u64 },
+}
+
+/// A segment in flight between ingest and a decode worker, carrying
+/// the [`FairnessGate`](galiot_cloud::FairnessGate) credit its session
+/// holds for it (fleet mode). The credit travels *with* the segment so
+/// that whoever drops the segment — the worker after decode, a
+/// panicked worker's unwind, or a torn-down queue — returns the credit
+/// via the guard's `Drop`, closing every leak path.
+pub(crate) struct PoolItem {
+    pub(crate) seg: ShippedSegment,
+    pub(crate) credit: Option<galiot_cloud::CreditGuard>,
+}
+
+impl From<ShippedSegment> for PoolItem {
+    fn from(seg: ShippedSegment) -> Self {
+        PoolItem { seg, credit: None }
+    }
 }
 
 /// A running streaming GalioT instance.
@@ -127,8 +159,8 @@ impl StreamingGaliot {
         let (chunk_tx, chunk_rx) = bounded::<Vec<Cf32>>(8);
         // Enough queue to keep every worker busy without unbounded
         // buffering of multi-hundred-kilobyte segments.
-        let (seg_tx, seg_rx) = bounded::<ShippedSegment>(2 * n_workers.max(4));
-        let (result_tx, result_rx) = unbounded::<SegmentResult>();
+        let (seg_tx, seg_rx) = bounded::<PoolItem>(2 * n_workers.max(4));
+        let (result_tx, result_rx) = unbounded::<ResultMsg>();
         // Unbounded on purpose: `finish`/`Drop` join the workers before
         // draining, so a bounded frame channel could deadlock a run
         // that decodes more frames than the bound.
@@ -171,13 +203,13 @@ impl StreamingGaliot {
                 move |seq| {
                     galiot_trace::event(galiot_trace::EventKind::Lost, seq);
                     lost_tx
-                        .send(SegmentResult {
+                        .send(ResultMsg::Segment(SegmentResult {
                             gateway: GatewayId(0),
                             seq,
                             frames: Vec::new(),
-                            watermark: 0,
+                            watermark: None,
                             power: 0.0,
-                        })
+                        }))
                         .is_ok()
                 },
             ));
@@ -224,7 +256,6 @@ impl StreamingGaliot {
                     fs,
                     seg_rx.clone(),
                     result_tx.clone(),
-                    None,
                     metrics.clone(),
                 )
             })
@@ -313,145 +344,253 @@ impl Drop for StreamingGaliot {
     }
 }
 
-/// Gateway thread: digitize chunks into a rolling buffer, detect on
+/// Where a gateway instance begins: capture offset and sequence base
+/// (both 0 for a first life; a restarted instance resumes at the
+/// capture position its predecessor died at, numbering segments from
+/// the new epoch's base), plus the fault-injection point.
+pub(crate) struct SessionStart {
+    /// Absolute capture index of the first sample this instance will
+    /// receive from the chunk feed.
+    pub(crate) capture_offset: usize,
+    /// First sequence number this instance emits (`epoch <<
+    /// EPOCH_SHIFT` in fleet failover mode).
+    pub(crate) seq_base: u64,
+    /// Fault injection: die immediately before emitting segment
+    /// number `crash_after` (counted within this instance; 0 = silent
+    /// from the first would-be segment). `None` runs to completion.
+    pub(crate) crash_after: Option<u64>,
+}
+
+impl SessionStart {
+    /// A first life with no fault injection.
+    pub(crate) fn clean() -> Self {
+        SessionStart {
+            capture_offset: 0,
+            seq_base: 0,
+            crash_after: None,
+        }
+    }
+}
+
+/// How a gateway instance ended.
+pub(crate) struct GatewayRun {
+    /// The instance hit its injected crash point. Samples buffered but
+    /// not yet flushed died with it — a rebooted radio loses its RAM.
+    pub(crate) crashed: bool,
+    /// Absolute capture index just past the last sample consumed from
+    /// the chunk feed; a restarted instance resumes here.
+    pub(crate) consumed: usize,
+}
+
+/// Why a flush stopped the gateway loop.
+enum FlushStop {
+    /// Downstream is gone; nothing more can be delivered.
+    Downstream,
+    /// The injected crash point was reached.
+    Crashed,
+}
+
+/// Gateway loop body: digitize chunks into a rolling buffer, detect on
 /// fixed, chunk-size-independent flush windows, edge-decode clean
-/// segments and ship the rest compressed.
+/// segments and ship the rest compressed. Runs on the caller's thread
+/// so a fleet session supervisor can run successive instances (crash →
+/// restart) over one chunk feed.
+pub(crate) fn run_gateway(
+    config: &GaliotConfig,
+    registry: &Registry,
+    chunk_rx: &Receiver<Vec<Cf32>>,
+    shipper: Shipper,
+    result_tx: &Sender<ResultMsg>,
+    metrics: &SharedMetrics,
+    start: SessionStart,
+) -> GatewayRun {
+    let fs = config.fs;
+    let front_end = RtlSdrFrontEnd::new(config.front_end);
+    let detector = UniversalDetector::new(registry, fs, config.detect_threshold);
+    let window = registry
+        .max_frame_samples_for(fs, config.max_expected_payload)
+        .max(1);
+    let params = ExtractParams::paper(window);
+    let edge = config.edge_decoding.then(|| {
+        EdgeDecoder::new(registry.clone()).with_cluster_guard_s(config.edge_cluster_guard_s)
+    });
+
+    // A segment is "settled" once the buffer extends at least
+    // this far past it: extraction can then neither lengthen it
+    // (detections reach 2×window forward) nor merge it with a
+    // later cluster (pre-guard reach). An unsettled segment is
+    // deferred to the next flush — but only when its start
+    // survives the drain; a cluster spanning the whole flush
+    // window is emitted as-is rather than lost.
+    let defer_guard = params.pre_guard + 64;
+    let keep_len = 2 * window + 2 * params.pre_guard + 128;
+    // Advance by two windows per flush: flush boundaries sit at
+    // fixed capture offsets (multiples of the stride), so
+    // segmentation is identical for any chunking of the same
+    // capture.
+    let stride = 2 * window;
+    let flush_len = keep_len + stride;
+
+    let mut buffer: Vec<Cf32> = Vec::new();
+    let mut buffer_start = start.capture_offset; // capture index of buffer[0]
+                                                 // Capture index up to which segment content has been
+                                                 // emitted; a segment is emitted only when it ends past this
+                                                 // line AND is finalized (or the capture is over).
+    let mut emitted_until = start.capture_offset;
+    let mut seq = start.seq_base;
+    // Segments emitted by THIS instance (crash injection counts per
+    // life, independent of the epoch folded into `seq`).
+    let mut emitted_count = 0u64;
+
+    let flush = |buffer: &[Cf32],
+                 buffer_start: usize,
+                 emitted_until: &mut usize,
+                 seq: &mut u64,
+                 emitted_count: &mut u64,
+                 is_final: bool|
+     -> Result<(), FlushStop> {
+        let t0 = Instant::now();
+        let digital = front_end.digitize(buffer);
+        let detections = detector.detect(&digital, fs);
+        metrics.with(|m| m.detections += detections.len());
+        let buffer_end = buffer_start + buffer.len();
+        for seg in extract(&digital, &detections, params) {
+            let abs_start = buffer_start + seg.start;
+            let abs_end = abs_start + seg.samples.len();
+            if abs_end <= *emitted_until {
+                continue; // fully covered by earlier output
+            }
+            // Defer an unsettled segment only if the next flush
+            // will still contain its head — otherwise emit now.
+            if !is_final
+                && abs_end + defer_guard > buffer_end
+                && abs_start >= buffer_start + stride + params.pre_guard
+            {
+                continue;
+            }
+            // Fault injection: the crash lands between finalizing a
+            // segment and emitting it — the worst spot, since the
+            // fleet can only learn of the loss through liveness.
+            if start.crash_after == Some(*emitted_count) {
+                metrics.with(|m| m.gateway_busy_ns += t0.elapsed().as_nanos() as u64);
+                return Err(FlushStop::Crashed);
+            }
+            *emitted_until = abs_end;
+            metrics.with(|m| m.segments += 1);
+            let this_seq = *seq;
+            *seq += 1;
+            *emitted_count += 1;
+
+            // Edge-first decode (paper, Sec. 4): handle clean
+            // single packets locally, ship everything else.
+            if let Some(edge) = &edge {
+                let mut abs_seg = seg;
+                abs_seg.start = abs_start;
+                if let EdgeOutcome::DecodedLocally(frame) = edge.process(&abs_seg, fs) {
+                    metrics.with(|m| m.gateway_busy_ns += t0.elapsed().as_nanos() as u64);
+                    let power = abs_seg.samples.iter().map(|c| c.norm_sqr()).sum::<f32>()
+                        / abs_seg.samples.len().max(1) as f32;
+                    let ok = result_tx
+                        .send(ResultMsg::Segment(SegmentResult {
+                            gateway: shipper.gateway,
+                            seq: this_seq,
+                            frames: vec![PipelineFrame {
+                                frame,
+                                at_edge: true,
+                                via_kill: false,
+                            }],
+                            watermark: Some(abs_start as u64),
+                            power,
+                        }))
+                        .is_ok();
+                    if !ok {
+                        return Err(FlushStop::Downstream);
+                    }
+                    continue;
+                }
+                if !shipper.ship(this_seq, abs_start, &abs_seg.samples) {
+                    return Err(FlushStop::Downstream);
+                }
+            } else if !shipper.ship(this_seq, abs_start, &seg.samples) {
+                return Err(FlushStop::Downstream);
+            }
+        }
+        metrics.with(|m| m.gateway_busy_ns += t0.elapsed().as_nanos() as u64);
+        Ok(())
+    };
+
+    let mut consumed = start.capture_offset;
+    while let Ok(chunk) = chunk_rx.recv() {
+        metrics.with(|m| m.samples_processed += chunk.len() as u64);
+        consumed += chunk.len();
+        buffer.extend_from_slice(&chunk);
+        while buffer.len() >= flush_len {
+            match flush(
+                &buffer[..flush_len],
+                buffer_start,
+                &mut emitted_until,
+                &mut seq,
+                &mut emitted_count,
+                false,
+            ) {
+                Ok(()) => {}
+                Err(stop) => {
+                    return GatewayRun {
+                        crashed: matches!(stop, FlushStop::Crashed),
+                        consumed,
+                    }
+                }
+            }
+            buffer.drain(..stride);
+            buffer_start += stride;
+        }
+    }
+    if !buffer.is_empty() {
+        let stopped = flush(
+            &buffer,
+            buffer_start,
+            &mut emitted_until,
+            &mut seq,
+            &mut emitted_count,
+            true,
+        );
+        if let Err(FlushStop::Crashed) = stopped {
+            return GatewayRun {
+                crashed: true,
+                consumed,
+            };
+        }
+    }
+    GatewayRun {
+        crashed: false,
+        consumed,
+    }
+}
+
+/// Gateway thread: [`run_gateway`] with a clean [`SessionStart`], for
+/// the single-session streaming pipeline.
 pub(crate) fn spawn_gateway(
     config: &GaliotConfig,
     registry: &Registry,
     chunk_rx: Receiver<Vec<Cf32>>,
     shipper: Shipper,
-    result_tx: Sender<SegmentResult>,
+    result_tx: Sender<ResultMsg>,
     metrics: SharedMetrics,
 ) -> thread::JoinHandle<()> {
-    let fs = config.fs;
     let config = config.clone();
     let registry = registry.clone();
     thread::Builder::new()
         .name("galiot-gateway".into())
         .spawn(move || {
-            let front_end = RtlSdrFrontEnd::new(config.front_end);
-            let detector = UniversalDetector::new(&registry, fs, config.detect_threshold);
-            let window = registry
-                .max_frame_samples_for(fs, config.max_expected_payload)
-                .max(1);
-            let params = ExtractParams::paper(window);
-            let edge = config.edge_decoding.then(|| {
-                EdgeDecoder::new(registry.clone()).with_cluster_guard_s(config.edge_cluster_guard_s)
-            });
-
-            // A segment is "settled" once the buffer extends at least
-            // this far past it: extraction can then neither lengthen it
-            // (detections reach 2×window forward) nor merge it with a
-            // later cluster (pre-guard reach). An unsettled segment is
-            // deferred to the next flush — but only when its start
-            // survives the drain; a cluster spanning the whole flush
-            // window is emitted as-is rather than lost.
-            let defer_guard = params.pre_guard + 64;
-            let keep_len = 2 * window + 2 * params.pre_guard + 128;
-            // Advance by two windows per flush: flush boundaries sit at
-            // fixed capture offsets (multiples of the stride), so
-            // segmentation is identical for any chunking of the same
-            // capture.
-            let stride = 2 * window;
-            let flush_len = keep_len + stride;
-
-            let mut buffer: Vec<Cf32> = Vec::new();
-            let mut buffer_start = 0usize; // capture index of buffer[0]
-                                           // Capture index up to which segment content has been
-                                           // emitted; a segment is emitted only when it ends past this
-                                           // line AND is finalized (or the capture is over).
-            let mut emitted_until = 0usize;
-            let mut seq = 0u64;
-
-            let flush = |buffer: &[Cf32],
-                         buffer_start: usize,
-                         emitted_until: &mut usize,
-                         seq: &mut u64,
-                         is_final: bool|
-             -> bool {
-                let t0 = Instant::now();
-                let digital = front_end.digitize(buffer);
-                let detections = detector.detect(&digital, fs);
-                metrics.with(|m| m.detections += detections.len());
-                let buffer_end = buffer_start + buffer.len();
-                for seg in extract(&digital, &detections, params) {
-                    let abs_start = buffer_start + seg.start;
-                    let abs_end = abs_start + seg.samples.len();
-                    if abs_end <= *emitted_until {
-                        continue; // fully covered by earlier output
-                    }
-                    // Defer an unsettled segment only if the next flush
-                    // will still contain its head — otherwise emit now.
-                    if !is_final
-                        && abs_end + defer_guard > buffer_end
-                        && abs_start >= buffer_start + stride + params.pre_guard
-                    {
-                        continue;
-                    }
-                    *emitted_until = abs_end;
-                    metrics.with(|m| m.segments += 1);
-                    let this_seq = *seq;
-                    *seq += 1;
-
-                    // Edge-first decode (paper, Sec. 4): handle clean
-                    // single packets locally, ship everything else.
-                    if let Some(edge) = &edge {
-                        let mut abs_seg = seg;
-                        abs_seg.start = abs_start;
-                        if let EdgeOutcome::DecodedLocally(frame) = edge.process(&abs_seg, fs) {
-                            metrics.with(|m| m.gateway_busy_ns += t0.elapsed().as_nanos() as u64);
-                            let power = abs_seg.samples.iter().map(|c| c.norm_sqr()).sum::<f32>()
-                                / abs_seg.samples.len().max(1) as f32;
-                            let ok = result_tx
-                                .send(SegmentResult {
-                                    gateway: shipper.gateway,
-                                    seq: this_seq,
-                                    frames: vec![PipelineFrame {
-                                        frame,
-                                        at_edge: true,
-                                        via_kill: false,
-                                    }],
-                                    watermark: abs_start as u64,
-                                    power,
-                                })
-                                .is_ok();
-                            if !ok {
-                                return false;
-                            }
-                            continue;
-                        }
-                        if !shipper.ship(this_seq, abs_start, &abs_seg.samples) {
-                            return false;
-                        }
-                    } else if !shipper.ship(this_seq, abs_start, &seg.samples) {
-                        return false;
-                    }
-                }
-                metrics.with(|m| m.gateway_busy_ns += t0.elapsed().as_nanos() as u64);
-                true
-            };
-
-            while let Ok(chunk) = chunk_rx.recv() {
-                metrics.with(|m| m.samples_processed += chunk.len() as u64);
-                buffer.extend_from_slice(&chunk);
-                while buffer.len() >= flush_len {
-                    if !flush(
-                        &buffer[..flush_len],
-                        buffer_start,
-                        &mut emitted_until,
-                        &mut seq,
-                        false,
-                    ) {
-                        return;
-                    }
-                    buffer.drain(..stride);
-                    buffer_start += stride;
-                }
-            }
-            if !buffer.is_empty() {
-                let _ = flush(&buffer, buffer_start, &mut emitted_until, &mut seq, true);
-            }
+            run_gateway(
+                &config,
+                &registry,
+                &chunk_rx,
+                shipper,
+                &result_tx,
+                &metrics,
+                SessionStart::clean(),
+            );
         })
         .expect("spawn gateway thread")
 }
@@ -460,7 +599,7 @@ pub(crate) fn spawn_gateway(
 pub(crate) enum ShipMode {
     /// Straight into the worker-pool channel (perfect backhaul — the
     /// historical behavior).
-    Direct(Sender<ShippedSegment>),
+    Direct(Sender<PoolItem>),
     /// Into the transport send queue, with the compression ladder and
     /// lowest-power shedding driven by queue depth. The owned
     /// [`SendQueueTx`] closes the queue when the gateway thread ends,
@@ -470,7 +609,7 @@ pub(crate) enum ShipMode {
         hwm: usize,
         cap: usize,
         min_bits: u32,
-        result_tx: Sender<SegmentResult>,
+        result_tx: Sender<ResultMsg>,
     },
 }
 
@@ -539,13 +678,13 @@ impl Shipper {
                         galiot_trace::tag_seq(victim.seg.gateway.0, victim.seg.seq),
                     );
                     if result_tx
-                        .send(SegmentResult {
+                        .send(ResultMsg::Segment(SegmentResult {
                             gateway: victim.seg.gateway,
                             seq: victim.seg.seq,
                             frames: Vec::new(),
-                            watermark: victim.seg.start as u64,
+                            watermark: Some(victim.seg.start as u64),
                             power: 0.0,
-                        })
+                        }))
                         .is_err()
                     {
                         return false;
@@ -566,7 +705,7 @@ impl Shipper {
 /// away, which is why it happens here on the single gateway thread.
 fn ship(
     shipped: &ShippedSegment,
-    seg_tx: &Sender<ShippedSegment>,
+    seg_tx: &Sender<PoolItem>,
     metrics: &SharedMetrics,
     uplink_bps: Option<f64>,
 ) -> bool {
@@ -581,7 +720,7 @@ fn ship(
         galiot_trace::EventKind::Ship,
         galiot_trace::tag_seq(shipped.gateway.0, shipped.seq),
     );
-    if seg_tx.send(shipped.clone()).is_err() {
+    if seg_tx.send(PoolItem::from(shipped.clone())).is_err() {
         return false;
     }
     let depth = seg_tx.len();
@@ -598,18 +737,18 @@ fn ship(
 /// panicking decode is contained — the worker reports an empty result
 /// for that segment and keeps serving the pool.
 ///
-/// With a [`FairnessGate`](galiot_cloud::FairnessGate) attached (fleet
-/// mode), the worker returns the emitting session's in-flight credit
-/// after each segment, whatever the decode outcome.
-#[allow(clippy::too_many_arguments)] // one decode endpoint: inputs, outputs, knobs
+/// In fleet mode the segment carries its session's in-flight credit as
+/// a [`CreditGuard`](galiot_cloud::CreditGuard); the worker drops it
+/// after the decode (whatever the outcome — including a panic, since
+/// the guard lives on the worker's stack), so a poisoned decode can
+/// never leak the emitting session's quota.
 pub(crate) fn spawn_worker(
     wid: usize,
     registry: Registry,
     config: &GaliotConfig,
     fs: f64,
-    seg_rx: Receiver<ShippedSegment>,
-    result_tx: Sender<SegmentResult>,
-    gate: Option<Arc<galiot_cloud::FairnessGate>>,
+    seg_rx: Receiver<PoolItem>,
+    result_tx: Sender<ResultMsg>,
     metrics: SharedMetrics,
 ) -> thread::JoinHandle<()> {
     let cloud_params = config.cloud;
@@ -620,7 +759,7 @@ pub(crate) fn spawn_worker(
         .name(format!("galiot-cloud-{wid}"))
         .spawn(move || {
             let decoder = CloudDecoder::with_params(registry, cloud_params);
-            while let Ok(seg) = seg_rx.recv() {
+            while let Ok(PoolItem { seg, credit }) = seg_rx.recv() {
                 // The hop to a remote elastic cloud instance: latency
                 // is per segment and overlaps across workers — this is
                 // the wait the pool exists to hide.
@@ -672,19 +811,21 @@ pub(crate) fn spawn_worker(
                 // Terminal mark: the segment's journey ends here even
                 // when the decode yielded nothing (or panicked).
                 galiot_trace::event(galiot_trace::EventKind::Decode, tag);
-                if let Some(gate) = &gate {
-                    gate.release(seg.gateway);
-                }
-                if result_tx
-                    .send(SegmentResult {
+                // Send before returning the credit: the liveness
+                // reaper exempts credit-holding sessions, so the
+                // credit must cover the segment until its result is
+                // queued at the merge.
+                let sent = result_tx
+                    .send(ResultMsg::Segment(SegmentResult {
                         gateway: seg.gateway,
                         seq: seg.seq,
                         frames,
-                        watermark: seg.start as u64,
+                        watermark: Some(seg.start as u64),
                         power,
-                    })
-                    .is_err()
-                {
+                    }))
+                    .is_ok();
+                drop(credit);
+                if !sent {
                     return;
                 }
             }
@@ -696,7 +837,7 @@ pub(crate) fn spawn_worker(
 /// drop duplicate frames decoded from overlapping segment emissions,
 /// and record frame metrics exactly once.
 fn spawn_reassembly(
-    result_rx: Receiver<SegmentResult>,
+    result_rx: Receiver<ResultMsg>,
     frames_tx: Sender<PipelineFrame>,
     metrics: SharedMetrics,
 ) -> thread::JoinHandle<()> {
@@ -736,7 +877,14 @@ fn spawn_reassembly(
                 }
                 true
             };
-            while let Ok(result) = result_rx.recv() {
+            while let Ok(msg) = result_rx.recv() {
+                let result = match msg {
+                    ResultMsg::Segment(r) => r,
+                    // Session control traffic only concerns the fleet
+                    // merge; the single-session reassembler never
+                    // restarts anything.
+                    ResultMsg::SessionRestarted { .. } => continue,
+                };
                 // A sequence number can report twice under the faulty
                 // transport: a segment declared lost by the ARQ (empty
                 // gap notice) can still be delivered late by a

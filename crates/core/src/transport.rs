@@ -39,7 +39,7 @@ use galiot_gateway::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -67,6 +67,8 @@ pub struct ArqParams {
     pub max_retries: u32,
     /// Seed of the backoff-jitter generator.
     pub seed: u64,
+    /// Time source retransmit deadlines are measured against.
+    pub clock: ArqClock,
 }
 
 impl Default for ArqParams {
@@ -80,6 +82,95 @@ impl Default for ArqParams {
             jitter: 0.5,
             max_retries: 10,
             seed: 0x5EED,
+            clock: ArqClock::Wall,
+        }
+    }
+}
+
+/// Time source for ARQ retransmit deadlines.
+///
+/// The sender's deadlines were originally raw `Instant::now()`
+/// arithmetic, which makes every transport test timing-sensitive: a
+/// loaded CI runner that stalls the sender thread past a deadline
+/// turns a healthy ack into a spurious retransmit — or a spurious
+/// loss. The emulated clock removes the wall clock from the deadline
+/// *decision*: virtual time only advances when the sender has
+/// verifiably nothing to do, so a slow scheduler can delay a run but
+/// never change which segments get retransmitted or declared lost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ArqClock {
+    /// Wall-clock deadlines (`Instant`-based) — the deployment mode.
+    Wall,
+    /// Deterministic virtual clock for tests: time jumps straight to
+    /// the earliest deadline once no ack has arrived within `grace_s`
+    /// real seconds (the allowance for in-flight acks to cross the
+    /// emulated wire; it shapes only how long a run takes, never its
+    /// outcome).
+    Virtual {
+        /// Real seconds to wait for a late ack before declaring the
+        /// virtual deadline reached.
+        grace_s: f64,
+    },
+}
+
+impl ArqClock {
+    /// The virtual clock with its standard ack grace (5 ms).
+    pub fn deterministic() -> Self {
+        ArqClock::Virtual { grace_s: 0.005 }
+    }
+}
+
+/// The sender's view of time: a monotone `Duration` since the session
+/// started, advanced by the wall clock or by deadline jumps.
+struct SenderClock {
+    mode: ArqClock,
+    origin: Instant,
+    virtual_now: Duration,
+}
+
+impl SenderClock {
+    fn new(mode: ArqClock) -> Self {
+        SenderClock {
+            mode,
+            origin: Instant::now(),
+            virtual_now: Duration::ZERO,
+        }
+    }
+
+    fn now(&self) -> Duration {
+        match self.mode {
+            ArqClock::Wall => self.origin.elapsed(),
+            ArqClock::Virtual { .. } => self.virtual_now,
+        }
+    }
+
+    /// Waits for an ack until `deadline` on this clock. On the wall
+    /// clock this is a plain timed receive; on the virtual clock, an
+    /// empty channel after the real-time grace means "no ack by the
+    /// deadline" and virtual time jumps to it.
+    fn await_ack(
+        &mut self,
+        ack_rx: &Receiver<Vec<u8>>,
+        deadline: Duration,
+    ) -> Result<Vec<u8>, RecvTimeoutError> {
+        match self.mode {
+            ArqClock::Wall => {
+                let wait = deadline.saturating_sub(self.origin.elapsed());
+                ack_rx.recv_timeout(wait)
+            }
+            ArqClock::Virtual { grace_s } => {
+                if let Ok(bytes) = ack_rx.try_recv() {
+                    return Ok(bytes);
+                }
+                match ack_rx.recv_timeout(Duration::from_secs_f64(grace_s.max(0.0))) {
+                    Ok(bytes) => Ok(bytes),
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.virtual_now = self.virtual_now.max(deadline);
+                        Err(RecvTimeoutError::Timeout)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
         }
     }
 }
@@ -303,12 +394,13 @@ impl Drop for SendQueueTx {
     }
 }
 
-/// A datagram tracked by the ARQ window.
+/// A datagram tracked by the ARQ window. Deadlines are points on the
+/// sender's [`SenderClock`], not raw `Instant`s.
 struct Flight {
     bytes: Vec<u8>,
     retries: u32,
     timeout: Duration,
-    deadline: Instant,
+    deadline: Duration,
 }
 
 /// Offers `bytes` to the lossy link and forwards whatever comes out.
@@ -352,6 +444,7 @@ pub fn spawn_arq_sender(
         .spawn(move || {
             let mut link = FaultyLink::new(faults);
             let mut rng = StdRng::seed_from_u64(arq.seed);
+            let mut clock = SenderClock::new(arq.clock);
             // Keyed by (gateway, seq): sequence numbers are dense per
             // session, so a shared wire must never let one session's
             // ack retire another's in-flight datagram.
@@ -395,7 +488,7 @@ pub fn spawn_arq_sender(
                                 bytes,
                                 retries: 0,
                                 timeout,
-                                deadline: Instant::now() + timeout,
+                                deadline: clock.now() + timeout,
                             },
                         );
                     }
@@ -410,8 +503,7 @@ pub fn spawn_arq_sender(
                     .map(|f| f.deadline)
                     .min()
                     .expect("in_flight is non-empty");
-                let wait = deadline.saturating_duration_since(Instant::now());
-                match ack_rx.recv_timeout(wait) {
+                match clock.await_ack(&ack_rx, deadline) {
                     Ok(bytes) => match decode_ack(&bytes) {
                         Ok((gw, seq)) => {
                             // An ack for another session's (gateway,
@@ -424,7 +516,7 @@ pub fn spawn_arq_sender(
                         Err(_) => metrics.with(|m| m.wire_decode_errors += 1),
                     },
                     Err(RecvTimeoutError::Timeout) => {
-                        let now = Instant::now();
+                        let now = clock.now();
                         let expired: Vec<(GatewayId, u64)> = in_flight
                             .iter()
                             .filter(|(_, f)| f.deadline <= now)
@@ -483,14 +575,97 @@ pub fn spawn_arq_sender(
         .expect("spawn ARQ sender thread")
 }
 
+/// Duplicate seqs the receiver still recognizes behind the newest seq
+/// it has seen from a session. A duplicate can only trail the original
+/// by what the sender still has in flight — `window` datagrams plus
+/// the link's reorder depth — so 1024 is two orders of magnitude of
+/// headroom while keeping receiver memory O(window), not O(session).
+pub const ARQ_DEDUP_WINDOW: u64 = 1024;
+
+/// Per-session sliding-window duplicate detector for the ARQ receiver.
+///
+/// The receiver must forward each `(gateway, seq)` exactly once, but a
+/// long-lived session makes "remember every seq ever seen" unbounded
+/// state. Per session this keeps a cumulative frontier — every seq
+/// below it has been forwarded — plus the sparse set of out-of-order
+/// seqs at or above it; contiguous arrivals collapse into the frontier
+/// immediately, and the set is clamped to `window` behind the newest
+/// seq seen. Behaviour is identical to the unbounded set for any
+/// duplicate arriving within `window` of the newest seq (proptested),
+/// and the ARQ sender's in-flight window makes wider reordering
+/// impossible.
+pub struct DedupWindow {
+    window: u64,
+    sessions: BTreeMap<GatewayId, SessionSeen>,
+}
+
+#[derive(Default)]
+struct SessionSeen {
+    /// Every seq below this has been seen (the cumulative ack
+    /// frontier, receiver-side).
+    frontier: u64,
+    /// Out-of-order seqs at or above the frontier.
+    recent: std::collections::BTreeSet<u64>,
+    /// Newest seq ever seen (the window is keyed off this).
+    max_seen: u64,
+}
+
+impl DedupWindow {
+    /// Creates a detector recognizing duplicates up to `window` seqs
+    /// behind the newest seq of their session (min 1).
+    pub fn new(window: u64) -> Self {
+        DedupWindow {
+            window: window.max(1),
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// Records one arrival. Returns `true` if this is the first
+    /// sighting of `(gateway, seq)` — i.e. the segment should be
+    /// forwarded — and `false` for a duplicate.
+    pub fn insert(&mut self, gateway: GatewayId, seq: u64) -> bool {
+        let s = self.sessions.entry(gateway).or_default();
+        if seq < s.frontier || !s.recent.insert(seq) {
+            return false;
+        }
+        s.max_seen = s.max_seen.max(seq);
+        // Collapse a now-contiguous prefix into the frontier.
+        while s.recent.remove(&s.frontier) {
+            s.frontier += 1;
+        }
+        // Clamp memory: anything more than `window` behind the newest
+        // seq is past any possible in-flight duplicate — treat it as
+        // seen wholesale.
+        let floor = s.max_seen.saturating_sub(self.window - 1);
+        if floor > s.frontier {
+            s.frontier = floor;
+            s.recent = s.recent.split_off(&floor);
+            while s.recent.remove(&s.frontier) {
+                s.frontier += 1;
+            }
+        }
+        true
+    }
+
+    /// Out-of-order seqs currently remembered across all sessions
+    /// (bounded-memory diagnostic).
+    pub fn sparse_len(&self) -> usize {
+        self.sessions.values().map(|s| s.recent.len()).sum()
+    }
+}
+
 /// Spawns the cloud-ingress ARQ receiver: validates every datagram
 /// (framing + CRC32 + header consistency), acks everything parseable
 /// over the (possibly faulty) ack link, drops duplicates by sequence
 /// number, and forwards each unique segment to the decode pool.
-pub fn spawn_arq_receiver(
+///
+/// Generic over the pool's item type so the fleet can wrap segments
+/// with ingest bookkeeping; plain `Sender<ShippedSegment>` works
+/// unchanged via the identity conversion.
+pub fn spawn_arq_receiver<T: From<ShippedSegment> + Send + 'static>(
     wire_rx: Receiver<Vec<u8>>,
     ack_tx: Sender<Vec<u8>>,
-    seg_tx: Sender<ShippedSegment>,
+    seg_tx: Sender<T>,
     ack_faults: LinkFaults,
     metrics: SharedMetrics,
 ) -> thread::JoinHandle<()> {
@@ -498,11 +673,11 @@ pub fn spawn_arq_receiver(
         .name("galiot-ingress".into())
         .spawn(move || {
             let mut ack_link = FaultyLink::new(ack_faults);
-            // Every (gateway, seq) ever forwarded. Scoping the dedup
-            // key to the session matters: sequence spaces are dense
-            // *per gateway*, so with a global key gateway 2's seq 0
-            // would be swallowed as a "duplicate" of gateway 1's.
-            let mut seen: HashSet<(GatewayId, u64)> = HashSet::new();
+            // Sliding-window dedup keyed per session: sequence spaces
+            // are dense *per gateway*, so with a global key gateway
+            // 2's seq 0 would be swallowed as a "duplicate" of
+            // gateway 1's.
+            let mut seen = DedupWindow::new(ARQ_DEDUP_WINDOW);
             while let Ok(bytes) = wire_rx.recv() {
                 // One span per datagram handled, tagged with the seq
                 // once (and if) the wire bytes decode.
@@ -516,11 +691,11 @@ pub fn spawn_arq_receiver(
                         for d in ack_link.transmit(&encode_ack(seg.gateway, seg.seq)) {
                             let _ = ack_tx.send(d);
                         }
-                        if !seen.insert((seg.gateway, seg.seq)) {
+                        if !seen.insert(seg.gateway, seg.seq) {
                             metrics.with(|m| m.dup_segments_dropped += 1);
                             continue;
                         }
-                        if seg_tx.send(seg).is_err() {
+                        if seg_tx.send(T::from(seg)).is_err() {
                             break; // pool is gone
                         }
                         let depth = seg_tx.len();
@@ -544,6 +719,7 @@ mod tests {
     use super::*;
     use crossbeam::channel::{bounded, unbounded};
     use galiot_dsp::Cf32;
+    use std::collections::HashSet;
 
     fn seg(seq: u64, amp: f32, n: usize) -> QueuedSegment {
         let samples: Vec<Cf32> = (0..n).map(|i| Cf32::cis(i as f32 * 0.3) * amp).collect();
@@ -784,5 +960,120 @@ mod tests {
         let m = metrics.snapshot();
         assert_eq!(m.arq_lost, 0, "{m:?}");
         assert_eq!(m.arq_acked as u64, 2 * n, "{m:?}");
+    }
+
+    /// Regression for the unbounded dedup set: the windowed detector
+    /// must behave exactly like remember-everything for in-window
+    /// duplicates, while holding only O(window) sparse state.
+    #[test]
+    fn dedup_window_matches_unbounded_set_and_stays_bounded() {
+        let mut win = DedupWindow::new(16);
+        let mut all = HashSet::new();
+        let gw = GatewayId(1);
+        // In-order stream with immediate duplicates.
+        for seq in 0..100u64 {
+            assert_eq!(win.insert(gw, seq), all.insert(seq), "seq {seq}");
+            assert!(!win.insert(gw, seq), "immediate dup of {seq}");
+        }
+        // Out-of-order arrivals within the window still dedup.
+        for seq in [105u64, 103, 104, 103, 105, 106] {
+            assert_eq!(win.insert(gw, seq), all.insert(seq), "seq {seq}");
+        }
+        // Sessions are independent: another gateway's identical seqs
+        // are fresh.
+        assert!(win.insert(GatewayId(2), 50));
+        // A long session keeps sparse state bounded by the window.
+        for seq in (200..20_000u64).step_by(2) {
+            win.insert(gw, seq);
+            assert!(win.sparse_len() <= 16 + 1, "sparse={}", win.sparse_len());
+        }
+    }
+
+    proptest::proptest! {
+        /// For any arrival stream whose duplicates trail the newest
+        /// seq by less than the window — the only duplicates a
+        /// `window`-bounded ARQ sender can produce — the sliding
+        /// detector's verdicts are exactly the unbounded set's.
+        #[test]
+        fn dedup_window_equals_unbounded_for_in_window_duplicates(
+            jumps in proptest::collection::vec(0u64..400, 1..400),
+            window in 8u64..64,
+        ) {
+            let mut win = DedupWindow::new(window);
+            let mut unbounded: HashSet<u64> = HashSet::new();
+            let gw = GatewayId(3);
+            let mut newest = 0u64;
+            for jump in jumps {
+                // Candidate seq: odd jumps duplicate something within
+                // the window behind the newest seq, even jumps wander
+                // forward.
+                let offset = jump / 2;
+                let seq = if jump % 2 == 1 {
+                    newest.saturating_sub(offset % window)
+                } else {
+                    newest + offset % 3
+                };
+                newest = newest.max(seq);
+                let fresh = win.insert(gw, seq);
+                proptest::prop_assert_eq!(
+                    fresh,
+                    unbounded.insert(seq),
+                    "seq {} newest {} window {}",
+                    seq,
+                    newest,
+                    window
+                );
+                proptest::prop_assert!(win.sparse_len() as u64 <= window + 1);
+            }
+        }
+    }
+
+    /// Satellite of the wall-clock bugfix: the full ARQ path delivers
+    /// exactly-once over a harsh link with a 0-jitter virtual clock —
+    /// retransmit decisions driven purely by emulated time.
+    #[test]
+    fn arq_delivers_everything_with_a_zero_jitter_virtual_clock() {
+        let metrics = SharedMetrics::new();
+        let q = SendQueue::new(64);
+        let (wire_tx, wire_rx) = bounded::<Vec<u8>>(64);
+        let (ack_tx, ack_rx) = unbounded::<Vec<u8>>();
+        let (seg_tx, seg_rx) = unbounded::<ShippedSegment>();
+        let arq = ArqParams {
+            enabled: true,
+            jitter: 0.0,
+            clock: ArqClock::deterministic(),
+            ..ArqParams::default()
+        };
+        let sender = spawn_arq_sender(
+            q.clone(),
+            wire_tx,
+            ack_rx,
+            arq,
+            LinkFaults::harsh(0.3, 41),
+            None,
+            metrics.clone(),
+            |_| true,
+        );
+        let receiver = spawn_arq_receiver(
+            wire_rx,
+            ack_tx,
+            seg_tx,
+            LinkFaults::lossy(0.2, 77),
+            metrics.clone(),
+        );
+        let n = 24u64;
+        for i in 0..n {
+            assert!(q.push(seg(i, 1.0, 128)).is_none());
+        }
+        q.close();
+        sender.join().unwrap();
+        receiver.join().unwrap();
+        let mut got: Vec<u64> = seg_rx.try_iter().map(|s| s.seq).collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..n).collect::<Vec<u64>>(), "exactly-once delivery");
+        let m = metrics.snapshot();
+        assert_eq!(m.arq_lost, 0, "{m:?}");
+        assert_eq!(m.arq_acked as u64, n, "{m:?}");
+        assert!(m.arq_retransmits > 0, "a 30% link must retransmit: {m:?}");
     }
 }

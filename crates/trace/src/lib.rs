@@ -93,6 +93,22 @@ pub fn split_seq(tagged: u64) -> (u16, u64) {
     }
 }
 
+/// Bit position of the session-restart epoch inside a gateway's
+/// 48-bit local sequence word. A restarted gateway instance numbers
+/// its segments from `instance << EPOCH_SHIFT`, fencing its sequence
+/// space off from every earlier life of the same gateway: 8 epoch
+/// bits (256 restarts) over 2^40 segments per life, both far beyond
+/// any real session.
+pub const EPOCH_SHIFT: u32 = 40;
+
+/// Splits a gateway-local sequence word (the `seq` half of
+/// [`split_seq`]) into `(epoch, per-epoch seq)` so trace accounting
+/// can prove a restarted session's pre- and post-crash traffic never
+/// mix.
+pub fn split_epoch_seq(seq: u64) -> (u64, u64) {
+    (seq >> EPOCH_SHIFT, seq & ((1u64 << EPOCH_SHIFT) - 1))
+}
+
 /// A traced pipeline stage. The discriminant indexes the global
 /// per-stage histogram table and [`Stage::ALL`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]

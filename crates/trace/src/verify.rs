@@ -18,7 +18,7 @@
 //!    the count stays zero, otherwise the other two checks are
 //!    vacuous.
 
-use crate::{split_seq, EventKind, SpanRec, Trace, NO_SEQ};
+use crate::{split_epoch_seq, split_seq, EventKind, SpanRec, Trace, NO_SEQ};
 use std::collections::BTreeMap;
 
 /// Totals from [`check_ship_terminals`], for reconciliation against
@@ -137,6 +137,73 @@ pub fn check_gateway_terminals(trace: &Trace) -> Result<BTreeMap<u16, ShipAccoun
                 return Err(format!(
                     "gateway {gw}: segment seq {seq} has a terminal event but was \
                      never shipped"
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Per-(gateway, epoch) terminal accounting for failover traces:
+/// like [`check_gateway_terminals`], but further splits each
+/// gateway's sequence space by the restart epoch folded into its
+/// high sequence bits (see [`crate::split_epoch_seq`]). Every life of
+/// a restarted gateway must independently satisfy the ship→terminal
+/// invariant — a restarted instance colliding with its past self
+/// (reusing a pre-crash seq) would terminate under the old epoch and
+/// leave its own entry unterminated, which this check rejects.
+pub fn check_epoch_terminals(
+    trace: &Trace,
+) -> Result<BTreeMap<(u16, u64), ShipAccounting>, String> {
+    let mut out = BTreeMap::new();
+    // (gateway, epoch) -> seq -> (shipped?, terminal count)
+    let mut by_life: BTreeMap<(u16, u64), BTreeMap<u64, (bool, u64)>> = BTreeMap::new();
+    for e in &trace.events {
+        if e.seq == NO_SEQ {
+            return Err(format!("{} event without a seq tag", e.kind.name()));
+        }
+        let (gw, tagged) = split_seq(e.seq);
+        let (epoch, seq) = split_epoch_seq(tagged);
+        let key = (gw, epoch);
+        let acc: &mut ShipAccounting = out.entry(key).or_default();
+        let entry = by_life
+            .entry(key)
+            .or_default()
+            .entry(seq)
+            .or_insert((false, 0));
+        match e.kind {
+            EventKind::Ship => entry.0 = true,
+            EventKind::Decode => {
+                entry.1 += 1;
+                acc.decoded += 1;
+            }
+            EventKind::Shed => {
+                entry.1 += 1;
+                acc.shed += 1;
+            }
+            EventKind::Lost => {
+                entry.1 += 1;
+                acc.lost += 1;
+            }
+        }
+    }
+    for ((gw, epoch), by_seq) in &by_life {
+        let acc = out
+            .get_mut(&(*gw, *epoch))
+            .expect("accounting entry exists");
+        for (seq, (shipped, terminals)) in by_seq {
+            if *shipped {
+                acc.shipped += 1;
+                if *terminals == 0 {
+                    return Err(format!(
+                        "gateway {gw} epoch {epoch}: segment seq {seq} was shipped \
+                         but has no terminal decode/shed/lost event"
+                    ));
+                }
+            } else {
+                return Err(format!(
+                    "gateway {gw} epoch {epoch}: segment seq {seq} has a terminal \
+                     event but was never shipped"
                 ));
             }
         }
@@ -304,6 +371,58 @@ mod tests {
         ];
         let err = check_gateway_terminals(&trace).unwrap_err();
         assert!(err.contains("never shipped"), "{err}");
+    }
+
+    #[test]
+    fn epoch_accounting_splits_lives_of_a_restarted_gateway() {
+        use crate::{tag_seq, EPOCH_SHIFT};
+        let mut trace = Trace::default();
+        let e1 = 1u64 << EPOCH_SHIFT;
+        // Gateway 3 lives twice: epoch 0 seqs {0,1}, epoch 1 seqs {0}.
+        // Both lives reuse per-epoch seq 0 without colliding.
+        trace.events = vec![
+            event(EventKind::Ship, tag_seq(3, 0), 1),
+            event(EventKind::Ship, tag_seq(3, 1), 2),
+            event(EventKind::Ship, tag_seq(3, e1), 3),
+            event(EventKind::Decode, tag_seq(3, 0), 10),
+            event(EventKind::Lost, tag_seq(3, 1), 11),
+            event(EventKind::Decode, tag_seq(3, e1), 12),
+        ];
+        let by_life = check_epoch_terminals(&trace).unwrap();
+        assert_eq!(by_life.len(), 2);
+        assert_eq!(
+            by_life[&(3, 0)],
+            ShipAccounting {
+                shipped: 2,
+                decoded: 1,
+                shed: 0,
+                lost: 1
+            }
+        );
+        assert_eq!(
+            by_life[&(3, 1)],
+            ShipAccounting {
+                shipped: 1,
+                decoded: 1,
+                shed: 0,
+                lost: 0
+            }
+        );
+    }
+
+    #[test]
+    fn epoch_accounting_rejects_a_restart_colliding_with_its_past() {
+        use crate::{tag_seq, EPOCH_SHIFT};
+        let mut trace = Trace::default();
+        // Epoch 1 shipped a segment but its terminal landed under the
+        // pre-crash epoch 0 seq space: the restart collided with its
+        // past self.
+        trace.events = vec![
+            event(EventKind::Ship, tag_seq(4, 1u64 << EPOCH_SHIFT), 1),
+            event(EventKind::Decode, tag_seq(4, 0), 2),
+        ];
+        let err = check_epoch_terminals(&trace).unwrap_err();
+        assert!(err.contains("epoch"), "{err}");
     }
 
     #[test]

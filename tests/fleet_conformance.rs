@@ -9,10 +9,10 @@
 //!
 //! Alongside it, the fleet accounting contract: every frame decoded
 //! anywhere in the fleet is either delivered or suppressed as a
-//! cross-gateway duplicate (`Σ per_gateway_decoded == fleet_delivered
-//! + dedup_suppressed`), and the gateway-tagged trace reconciles with
-//! the metrics per session (`shipped == decoded + shed + lost`, for
-//! every gateway).
+//! cross-gateway duplicate
+//! (`Σ per_gateway_decoded == fleet_delivered + dedup_suppressed`),
+//! and the gateway-tagged trace reconciles with the metrics per
+//! session (`shipped == decoded + shed + lost`, for every gateway).
 //!
 //! Fault patterns are seeded (override with `GALIOT_FAULT_SEED`; CI
 //! pins and sweeps it) and scenario captures route through
@@ -179,11 +179,13 @@ fn assert_fleet_conformance(
     );
 
     // Dedup accounting closes: every frame decoded anywhere in the
-    // fleet was delivered once or suppressed as a duplicate.
+    // fleet was delivered once, suppressed as a duplicate, or (when
+    // failover is in play — see failover_conformance.rs) charged to a
+    // crash.
     let offered: usize = m.per_gateway_decoded.values().sum();
     assert_eq!(
         offered,
-        m.fleet_delivered + m.dedup_suppressed,
+        m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames,
         "{ctx}: fleet decode accounting leaks: {m:?}"
     );
     assert_eq!(
@@ -269,6 +271,61 @@ fn fleet_matches_single_gateway_batch_across_the_matrix() {
     }
 }
 
+/// A gateway that is silent from the very first sample (crashed before
+/// emitting anything — a radio that never came up) must not wedge the
+/// fleet: the liveness reaper finalizes its merge watermark and the
+/// survivors deliver the full batch set. The deeper failover matrix
+/// lives in failover_conformance.rs; this pins the degenerate corner
+/// where the dead session never produces a single clock event of its
+/// own.
+#[test]
+fn fleet_survives_a_gateway_silent_from_the_start() {
+    let samples = fleet_capture();
+    let registry = Registry::prototype();
+    let batch = batch_reference(&samples, &registry);
+
+    let mut config = GaliotConfig::prototype()
+        .with_gateways(4)
+        .with_cloud_workers(4)
+        .with_crash(0, 0, false)
+        .with_liveness_horizon(12);
+    config.edge_decoding = false;
+    let (frames, trace, m) = traced_fleet_run(config, &samples);
+
+    let ctx = "silent-from-start";
+    let delivered = frame_ids(&frames);
+    assert_same_frames(&delivered, &batch, ctx);
+    let starts: Vec<usize> = delivered.iter().map(|(_, _, s)| *s).collect();
+    assert!(
+        starts.windows(2).all(|w| w[1] + START_TOLERANCE >= w[0]),
+        "{ctx}: frames out of capture order: {starts:?}"
+    );
+
+    assert_eq!(m.sessions_crashed, 1, "{ctx}: {m:?}");
+    assert_eq!(m.sessions_restarted, 0, "{ctx}: {m:?}");
+    // The dead session never emitted, so it appears nowhere in the
+    // ingest accounting or the trace — only the three survivors do.
+    assert_eq!(
+        m.per_gateway_segments.len(),
+        3,
+        "{ctx}: a silent session fed the ingest: {m:?}"
+    );
+    let offered: usize = m.per_gateway_decoded.values().sum();
+    assert_eq!(
+        offered,
+        m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames,
+        "{ctx}: fleet decode accounting leaks: {m:?}"
+    );
+    assert!(
+        m.dedup_suppressed >= 2 * batch.len(),
+        "{ctx}: each packet should have had three copies offered: {m:?}"
+    );
+    check_no_drops(&trace).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    check_nesting(&trace).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    let by_gw = check_gateway_terminals(&trace).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    assert_eq!(by_gw.len(), 3, "{ctx}: trace sessions: {by_gw:?}");
+}
+
 /// Shard routing is an implementation detail: any shard count delivers
 /// the identical frame stream.
 #[test]
@@ -327,7 +384,11 @@ fn fleet_dedups_edge_decoded_frames_too() {
         "scenario exercised no edge decodes"
     );
     let offered: usize = m.per_gateway_decoded.values().sum();
-    assert_eq!(offered, m.fleet_delivered + m.dedup_suppressed, "{m:?}");
+    assert_eq!(
+        offered,
+        m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames,
+        "{m:?}"
+    );
     assert!(
         m.dedup_suppressed >= batch.len(),
         "second session's copies must be suppressed: {m:?}"
