@@ -8,6 +8,7 @@
 //! explicit CFO estimation.
 
 use galiot_dsp::corr::xcorr_fft;
+use galiot_dsp::kernels;
 use galiot_dsp::Cf32;
 use galiot_phy::{DecodedFrame, Technology};
 
@@ -94,7 +95,7 @@ pub fn cancel_frame(
     let at = lo + best;
     let n = reference.len().min(residual.len() - at);
 
-    let energy_before: f32 = residual[at..at + n].iter().map(|z| z.norm_sqr()).sum();
+    let energy_before: f32 = kernels::energy_f32(&residual[at..at + n]);
 
     // --- Residual CFO estimation: the transmitter's crystal error
     // makes the received frame rotate against the CFO-free reference.
@@ -105,10 +106,7 @@ pub fn cancel_frame(
     let mut phases: Vec<(f32, f32, f32)> = Vec::new(); // (t, phase, weight)
     let mut k = 0;
     while k + track <= n {
-        let mut num = Cf32::ZERO;
-        for i in k..k + track {
-            num += residual[at + i] * reference[i].conj();
-        }
+        let num = kernels::dot_conj(&residual[at + k..at + k + track], &reference[k..k + track]);
         if num.abs() > 0.0 {
             phases.push(((k + track / 2) as f32, num.arg(), num.abs()));
         }
@@ -169,23 +167,17 @@ pub fn cancel_frame(
     let mut gain_w = 0.0f32;
     while k < n {
         let end = (k + block).min(n);
-        let mut num = Cf32::ZERO;
-        let mut den = 0.0f32;
-        for i in k..end {
-            num += residual[at + i] * reference[i].conj();
-            den += reference[i].norm_sqr();
-        }
+        let num = kernels::dot_conj(&residual[at + k..at + end], &reference[k..end]);
+        let den = kernels::energy_f32(&reference[k..end]);
         if den > 0.0 {
             let g = num / den;
             gain_acc += g * den;
             gain_w += den;
-            for i in k..end {
-                residual[at + i] -= reference[i] * g;
-            }
+            kernels::sub_scaled(&mut residual[at + k..at + end], &reference[k..end], g);
         }
         k = end;
     }
-    let energy_after: f32 = residual[at..at + n].iter().map(|z| z.norm_sqr()).sum();
+    let energy_after: f32 = kernels::energy_f32(&residual[at..at + n]);
     Some(CancelReport {
         aligned_at: at,
         energy_before,

@@ -6,6 +6,7 @@
 //! against each technology's own preamble and estimating per-signal
 //! received power from the matched-filter response.
 
+use galiot_dsp::kernels;
 use galiot_dsp::Cf32;
 use galiot_phy::registry::Registry;
 use galiot_phy::TechId;
@@ -63,11 +64,7 @@ pub fn classify(segment: &[Cf32], fs: f64, registry: &Registry, threshold: f32) 
         // only used output is lag zero.
         let h = template.waveform();
         let end = (start + h.len()).min(segment.len());
-        let dot: Cf32 = segment[start..end]
-            .iter()
-            .zip(h)
-            .map(|(x, t)| *x * t.conj())
-            .fold(Cf32::ZERO, |acc, z| acc + z);
+        let dot = kernels::dot_conj(&segment[start..end], h);
         let e = template.energy();
         let amplitude = if e > 0.0 { dot.abs() / e } else { 0.0 };
         found.push(Classified {

@@ -3,6 +3,7 @@
 //! step that lets GalioT proceed where plain SIC stalls.
 
 use galiot_dsp::fft::Fft;
+use galiot_dsp::kernels;
 use galiot_dsp::mix::mix;
 use galiot_dsp::spectral::{suppress_bands, Band};
 use galiot_dsp::Cf32;
@@ -201,7 +202,8 @@ fn dechirp_notch_pass(
     };
     let mut buf = vec![Cf32::ZERO; padded];
     while w + sps <= hi {
-        let mut d: Vec<Cf32> = (0..sps).map(|k| base[w + k] * fwd[k]).collect();
+        let mut d: Vec<Cf32> = base[w..w + sps].to_vec();
+        kernels::mul_in_place(&mut d, fwd);
         let mut any = false;
         for _ in 0..2 {
             buf[..sps].copy_from_slice(&d);
@@ -209,7 +211,7 @@ fn dechirp_notch_pass(
                 *b = Cf32::ZERO;
             }
             plan.forward(&mut buf);
-            let total: f32 = buf.iter().map(|z| z.norm_sqr()).sum();
+            let total: f32 = kernels::energy_f32(&buf);
             if total <= 0.0 {
                 break;
             }
@@ -253,9 +255,8 @@ fn dechirp_notch_pass(
             any = true;
         }
         if any {
-            for k in 0..sps {
-                base[w + k] = d[k] * inv[k];
-            }
+            kernels::mul_in_place(&mut d, inv);
+            base[w..w + sps].copy_from_slice(&d);
         }
         w += sps;
     }
@@ -268,7 +269,6 @@ fn project_out_tone(seg: &mut [Cf32], f: f64) {
         return;
     }
     let step = 2.0 * std::f64::consts::PI * f;
-    let mut num = Cf32::ZERO;
     let mut ph = 0.0f64;
     let phasors: Vec<Cf32> = (0..seg.len())
         .map(|_| {
@@ -282,13 +282,9 @@ fn project_out_tone(seg: &mut [Cf32], f: f64) {
             p
         })
         .collect();
-    for (s, p) in seg.iter().zip(&phasors) {
-        num += *s * p.conj();
-    }
+    let num = kernels::dot_conj(seg, &phasors);
     let g = num / seg.len() as f32;
-    for (s, p) in seg.iter_mut().zip(&phasors) {
-        *s -= *p * g;
-    }
+    kernels::sub_scaled(seg, &phasors, g);
 }
 
 /// KILL-CODES: for each code-symbol window, project the signal onto the
@@ -325,12 +321,8 @@ pub fn kill_codes(
         let mut best_metric = 0.0f32;
         for (ri, r) in refs.iter().enumerate() {
             let n = sps.min(r.len());
-            let mut num = Cf32::ZERO;
-            let mut den = 0.0f32;
-            for k in 0..n {
-                num += base[w + k] * r[k].conj();
-                den += r[k].norm_sqr();
-            }
+            let num = kernels::dot_conj(&base[w..w + n], &r[..n]);
+            let den = kernels::energy_f32(&r[..n]);
             if den <= 0.0 {
                 continue;
             }
@@ -343,9 +335,7 @@ pub fn kill_codes(
         if let Some((ri, g)) = best {
             let r = &refs[ri];
             let n = sps.min(r.len());
-            for k in 0..n {
-                base[w + k] -= r[k] * g;
-            }
+            kernels::sub_scaled(&mut base[w..w + n], &r[..n], g);
         }
         w += sps;
     }

@@ -162,6 +162,11 @@ pub struct Metrics {
     /// because the session was already dead or superseded when they
     /// reported — the crash term closing the fleet delivery identity.
     pub crash_lost_frames: usize,
+    /// Name of the SIMD kernel backend the DSP hot loops dispatched to
+    /// (`scalar`, `sse4.1`, `avx2` or `fma` — see
+    /// `galiot_dsp::kernels`), stamped whenever engine stats are
+    /// recorded. Empty until a pipeline runs.
+    pub dsp_backend: String,
 }
 
 impl Metrics {
@@ -264,6 +269,7 @@ impl Metrics {
             sessions_restarted,
             crash_lost_segments,
             crash_lost_frames,
+            dsp_backend,
         } = other;
         self.detections += detections;
         self.segments += segments;
@@ -329,6 +335,11 @@ impl Metrics {
         self.sessions_restarted += sessions_restarted;
         self.crash_lost_segments += crash_lost_segments;
         self.crash_lost_frames += crash_lost_frames;
+        // A tag, not a counter: take the other side's backend if this
+        // side hasn't recorded one (backends agree within a process).
+        if self.dsp_backend.is_empty() {
+            self.dsp_backend.clone_from(dsp_backend);
+        }
     }
 
     /// Folds a drained trace's per-stage latency histograms into
@@ -360,7 +371,7 @@ impl Metrics {
              \"fleet_gateways\":{},\"ingest_shards\":{},\"fleet_delivered\":{},\
              \"dedup_suppressed\":{},\"sessions_crashed\":{},\
              \"sessions_restarted\":{},\"crash_lost_segments\":{},\
-             \"crash_lost_frames\":{},\"stages\":{{",
+             \"crash_lost_frames\":{},\"dsp_backend\":\"{}\",\"stages\":{{",
             self.detections,
             self.segments,
             self.edge_decoded,
@@ -387,6 +398,7 @@ impl Metrics {
             self.sessions_restarted,
             self.crash_lost_segments,
             self.crash_lost_frames,
+            self.dsp_backend,
         );
         let mut first = true;
         for (name, h) in &self.stage_ns {
@@ -421,6 +433,7 @@ impl Metrics {
     /// Copies the DSP engine counter deltas since `before` into this
     /// block (see [`galiot_dsp::engine::stats`]).
     pub fn record_engine_stats(&mut self, before: &galiot_dsp::engine::EngineStats) {
+        self.dsp_backend = galiot_dsp::kernels::backend_name().to_string();
         let d = galiot_dsp::engine::stats().since(before);
         self.plan_cache_hits += d.plan_hits;
         self.plan_cache_misses += d.plan_misses;
@@ -492,6 +505,7 @@ impl fmt::Display for Metrics {
             sessions_restarted,
             crash_lost_segments,
             crash_lost_frames,
+            dsp_backend,
         } = self;
         writeln!(
             f,
@@ -533,7 +547,8 @@ impl fmt::Display for Metrics {
         writeln!(
             f,
             "engine: plan_cache_hits={plan_cache_hits} plan_cache_misses={plan_cache_misses} \
-             template_bank_builds={template_bank_builds} template_bank_hits={template_bank_hits}"
+             template_bank_builds={template_bank_builds} template_bank_hits={template_bank_hits} \
+             dsp_backend={dsp_backend}"
         )?;
         writeln!(
             f,
@@ -774,6 +789,7 @@ mod tests {
             sessions_restarted: 47,
             crash_lost_segments: 48,
             crash_lost_frames: 49,
+            dsp_backend: "avx2".to_string(),
         }
     }
 
@@ -879,6 +895,7 @@ mod tests {
             "sessions_restarted",
             "crash_lost_segments",
             "crash_lost_frames",
+            "dsp_backend",
         ] {
             assert!(text.contains(label), "Display output missing {label:?}");
         }

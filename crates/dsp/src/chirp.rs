@@ -57,11 +57,10 @@ pub fn symbol_chirp(value: u32, sf: u32, bw: f64, samples_per_symbol: usize, fs:
 /// elementary chirp so symbol energy lands on a single tone whose
 /// frequency encodes the symbol value.
 pub fn dechirp(window: &[Cf32], down: &[Cf32]) -> Vec<Cf32> {
-    window
-        .iter()
-        .zip(down.iter())
-        .map(|(&s, &d)| s * d)
-        .collect()
+    let n = window.len().min(down.len());
+    let mut out = window[..n].to_vec();
+    crate::kernels::mul_in_place(&mut out, &down[..n]);
+    out
 }
 
 #[cfg(test)]

@@ -13,19 +13,17 @@ use crate::num::Cf32;
 ///
 /// `out[i] = sum_k x[i + k] * conj(h[k])` for every full overlap
 /// (`out.len() == x.len() - h.len() + 1`). Returns an empty vector if
-/// the template is longer than the signal.
+/// the template is longer than the signal. Each lag is a
+/// [`crate::kernels::dot_conj`] reduction on the active SIMD backend.
 pub fn xcorr_direct(x: &[Cf32], h: &[Cf32]) -> Vec<Cf32> {
     if h.is_empty() || x.len() < h.len() {
         return Vec::new();
     }
+    let backend = crate::kernels::active();
     let n = x.len() - h.len() + 1;
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
-        let mut acc = Cf32::ZERO;
-        for (k, &hk) in h.iter().enumerate() {
-            acc += x[i + k] * hk.conj();
-        }
-        out.push(acc);
+        out.push(backend.dot_conj(&x[i..i + h.len()], h));
     }
     out
 }
@@ -56,12 +54,16 @@ pub fn xcorr_normalized(x: &[Cf32], h: &[Cf32]) -> Vec<f32> {
     }
     let raw = xcorr_fft(x, h);
     let h_energy: f32 = h.iter().map(|z| z.norm_sqr()).sum();
-    // Sliding window energy of x via prefix sums (f64 to avoid drift).
+    // Sliding window energy of x via prefix sums: per-sample |z|^2 on
+    // the SIMD backend (bit-exact), then the same sequential f64
+    // accumulation as ever so the prefix is backend-independent.
+    let mut sq = vec![0.0f32; x.len()];
+    crate::kernels::norm_sqr_into(x, &mut sq);
     let mut prefix = Vec::with_capacity(x.len() + 1);
     prefix.push(0.0f64);
     let mut acc = 0.0f64;
-    for z in x {
-        acc += z.norm_sqr() as f64;
+    for &s in &sq {
+        acc += s as f64;
         prefix.push(acc);
     }
     let m = h.len();

@@ -128,6 +128,8 @@ struct Scratch {
     block: Vec<Cf32>,
     /// Raw correlation output for normalized variants.
     raw: Vec<Cf32>,
+    /// Per-sample `|z|^2` staging for the prefix-sum pass.
+    sq: Vec<f32>,
     /// Prefix sums for sliding-window energy.
     prefix: Vec<f64>,
 }
@@ -264,9 +266,9 @@ impl Template {
             }
             plan.forward(block);
             // Correlation theorem: corr = IFFT(FFT(x) * conj(FFT(h))).
-            for (a, b) in block.iter_mut().zip(self.spectrum_conj.iter()) {
-                *a *= *b;
-            }
+            // Pointwise spectral multiply on the SIMD backend — bit-
+            // exact across backends, so detection output is too.
+            crate::kernels::mul_in_place(block, &self.spectrum_conj);
             plan.inverse(block);
             // Outputs 0..step of a block are full-overlap correlations;
             // later ones wrap circularly and belong to the next block.
@@ -286,17 +288,25 @@ impl Template {
         }
         SCRATCH.with(|s| {
             let scratch = &mut *s.borrow_mut();
-            let Scratch { block, raw, prefix } = scratch;
+            let Scratch {
+                block,
+                raw,
+                sq,
+                prefix,
+            } = scratch;
             raw.clear();
             self.xcorr_scratch(x, block, raw);
-            // Sliding window energy of x via prefix sums (f64 to avoid
-            // drift).
+            // Sliding window energy of x via prefix sums: |z|^2 on the
+            // SIMD backend (bit-exact), then the same sequential f64
+            // accumulation as ever (f64 to avoid drift).
+            sq.resize(x.len(), 0.0);
+            crate::kernels::norm_sqr_into(x, sq);
             prefix.clear();
             prefix.reserve(x.len() + 1);
             prefix.push(0.0f64);
             let mut acc = 0.0f64;
-            for z in x {
-                acc += z.norm_sqr() as f64;
+            for &v in sq.iter() {
+                acc += v as f64;
                 prefix.push(acc);
             }
             let mut out = Vec::with_capacity(raw.len());

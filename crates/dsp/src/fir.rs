@@ -138,39 +138,24 @@ impl Fir {
     /// Filters a complex signal, returning output the same length as
     /// the input with the group delay compensated ("same" mode): output
     /// sample `i` corresponds to input sample `i`.
+    ///
+    /// Runs on the active [`crate::kernels`] backend; all backends are
+    /// bit-exact for this operation (output-parallel vectorization, no
+    /// FMA contraction), so filtered waveforms are byte-identical
+    /// however the filter is dispatched.
     pub fn filter(&self, input: &[Cf32]) -> Vec<Cf32> {
-        let n = input.len();
-        let delay = self.group_delay();
-        let mut out = vec![Cf32::ZERO; n];
-        for (i, o) in out.iter_mut().enumerate() {
-            // Output i draws on input indices i + delay - k for taps k.
-            let mut acc = Cf32::ZERO;
-            for (k, &t) in self.taps.iter().enumerate() {
-                let idx = i as isize + delay as isize - k as isize;
-                if idx >= 0 && (idx as usize) < n {
-                    acc += input[idx as usize] * t;
-                }
-            }
-            *o = acc;
-        }
+        let mut out = vec![Cf32::ZERO; input.len()];
+        crate::kernels::fir_same(&self.taps, input, &mut out);
         out
     }
 
     /// Filters a real-valued signal ("same" mode, delay compensated).
+    ///
+    /// Bit-exact across [`crate::kernels`] backends, like
+    /// [`Fir::filter`].
     pub fn filter_real(&self, input: &[f32]) -> Vec<f32> {
-        let n = input.len();
-        let delay = self.group_delay();
-        let mut out = vec![0.0f32; n];
-        for (i, o) in out.iter_mut().enumerate() {
-            let mut acc = 0.0f32;
-            for (k, &t) in self.taps.iter().enumerate() {
-                let idx = i as isize + delay as isize - k as isize;
-                if idx >= 0 && (idx as usize) < n {
-                    acc += input[idx as usize] * t;
-                }
-            }
-            *o = acc;
-        }
+        let mut out = vec![0.0f32; input.len()];
+        crate::kernels::fir_same_real(&self.taps, input, &mut out);
         out
     }
 

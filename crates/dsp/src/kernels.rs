@@ -1,0 +1,1345 @@
+//! Runtime-dispatched SIMD kernels for the DSP hot loops.
+//!
+//! Every compute-bound inner loop in the workspace — the complex
+//! dot products behind correlation and SIC gain estimation, the FIR
+//! convolution, the pointwise spectral/dechirp multiplies, and the
+//! magnitude/energy reductions — funnels through this module. A
+//! [`Backend`] is selected once per process from CPU feature detection
+//! (overridable with the `GALIOT_DSP_BACKEND` environment variable or
+//! [`set_backend`]), and each kernel dispatches to that backend's
+//! implementation.
+//!
+//! # Exactness policy
+//!
+//! The backends are *not* all bit-identical on every operation —
+//! vectorizing a reduction reassociates floating-point addition. The
+//! kernels therefore split into two contracts, chosen so that every
+//! waveform a modulator synthesizes (and therefore every golden
+//! fingerprint and every conformance frame set) is byte-identical
+//! across backends:
+//!
+//! * **Bit-exact in every backend** — element-wise operations whose
+//!   per-element rounding sequence is preserved lane-for-lane:
+//!   [`mul_in_place`], [`sub_scaled`], [`norm_sqr_into`],
+//!   [`max_norm_sqr`], and the FIR kernels [`fir_same`] /
+//!   [`fir_same_real`] (vectorized across *outputs*, so each output
+//!   accumulates taps in the exact scalar order, with no FMA
+//!   contraction even in the [`Backend::Fma`] backend). These are the
+//!   operations on the waveform-synthesis path (GFSK pulse shaping,
+//!   channelizers, mixers, dechirpers).
+//! * **ULP-bounded reductions** — [`dot_conj`], [`energy_f32`] and
+//!   [`energy_f64`] split the sum across lanes, so vector results
+//!   differ from the scalar reference by accumulated rounding only
+//!   (relative error on the order of `n * 2^-24` for f32 paths). They
+//!   feed *decisions* — peak picking, SIC gains, classification
+//!   metrics — which are robust to last-bit noise; the differential
+//!   suite (`tests/kernel_diff.rs`) bounds the error against an f64
+//!   reference.
+//!
+//! # Safety
+//!
+//! The vector paths are `unsafe` `#[target_feature]` functions inside
+//! the private `x86` submodule — the only `unsafe` code in the crate.
+//! They are reachable exclusively through [`Backend`] methods, and
+//! every method first clamps `self` to a CPU-supported backend
+//! (falling back to [`Backend::Scalar`]), so the `target_feature`
+//! contract — "only call this if the CPU has the feature" — is
+//! enforced at the dispatch site and the public API stays safe even
+//! for a hand-constructed unsupported `Backend` value.
+
+// The one module where `unsafe` is permitted: `#[target_feature]`
+// bodies and the feature-guarded dispatch calls into them. See the
+// module docs' safety section for the argument.
+#![allow(unsafe_code)]
+
+use crate::num::Cf32;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A kernel implementation tier.
+///
+/// Variants are ordered from the always-available scalar reference to
+/// the widest vector path; [`Backend::detect`] returns the best one
+/// the running CPU supports. On non-x86_64 targets every variant
+/// exists but only [`Backend::Scalar`] is supported, and the others
+/// clamp to it at dispatch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Backend {
+    /// Portable scalar reference — the semantics all other backends
+    /// are verified against.
+    Scalar,
+    /// 128-bit SSE4.1 path (2 complex / 4 real lanes).
+    Sse41,
+    /// 256-bit AVX2 path (4 complex / 8 real lanes).
+    Avx2,
+    /// AVX2 with fused multiply-add in the *reduction* kernels only;
+    /// element-wise and FIR kernels reuse the unfused AVX2 bodies so
+    /// they stay bit-exact with the scalar reference.
+    Fma,
+    /// 512-bit AVX-512F path (8 complex / 16 real lanes) for the
+    /// element-wise multiply/subtract kernels, which stay bit-exact
+    /// (masked add/sub preserves the per-lane rounding sequence); the
+    /// remaining kernels reuse the AVX2/FMA bodies.
+    Avx512,
+}
+
+impl Backend {
+    /// All backends, scalar first.
+    pub const ALL: [Backend; 5] = [
+        Backend::Scalar,
+        Backend::Sse41,
+        Backend::Avx2,
+        Backend::Fma,
+        Backend::Avx512,
+    ];
+
+    /// The backend's canonical name (the `GALIOT_DSP_BACKEND` value
+    /// that selects it).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Sse41 => "sse4.1",
+            Backend::Avx2 => "avx2",
+            Backend::Fma => "fma",
+            Backend::Avx512 => "avx512",
+        }
+    }
+
+    /// Parses a backend name (`"sse41"` is accepted for `"sse4.1"`).
+    /// Returns `None` for unknown names, including `"auto"`.
+    pub fn from_name(name: &str) -> Option<Backend> {
+        match name.to_ascii_lowercase().as_str() {
+            "scalar" => Some(Backend::Scalar),
+            "sse4.1" | "sse41" => Some(Backend::Sse41),
+            "avx2" => Some(Backend::Avx2),
+            "fma" => Some(Backend::Fma),
+            "avx512" | "avx512f" => Some(Backend::Avx512),
+            _ => None,
+        }
+    }
+
+    /// Whether the running CPU can execute this backend.
+    pub fn is_supported(self) -> bool {
+        match self {
+            Backend::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Backend::Sse41 => std::arch::is_x86_feature_detected!("sse4.1"),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "x86_64")]
+            Backend::Fma => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "x86_64")]
+            Backend::Avx512 => {
+                std::arch::is_x86_feature_detected!("avx512f")
+                    && std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(not(target_arch = "x86_64"))]
+            _ => false,
+        }
+    }
+
+    /// The best backend the running CPU supports.
+    pub fn detect() -> Backend {
+        for b in [Backend::Avx512, Backend::Fma, Backend::Avx2, Backend::Sse41] {
+            if b.is_supported() {
+                return b;
+            }
+        }
+        Backend::Scalar
+    }
+
+    /// Clamps to a backend that is safe to execute here: `self` if the
+    /// CPU supports it, the scalar reference otherwise. Every kernel
+    /// method routes through this, which is what makes the dispatch
+    /// safe for arbitrary `Backend` values.
+    #[inline]
+    fn effective(self) -> Backend {
+        if self.is_supported() {
+            self
+        } else {
+            Backend::Scalar
+        }
+    }
+
+    /// Complex correlation dot product `sum_i x[i] * conj(h[i])` over
+    /// the common prefix of the two slices (empty input sums to zero).
+    ///
+    /// ULP-bounded reduction: vector backends split the sum across
+    /// lanes (and [`Backend::Fma`] fuses the multiply-adds).
+    pub fn dot_conj(self, x: &[Cf32], h: &[Cf32]) -> Cf32 {
+        let n = x.len().min(h.len());
+        let (x, h) = (&x[..n], &h[..n]);
+        match self.effective() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective()` returned this backend, so the CPU
+            // supports the target features the callee was compiled for.
+            Backend::Sse41 => unsafe { x86::dot_conj_sse41(x, h) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            Backend::Avx2 => unsafe { x86::dot_conj_avx2(x, h) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above. Avx512 implies avx2+fma support, and
+            // the reduction is ULP-bounded either way.
+            Backend::Fma | Backend::Avx512 => unsafe { x86::dot_conj_fma(x, h) },
+            _ => scalar::dot_conj(x, h),
+        }
+    }
+
+    /// Signal energy `sum |x[i]|^2` accumulated in f32 (the form the
+    /// per-block SIC gain denominators and FFT-bin quality metrics
+    /// use). ULP-bounded reduction.
+    pub fn energy_f32(self, x: &[Cf32]) -> f32 {
+        match self.effective() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective()` guarantees CPU support.
+            Backend::Sse41 => unsafe { x86::energy_f32_sse41(x) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            Backend::Avx2 => unsafe { x86::energy_f32_avx2(x) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above. Avx512 implies avx2+fma support.
+            Backend::Fma | Backend::Avx512 => unsafe { x86::energy_f32_fma(x) },
+            _ => scalar::energy_f32(x),
+        }
+    }
+
+    /// Signal energy `sum |x[i]|^2` accumulated in f64 (the form the
+    /// power/energy measurements use to avoid drift over long
+    /// captures). ULP-bounded reduction: vector backends square in
+    /// f64 where the scalar reference squares in f32 then widens, so
+    /// the vector result is the (slightly) more accurate one.
+    pub fn energy_f64(self, x: &[Cf32]) -> f64 {
+        match self.effective() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective()` guarantees CPU support.
+            Backend::Sse41 => unsafe { x86::energy_f64_sse41(x) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above.
+            Backend::Avx2 => unsafe { x86::energy_f64_avx2(x) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above. Avx512 implies avx2+fma support.
+            Backend::Fma | Backend::Avx512 => unsafe { x86::energy_f64_fma(x) },
+            _ => scalar::energy_f64(x),
+        }
+    }
+
+    /// Peak instantaneous power `max_i |x[i]|^2` (0 for empty input).
+    ///
+    /// Bit-exact across backends for finite inputs: each `|z|^2` is
+    /// the same two-product one-add sequence as the scalar reference,
+    /// and `max` is exact. NaN samples are not part of the contract
+    /// (the scalar fold drops them; vector `max` semantics differ).
+    pub fn max_norm_sqr(self, x: &[Cf32]) -> f32 {
+        match self.effective() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective()` guarantees CPU support.
+            Backend::Sse41 => unsafe { x86::max_norm_sqr_sse41(x) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above. Fma/Avx512 share the AVX2 body (no
+            // fusable op; 512-bit widening buys nothing for max).
+            Backend::Avx2 | Backend::Fma | Backend::Avx512 => unsafe { x86::max_norm_sqr_avx2(x) },
+            _ => scalar::max_norm_sqr(x),
+        }
+    }
+
+    /// Writes `|x[i]|^2` into `out[i]` element-wise. Bit-exact across
+    /// backends: one rounding per square, one per add, exactly as the
+    /// scalar reference.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != x.len()`.
+    pub fn norm_sqr_into(self, x: &[Cf32], out: &mut [f32]) {
+        assert_eq!(x.len(), out.len(), "norm_sqr_into length mismatch");
+        match self.effective() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective()` guarantees CPU support.
+            Backend::Sse41 => unsafe { x86::norm_sqr_into_sse41(x, out) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above. Fma/Avx512 share the AVX2 body (no
+            // fusable op).
+            Backend::Avx2 | Backend::Fma | Backend::Avx512 => unsafe {
+                x86::norm_sqr_into_avx2(x, out)
+            },
+            _ => scalar::norm_sqr_into(x, out),
+        }
+    }
+
+    /// Pointwise complex multiply `a[i] *= b[i]` over the common
+    /// prefix. Bit-exact across backends (the element-wise rounding
+    /// sequence of [`Cf32`]'s `Mul` is preserved per lane) — this is
+    /// the kernel on the spectral-correlation, mixer and dechirp
+    /// paths, all of which feed pinned waveforms.
+    pub fn mul_in_place(self, a: &mut [Cf32], b: &[Cf32]) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&mut a[..n], &b[..n]);
+        match self.effective() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective()` guarantees CPU support.
+            Backend::Sse41 => unsafe { x86::mul_in_place_sse41(a, b) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above. Fma shares the AVX2 body (fusing would
+            // break bit-exactness).
+            Backend::Avx2 | Backend::Fma => unsafe { x86::mul_in_place_avx2(a, b) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above. Masked add/sub keeps the per-lane
+            // rounding sequence, so 512-bit lanes stay bit-exact.
+            Backend::Avx512 => unsafe { x86::mul_in_place_avx512(a, b) },
+            _ => scalar::mul_in_place(a, b),
+        }
+    }
+
+    /// Scaled subtraction `x[i] -= y[i] * g` over the common prefix —
+    /// the interference-cancellation inner loop. Bit-exact across
+    /// backends.
+    pub fn sub_scaled(self, x: &mut [Cf32], y: &[Cf32], g: Cf32) {
+        let n = x.len().min(y.len());
+        let (x, y) = (&mut x[..n], &y[..n]);
+        match self.effective() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective()` guarantees CPU support.
+            Backend::Sse41 => unsafe { x86::sub_scaled_sse41(x, y, g) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above. Fma shares the AVX2 body.
+            Backend::Avx2 | Backend::Fma => unsafe { x86::sub_scaled_avx2(x, y, g) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above; bit-exact per lane as for mul_in_place.
+            Backend::Avx512 => unsafe { x86::sub_scaled_avx512(x, y, g) },
+            _ => scalar::sub_scaled(x, y, g),
+        }
+    }
+
+    /// "Same"-mode real-tap FIR over complex input with group-delay
+    /// compensation: `out[i] = sum_k taps[k] * input[i + delay - k]`
+    /// over in-bounds indices, `delay = (taps.len() - 1) / 2`.
+    ///
+    /// Bit-exact across backends: vector paths parallelize across
+    /// *outputs*, so every output accumulates taps in ascending-`k`
+    /// scalar order with unfused multiply-adds. Empty `taps` zeroes
+    /// the output.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != input.len()`.
+    pub fn fir_same(self, taps: &[f32], input: &[Cf32], out: &mut [Cf32]) {
+        assert_eq!(input.len(), out.len(), "fir_same length mismatch");
+        if taps.is_empty() {
+            out.fill(Cf32::ZERO);
+            return;
+        }
+        match self.effective() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective()` guarantees CPU support.
+            Backend::Sse41 => unsafe { x86::fir_same_sse41(taps, input, out) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above. Fma/Avx512 share the AVX2 body (no
+            // fusing on the synthesis path).
+            Backend::Avx2 | Backend::Fma | Backend::Avx512 => unsafe {
+                x86::fir_same_avx2(taps, input, out)
+            },
+            _ => scalar::fir_same(taps, input, out),
+        }
+    }
+
+    /// "Same"-mode real-tap FIR over real input — the GFSK pulse
+    /// shaper's kernel. Same contract as [`Backend::fir_same`].
+    ///
+    /// # Panics
+    /// Panics if `out.len() != input.len()`.
+    pub fn fir_same_real(self, taps: &[f32], input: &[f32], out: &mut [f32]) {
+        assert_eq!(input.len(), out.len(), "fir_same_real length mismatch");
+        if taps.is_empty() {
+            out.fill(0.0);
+            return;
+        }
+        match self.effective() {
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `effective()` guarantees CPU support.
+            Backend::Sse41 => unsafe { x86::fir_same_real_sse41(taps, input, out) },
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above. Fma/Avx512 share the AVX2 body.
+            Backend::Avx2 | Backend::Fma | Backend::Avx512 => unsafe {
+                x86::fir_same_real_avx2(taps, input, out)
+            },
+            _ => scalar::fir_same_real(taps, input, out),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide backend selection
+// ---------------------------------------------------------------------------
+
+/// 0 = not yet resolved; otherwise `Backend` discriminant + 1.
+static ACTIVE: AtomicU8 = AtomicU8::new(0);
+
+fn to_code(b: Backend) -> u8 {
+    match b {
+        Backend::Scalar => 1,
+        Backend::Sse41 => 2,
+        Backend::Avx2 => 3,
+        Backend::Fma => 4,
+        Backend::Avx512 => 5,
+    }
+}
+
+fn from_code(c: u8) -> Backend {
+    match c {
+        1 => Backend::Scalar,
+        2 => Backend::Sse41,
+        3 => Backend::Avx2,
+        4 => Backend::Fma,
+        _ => Backend::Avx512,
+    }
+}
+
+fn resolve_from_env() -> Backend {
+    match std::env::var("GALIOT_DSP_BACKEND") {
+        Ok(v) if !v.is_empty() && !v.eq_ignore_ascii_case("auto") => match Backend::from_name(&v) {
+            Some(req) if req.is_supported() => req,
+            Some(req) => {
+                let fallback = Backend::detect();
+                eprintln!(
+                    "galiot-dsp: GALIOT_DSP_BACKEND={v} requests the {} backend but the \
+                     CPU does not support it; using {}",
+                    req.name(),
+                    fallback.name()
+                );
+                fallback
+            }
+            None => {
+                let fallback = Backend::detect();
+                eprintln!(
+                    "galiot-dsp: unknown GALIOT_DSP_BACKEND={v:?} \
+                     (expected scalar|sse4.1|avx2|fma|avx512|auto); using {}",
+                    fallback.name()
+                );
+                fallback
+            }
+        },
+        _ => Backend::detect(),
+    }
+}
+
+/// The process-wide active backend every free kernel function
+/// dispatches to.
+///
+/// Resolved once on first use: `GALIOT_DSP_BACKEND` if set (`scalar`,
+/// `sse4.1`, `avx2`, `fma`, `avx512`, or `auto`; an unsupported or unknown
+/// request falls back to detection with a warning on stderr),
+/// otherwise the best backend [`Backend::detect`] finds.
+pub fn active() -> Backend {
+    match ACTIVE.load(Ordering::Relaxed) {
+        0 => {
+            // Benign race: resolution is deterministic for a given
+            // environment, so concurrent first callers agree.
+            let b = resolve_from_env();
+            ACTIVE.store(to_code(b), Ordering::Relaxed);
+            b
+        }
+        c => from_code(c),
+    }
+}
+
+/// The active backend's name — the `dsp_backend` tag metrics and
+/// benches record.
+pub fn backend_name() -> &'static str {
+    active().name()
+}
+
+/// Overrides the process-wide backend (clamped to
+/// [`Backend::Scalar`] if the CPU does not support the request) and
+/// returns the previously active one.
+///
+/// This is the in-process test/bench knob behind the differential and
+/// force-scalar conformance suites; production selection goes through
+/// `GALIOT_DSP_BACKEND` / detection instead. Takes effect for
+/// subsequent kernel calls in all threads.
+pub fn set_backend(b: Backend) -> Backend {
+    let prev = active();
+    let clamped = if b.is_supported() { b } else { Backend::Scalar };
+    ACTIVE.store(to_code(clamped), Ordering::Relaxed);
+    prev
+}
+
+// ---------------------------------------------------------------------------
+// Free functions: the call-site API (dispatch on the active backend)
+// ---------------------------------------------------------------------------
+
+/// [`Backend::dot_conj`] on the [`active`] backend.
+#[inline]
+pub fn dot_conj(x: &[Cf32], h: &[Cf32]) -> Cf32 {
+    active().dot_conj(x, h)
+}
+
+/// [`Backend::energy_f32`] on the [`active`] backend.
+#[inline]
+pub fn energy_f32(x: &[Cf32]) -> f32 {
+    active().energy_f32(x)
+}
+
+/// [`Backend::energy_f64`] on the [`active`] backend.
+#[inline]
+pub fn energy_f64(x: &[Cf32]) -> f64 {
+    active().energy_f64(x)
+}
+
+/// [`Backend::max_norm_sqr`] on the [`active`] backend.
+#[inline]
+pub fn max_norm_sqr(x: &[Cf32]) -> f32 {
+    active().max_norm_sqr(x)
+}
+
+/// [`Backend::norm_sqr_into`] on the [`active`] backend.
+#[inline]
+pub fn norm_sqr_into(x: &[Cf32], out: &mut [f32]) {
+    active().norm_sqr_into(x, out)
+}
+
+/// [`Backend::mul_in_place`] on the [`active`] backend.
+#[inline]
+pub fn mul_in_place(a: &mut [Cf32], b: &[Cf32]) {
+    active().mul_in_place(a, b)
+}
+
+/// [`Backend::sub_scaled`] on the [`active`] backend.
+#[inline]
+pub fn sub_scaled(x: &mut [Cf32], y: &[Cf32], g: Cf32) {
+    active().sub_scaled(x, y, g)
+}
+
+/// [`Backend::fir_same`] on the [`active`] backend.
+#[inline]
+pub fn fir_same(taps: &[f32], input: &[Cf32], out: &mut [Cf32]) {
+    active().fir_same(taps, input, out)
+}
+
+/// [`Backend::fir_same_real`] on the [`active`] backend.
+#[inline]
+pub fn fir_same_real(taps: &[f32], input: &[f32], out: &mut [f32]) {
+    active().fir_same_real(taps, input, out)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations
+// ---------------------------------------------------------------------------
+
+/// The always-compiled scalar reference bodies. Every other backend
+/// is differentially tested against these, and these in turn preserve
+/// the exact summation orders of the pre-kernel inline loops (so the
+/// golden waveform fingerprints pinned before this module existed
+/// still hold).
+mod scalar {
+    use crate::num::Cf32;
+
+    pub fn dot_conj(x: &[Cf32], h: &[Cf32]) -> Cf32 {
+        let mut acc = Cf32::ZERO;
+        for (&a, &b) in x.iter().zip(h.iter()) {
+            acc += a * b.conj();
+        }
+        acc
+    }
+
+    pub fn energy_f32(x: &[Cf32]) -> f32 {
+        let mut acc = 0.0f32;
+        for z in x {
+            acc += z.norm_sqr();
+        }
+        acc
+    }
+
+    pub fn energy_f64(x: &[Cf32]) -> f64 {
+        let mut acc = 0.0f64;
+        for z in x {
+            acc += z.norm_sqr() as f64;
+        }
+        acc
+    }
+
+    pub fn max_norm_sqr(x: &[Cf32]) -> f32 {
+        x.iter().map(|z| z.norm_sqr()).fold(0.0, f32::max)
+    }
+
+    pub fn norm_sqr_into(x: &[Cf32], out: &mut [f32]) {
+        for (o, z) in out.iter_mut().zip(x.iter()) {
+            *o = z.norm_sqr();
+        }
+    }
+
+    pub fn mul_in_place(a: &mut [Cf32], b: &[Cf32]) {
+        for (x, &y) in a.iter_mut().zip(b.iter()) {
+            *x *= y;
+        }
+    }
+
+    pub fn sub_scaled(x: &mut [Cf32], y: &[Cf32], g: Cf32) {
+        for (a, &b) in x.iter_mut().zip(y.iter()) {
+            *a -= b * g;
+        }
+    }
+
+    pub fn fir_same(taps: &[f32], input: &[Cf32], out: &mut [Cf32]) {
+        let n = input.len();
+        let delay = (taps.len() - 1) / 2;
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = Cf32::ZERO;
+            for (k, &t) in taps.iter().enumerate() {
+                let idx = i as isize + delay as isize - k as isize;
+                if idx >= 0 && (idx as usize) < n {
+                    acc += input[idx as usize] * t;
+                }
+            }
+            *o = acc;
+        }
+    }
+
+    pub fn fir_same_real(taps: &[f32], input: &[f32], out: &mut [f32]) {
+        let n = input.len();
+        let delay = (taps.len() - 1) / 2;
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (k, &t) in taps.iter().enumerate() {
+                let idx = i as isize + delay as isize - k as isize;
+                if idx >= 0 && (idx as usize) < n {
+                    acc += input[idx as usize] * t;
+                }
+            }
+            *o = acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 vector implementations
+// ---------------------------------------------------------------------------
+
+/// The `unsafe` `#[target_feature]` vector bodies. Reachable only
+/// through [`Backend`]'s dispatch methods, which guarantee the CPU
+/// supports the required features before calling in.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+mod x86 {
+    use super::scalar;
+    use crate::num::Cf32;
+    use std::arch::x86_64::*;
+
+    /// Views interleaved complex samples as their raw `re, im, re, im`
+    /// float stream. Sound because `Cf32` is `#[repr(C)]` over two
+    /// `f32` fields with no padding.
+    #[inline]
+    fn floats(x: &[Cf32]) -> &[f32] {
+        // SAFETY: see above; length doubles, alignment only shrinks.
+        unsafe { std::slice::from_raw_parts(x.as_ptr().cast::<f32>(), x.len() * 2) }
+    }
+
+    /// Mutable variant of [`floats`].
+    #[inline]
+    fn floats_mut(x: &mut [Cf32]) -> &mut [f32] {
+        // SAFETY: as in `floats`; exclusive borrow is carried over.
+        unsafe { std::slice::from_raw_parts_mut(x.as_mut_ptr().cast::<f32>(), x.len() * 2) }
+    }
+
+    // -- dot_conj ----------------------------------------------------------
+    //
+    // With interleaved lanes a = [xr, xi, ...] and b = [hr, hi, ...]:
+    //   acc1 += a * b        accumulates [xr*hr, xi*hi, ...]  (re terms)
+    //   acc2 += a * swap(b)  accumulates [xr*hi, xi*hr, ...]  (im terms)
+    // re = sum(acc1 lanes); im = sum(odd acc2 lanes) - sum(even).
+
+    macro_rules! dot_conj_256 {
+        ($name:ident, $feat:literal ; $acc:ident, $a:ident, $b:ident => $step1:expr, $bs:ident => $step2:expr) => {
+            #[target_feature(enable = $feat)]
+            pub unsafe fn $name(x: &[Cf32], h: &[Cf32]) -> Cf32 {
+                let xf = floats(x);
+                let hf = floats(h);
+                let lim = xf.len();
+                let mut acc1 = _mm256_setzero_ps();
+                let mut acc2 = _mm256_setzero_ps();
+                let mut i = 0usize;
+                while i + 8 <= lim {
+                    let $a = _mm256_loadu_ps(xf.as_ptr().add(i));
+                    let $b = _mm256_loadu_ps(hf.as_ptr().add(i));
+                    let $bs = _mm256_permute_ps($b, 0b1011_0001);
+                    let $acc = acc1;
+                    acc1 = $step1;
+                    let $acc = acc2;
+                    let ($a, $b) = ($a, $bs);
+                    acc2 = $step2;
+                    i += 8;
+                }
+                let mut t1 = [0f32; 8];
+                let mut t2 = [0f32; 8];
+                _mm256_storeu_ps(t1.as_mut_ptr(), acc1);
+                _mm256_storeu_ps(t2.as_mut_ptr(), acc2);
+                let mut re = t1.iter().sum::<f32>();
+                let mut im = (t2[1] + t2[3] + t2[5] + t2[7]) - (t2[0] + t2[2] + t2[4] + t2[6]);
+                // Scalar tail over the remaining (< 4) complex samples.
+                let tail = scalar::dot_conj(&x[i / 2..], &h[i / 2..]);
+                re += tail.re;
+                im += tail.im;
+                Cf32 { re, im }
+            }
+        };
+    }
+
+    dot_conj_256!(dot_conj_avx2, "avx2" ;
+        acc, a, b => _mm256_add_ps(acc, _mm256_mul_ps(a, b)),
+        bs => _mm256_add_ps(acc, _mm256_mul_ps(a, b)));
+    dot_conj_256!(dot_conj_fma, "avx2,fma" ;
+        acc, a, b => _mm256_fmadd_ps(a, b, acc),
+        bs => _mm256_fmadd_ps(a, b, acc));
+
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn dot_conj_sse41(x: &[Cf32], h: &[Cf32]) -> Cf32 {
+        let xf = floats(x);
+        let hf = floats(h);
+        let lim = xf.len();
+        let mut acc1 = _mm_setzero_ps();
+        let mut acc2 = _mm_setzero_ps();
+        let mut i = 0usize;
+        while i + 4 <= lim {
+            let a = _mm_loadu_ps(xf.as_ptr().add(i));
+            let b = _mm_loadu_ps(hf.as_ptr().add(i));
+            let bs = _mm_shuffle_ps(b, b, 0b1011_0001);
+            acc1 = _mm_add_ps(acc1, _mm_mul_ps(a, b));
+            acc2 = _mm_add_ps(acc2, _mm_mul_ps(a, bs));
+            i += 4;
+        }
+        let mut t1 = [0f32; 4];
+        let mut t2 = [0f32; 4];
+        _mm_storeu_ps(t1.as_mut_ptr(), acc1);
+        _mm_storeu_ps(t2.as_mut_ptr(), acc2);
+        let mut re = t1.iter().sum::<f32>();
+        let mut im = (t2[1] + t2[3]) - (t2[0] + t2[2]);
+        let tail = scalar::dot_conj(&x[i / 2..], &h[i / 2..]);
+        re += tail.re;
+        im += tail.im;
+        Cf32 { re, im }
+    }
+
+    // -- energy ------------------------------------------------------------
+
+    macro_rules! energy_f32_256 {
+        ($name:ident, $feat:literal ; $acc:ident, $v:ident => $step:expr) => {
+            #[target_feature(enable = $feat)]
+            pub unsafe fn $name(x: &[Cf32]) -> f32 {
+                let xf = floats(x);
+                let lim = xf.len();
+                let mut acc = _mm256_setzero_ps();
+                let mut i = 0usize;
+                while i + 8 <= lim {
+                    let $v = _mm256_loadu_ps(xf.as_ptr().add(i));
+                    let $acc = acc;
+                    acc = $step;
+                    i += 8;
+                }
+                let mut t = [0f32; 8];
+                _mm256_storeu_ps(t.as_mut_ptr(), acc);
+                let mut total = t.iter().sum::<f32>();
+                while i < lim {
+                    total += xf[i] * xf[i];
+                    i += 1;
+                }
+                total
+            }
+        };
+    }
+
+    energy_f32_256!(energy_f32_avx2, "avx2" ;
+        acc, v => _mm256_add_ps(acc, _mm256_mul_ps(v, v)));
+    energy_f32_256!(energy_f32_fma, "avx2,fma" ;
+        acc, v => _mm256_fmadd_ps(v, v, acc));
+
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn energy_f32_sse41(x: &[Cf32]) -> f32 {
+        let xf = floats(x);
+        let lim = xf.len();
+        let mut acc = _mm_setzero_ps();
+        let mut i = 0usize;
+        while i + 4 <= lim {
+            let v = _mm_loadu_ps(xf.as_ptr().add(i));
+            acc = _mm_add_ps(acc, _mm_mul_ps(v, v));
+            i += 4;
+        }
+        let mut t = [0f32; 4];
+        _mm_storeu_ps(t.as_mut_ptr(), acc);
+        let mut total = t.iter().sum::<f32>();
+        while i < lim {
+            total += xf[i] * xf[i];
+            i += 1;
+        }
+        total
+    }
+
+    macro_rules! energy_f64_256 {
+        ($name:ident, $feat:literal ; $acc:ident, $d:ident => $step:expr) => {
+            #[target_feature(enable = $feat)]
+            pub unsafe fn $name(x: &[Cf32]) -> f64 {
+                let xf = floats(x);
+                let lim = xf.len();
+                let mut acc = _mm256_setzero_pd();
+                let mut i = 0usize;
+                while i + 4 <= lim {
+                    let $d = _mm256_cvtps_pd(_mm_loadu_ps(xf.as_ptr().add(i)));
+                    let $acc = acc;
+                    acc = $step;
+                    i += 4;
+                }
+                let mut t = [0f64; 4];
+                _mm256_storeu_pd(t.as_mut_ptr(), acc);
+                let mut total = t.iter().sum::<f64>();
+                while i < lim {
+                    let v = xf[i] as f64;
+                    total += v * v;
+                    i += 1;
+                }
+                total
+            }
+        };
+    }
+
+    energy_f64_256!(energy_f64_avx2, "avx2" ;
+        acc, d => _mm256_add_pd(acc, _mm256_mul_pd(d, d)));
+    energy_f64_256!(energy_f64_fma, "avx2,fma" ;
+        acc, d => _mm256_fmadd_pd(d, d, acc));
+
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn energy_f64_sse41(x: &[Cf32]) -> f64 {
+        let xf = floats(x);
+        let lim = xf.len();
+        let mut acc = _mm_setzero_pd();
+        let mut i = 0usize;
+        while i + 2 <= lim {
+            let d = _mm_cvtps_pd(_mm_castsi128_ps(_mm_loadl_epi64(
+                xf.as_ptr().add(i).cast::<__m128i>(),
+            )));
+            acc = _mm_add_pd(acc, _mm_mul_pd(d, d));
+            i += 2;
+        }
+        let mut t = [0f64; 2];
+        _mm_storeu_pd(t.as_mut_ptr(), acc);
+        let mut total = t[0] + t[1];
+        while i < lim {
+            let v = xf[i] as f64;
+            total += v * v;
+            i += 1;
+        }
+        total
+    }
+
+    // -- max_norm_sqr ------------------------------------------------------
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn max_norm_sqr_avx2(x: &[Cf32]) -> f32 {
+        let xf = floats(x);
+        let lim = xf.len();
+        let mut macc = _mm256_setzero_ps();
+        let mut i = 0usize;
+        while i + 8 <= lim {
+            let v = _mm256_loadu_ps(xf.as_ptr().add(i));
+            let sq = _mm256_mul_ps(v, v);
+            // Pairwise re^2 + im^2 (duplicated across the pair, which
+            // max ignores): one add of the two rounded squares, the
+            // scalar sequence exactly.
+            let sums = _mm256_add_ps(sq, _mm256_permute_ps(sq, 0b1011_0001));
+            macc = _mm256_max_ps(macc, sums);
+            i += 8;
+        }
+        let mut t = [0f32; 8];
+        _mm256_storeu_ps(t.as_mut_ptr(), macc);
+        let mut best = t.iter().fold(0.0f32, |a, &b| a.max(b));
+        for z in &x[i / 2..] {
+            best = best.max(z.norm_sqr());
+        }
+        best
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn max_norm_sqr_sse41(x: &[Cf32]) -> f32 {
+        let xf = floats(x);
+        let lim = xf.len();
+        let mut macc = _mm_setzero_ps();
+        let mut i = 0usize;
+        while i + 4 <= lim {
+            let v = _mm_loadu_ps(xf.as_ptr().add(i));
+            let sq = _mm_mul_ps(v, v);
+            let sums = _mm_add_ps(sq, _mm_shuffle_ps(sq, sq, 0b1011_0001));
+            macc = _mm_max_ps(macc, sums);
+            i += 4;
+        }
+        let mut t = [0f32; 4];
+        _mm_storeu_ps(t.as_mut_ptr(), macc);
+        let mut best = t.iter().fold(0.0f32, |a, &b| a.max(b));
+        for z in &x[i / 2..] {
+            best = best.max(z.norm_sqr());
+        }
+        best
+    }
+
+    // -- norm_sqr_into -----------------------------------------------------
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn norm_sqr_into_avx2(x: &[Cf32], out: &mut [f32]) {
+        let xf = floats(x);
+        let n = x.len();
+        let mut i = 0usize; // complex index
+                            // 8 complex samples per iteration: two squared vectors, hadd
+                            // pairs them ([s0 s1 s4 s5 | s2 s3 s6 s7]), permute restores
+                            // order. Each s is one add of two rounded squares — bit-exact.
+        while i + 8 <= n {
+            let va = _mm256_loadu_ps(xf.as_ptr().add(2 * i));
+            let vb = _mm256_loadu_ps(xf.as_ptr().add(2 * i + 8));
+            let ha = _mm256_hadd_ps(_mm256_mul_ps(va, va), _mm256_mul_ps(vb, vb));
+            let ordered =
+                _mm256_castpd_ps(_mm256_permute4x64_pd(_mm256_castps_pd(ha), 0b1101_1000));
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), ordered);
+            i += 8;
+        }
+        for (o, z) in out[i..].iter_mut().zip(&x[i..]) {
+            *o = z.norm_sqr();
+        }
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn norm_sqr_into_sse41(x: &[Cf32], out: &mut [f32]) {
+        let xf = floats(x);
+        let n = x.len();
+        let mut i = 0usize;
+        while i + 4 <= n {
+            let va = _mm_loadu_ps(xf.as_ptr().add(2 * i));
+            let vb = _mm_loadu_ps(xf.as_ptr().add(2 * i + 4));
+            let h = _mm_hadd_ps(_mm_mul_ps(va, va), _mm_mul_ps(vb, vb));
+            _mm_storeu_ps(out.as_mut_ptr().add(i), h);
+            i += 4;
+        }
+        for (o, z) in out[i..].iter_mut().zip(&x[i..]) {
+            *o = z.norm_sqr();
+        }
+    }
+
+    // -- mul_in_place ------------------------------------------------------
+    //
+    // Standard interleaved complex multiply:
+    //   t1 = a * dup_re(b)        = [ar*br, ai*br, ...]
+    //   t2 = swap(a) * dup_im(b)  = [ai*bi, ar*bi, ...]
+    //   addsub(t1, t2)            = [ar*br - ai*bi, ai*br + ar*bi, ...]
+    // Each output component is one add/sub of two rounded products —
+    // the exact rounding sequence of Cf32's scalar Mul.
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mul_in_place_avx2(a: &mut [Cf32], b: &[Cf32]) {
+        // Peel scalar elements until the in-place operand sits on a 32B
+        // boundary: allocations only guarantee 16B, and misaligned 32B
+        // accesses split cache lines on every other address. The split
+        // point cannot change element-wise results. An odd-float base
+        // can never reach 32B alignment; run unaligned throughout then.
+        let head = (a.as_ptr() as usize).wrapping_neg() % 32 / 4;
+        let peel = if head.is_multiple_of(2) {
+            (head / 2).min(a.len())
+        } else {
+            0
+        };
+        scalar::mul_in_place(&mut a[..peel], &b[..peel]);
+        let bf = floats(b);
+        let af = floats_mut(a);
+        let lim = af.len();
+        let mut i = peel * 2;
+        // Two independent 4-complex lanes per iteration: element-wise
+        // results are identical at any unroll factor, and the second
+        // lane hides the shuffle-port latency of the first. The store
+        // (and one load) are 32B-aligned after the peel whenever the
+        // base pointer is float-even, which `Vec<Cf32>` guarantees.
+        while i + 16 <= lim {
+            let va0 = _mm256_loadu_ps(af.as_ptr().add(i));
+            let vb0 = _mm256_loadu_ps(bf.as_ptr().add(i));
+            let va1 = _mm256_loadu_ps(af.as_ptr().add(i + 8));
+            let vb1 = _mm256_loadu_ps(bf.as_ptr().add(i + 8));
+            let t1 = _mm256_mul_ps(va0, _mm256_moveldup_ps(vb0));
+            let t2 = _mm256_mul_ps(_mm256_permute_ps(va0, 0b1011_0001), _mm256_movehdup_ps(vb0));
+            let u1 = _mm256_mul_ps(va1, _mm256_moveldup_ps(vb1));
+            let u2 = _mm256_mul_ps(_mm256_permute_ps(va1, 0b1011_0001), _mm256_movehdup_ps(vb1));
+            _mm256_storeu_ps(af.as_mut_ptr().add(i), _mm256_addsub_ps(t1, t2));
+            _mm256_storeu_ps(af.as_mut_ptr().add(i + 8), _mm256_addsub_ps(u1, u2));
+            i += 16;
+        }
+        while i + 8 <= lim {
+            let va = _mm256_loadu_ps(af.as_ptr().add(i));
+            let vb = _mm256_loadu_ps(bf.as_ptr().add(i));
+            let t1 = _mm256_mul_ps(va, _mm256_moveldup_ps(vb));
+            let t2 = _mm256_mul_ps(_mm256_permute_ps(va, 0b1011_0001), _mm256_movehdup_ps(vb));
+            _mm256_storeu_ps(af.as_mut_ptr().add(i), _mm256_addsub_ps(t1, t2));
+            i += 8;
+        }
+        let done = i / 2;
+        scalar::mul_in_place(&mut a[done..], &b[done..]);
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn mul_in_place_sse41(a: &mut [Cf32], b: &[Cf32]) {
+        let bf = floats(b);
+        let af = floats_mut(a);
+        let lim = af.len();
+        let mut i = 0usize;
+        while i + 4 <= lim {
+            let va = _mm_loadu_ps(af.as_ptr().add(i));
+            let vb = _mm_loadu_ps(bf.as_ptr().add(i));
+            let t1 = _mm_mul_ps(va, _mm_moveldup_ps(vb));
+            let t2 = _mm_mul_ps(_mm_shuffle_ps(va, va, 0b1011_0001), _mm_movehdup_ps(vb));
+            _mm_storeu_ps(af.as_mut_ptr().add(i), _mm_addsub_ps(t1, t2));
+            i += 4;
+        }
+        let done = i / 2;
+        scalar::mul_in_place(&mut a[done..], &b[done..]);
+    }
+
+    // AVX-512 has no addsub; an even-lane-masked subtract over the
+    // full-width add reproduces it: each lane still computes exactly
+    // one add or one sub of the same two rounded products, so the
+    // result stays bit-exact with the scalar reference.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn mul_in_place_avx512(a: &mut [Cf32], b: &[Cf32]) {
+        // Peel to a 64B boundary (see mul_in_place_avx2; allocations
+        // only guarantee 16B and split-line accesses cost double).
+        let head = (a.as_ptr() as usize).wrapping_neg() % 64 / 4;
+        let peel = if head.is_multiple_of(2) {
+            (head / 2).min(a.len())
+        } else {
+            0
+        };
+        scalar::mul_in_place(&mut a[..peel], &b[..peel]);
+        let bf = floats(b);
+        let af = floats_mut(a);
+        let lim = af.len();
+        let mut i = peel * 2;
+        const RE_LANES: u16 = 0x5555;
+        while i + 32 <= lim {
+            let va0 = _mm512_loadu_ps(af.as_ptr().add(i));
+            let vb0 = _mm512_loadu_ps(bf.as_ptr().add(i));
+            let va1 = _mm512_loadu_ps(af.as_ptr().add(i + 16));
+            let vb1 = _mm512_loadu_ps(bf.as_ptr().add(i + 16));
+            let t1 = _mm512_mul_ps(va0, _mm512_moveldup_ps(vb0));
+            let t2 = _mm512_mul_ps(_mm512_permute_ps(va0, 0b1011_0001), _mm512_movehdup_ps(vb0));
+            let u1 = _mm512_mul_ps(va1, _mm512_moveldup_ps(vb1));
+            let u2 = _mm512_mul_ps(_mm512_permute_ps(va1, 0b1011_0001), _mm512_movehdup_ps(vb1));
+            let r0 = _mm512_mask_sub_ps(_mm512_add_ps(t1, t2), RE_LANES, t1, t2);
+            let r1 = _mm512_mask_sub_ps(_mm512_add_ps(u1, u2), RE_LANES, u1, u2);
+            _mm512_storeu_ps(af.as_mut_ptr().add(i), r0);
+            _mm512_storeu_ps(af.as_mut_ptr().add(i + 16), r1);
+            i += 32;
+        }
+        while i + 16 <= lim {
+            let va = _mm512_loadu_ps(af.as_ptr().add(i));
+            let vb = _mm512_loadu_ps(bf.as_ptr().add(i));
+            let t1 = _mm512_mul_ps(va, _mm512_moveldup_ps(vb));
+            let t2 = _mm512_mul_ps(_mm512_permute_ps(va, 0b1011_0001), _mm512_movehdup_ps(vb));
+            let r = _mm512_mask_sub_ps(_mm512_add_ps(t1, t2), RE_LANES, t1, t2);
+            _mm512_storeu_ps(af.as_mut_ptr().add(i), r);
+            i += 16;
+        }
+        let done = i / 2;
+        scalar::mul_in_place(&mut a[done..], &b[done..]);
+    }
+
+    // -- sub_scaled --------------------------------------------------------
+    //
+    // y * g with broadcast g, then subtract from x. Product lanes:
+    //   t1 = y * set1(g.re)       = [yr*gr, yi*gr, ...]
+    //   t2 = swap(y) * set1(g.im) = [yi*gi, yr*gi, ...]
+    //   p  = addsub(t1, t2)       = [yr*gr - yi*gi, yi*gr + yr*gi, ...]
+    // matching Cf32 Mul's rounding, then x - p elementwise.
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sub_scaled_avx2(x: &mut [Cf32], y: &[Cf32], g: Cf32) {
+        let yf = floats(y);
+        let xf = floats_mut(x);
+        let lim = xf.len();
+        let gr = _mm256_set1_ps(g.re);
+        let gi = _mm256_set1_ps(g.im);
+        let mut i = 0usize;
+        while i + 8 <= lim {
+            let vy = _mm256_loadu_ps(yf.as_ptr().add(i));
+            let t1 = _mm256_mul_ps(vy, gr);
+            let t2 = _mm256_mul_ps(_mm256_permute_ps(vy, 0b1011_0001), gi);
+            let p = _mm256_addsub_ps(t1, t2);
+            let vx = _mm256_loadu_ps(xf.as_ptr().add(i));
+            _mm256_storeu_ps(xf.as_mut_ptr().add(i), _mm256_sub_ps(vx, p));
+            i += 8;
+        }
+        let done = i / 2;
+        scalar::sub_scaled(&mut x[done..], &y[done..], g);
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn sub_scaled_sse41(x: &mut [Cf32], y: &[Cf32], g: Cf32) {
+        let yf = floats(y);
+        let xf = floats_mut(x);
+        let lim = xf.len();
+        let gr = _mm_set1_ps(g.re);
+        let gi = _mm_set1_ps(g.im);
+        let mut i = 0usize;
+        while i + 4 <= lim {
+            let vy = _mm_loadu_ps(yf.as_ptr().add(i));
+            let t1 = _mm_mul_ps(vy, gr);
+            let t2 = _mm_mul_ps(_mm_shuffle_ps(vy, vy, 0b1011_0001), gi);
+            let p = _mm_addsub_ps(t1, t2);
+            let vx = _mm_loadu_ps(xf.as_ptr().add(i));
+            _mm_storeu_ps(xf.as_mut_ptr().add(i), _mm_sub_ps(vx, p));
+            i += 4;
+        }
+        let done = i / 2;
+        scalar::sub_scaled(&mut x[done..], &y[done..], g);
+    }
+
+    // Same masked-subtract addsub replacement as mul_in_place_avx512;
+    // bit-exact per lane.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn sub_scaled_avx512(x: &mut [Cf32], y: &[Cf32], g: Cf32) {
+        let yf = floats(y);
+        let xf = floats_mut(x);
+        let lim = xf.len();
+        let gr = _mm512_set1_ps(g.re);
+        let gi = _mm512_set1_ps(g.im);
+        const RE_LANES: u16 = 0x5555;
+        let mut i = 0usize;
+        while i + 16 <= lim {
+            let vy = _mm512_loadu_ps(yf.as_ptr().add(i));
+            let t1 = _mm512_mul_ps(vy, gr);
+            let t2 = _mm512_mul_ps(_mm512_permute_ps(vy, 0b1011_0001), gi);
+            let p = _mm512_mask_sub_ps(_mm512_add_ps(t1, t2), RE_LANES, t1, t2);
+            let vx = _mm512_loadu_ps(xf.as_ptr().add(i));
+            _mm512_storeu_ps(xf.as_mut_ptr().add(i), _mm512_sub_ps(vx, p));
+            i += 16;
+        }
+        let done = i / 2;
+        scalar::sub_scaled(&mut x[done..], &y[done..], g);
+    }
+
+    // -- FIR ---------------------------------------------------------------
+    //
+    // Vectorized across consecutive *outputs*: a block of outputs
+    // accumulates `input[i + delay - k] * taps[k]` for ascending k with
+    // unfused mul+add, which is lane-for-lane the scalar reference's
+    // rounding sequence. Only fully-in-bounds blocks take the vector
+    // path; edge outputs run the scalar bounds-checked loop.
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fir_same_avx2(taps: &[f32], input: &[Cf32], out: &mut [Cf32]) {
+        let n = input.len();
+        let nt = taps.len();
+        let delay = (nt - 1) / 2;
+        // A 4-output block at i is interior when every (lane, tap)
+        // index is in bounds: i >= nt-1-delay and i+3+delay <= n-1.
+        let lo = (nt - 1).saturating_sub(delay);
+        let inf = floats(input);
+        let outf = floats_mut(out);
+        let mut i = lo;
+        while i + 4 + delay <= n {
+            let mut acc = _mm256_setzero_ps();
+            for (k, &t) in taps.iter().enumerate() {
+                let base = i + delay - k;
+                let v = _mm256_loadu_ps(inf.as_ptr().add(2 * base));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(v, _mm256_set1_ps(t)));
+            }
+            _mm256_storeu_ps(outf.as_mut_ptr().add(2 * i), acc);
+            i += 4;
+        }
+        let edge = lo.min(out.len());
+        scalar::fir_same(taps, input, &mut out[..edge]);
+        scalar_fir_range(taps, input, out, i, n);
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn fir_same_sse41(taps: &[f32], input: &[Cf32], out: &mut [Cf32]) {
+        let n = input.len();
+        let nt = taps.len();
+        let delay = (nt - 1) / 2;
+        let lo = (nt - 1).saturating_sub(delay);
+        let inf = floats(input);
+        let outf = floats_mut(out);
+        let mut i = lo;
+        while i + 2 + delay <= n {
+            let mut acc = _mm_setzero_ps();
+            for (k, &t) in taps.iter().enumerate() {
+                let base = i + delay - k;
+                let v = _mm_loadu_ps(inf.as_ptr().add(2 * base));
+                acc = _mm_add_ps(acc, _mm_mul_ps(v, _mm_set1_ps(t)));
+            }
+            _mm_storeu_ps(outf.as_mut_ptr().add(2 * i), acc);
+            i += 2;
+        }
+        let edge = lo.min(out.len());
+        scalar::fir_same(taps, input, &mut out[..edge]);
+        scalar_fir_range(taps, input, out, i, n);
+    }
+
+    /// Scalar FIR over output range `[from, to)` (tail/edge outputs).
+    fn scalar_fir_range(taps: &[f32], input: &[Cf32], out: &mut [Cf32], from: usize, to: usize) {
+        let n = input.len();
+        let delay = (taps.len() - 1) / 2;
+        for (i, o) in out.iter_mut().enumerate().take(to).skip(from) {
+            let mut acc = Cf32::ZERO;
+            for (k, &t) in taps.iter().enumerate() {
+                let idx = i as isize + delay as isize - k as isize;
+                if idx >= 0 && (idx as usize) < n {
+                    acc += input[idx as usize] * t;
+                }
+            }
+            *o = acc;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn fir_same_real_avx2(taps: &[f32], input: &[f32], out: &mut [f32]) {
+        let n = input.len();
+        let nt = taps.len();
+        let delay = (nt - 1) / 2;
+        let lo = (nt - 1).saturating_sub(delay);
+        let mut i = lo;
+        while i + 8 + delay <= n {
+            let mut acc = _mm256_setzero_ps();
+            for (k, &t) in taps.iter().enumerate() {
+                let v = _mm256_loadu_ps(input.as_ptr().add(i + delay - k));
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(v, _mm256_set1_ps(t)));
+            }
+            _mm256_storeu_ps(out.as_mut_ptr().add(i), acc);
+            i += 8;
+        }
+        let edge = lo.min(out.len());
+        scalar::fir_same_real(taps, input, &mut out[..edge]);
+        scalar_fir_real_range(taps, input, out, i, n);
+    }
+
+    #[target_feature(enable = "sse4.1")]
+    pub unsafe fn fir_same_real_sse41(taps: &[f32], input: &[f32], out: &mut [f32]) {
+        let n = input.len();
+        let nt = taps.len();
+        let delay = (nt - 1) / 2;
+        let lo = (nt - 1).saturating_sub(delay);
+        let mut i = lo;
+        while i + 4 + delay <= n {
+            let mut acc = _mm_setzero_ps();
+            for (k, &t) in taps.iter().enumerate() {
+                let v = _mm_loadu_ps(input.as_ptr().add(i + delay - k));
+                acc = _mm_add_ps(acc, _mm_mul_ps(v, _mm_set1_ps(t)));
+            }
+            _mm_storeu_ps(out.as_mut_ptr().add(i), acc);
+            i += 4;
+        }
+        let edge = lo.min(out.len());
+        scalar::fir_same_real(taps, input, &mut out[..edge]);
+        scalar_fir_real_range(taps, input, out, i, n);
+    }
+
+    /// Scalar real FIR over output range `[from, to)`.
+    fn scalar_fir_real_range(taps: &[f32], input: &[f32], out: &mut [f32], from: usize, to: usize) {
+        let n = input.len();
+        let delay = (taps.len() - 1) / 2;
+        for (i, o) in out.iter_mut().enumerate().take(to).skip(from) {
+            let mut acc = 0.0f32;
+            for (k, &t) in taps.iter().enumerate() {
+                let idx = i as isize + delay as isize - k as isize;
+                if idx >= 0 && (idx as usize) < n {
+                    acc += input[idx as usize] * t;
+                }
+            }
+            *o = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wave(n: usize) -> Vec<Cf32> {
+        (0..n)
+            .map(|i| Cf32::new((i as f32 * 0.37).sin(), (i as f32 * 0.71).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn backend_names_roundtrip() {
+        for b in Backend::ALL {
+            assert_eq!(Backend::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Backend::from_name("sse41"), Some(Backend::Sse41));
+        assert_eq!(Backend::from_name("AVX2"), Some(Backend::Avx2));
+        assert_eq!(Backend::from_name("auto"), None);
+        assert_eq!(Backend::from_name("neon"), None);
+    }
+
+    #[test]
+    fn detect_is_supported_and_scalar_always_is() {
+        assert!(Backend::detect().is_supported());
+        assert!(Backend::Scalar.is_supported());
+    }
+
+    #[test]
+    fn unsupported_backend_clamps_to_scalar_semantics() {
+        // Whatever the CPU, every backend value must be callable and
+        // agree with scalar on a bit-exact kernel.
+        let x = wave(33);
+        let b = wave(33);
+        for backend in Backend::ALL {
+            let mut a = x.clone();
+            backend.mul_in_place(&mut a, &b);
+            let mut r = x.clone();
+            Backend::Scalar.mul_in_place(&mut r, &b);
+            assert_eq!(a, r, "{backend:?}");
+        }
+    }
+
+    /// The dispatcher contract on degenerate lengths: defined results,
+    /// no panics, no NaN, for every backend.
+    #[test]
+    fn degenerate_lengths_are_defined() {
+        for backend in Backend::ALL {
+            assert_eq!(backend.dot_conj(&[], &[]), Cf32::ZERO);
+            assert_eq!(backend.dot_conj(&wave(3), &[]), Cf32::ZERO);
+            assert_eq!(backend.energy_f32(&[]), 0.0);
+            assert_eq!(backend.energy_f64(&[]), 0.0);
+            assert_eq!(backend.max_norm_sqr(&[]), 0.0);
+            backend.norm_sqr_into(&[], &mut []);
+            backend.mul_in_place(&mut [], &wave(2));
+            backend.sub_scaled(&mut [], &[], Cf32::ONE);
+            let mut out: Vec<Cf32> = Vec::new();
+            backend.fir_same(&[1.0, 2.0, 1.0], &[], &mut out);
+            // Single-element inputs.
+            let one = wave(1);
+            let d = backend.dot_conj(&one, &one);
+            assert!((d.re - one[0].norm_sqr()).abs() < 1e-6);
+            let mut o1 = vec![Cf32::ZERO; 1];
+            backend.fir_same(&[0.5], &one, &mut o1);
+            assert_eq!(o1[0], one[0] * 0.5);
+            // Empty taps zero the output.
+            let mut oz = wave(4);
+            backend.fir_same(&[], &wave(4), &mut oz);
+            assert!(oz.iter().all(|z| *z == Cf32::ZERO));
+            // More taps than input: bounds-checked, finite.
+            let mut short = vec![Cf32::ZERO; 3];
+            backend.fir_same(&vec![0.1; 33], &wave(3), &mut short);
+            assert!(short.iter().all(|z| !z.is_degenerate()));
+        }
+    }
+
+    #[test]
+    fn dot_conj_of_self_is_energy() {
+        let x = wave(257);
+        for backend in Backend::ALL {
+            let d = backend.dot_conj(&x, &x);
+            let e = backend.energy_f32(&x);
+            assert!((d.re - e).abs() < 1e-3 * e.abs().max(1.0), "{backend:?}");
+            assert!(d.im.abs() < 1e-3 * e.abs().max(1.0), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn set_backend_overrides_and_restores() {
+        let prev = set_backend(Backend::Scalar);
+        assert_eq!(active(), Backend::Scalar);
+        assert_eq!(backend_name(), "scalar");
+        set_backend(prev);
+        assert_eq!(active(), prev);
+    }
+}

@@ -23,12 +23,17 @@
 //! * [`psd`] — Welch PSD estimation and spectral peak-band finding;
 //! * [`spectral`] — whole-block FFT band masks, the primitive behind
 //!   the KILL-FREQUENCY and KILL-CSS interference filters.
+//! * [`kernels`] — runtime-dispatched SIMD kernels (scalar / SSE4.1 /
+//!   AVX2 / FMA) behind every hot inner loop above, differentially
+//!   verified against the always-compiled scalar reference.
 //!
-//! The crate is dependency-free, `forbid(unsafe_code)`, and purely
-//! CPU-bound — per the project's networking guides, no async runtime is
-//! involved anywhere in the signal path.
+//! The crate is dependency-free and purely CPU-bound — per the
+//! project's networking guides, no async runtime is involved anywhere
+//! in the signal path. `unsafe` is denied crate-wide except for the
+//! `#[target_feature]` vector bodies in [`kernels`], which are only
+//! reachable through the feature-checking dispatcher.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chirp;
@@ -37,6 +42,7 @@ pub mod engine;
 pub mod fft;
 pub mod fir;
 pub mod goertzel;
+pub mod kernels;
 pub mod mix;
 pub mod num;
 pub mod power;

@@ -53,26 +53,41 @@ impl Nco {
     }
 }
 
+/// Phasor staging buffer size for the mixers: large enough to amortize
+/// the SIMD kernel call, small enough to stay cache-resident.
+const MIX_CHUNK: usize = 4096;
+
 /// Returns `signal` multiplied by `e^{i 2 pi f t}` — i.e. the spectrum
 /// shifted *up* by `freq_hz` (use a negative frequency to shift down).
 pub fn mix(signal: &[Cf32], freq_hz: f64, fs: f64) -> Vec<Cf32> {
-    let mut nco = Nco::new(freq_hz, fs, 0.0);
-    signal.iter().map(|&s| s * nco.next_sample()).collect()
+    let mut out = signal.to_vec();
+    mix_in_place(&mut out, freq_hz, fs, 0.0);
+    out
 }
 
 /// In-place variant of [`mix`], with a starting phase.
+///
+/// Phasor generation stays scalar (it is `sin_cos`-bound, with f64
+/// phase continuity in the [`Nco`]); the per-sample complex multiply
+/// runs chunked through the bit-exact [`crate::kernels::mul_in_place`]
+/// kernel, so mixed waveforms are byte-identical across backends.
 pub fn mix_in_place(signal: &mut [Cf32], freq_hz: f64, fs: f64, phase: f64) {
     let mut nco = Nco::new(freq_hz, fs, phase);
-    for s in signal {
-        *s *= nco.next_sample();
+    let mut phasors = vec![Cf32::ZERO; signal.len().min(MIX_CHUNK)];
+    for chunk in signal.chunks_mut(MIX_CHUNK) {
+        let p = &mut phasors[..chunk.len()];
+        nco.fill(p);
+        crate::kernels::mul_in_place(chunk, p);
     }
 }
 
 /// Applies a constant phase rotation to every sample.
 pub fn rotate(signal: &mut [Cf32], phase: f32) {
     let r = Cf32::cis(phase);
-    for s in signal {
-        *s *= r;
+    let phasors = vec![r; signal.len().min(MIX_CHUNK)];
+    for chunk in signal.chunks_mut(MIX_CHUNK) {
+        let n = chunk.len();
+        crate::kernels::mul_in_place(chunk, &phasors[..n]);
     }
 }
 

@@ -6,22 +6,25 @@
 use crate::num::{lin_to_db, Cf32};
 
 /// Mean power (energy per sample) of a complex signal.
+///
+/// The f64 energy reduction runs on the active [`crate::kernels`]
+/// backend (ULP-bounded across backends).
 pub fn mean_power(signal: &[Cf32]) -> f32 {
     if signal.is_empty() {
         return 0.0;
     }
-    let sum: f64 = signal.iter().map(|z| z.norm_sqr() as f64).sum();
-    (sum / signal.len() as f64) as f32
+    (crate::kernels::energy_f64(signal) / signal.len() as f64) as f32
 }
 
 /// Total energy of a complex signal.
 pub fn energy(signal: &[Cf32]) -> f32 {
-    signal.iter().map(|z| z.norm_sqr() as f64).sum::<f64>() as f32
+    crate::kernels::energy_f64(signal) as f32
 }
 
-/// Peak instantaneous power.
+/// Peak instantaneous power (bit-exact across [`crate::kernels`]
+/// backends for finite inputs).
 pub fn peak_power(signal: &[Cf32]) -> f32 {
-    signal.iter().map(|z| z.norm_sqr()).fold(0.0, f32::max)
+    crate::kernels::max_norm_sqr(signal)
 }
 
 /// Scales a signal in place so its mean power becomes `target`.
@@ -49,11 +52,15 @@ pub fn sliding_power(signal: &[Cf32], len: usize) -> Vec<f32> {
     if len == 0 || signal.len() < len {
         return Vec::new();
     }
+    // |z|^2 on the SIMD backend (bit-exact), then the same sequential
+    // f64 prefix accumulation as ever so windows are backend-invariant.
+    let mut sq = vec![0.0f32; signal.len()];
+    crate::kernels::norm_sqr_into(signal, &mut sq);
     let mut prefix = Vec::with_capacity(signal.len() + 1);
     prefix.push(0.0f64);
     let mut acc = 0.0f64;
-    for z in signal {
-        acc += z.norm_sqr() as f64;
+    for &v in &sq {
+        acc += v as f64;
         prefix.push(acc);
     }
     (0..signal.len() - len + 1)

@@ -14,6 +14,7 @@
 //! 2 Mchip/s; the code path is identical at any rate `fs` affords).
 
 use galiot_dsp::fir::Fir;
+use galiot_dsp::kernels;
 use galiot_dsp::mix::mix;
 use galiot_dsp::pulse::half_sine;
 use galiot_dsp::spectral::Band;
@@ -219,16 +220,12 @@ impl DsssPhy {
     /// Correlates one aligned window against all 16 symbol references
     /// and returns the best symbol and its normalized metric.
     fn decide_symbol(&self, window: &[Cf32], refs: &[Vec<Cf32>]) -> (u8, f32) {
-        let energy: f32 = window.iter().map(|z| z.norm_sqr()).sum();
+        let energy: f32 = kernels::energy_f32(window);
         let mut best = (0u8, 0.0f32);
         for (s, r) in refs.iter().enumerate() {
             let n = window.len().min(r.len());
-            let dot: Cf32 = window[..n]
-                .iter()
-                .zip(&r[..n])
-                .map(|(&a, &b)| a * b.conj())
-                .sum();
-            let re: f32 = r[..n].iter().map(|z| z.norm_sqr()).sum();
+            let dot = kernels::dot_conj(&window[..n], &r[..n]);
+            let re: f32 = kernels::energy_f32(&r[..n]);
             let metric = if energy > 0.0 && re > 0.0 {
                 dot.abs() / (energy.sqrt() * re.sqrt())
             } else {

@@ -15,6 +15,7 @@
 use galiot_dsp::chirp::{downchirp, symbol_chirp, upchirp};
 use galiot_dsp::fft::Fft;
 use galiot_dsp::fir::Fir;
+use galiot_dsp::kernels;
 use galiot_dsp::mix::mix;
 use galiot_dsp::spectral::Band;
 use galiot_dsp::window::Window;
@@ -202,7 +203,9 @@ impl LoraPhy {
     /// Demodulates one symbol-aligned window (at rate `bw`,
     /// `2^sf` samples) to its symbol value.
     fn demod_symbol(&self, window: &[Cf32], down: &[Cf32], plan: &Fft) -> u32 {
-        let mut buf: Vec<Cf32> = window.iter().zip(down).map(|(&s, &d)| s * d).collect();
+        let n = window.len().min(down.len());
+        let mut buf = window[..n].to_vec();
+        kernels::mul_in_place(&mut buf, &down[..n]);
         plan.forward(&mut buf);
         galiot_dsp::fft::peak_bin(&buf) as u32
     }
@@ -212,10 +215,12 @@ impl LoraPhy {
     /// bin's share of the window energy (≈1 for a clean aligned chirp,
     /// ≈ln(n)/n for noise).
     fn dechirp_peak(&self, window: &[Cf32], chirp: &[Cf32], plan: &Fft) -> (usize, Cf32, f32) {
-        let mut buf: Vec<Cf32> = window.iter().zip(chirp).map(|(&s, &d)| s * d).collect();
+        let n = window.len().min(chirp.len());
+        let mut buf = window[..n].to_vec();
+        kernels::mul_in_place(&mut buf, &chirp[..n]);
         plan.forward(&mut buf);
         let bin = galiot_dsp::fft::peak_bin(&buf);
-        let total: f32 = buf.iter().map(|z| z.norm_sqr()).sum();
+        let total: f32 = kernels::energy_f32(&buf);
         let q = if total > 0.0 {
             buf[bin].norm_sqr() / total
         } else {
