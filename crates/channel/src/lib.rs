@@ -29,10 +29,23 @@ pub use traffic::{forced_collision, generate, TrafficParams};
 /// patterns only); both are documented in EXPERIMENTS.md. Golden-vector
 /// tests deliberately do *not* use this — their seeds are pinned.
 pub fn scenario_seed(default: u64) -> u64 {
-    match std::env::var("GALIOT_TEST_SEED")
-        .ok()
-        .and_then(|s| s.parse::<u64>().ok())
-    {
+    sweep_seed("GALIOT_TEST_SEED", default)
+}
+
+/// The seed a link-impairment pattern should use: its fixed `default`,
+/// unless `GALIOT_FAULT_SEED` is set — XOR-combined exactly like
+/// [`scenario_seed`], so one environment value sweeps every fault
+/// pattern while distinct links stay decorrelated. Used by the
+/// transport/fleet/failover conformance suites and `galiot-sim`; see
+/// EXPERIMENTS.md.
+pub fn fault_seed(default: u64) -> u64 {
+    sweep_seed("GALIOT_FAULT_SEED", default)
+}
+
+/// Shared sweep rule for the seed knobs: an unset (or unparseable)
+/// variable leaves the default untouched; a set one is XORed in.
+fn sweep_seed(var: &str, default: u64) -> u64 {
+    match std::env::var(var).ok().and_then(|s| s.parse::<u64>().ok()) {
         Some(sweep) => sweep ^ default,
         None => default,
     }

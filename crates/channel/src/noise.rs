@@ -95,8 +95,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         // Packet occupies 10% of the capture.
         let mut sig = vec![Cf32::ZERO; 100_000];
-        for i in 45_000..55_000 {
-            sig[i] = Cf32::cis(i as f32 * 0.3);
+        for (i, z) in sig.iter_mut().enumerate().take(55_000).skip(45_000) {
+            *z = Cf32::cis(i as f32 * 0.3);
         }
         let np = add_awgn_snr(&mut sig, 10.0, 45_000..55_000, &mut rng);
         // Noise power must be 10 dB below the unit packet power.

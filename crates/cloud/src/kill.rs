@@ -459,9 +459,7 @@ mod tests {
             t.start..t.start + t.len,
         );
         // Samples before the span are bit-identical.
-        for i in 0..t.start {
-            assert_eq!(cap.samples[i], killed[i]);
-        }
+        assert_eq!(cap.samples[..t.start], killed[..t.start]);
     }
 
     #[test]

@@ -3,6 +3,100 @@
 use crate::transport::TransportConfig;
 use galiot_cloud::CloudParams;
 use galiot_gateway::{FrontEndParams, LinkFaults};
+use std::fmt;
+
+/// Why a [`GaliotConfig`] was rejected by [`GaliotConfig::validate`]
+/// or one of the `try_with_*` builders.
+///
+/// Every variant names a *silently-degenerate* configuration: one the
+/// pipelines would accept without an immediate error but that cannot
+/// behave as a deployment (or a randomized scenario generator) means
+/// it to — a wedged fleet, a guard that never fires, a capture rate of
+/// zero. `galiot-sim`'s `ScenarioGen` relies on these checks to reject
+/// invalid samples instead of chasing phantom conformance failures.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// A numeric knob that must be finite and strictly positive
+    /// (e.g. `fs`, `backhaul_bps`) is not.
+    NonPositive {
+        /// The field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A numeric knob that must be finite and non-negative
+    /// (e.g. `edge_cluster_guard_s`, `detect_threshold`) is not.
+    Negative {
+        /// The field name.
+        field: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A count that must be at least one (e.g. `gateways`,
+    /// `max_expected_payload`, an explicit ingest shard count) is zero.
+    ZeroCount {
+        /// The field name.
+        field: &'static str,
+    },
+    /// `compression_bits` (or the transport's degradation floor
+    /// `min_bits`) outside the representable 1..=16 range, or a floor
+    /// above the configured starting bits.
+    BadCompressionBits {
+        /// Configured bits per I/Q rail.
+        bits: u32,
+        /// Degradation-ladder floor.
+        min_bits: u32,
+    },
+    /// A [`CrashSpec`] names a session index outside `0..gateways`:
+    /// the crash would never fire and the scenario silently tests
+    /// nothing.
+    CrashSessionOutOfRange {
+        /// The offending session index.
+        session: usize,
+        /// The configured fleet size.
+        gateways: usize,
+    },
+    /// A no-restart [`CrashSpec`] while `liveness_horizon == 0`
+    /// (eviction disabled): the dead session's merge watermark is
+    /// never finalized and the fleet wedges instead of failing over.
+    CrashWithoutEviction {
+        /// The session whose crash could never be reaped.
+        session: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NonPositive { field, value } => {
+                write!(f, "{field} must be finite and > 0 (got {value})")
+            }
+            ConfigError::Negative { field, value } => {
+                write!(f, "{field} must be finite and >= 0 (got {value})")
+            }
+            ConfigError::ZeroCount { field } => {
+                write!(f, "{field} must be at least 1 (got 0)")
+            }
+            ConfigError::BadCompressionBits { bits, min_bits } => write!(
+                f,
+                "compression bits must satisfy 1 <= min_bits <= bits <= 16 \
+                 (got bits={bits}, min_bits={min_bits})"
+            ),
+            ConfigError::CrashSessionOutOfRange { session, gateways } => write!(
+                f,
+                "crash spec names session {session} but the fleet has only \
+                 {gateways} gateway(s) (sessions 0..{gateways}); the crash would never fire"
+            ),
+            ConfigError::CrashWithoutEviction { session } => write!(
+                f,
+                "session {session} crashes without restart while liveness_horizon = 0 \
+                 (eviction disabled): the fleet would wedge on its unfinalized watermark"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Which packet detector the gateway runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -223,6 +317,127 @@ impl GaliotConfig {
             self.effective_cloud_workers()
         }
     }
+
+    /// Checks the configuration for silently-degenerate knob
+    /// combinations (see [`ConfigError`] for the catalogue). The
+    /// pipeline constructors ([`crate::Galiot::new`],
+    /// [`crate::StreamingGaliot::start`], [`crate::FleetGaliot::start`])
+    /// assert this, so an invalid configuration fails loudly at
+    /// construction instead of wedging or quietly testing nothing.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        fn positive(field: &'static str, value: f64) -> Result<(), ConfigError> {
+            if value.is_finite() && value > 0.0 {
+                Ok(())
+            } else {
+                Err(ConfigError::NonPositive { field, value })
+            }
+        }
+        fn non_negative(field: &'static str, value: f64) -> Result<(), ConfigError> {
+            if value.is_finite() && value >= 0.0 {
+                Ok(())
+            } else {
+                Err(ConfigError::Negative { field, value })
+            }
+        }
+        positive("fs", self.fs)?;
+        non_negative("detect_threshold", self.detect_threshold as f64)?;
+        non_negative("edge_cluster_guard_s", self.edge_cluster_guard_s)?;
+        positive("backhaul_bps", self.backhaul_bps)?;
+        non_negative("backhaul_latency_s", self.backhaul_latency_s)?;
+        if self.max_expected_payload == 0 {
+            return Err(ConfigError::ZeroCount {
+                field: "max_expected_payload",
+            });
+        }
+        if self.gateways == 0 {
+            return Err(ConfigError::ZeroCount { field: "gateways" });
+        }
+        let bits = self.compression_bits;
+        let min_bits = self.transport.min_bits;
+        if bits == 0 || bits > 16 || min_bits == 0 || min_bits > bits {
+            return Err(ConfigError::BadCompressionBits { bits, min_bits });
+        }
+        if self.transport.send_queue_cap == 0 {
+            return Err(ConfigError::ZeroCount {
+                field: "transport.send_queue_cap",
+            });
+        }
+        for c in &self.crashes {
+            if c.session >= self.gateways {
+                return Err(ConfigError::CrashSessionOutOfRange {
+                    session: c.session,
+                    gateways: self.gateways,
+                });
+            }
+            if !c.restart && self.liveness_horizon == 0 {
+                return Err(ConfigError::CrashWithoutEviction { session: c.session });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`GaliotConfig::validate`] as a consuming builder finisher:
+    /// `config.with_gateways(n).with_crash(...).validated()?`.
+    pub fn validated(self) -> Result<Self, ConfigError> {
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// [`GaliotConfig::with_gateways`], rejecting a zero-session fleet.
+    pub fn try_with_gateways(self, gateways: usize) -> Result<Self, ConfigError> {
+        if gateways == 0 {
+            return Err(ConfigError::ZeroCount { field: "gateways" });
+        }
+        Ok(self.with_gateways(gateways))
+    }
+
+    /// [`GaliotConfig::with_ingest_shards`], rejecting an *explicit*
+    /// zero shard count (auto-sizing is expressed by not calling this;
+    /// an explicit 0 is almost always a generator bug, not a request
+    /// for one-shard-per-worker).
+    pub fn try_with_ingest_shards(self, shards: usize) -> Result<Self, ConfigError> {
+        if shards == 0 {
+            return Err(ConfigError::ZeroCount {
+                field: "ingest_shards",
+            });
+        }
+        Ok(self.with_ingest_shards(shards))
+    }
+
+    /// [`GaliotConfig::with_liveness_horizon`], rejecting an *explicit*
+    /// `0` (which disables eviction and lets a dead session wedge the
+    /// fleet; disabling on purpose goes through the raw field or the
+    /// unchecked builder).
+    pub fn try_with_liveness_horizon(self, horizon: u64) -> Result<Self, ConfigError> {
+        if horizon == 0 {
+            return Err(ConfigError::ZeroCount {
+                field: "liveness_horizon",
+            });
+        }
+        Ok(self.with_liveness_horizon(horizon))
+    }
+
+    /// [`GaliotConfig::with_crash`], rejecting a session index outside
+    /// the configured fleet and a no-restart crash the liveness reaper
+    /// could never evict. Set `gateways` (and any custom
+    /// `liveness_horizon`) before injecting crashes.
+    pub fn try_with_crash(
+        self,
+        session: usize,
+        after_segments: u64,
+        restart: bool,
+    ) -> Result<Self, ConfigError> {
+        if session >= self.gateways {
+            return Err(ConfigError::CrashSessionOutOfRange {
+                session,
+                gateways: self.gateways,
+            });
+        }
+        if !restart && self.liveness_horizon == 0 {
+            return Err(ConfigError::CrashWithoutEviction { session });
+        }
+        Ok(self.with_crash(session, after_segments, restart))
+    }
 }
 
 #[cfg(test)]
@@ -259,6 +474,132 @@ mod tests {
         assert_eq!(c.cloud_workers, 0);
         assert!(c.effective_cloud_workers() >= 1);
         assert_eq!(c.clone().with_cloud_workers(3).effective_cloud_workers(), 3);
+    }
+
+    #[test]
+    fn default_and_prototype_configs_validate() {
+        GaliotConfig::default().validate().unwrap();
+        GaliotConfig::prototype()
+            .with_gateways(4)
+            .with_cloud_workers(4)
+            .with_crash(2, 3, true)
+            .validated()
+            .unwrap();
+    }
+
+    #[test]
+    fn degenerate_knobs_are_rejected() {
+        // fs must be finite and positive.
+        let mut c = GaliotConfig::prototype();
+        c.fs = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositive { field: "fs", .. })
+        ));
+        c.fs = f64::NAN;
+        assert!(c.validate().is_err());
+
+        // A negative collision cluster guard can never fire.
+        let mut c = GaliotConfig::prototype();
+        c.edge_cluster_guard_s = -1.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::Negative {
+                field: "edge_cluster_guard_s",
+                ..
+            })
+        ));
+
+        // Compression outside 1..=16 bits, or a floor above the start.
+        let mut c = GaliotConfig::prototype();
+        c.compression_bits = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::BadCompressionBits { .. })
+        ));
+        let mut c = GaliotConfig::prototype();
+        c.compression_bits = 2;
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::BadCompressionBits {
+                bits: 2,
+                min_bits: 4
+            }),
+            "degradation floor above the starting bits must be rejected"
+        );
+
+        // A zero-session fleet and an empty payload budget.
+        let mut c = GaliotConfig::prototype();
+        c.gateways = 0;
+        assert!(c.validate().is_err());
+        let mut c = GaliotConfig::prototype();
+        c.max_expected_payload = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn crash_specs_are_cross_checked() {
+        // A crash aimed past the fleet never fires.
+        let c = GaliotConfig::prototype()
+            .with_gateways(2)
+            .with_crash(2, 0, false);
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CrashSessionOutOfRange {
+                session: 2,
+                gateways: 2
+            })
+        );
+        // A no-restart crash with eviction disabled wedges the fleet.
+        let c = GaliotConfig::prototype()
+            .with_gateways(2)
+            .with_liveness_horizon(0)
+            .with_crash(0, 0, false);
+        assert_eq!(
+            c.validate(),
+            Err(ConfigError::CrashWithoutEviction { session: 0 })
+        );
+        // The same crash with restart is fine: the replacement's
+        // registration supersedes the dead epoch without the reaper.
+        GaliotConfig::prototype()
+            .with_gateways(2)
+            .with_liveness_horizon(0)
+            .with_crash(0, 0, true)
+            .validated()
+            .unwrap();
+    }
+
+    #[test]
+    fn try_builders_reject_what_with_builders_accept() {
+        assert!(GaliotConfig::prototype().try_with_gateways(0).is_err());
+        assert!(GaliotConfig::prototype().try_with_ingest_shards(0).is_err());
+        assert!(GaliotConfig::prototype()
+            .try_with_liveness_horizon(0)
+            .is_err());
+        assert!(GaliotConfig::prototype()
+            .try_with_crash(1, 0, true)
+            .is_err());
+        let c = GaliotConfig::prototype()
+            .try_with_gateways(3)
+            .unwrap()
+            .try_with_ingest_shards(5)
+            .unwrap()
+            .try_with_liveness_horizon(16)
+            .unwrap()
+            .try_with_crash(1, 2, false)
+            .unwrap();
+        assert_eq!(c.gateways, 3);
+        assert_eq!(c.ingest_shards, 5);
+        assert_eq!(c.liveness_horizon, 16);
+        assert_eq!(
+            c.crashes,
+            vec![CrashSpec {
+                session: 1,
+                after_segments: 2,
+                restart: false
+            }]
+        );
+        c.validated().unwrap();
     }
 
     #[test]

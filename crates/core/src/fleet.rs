@@ -112,7 +112,15 @@ impl FleetGaliot {
     /// Spawns `config.gateways` session supervisors (wire ids 1..=N),
     /// a shared pool of `config.effective_cloud_workers()` decode
     /// workers, and the fleet merge.
+    ///
+    /// # Panics
+    /// Panics if `config` fails [`GaliotConfig::validate`] — in
+    /// particular a crash spec the liveness reaper could never evict
+    /// must be rejected here rather than wedge the merge.
     pub fn start(config: GaliotConfig, phy_registry: Registry) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid GaliotConfig: {e}");
+        }
         let fs = config.fs;
         let n_gateways = config.gateways.max(1);
         let n_workers = config.effective_cloud_workers();

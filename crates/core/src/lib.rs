@@ -39,7 +39,7 @@ pub mod sensing;
 pub mod streaming;
 pub mod transport;
 
-pub use config::{CrashSpec, DetectorKind, GaliotConfig};
+pub use config::{ConfigError, CrashSpec, DetectorKind, GaliotConfig};
 pub use fleet::FleetGaliot;
 /// Re-export of the observability layer so downstream users can start
 /// trace sessions without depending on `galiot-trace` directly.

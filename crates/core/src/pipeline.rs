@@ -51,7 +51,15 @@ pub struct Galiot {
 
 impl Galiot {
     /// Builds the system for a technology registry.
+    ///
+    /// # Panics
+    /// Panics if `config` fails [`GaliotConfig::validate`] — a
+    /// silently-degenerate configuration must fail at construction,
+    /// not mid-capture.
     pub fn new(config: GaliotConfig, registry: Registry) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid GaliotConfig: {e}");
+        }
         let detector: Box<dyn PacketDetector> = match config.detector {
             DetectorKind::Energy => Box::new(EnergyDetector {
                 threshold_db: if config.detect_threshold > 0.0 {

@@ -149,7 +149,15 @@ pub struct StreamingGaliot {
 impl StreamingGaliot {
     /// Spawns the gateway, `config.effective_cloud_workers()` cloud
     /// decode workers, and the reassembly stage.
+    ///
+    /// # Panics
+    /// Panics if `config` fails [`GaliotConfig::validate`] — a
+    /// silently-degenerate configuration must fail at construction,
+    /// not hang a live pipeline.
     pub fn start(config: GaliotConfig, registry: Registry) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid GaliotConfig: {e}");
+        }
         let fs = config.fs;
         let n_workers = config.effective_cloud_workers();
         let engine_before = galiot_dsp::engine::stats();

@@ -394,6 +394,25 @@ fn from_code(c: u8) -> Backend {
     }
 }
 
+/// The backend `GALIOT_DSP_BACKEND` currently requests, if any:
+/// `None` when the variable is unset, empty, or `auto`;
+/// `Some(Err(value))` when it is set to an unknown name;
+/// `Some(Ok(backend))` otherwise (whether or not the CPU supports it).
+///
+/// This reads the environment on every call — unlike [`active`], which
+/// resolves once per process — so the seed-knob plumbing tests and
+/// `galiot-sim`'s repro bundles can report what the environment *asks
+/// for* next to what the process actually runs.
+pub fn env_request() -> Option<Result<Backend, String>> {
+    match std::env::var("GALIOT_DSP_BACKEND") {
+        Ok(v) if !v.is_empty() && !v.eq_ignore_ascii_case("auto") => match Backend::from_name(&v) {
+            Some(req) => Some(Ok(req)),
+            None => Some(Err(v)),
+        },
+        _ => None,
+    }
+}
+
 fn resolve_from_env() -> Backend {
     match std::env::var("GALIOT_DSP_BACKEND") {
         Ok(v) if !v.is_empty() && !v.eq_ignore_ascii_case("auto") => match Backend::from_name(&v) {
@@ -1318,7 +1337,7 @@ mod tests {
             assert!(oz.iter().all(|z| *z == Cf32::ZERO));
             // More taps than input: bounds-checked, finite.
             let mut short = vec![Cf32::ZERO; 3];
-            backend.fir_same(&vec![0.1; 33], &wave(3), &mut short);
+            backend.fir_same(&[0.1; 33], &wave(3), &mut short);
             assert!(short.iter().all(|z| !z.is_degenerate()));
         }
     }

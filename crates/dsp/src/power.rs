@@ -126,8 +126,8 @@ mod tests {
     #[test]
     fn sliding_power_detects_burst() {
         let mut s = vec![Cf32::ZERO; 300];
-        for i in 100..200 {
-            s[i] = Cf32::ONE;
+        for z in s.iter_mut().take(200).skip(100) {
+            *z = Cf32::ONE;
         }
         let p = sliding_power(&s, 50);
         assert!(p[0] < 1e-6);

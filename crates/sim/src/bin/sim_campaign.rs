@@ -1,0 +1,132 @@
+//! `sim_campaign` — run a seeded randomized scenario campaign.
+//!
+//! ```text
+//! sim_campaign --seed 7 --count 100                 # a nightly-sized sweep
+//! sim_campaign --seed 7 --count 8 --spec smoke      # the PR-gating smoke
+//! sim_campaign --replay-seed 123456789 --oracle fleet_batch
+//!                                                   # replay one repro
+//! sim_campaign --list-oracles
+//! ```
+//!
+//! Exit status: 0 when every applicable oracle passed on every
+//! scenario, 1 on any failure (each failure prints a self-contained
+//! repro bundle), 2 on usage errors. `--report PATH` additionally
+//! writes the full JSON report for CI artifact upload.
+
+use galiot_sim::campaign::{run_campaign, CampaignOptions};
+use galiot_sim::oracle;
+use galiot_sim::spec::CampaignSpec;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sim_campaign [--seed N] [--count N] [--spec smoke|k=v,k=v] \
+         [--oracle NAME[,NAME...]] [--replay-seed N] [--report PATH] \
+         [--no-shrink] [--shrink-budget N] [--quiet] [--list-oracles]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(flag: &str, v: Option<String>) -> u64 {
+    match v.and_then(|v| v.parse().ok()) {
+        Some(n) => n,
+        None => {
+            eprintln!("sim_campaign: {flag} needs an unsigned integer");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let mut opts = CampaignOptions {
+        quiet: false,
+        ..Default::default()
+    };
+    let mut report_path: Option<String> = None;
+    let mut oracle_filter: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => opts.seed = parse_u64("--seed", args.next()),
+            "--count" => opts.count = parse_u64("--count", args.next()) as usize,
+            "--replay-seed" => opts.replay_seed = Some(parse_u64("--replay-seed", args.next())),
+            "--shrink-budget" => {
+                opts.shrink_budget = parse_u64("--shrink-budget", args.next()) as usize
+            }
+            "--no-shrink" => opts.shrink = false,
+            "--quiet" => opts.quiet = true,
+            "--spec" => match args.next() {
+                Some(s) if s == "smoke" => opts.spec = CampaignSpec::smoke(),
+                Some(s) => match CampaignSpec::parse(&s) {
+                    Ok(spec) => opts.spec = spec,
+                    Err(e) => {
+                        eprintln!("sim_campaign: --spec: {e}");
+                        usage()
+                    }
+                },
+                None => usage(),
+            },
+            "--oracle" => match args.next() {
+                Some(s) => oracle_filter = Some(s),
+                None => usage(),
+            },
+            "--report" => match args.next() {
+                Some(p) => report_path = Some(p),
+                None => usage(),
+            },
+            "--list-oracles" => {
+                for o in oracle::registry() {
+                    println!("{:20} {}", o.name, o.describe);
+                }
+                let dev = oracle::broken_dev();
+                println!("{:20} {}", dev.name, dev.describe);
+                return;
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("sim_campaign: unknown argument `{other}`");
+                usage()
+            }
+        }
+    }
+
+    if let Some(filter) = &oracle_filter {
+        let mut selected = Vec::new();
+        for name in filter.split(',').filter(|n| !n.trim().is_empty()) {
+            match oracle::find(name.trim()) {
+                Some(o) => selected.push(o),
+                None => {
+                    eprintln!("sim_campaign: unknown oracle `{name}` (try --list-oracles)");
+                    usage()
+                }
+            }
+        }
+        if selected.is_empty() {
+            eprintln!("sim_campaign: --oracle selected nothing");
+            usage()
+        }
+        opts.oracles = selected;
+    }
+
+    let report = run_campaign(&opts);
+
+    for failure in &report.failures {
+        println!("{}", report.render_repro(failure));
+    }
+    if let Some(path) = report_path {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("sim_campaign: cannot write report to {path}: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("sim_campaign: report written to {path}");
+    }
+
+    let (pass, fail, skip) = report.tally();
+    println!(
+        "sim_campaign: campaign_seed={} scenarios={} oracle_cells: {pass} pass, \
+         {fail} fail, {skip} skip",
+        report.campaign_seed,
+        report.scenarios.len()
+    );
+    std::process::exit(if report.all_green() { 0 } else { 1 });
+}

@@ -1,0 +1,208 @@
+//! Greedy scenario minimization.
+//!
+//! When an oracle fails, the raw scenario is rarely the story — the
+//! story is the smallest scenario that still fails. The shrinker walks
+//! a fixed candidate ladder (cheapest structural deletions first:
+//! drop the crash, clean the link, collapse the fleet, then
+//! delta-debug the transmissions, then zero the analog knobs), accepts
+//! any candidate on which the *same oracle* still fails — re-checked
+//! through the full panic/deadline fence — and restarts the ladder
+//! from the smaller scenario until a whole pass yields nothing or the
+//! check budget runs out. Every candidate is [`Scenario::validate`]d
+//! first, so shrinking can never wander outside the generator's value
+//! space.
+
+use std::sync::Arc;
+
+use galiot_phy::registry::Registry;
+
+use crate::oracle::{build, guarded_check, Oracle};
+use crate::scenario::Scenario;
+
+/// The result of a shrink run.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The smallest failing scenario found.
+    pub scenario: Scenario,
+    /// Oracle checks spent (each one builds and runs pipelines).
+    pub attempts: usize,
+    /// Whether any candidate improved on the original.
+    pub improved: bool,
+}
+
+/// Minimizes `scenario` against `oracle` within `budget` fenced oracle
+/// checks. The input must already fail the oracle; the output is
+/// guaranteed to fail it too (it is only ever replaced by a failing
+/// candidate).
+pub fn shrink(scenario: &Scenario, oracle: &Oracle, budget: usize) -> ShrinkOutcome {
+    let mut current = scenario.clone();
+    let mut attempts = 0;
+    let mut improved = false;
+
+    'outer: loop {
+        for candidate in candidates(&current) {
+            if attempts >= budget {
+                break 'outer;
+            }
+            if candidate == current || candidate.validate().is_err() {
+                continue;
+            }
+            attempts += 1;
+            let built = Arc::new(build(&candidate));
+            if guarded_check(oracle, &candidate, &built).is_err() {
+                current = candidate;
+                improved = true;
+                continue 'outer; // restart the ladder from the smaller scenario
+            }
+        }
+        break;
+    }
+
+    ShrinkOutcome {
+        scenario: current,
+        attempts,
+        improved,
+    }
+}
+
+/// The candidate ladder for one scenario, cheapest deletion first.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let mut push = |f: &dyn Fn(&mut Scenario)| {
+        let mut c = s.clone();
+        f(&mut c);
+        out.push(c);
+    };
+
+    // Structural deletions.
+    if s.crash.is_some() {
+        push(&|c| c.crash = None);
+    }
+    if s.loss > 0.0 {
+        push(&|c| c.loss = 0.0);
+    }
+    if s.gateways > 1 {
+        // Collapsing the fleet invalidates any crash session index.
+        push(&|c| {
+            c.gateways = 1;
+            c.crash = None;
+        });
+    }
+    if s.shards != 0 {
+        push(&|c| c.shards = 0);
+    }
+    if s.workers > 1 {
+        push(&|c| c.workers = 1);
+    }
+    if s.chunk != 65_536 {
+        push(&|c| c.chunk = 65_536);
+    }
+
+    // Delta-debug the transmissions: halves, then singles (from the
+    // back, so earlier indices stay stable while later ones vanish).
+    if s.txs.len() > 1 {
+        let mid = s.txs.len() / 2;
+        push(&|c| c.txs.truncate(mid));
+        push(&|c| {
+            c.txs.drain(..mid);
+        });
+        for i in (0..s.txs.len()).rev() {
+            push(&move |c: &mut Scenario| {
+                c.txs.remove(i);
+            });
+        }
+    }
+
+    // Analog simplifications.
+    if s.txs.iter().any(|t| t.is_impaired()) {
+        push(&|c| {
+            for t in &mut c.txs {
+                t.cfo_ppm = 0.0;
+                t.phase = 0.0;
+            }
+        });
+        for i in 0..s.txs.len() {
+            if s.txs[i].is_impaired() {
+                push(&move |c: &mut Scenario| {
+                    c.txs[i].cfo_ppm = 0.0;
+                    c.txs[i].phase = 0.0;
+                });
+            }
+        }
+    }
+    for i in 0..s.txs.len() {
+        if s.txs[i].payload.len() > 2 {
+            push(&move |c: &mut Scenario| c.txs[i].payload.truncate(2));
+        }
+    }
+    if s.snr_db < 30.0 {
+        push(&|c| c.snr_db = 30.0);
+    }
+
+    // Trim the dead tail off the capture.
+    let floor = min_capture(s);
+    if s.capture_len > floor {
+        push(&move |c: &mut Scenario| c.capture_len = floor);
+    }
+
+    out
+}
+
+/// The smallest capture that still fits every transmission plus the
+/// scheduling margin the generator leaves.
+fn min_capture(s: &Scenario) -> usize {
+    let registry = Registry::prototype();
+    s.txs
+        .iter()
+        .filter_map(|t| {
+            registry
+                .get(t.tech)
+                .map(|h| t.start + h.modulate(&t.payload, Scenario::FS).len())
+        })
+        .max()
+        .unwrap_or(0)
+        + 30_000
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::oracle::broken_dev;
+    use crate::spec::CampaignSpec;
+
+    /// Find a generated scenario the broken dev oracle rejects, shrink
+    /// it, and confirm the minimum: exactly two transmissions, single
+    /// gateway, clean link, minimal payloads — and still failing.
+    #[test]
+    fn shrinks_a_broken_dev_failure_to_two_clean_txs() {
+        let spec = CampaignSpec {
+            max_capture: 600_000,
+            deadline_s: 120.0,
+            ..CampaignSpec::default()
+        };
+        let oracle = broken_dev();
+        let seed = (0..200u64)
+            .find(|&s| generate(&spec, s).txs.len() >= 3)
+            .expect("some seed yields >= 3 txs");
+        let scenario = generate(&spec, seed);
+        let built = Arc::new(build(&scenario));
+        assert!(guarded_check(&oracle, &scenario, &built).is_err());
+
+        let outcome = shrink(&scenario, &oracle, 100);
+        let min = &outcome.scenario;
+        assert!(outcome.improved);
+        assert_eq!(min.txs.len(), 2, "minimal failing tx count: {min:?}");
+        assert_eq!(min.gateways, 1, "fleet not collapsed: {min:?}");
+        assert_eq!(min.loss, 0.0, "link not cleaned: {min:?}");
+        assert!(min.crash.is_none(), "crash not dropped: {min:?}");
+        assert!(
+            min.txs.iter().all(|t| !t.is_impaired()),
+            "impairments not zeroed: {min:?}"
+        );
+        min.validate().expect("minimized scenario stays valid");
+        // The minimum still fails — the shrinker's core guarantee.
+        let built = Arc::new(build(min));
+        assert!(guarded_check(&oracle, min, &built).is_err());
+    }
+}

@@ -1,0 +1,216 @@
+//! Campaign tuning: the bounds the scenario generator samples within.
+//!
+//! A [`CampaignSpec`] is the knob surface of a campaign — how many
+//! transmissions, which SNR regime, how large a fleet, how faulty the
+//! links. Specs parse from the `sim_campaign --spec` flag as
+//! `key=value` pairs separated by `,` so CI jobs can pin a cheap smoke
+//! spec while the nightly sweep runs a wide one.
+
+/// Bounds for the scenario generator. All ranges are inclusive.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignSpec {
+    /// Maximum transmissions per capture (min is 1).
+    pub max_txs: usize,
+    /// SNR regime, dB. The default floor (15 dB) stays inside the
+    /// regime where the conformance invariants are unconditional —
+    /// every clean packet decodes, so the batch reference is exact.
+    pub min_snr_db: f32,
+    /// Upper SNR bound, dB.
+    pub max_snr_db: f32,
+    /// Maximum gateway sessions (1 disables fleet scenarios).
+    pub max_gateways: usize,
+    /// Maximum cloud decode workers.
+    pub max_workers: usize,
+    /// Probability a scenario runs over a faulty gateway→cloud link.
+    pub fault_prob: f64,
+    /// Maximum datagram loss rate on a faulty link.
+    pub max_loss: f64,
+    /// Probability a fleet scenario (gateways >= 2) injects a crash.
+    pub crash_prob: f64,
+    /// Probability a scenario allows collisions between transmissions.
+    pub collision_prob: f64,
+    /// Maximum capture length in samples (caps per-scenario cost).
+    pub max_capture: usize,
+    /// Maximum payload length in bytes (min is 2).
+    pub max_payload: usize,
+    /// Watchdog deadline for any single oracle check, seconds.
+    pub deadline_s: f64,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            max_txs: 4,
+            min_snr_db: 15.0,
+            max_snr_db: 30.0,
+            max_gateways: 3,
+            max_workers: 4,
+            fault_prob: 0.3,
+            max_loss: 0.05,
+            crash_prob: 0.25,
+            collision_prob: 0.4,
+            max_capture: 900_000,
+            max_payload: 8,
+            deadline_s: 120.0,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// A deliberately tiny spec for PR-gating smoke campaigns: short
+    /// captures, small fleets, cheap everywhere.
+    pub fn smoke() -> Self {
+        CampaignSpec {
+            max_txs: 2,
+            max_gateways: 2,
+            max_workers: 2,
+            fault_prob: 0.25,
+            max_loss: 0.02,
+            crash_prob: 0.2,
+            max_capture: 500_000,
+            deadline_s: 120.0,
+            ..Default::default()
+        }
+    }
+
+    /// Parses `key=value` pairs separated by commas, starting from the
+    /// defaults — `"max_txs=2,fault_prob=0"` overrides two knobs.
+    /// Unknown keys and malformed values are hard errors: a typo in a
+    /// CI spec must fail the job, not silently run the default sweep.
+    pub fn parse(s: &str) -> Result<CampaignSpec, String> {
+        let mut spec = CampaignSpec::default();
+        for pair in s.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("spec entry `{pair}` is not key=value"))?;
+            let key = key.trim();
+            let value = value.trim();
+            fn num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, String> {
+                value
+                    .parse()
+                    .map_err(|_| format!("spec key `{key}`: bad value `{value}`"))
+            }
+            match key {
+                "max_txs" => spec.max_txs = num(key, value)?,
+                "min_snr_db" => spec.min_snr_db = num(key, value)?,
+                "max_snr_db" => spec.max_snr_db = num(key, value)?,
+                "max_gateways" => spec.max_gateways = num(key, value)?,
+                "max_workers" => spec.max_workers = num(key, value)?,
+                "fault_prob" => spec.fault_prob = num(key, value)?,
+                "max_loss" => spec.max_loss = num(key, value)?,
+                "crash_prob" => spec.crash_prob = num(key, value)?,
+                "collision_prob" => spec.collision_prob = num(key, value)?,
+                "max_capture" => spec.max_capture = num(key, value)?,
+                "max_payload" => spec.max_payload = num(key, value)?,
+                "deadline_s" => spec.deadline_s = num(key, value)?,
+                _ => return Err(format!("unknown spec key `{key}`")),
+            }
+        }
+        spec.check()?;
+        Ok(spec)
+    }
+
+    /// Rejects specs the generator cannot sample from.
+    pub fn check(&self) -> Result<(), String> {
+        if self.max_txs == 0 {
+            return Err("max_txs must be >= 1".into());
+        }
+        if self.max_gateways == 0 || self.max_workers == 0 {
+            return Err("max_gateways and max_workers must be >= 1".into());
+        }
+        if self.min_snr_db.is_nan() || self.max_snr_db.is_nan() || self.min_snr_db > self.max_snr_db
+        {
+            return Err(format!(
+                "SNR range is empty: {}..{}",
+                self.min_snr_db, self.max_snr_db
+            ));
+        }
+        if self.max_payload < 2 {
+            return Err("max_payload must be >= 2".into());
+        }
+        // The longest prototype frame (8-byte LoRa) plus scheduling
+        // margin must fit, or the generator cannot place even one tx.
+        if self.max_capture < 300_000 {
+            return Err("max_capture must be >= 300000 samples".into());
+        }
+        if !(self.deadline_s.is_finite() && self.deadline_s > 0.0) {
+            return Err("deadline_s must be > 0".into());
+        }
+        for (name, p) in [
+            ("fault_prob", self.fault_prob),
+            ("crash_prob", self.crash_prob),
+            ("collision_prob", self.collision_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0, 1] (got {p})"));
+            }
+        }
+        if !(0.0..=0.2).contains(&self.max_loss) {
+            return Err(format!(
+                "max_loss must be in [0, 0.2] (got {}) — beyond that the \
+                 repairable-transport guarantee is not conformance-backed",
+                self.max_loss
+            ));
+        }
+        Ok(())
+    }
+
+    /// The spec as `key=value` pairs (re-parsable by [`Self::parse`]),
+    /// echoed into reports and repro bundles.
+    pub fn render(&self) -> String {
+        format!(
+            "max_txs={},min_snr_db={},max_snr_db={},max_gateways={},max_workers={},\
+             fault_prob={},max_loss={},crash_prob={},collision_prob={},\
+             max_capture={},max_payload={},deadline_s={}",
+            self.max_txs,
+            self.min_snr_db,
+            self.max_snr_db,
+            self.max_gateways,
+            self.max_workers,
+            self.fault_prob,
+            self.max_loss,
+            self.crash_prob,
+            self.collision_prob,
+            self.max_capture,
+            self.max_payload,
+            self.deadline_s
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_round_trips_through_render_and_parse() {
+        let spec = CampaignSpec::default();
+        let parsed = CampaignSpec::parse(&spec.render()).expect("parse own render");
+        assert_eq!(spec, parsed);
+    }
+
+    #[test]
+    fn overrides_apply_on_top_of_defaults() {
+        let spec = CampaignSpec::parse("max_txs=2, fault_prob=0").expect("parse");
+        assert_eq!(spec.max_txs, 2);
+        assert_eq!(spec.fault_prob, 0.0);
+        assert_eq!(spec.max_gateways, CampaignSpec::default().max_gateways);
+    }
+
+    #[test]
+    fn typos_and_degenerate_specs_are_hard_errors() {
+        assert!(CampaignSpec::parse("max_tsx=2").is_err());
+        assert!(CampaignSpec::parse("max_txs").is_err());
+        assert!(CampaignSpec::parse("max_txs=zero").is_err());
+        assert!(CampaignSpec::parse("max_txs=0").is_err());
+        assert!(CampaignSpec::parse("min_snr_db=20,max_snr_db=10").is_err());
+        assert!(CampaignSpec::parse("max_loss=0.9").is_err());
+        assert!(CampaignSpec::parse("crash_prob=1.5").is_err());
+        assert!(CampaignSpec::parse("max_capture=1000").is_err());
+    }
+
+    #[test]
+    fn smoke_spec_is_valid() {
+        CampaignSpec::smoke().check().expect("smoke spec");
+    }
+}

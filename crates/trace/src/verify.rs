@@ -283,15 +283,17 @@ mod tests {
 
     #[test]
     fn terminal_accounting_accepts_complete_chains() {
-        let mut trace = Trace::default();
-        trace.events = vec![
-            event(EventKind::Ship, 0, 10),
-            event(EventKind::Ship, 1, 11),
-            event(EventKind::Ship, 2, 12),
-            event(EventKind::Decode, 0, 20),
-            event(EventKind::Shed, 1, 21),
-            event(EventKind::Lost, 2, 22),
-        ];
+        let trace = Trace {
+            events: vec![
+                event(EventKind::Ship, 0, 10),
+                event(EventKind::Ship, 1, 11),
+                event(EventKind::Ship, 2, 12),
+                event(EventKind::Decode, 0, 20),
+                event(EventKind::Shed, 1, 21),
+                event(EventKind::Lost, 2, 22),
+            ],
+            ..Default::default()
+        };
         let acc = check_ship_terminals(&trace).unwrap();
         assert_eq!(
             acc,
@@ -306,20 +308,24 @@ mod tests {
 
     #[test]
     fn terminal_accounting_rejects_swallowed_segments() {
-        let mut trace = Trace::default();
-        trace.events = vec![
-            event(EventKind::Ship, 0, 10),
-            event(EventKind::Ship, 1, 11),
-            event(EventKind::Decode, 0, 20),
-        ];
+        let trace = Trace {
+            events: vec![
+                event(EventKind::Ship, 0, 10),
+                event(EventKind::Ship, 1, 11),
+                event(EventKind::Decode, 0, 20),
+            ],
+            ..Default::default()
+        };
         let err = check_ship_terminals(&trace).unwrap_err();
         assert!(err.contains("seq 1"), "{err}");
     }
 
     #[test]
     fn terminal_accounting_rejects_unshipped_terminals() {
-        let mut trace = Trace::default();
-        trace.events = vec![event(EventKind::Decode, 5, 20)];
+        let trace = Trace {
+            events: vec![event(EventKind::Decode, 5, 20)],
+            ..Default::default()
+        };
         let err = check_ship_terminals(&trace).unwrap_err();
         assert!(err.contains("never shipped"), "{err}");
     }
@@ -327,20 +333,22 @@ mod tests {
     #[test]
     fn gateway_accounting_splits_sessions_and_survives_overlapping_seqs() {
         use crate::tag_seq;
-        let mut trace = Trace::default();
         // Gateways 1 and 2 both emit seqs {0, 1}; gateway 0 emits seq 0.
-        trace.events = vec![
-            event(EventKind::Ship, tag_seq(1, 0), 1),
-            event(EventKind::Ship, tag_seq(1, 1), 2),
-            event(EventKind::Ship, tag_seq(2, 0), 3),
-            event(EventKind::Ship, tag_seq(2, 1), 4),
-            event(EventKind::Ship, tag_seq(0, 0), 5),
-            event(EventKind::Decode, tag_seq(1, 0), 10),
-            event(EventKind::Decode, tag_seq(1, 1), 11),
-            event(EventKind::Lost, tag_seq(2, 0), 12),
-            event(EventKind::Shed, tag_seq(2, 1), 13),
-            event(EventKind::Decode, tag_seq(0, 0), 14),
-        ];
+        let trace = Trace {
+            events: vec![
+                event(EventKind::Ship, tag_seq(1, 0), 1),
+                event(EventKind::Ship, tag_seq(1, 1), 2),
+                event(EventKind::Ship, tag_seq(2, 0), 3),
+                event(EventKind::Ship, tag_seq(2, 1), 4),
+                event(EventKind::Ship, tag_seq(0, 0), 5),
+                event(EventKind::Decode, tag_seq(1, 0), 10),
+                event(EventKind::Decode, tag_seq(1, 1), 11),
+                event(EventKind::Lost, tag_seq(2, 0), 12),
+                event(EventKind::Shed, tag_seq(2, 1), 13),
+                event(EventKind::Decode, tag_seq(0, 0), 14),
+            ],
+            ..Default::default()
+        };
         let by_gw = check_gateway_terminals(&trace).unwrap();
         assert_eq!(by_gw.len(), 3);
         assert_eq!(by_gw[&1].shipped, 2);
@@ -360,15 +368,17 @@ mod tests {
     #[test]
     fn gateway_accounting_rejects_cross_session_conflation() {
         use crate::tag_seq;
-        let mut trace = Trace::default();
         // Gateway 2's seq 0 terminates under gateway 1: both sessions
         // are now broken and the check must say so.
-        trace.events = vec![
-            event(EventKind::Ship, tag_seq(1, 0), 1),
-            event(EventKind::Ship, tag_seq(2, 0), 2),
-            event(EventKind::Decode, tag_seq(1, 0), 10),
-            event(EventKind::Decode, tag_seq(1, 1), 11),
-        ];
+        let trace = Trace {
+            events: vec![
+                event(EventKind::Ship, tag_seq(1, 0), 1),
+                event(EventKind::Ship, tag_seq(2, 0), 2),
+                event(EventKind::Decode, tag_seq(1, 0), 10),
+                event(EventKind::Decode, tag_seq(1, 1), 11),
+            ],
+            ..Default::default()
+        };
         let err = check_gateway_terminals(&trace).unwrap_err();
         assert!(err.contains("never shipped"), "{err}");
     }
@@ -376,18 +386,20 @@ mod tests {
     #[test]
     fn epoch_accounting_splits_lives_of_a_restarted_gateway() {
         use crate::{tag_seq, EPOCH_SHIFT};
-        let mut trace = Trace::default();
         let e1 = 1u64 << EPOCH_SHIFT;
         // Gateway 3 lives twice: epoch 0 seqs {0,1}, epoch 1 seqs {0}.
         // Both lives reuse per-epoch seq 0 without colliding.
-        trace.events = vec![
-            event(EventKind::Ship, tag_seq(3, 0), 1),
-            event(EventKind::Ship, tag_seq(3, 1), 2),
-            event(EventKind::Ship, tag_seq(3, e1), 3),
-            event(EventKind::Decode, tag_seq(3, 0), 10),
-            event(EventKind::Lost, tag_seq(3, 1), 11),
-            event(EventKind::Decode, tag_seq(3, e1), 12),
-        ];
+        let trace = Trace {
+            events: vec![
+                event(EventKind::Ship, tag_seq(3, 0), 1),
+                event(EventKind::Ship, tag_seq(3, 1), 2),
+                event(EventKind::Ship, tag_seq(3, e1), 3),
+                event(EventKind::Decode, tag_seq(3, 0), 10),
+                event(EventKind::Lost, tag_seq(3, 1), 11),
+                event(EventKind::Decode, tag_seq(3, e1), 12),
+            ],
+            ..Default::default()
+        };
         let by_life = check_epoch_terminals(&trace).unwrap();
         assert_eq!(by_life.len(), 2);
         assert_eq!(
@@ -413,40 +425,46 @@ mod tests {
     #[test]
     fn epoch_accounting_rejects_a_restart_colliding_with_its_past() {
         use crate::{tag_seq, EPOCH_SHIFT};
-        let mut trace = Trace::default();
         // Epoch 1 shipped a segment but its terminal landed under the
         // pre-crash epoch 0 seq space: the restart collided with its
         // past self.
-        trace.events = vec![
-            event(EventKind::Ship, tag_seq(4, 1u64 << EPOCH_SHIFT), 1),
-            event(EventKind::Decode, tag_seq(4, 0), 2),
-        ];
+        let trace = Trace {
+            events: vec![
+                event(EventKind::Ship, tag_seq(4, 1u64 << EPOCH_SHIFT), 1),
+                event(EventKind::Decode, tag_seq(4, 0), 2),
+            ],
+            ..Default::default()
+        };
         let err = check_epoch_terminals(&trace).unwrap_err();
         assert!(err.contains("epoch"), "{err}");
     }
 
     #[test]
     fn nesting_accepts_containment_and_adjacency() {
-        let mut trace = Trace::default();
-        trace.spans = vec![
-            span(0, Stage::WorkerDecode, 100, 100),
-            span(0, Stage::SicRound, 110, 30),
-            span(0, Stage::KillFilter, 115, 10),
-            span(0, Stage::SicRound, 140, 60), // inner end == outer end
-            span(0, Stage::WorkerDecode, 200, 50), // starts exactly at prior end
-            // Other thread overlapping thread 0 freely: fine.
-            span(1, Stage::Compress, 120, 500),
-        ];
+        let trace = Trace {
+            spans: vec![
+                span(0, Stage::WorkerDecode, 100, 100),
+                span(0, Stage::SicRound, 110, 30),
+                span(0, Stage::KillFilter, 115, 10),
+                span(0, Stage::SicRound, 140, 60), // inner end == outer end
+                span(0, Stage::WorkerDecode, 200, 50), // starts exactly at prior end
+                // Other thread overlapping thread 0 freely: fine.
+                span(1, Stage::Compress, 120, 500),
+            ],
+            ..Default::default()
+        };
         check_nesting(&trace).unwrap();
     }
 
     #[test]
     fn nesting_rejects_partial_overlap() {
-        let mut trace = Trace::default();
-        trace.spans = vec![
-            span(0, Stage::WorkerDecode, 100, 50),
-            span(0, Stage::SicRound, 140, 30), // straddles the end at 150
-        ];
+        let trace = Trace {
+            spans: vec![
+                span(0, Stage::WorkerDecode, 100, 50),
+                span(0, Stage::SicRound, 140, 30), // straddles the end at 150
+            ],
+            ..Default::default()
+        };
         let err = check_nesting(&trace).unwrap_err();
         assert!(err.contains("partially overlaps"), "{err}");
     }

@@ -59,10 +59,7 @@ const HORIZON: u64 = 12;
 const CELL_DEADLINE: Duration = Duration::from_secs(180);
 
 fn fault_seed() -> u64 {
-    std::env::var("GALIOT_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xF1EE7)
+    galiot::channel::fault_seed(0xF1EE7)
 }
 
 /// A frame reduced to its conformance identity.

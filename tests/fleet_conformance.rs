@@ -32,14 +32,12 @@ const GATEWAY_COUNTS: [usize; 3] = [1, 2, 4];
 const WORKER_COUNTS: [usize; 2] = [1, 4];
 const LOSS_RATES: [f64; 3] = [0.0, 0.01, 0.05];
 
-/// Fixed default fault seed; `GALIOT_FAULT_SEED` overrides it. The
-/// fleet decorrelates it further per session, so one knob sweeps every
-/// link in the fleet at once.
+/// Fixed default fault seed; a set `GALIOT_FAULT_SEED` is XOR-combined
+/// with it (the same sweep rule as `scenario_seed`). The fleet
+/// decorrelates it further per session, so one knob sweeps every link
+/// in the fleet at once.
 fn fault_seed() -> u64 {
-    std::env::var("GALIOT_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xF1EE7)
+    galiot::channel::fault_seed(0xF1EE7)
 }
 
 /// A frame reduced to its conformance identity.

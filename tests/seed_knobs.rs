@@ -1,0 +1,172 @@
+//! The three environment knobs every randomized suite answers to —
+//! `GALIOT_TEST_SEED`, `GALIOT_FAULT_SEED`, `GALIOT_DSP_BACKEND` —
+//! must actually be read, swept consistently (the two seeds share one
+//! XOR rule), and echoed in failure output (the sim repro bundle must
+//! print all three). This file pins that contract, table-driven.
+//!
+//! Everything lives in ONE test function: the knobs are process
+//! environment, and the test harness runs `#[test]`s concurrently
+//! within a binary — a second env-mutating test here would race.
+
+use galiot::channel::{fault_seed, scenario_seed};
+use galiot::dsp::kernels::{env_request, Backend};
+use galiot_sim::campaign::{run_campaign, CampaignOptions};
+use galiot_sim::oracle;
+use galiot_sim::scenario::EnvKnobs;
+use galiot_sim::spec::CampaignSpec;
+use std::env;
+
+/// A seed-knob reader under test: `(env var, reader fn)`.
+type SeedKnob = (&'static str, fn(u64) -> u64);
+/// A backend-knob case: `(env value, expected env_request outcome)`.
+type BackendCase = (Option<&'static str>, Option<Result<Backend, ()>>);
+
+fn with_env(var: &str, value: Option<&str>, f: impl FnOnce()) {
+    let saved = env::var(var).ok();
+    match value {
+        Some(v) => env::set_var(var, v),
+        None => env::remove_var(var),
+    }
+    f();
+    match saved {
+        Some(v) => env::set_var(var, v),
+        None => env::remove_var(var),
+    }
+}
+
+#[test]
+fn seed_knobs_are_read_swept_and_echoed() {
+    // --- The two seed knobs share one sweep rule: unset (or
+    // unparseable) leaves the default untouched; set XORs in, so one
+    // value sweeps every scenario while distinct defaults stay
+    // distinct.
+    let seed_knobs: [SeedKnob; 2] = [
+        ("GALIOT_TEST_SEED", scenario_seed),
+        ("GALIOT_FAULT_SEED", fault_seed),
+    ];
+    for (var, read) in seed_knobs {
+        let cases: [(Option<&str>, u64, u64); 5] = [
+            (None, 40, 40),            // unset → default
+            (Some("0"), 40, 40),       // zero sweep is the identity
+            (Some("16"), 40, 40 ^ 16), // swept → XOR
+            (Some("16"), 41, 41 ^ 16), // distinct defaults stay distinct
+            (Some("zebra"), 40, 40),   // unparseable → default
+        ];
+        for (value, default, want) in cases {
+            with_env(var, value, || {
+                let got = read(default);
+                assert_eq!(
+                    got, want,
+                    "{var}={value:?}: read({default}) = {got}, want {want}"
+                );
+            });
+        }
+        // The *other* seed knob must not bleed into this reader.
+        let other = if var == "GALIOT_TEST_SEED" {
+            "GALIOT_FAULT_SEED"
+        } else {
+            "GALIOT_TEST_SEED"
+        };
+        with_env(var, None, || {
+            with_env(other, Some("999"), || {
+                assert_eq!(read(40), 40, "{other} bled into {var}'s reader");
+            });
+        });
+    }
+
+    // --- GALIOT_DSP_BACKEND: read on every call; unset/empty/auto
+    // mean "detect", a known name parses, an unknown one is surfaced
+    // as an error (not silently ignored).
+    let backend_cases: [BackendCase; 6] = [
+        (None, None),
+        (Some(""), None),
+        (Some("auto"), None),
+        (Some("scalar"), Some(Ok(Backend::Scalar))),
+        (Some("avx2"), Some(Ok(Backend::Avx2))),
+        (Some("never-a-backend"), Some(Err(()))),
+    ];
+    for (value, want) in backend_cases {
+        with_env("GALIOT_DSP_BACKEND", value, || {
+            let got = env_request();
+            match (got, want) {
+                (None, None) => {}
+                (Some(Ok(b)), Some(Ok(w))) => {
+                    assert_eq!(b, w, "GALIOT_DSP_BACKEND={value:?}")
+                }
+                (Some(Err(raw)), Some(Err(()))) => {
+                    assert_eq!(raw, value.unwrap(), "error echoes the raw value")
+                }
+                (got, want) => {
+                    panic!("GALIOT_DSP_BACKEND={value:?}: got {got:?}, want {want:?}")
+                }
+            }
+        });
+    }
+
+    // --- The sim campaign folds GALIOT_TEST_SEED through the same
+    // sweep rule, and its repro bundles echo all three knobs verbatim.
+    with_env("GALIOT_TEST_SEED", Some("12345"), || {
+        with_env("GALIOT_FAULT_SEED", Some("678"), || {
+            with_env("GALIOT_DSP_BACKEND", Some("scalar"), || {
+                let knobs = EnvKnobs::capture();
+                let rendered = knobs.render();
+                for needle in [
+                    "GALIOT_TEST_SEED=12345",
+                    "GALIOT_FAULT_SEED=678",
+                    "GALIOT_DSP_BACKEND=scalar",
+                ] {
+                    assert!(rendered.contains(needle), "knobs render lacks {needle}");
+                }
+
+                let opts = CampaignOptions {
+                    seed: 7,
+                    count: 1,
+                    spec: CampaignSpec {
+                        max_txs: 2,
+                        fault_prob: 0.0,
+                        crash_prob: 0.0,
+                        collision_prob: 0.0,
+                        ..CampaignSpec::smoke()
+                    },
+                    oracles: vec![oracle::broken_dev()],
+                    shrink: false,
+                    quiet: true,
+                    ..Default::default()
+                };
+                let report = run_campaign(&opts);
+                assert_eq!(
+                    report.campaign_seed,
+                    7 ^ 12345,
+                    "campaign seed must fold GALIOT_TEST_SEED by the sweep rule"
+                );
+                // Hunt a failing seed if the first scenario was 1-tx.
+                let failure = if report.failures.is_empty() {
+                    let mut o = opts.clone();
+                    let mut found = None;
+                    for seed in 0..50 {
+                        o.seed = seed;
+                        let r = run_campaign(&o);
+                        if !r.failures.is_empty() {
+                            found = Some(r);
+                            break;
+                        }
+                    }
+                    found.expect("some seed yields a multi-tx scenario")
+                } else {
+                    report
+                };
+                let repro = failure.render_repro(&failure.failures[0]);
+                for needle in [
+                    "GALIOT_TEST_SEED=12345",
+                    "GALIOT_FAULT_SEED=678",
+                    "GALIOT_DSP_BACKEND=scalar",
+                ] {
+                    assert!(
+                        repro.contains(needle),
+                        "repro bundle lacks {needle}:\n{repro}"
+                    );
+                }
+            });
+        });
+    });
+}

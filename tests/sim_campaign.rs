@@ -1,0 +1,150 @@
+//! Tier-1 anchor for the randomized campaign harness (`galiot-sim`):
+//! a pinned-seed smoke campaign must be all-green against the full
+//! trusted oracle registry, and the failure path — detect, shrink,
+//! replay — must work end to end, exercised via the deliberately
+//! broken dev oracle.
+//!
+//! The seeds here are *pinned on purpose* (they go through the
+//! `GALIOT_TEST_SEED` sweep like every scenario seed, so CI can still
+//! sweep them): tier 1 wants a stable, fast sample of the space. The
+//! wide random sweeps run in the nightly `sim_campaign` CI job.
+
+use galiot_sim::campaign::{run_campaign, CampaignOptions, Status};
+use galiot_sim::oracle;
+use galiot_sim::spec::CampaignSpec;
+
+/// The PR-gating smoke campaign: four scenarios from the smoke spec,
+/// every trusted oracle, shrinking on (a failure here should arrive
+/// minimized). All green, with every oracle actually exercised at
+/// least once across the four.
+#[test]
+fn pinned_seed_smoke_campaign_is_all_green() {
+    let opts = CampaignOptions {
+        seed: 0xC0FFEE,
+        count: 4,
+        spec: CampaignSpec::smoke(),
+        quiet: true,
+        ..Default::default()
+    };
+    let report = run_campaign(&opts);
+
+    if let Some(failure) = report.failures.first() {
+        panic!("{}", report.render_repro(failure));
+    }
+    let (pass, fail, skip) = report.tally();
+    assert_eq!(fail, 0);
+    assert!(
+        pass >= report.scenarios.len() * 3,
+        "too little coverage: {pass} pass / {skip} skip"
+    );
+    // Every always-on oracle ran on every scenario.
+    for name in ["no_panic_deadline", "streaming_batch", "trace_metrics"] {
+        let runs = report
+            .scenarios
+            .iter()
+            .flat_map(|s| &s.outcomes)
+            .filter(|o| o.oracle == name && o.status == Status::Pass)
+            .count();
+        assert_eq!(
+            runs,
+            report.scenarios.len(),
+            "{name} did not run everywhere"
+        );
+    }
+}
+
+/// The acceptance path for the harness itself: an intentionally broken
+/// oracle yields a minimized repro whose printed scenario seed — alone
+/// — replays to the same failure.
+#[test]
+fn broken_oracle_yields_a_minimized_replayable_repro() {
+    // A spec that always produces multi-tx scenarios, so the dev
+    // oracle (fails iff >= 2 transmissions) fails immediately.
+    let spec = CampaignSpec {
+        max_txs: 3,
+        fault_prob: 0.0,
+        crash_prob: 0.0,
+        collision_prob: 0.0,
+        ..CampaignSpec::smoke()
+    };
+    let opts = CampaignOptions {
+        seed: 0x5EED,
+        count: 6,
+        spec,
+        oracles: vec![oracle::broken_dev()],
+        quiet: true,
+        ..Default::default()
+    };
+    let report = run_campaign(&opts);
+    let failure = report
+        .failures
+        .iter()
+        .find(|f| f.scenario.txs.len() >= 2)
+        .expect("six scenarios with up to 3 txs must hit a multi-tx one");
+
+    // Shrinking minimized it: exactly two transmissions (the dev
+    // oracle's minimal failing shape) and no incidental complexity.
+    assert_eq!(failure.minimized.txs.len(), 2, "{:?}", failure.minimized);
+    assert_eq!(failure.minimized.gateways, 1);
+    assert!(failure.minimized.validate().is_ok());
+
+    // The repro bundle is self-contained: seed, both scenarios, all
+    // three env knobs, and the replay command.
+    let repro = report.render_repro(failure);
+    for needle in [
+        "scenario_seed:",
+        "failing_oracle: broken-dev",
+        "GALIOT_TEST_SEED",
+        "GALIOT_FAULT_SEED",
+        "GALIOT_DSP_BACKEND",
+        "replay: sim_campaign --replay-seed",
+        "original_scenario:",
+        "minimized_scenario:",
+    ] {
+        assert!(
+            repro.contains(needle),
+            "repro bundle lacks `{needle}`:\n{repro}"
+        );
+    }
+
+    // Replay from the printed seed alone: same scenario, same failure.
+    let replay_opts = CampaignOptions {
+        replay_seed: Some(failure.scenario.seed),
+        oracles: vec![oracle::broken_dev()],
+        spec: opts.spec.clone(),
+        quiet: true,
+        ..Default::default()
+    };
+    let replay = run_campaign(&replay_opts);
+    assert_eq!(replay.scenarios.len(), 1);
+    let replayed = &replay.failures[0];
+    assert_eq!(replayed.scenario, failure.scenario, "replay diverged");
+    assert_eq!(replayed.error, failure.error, "replay failed differently");
+}
+
+/// Oracle filtering works and skips are honest: a fleet-only oracle
+/// reports `skip` on single-gateway scenarios rather than a vacuous
+/// pass.
+#[test]
+fn fleet_oracle_skips_single_gateway_scenarios() {
+    let spec = CampaignSpec {
+        max_gateways: 1,
+        crash_prob: 0.0,
+        ..CampaignSpec::smoke()
+    };
+    let opts = CampaignOptions {
+        seed: 3,
+        count: 2,
+        spec,
+        oracles: vec![oracle::find("fleet_batch").expect("fleet_batch exists")],
+        quiet: true,
+        ..Default::default()
+    };
+    let report = run_campaign(&opts);
+    assert!(report.all_green());
+    assert!(report
+        .scenarios
+        .iter()
+        .flat_map(|s| &s.outcomes)
+        .all(|o| o.status == Status::Skip));
+}

@@ -20,13 +20,11 @@ const FS: f64 = 1_000_000.0;
 const WORKER_COUNTS: [usize; 2] = [1, 4];
 const LOSS_RATES: [f64; 3] = [0.0, 0.01, 0.05];
 
-/// Fixed default fault seed; `GALIOT_FAULT_SEED` overrides it so CI
-/// can pin (or sweep) the impairment pattern explicitly.
+/// Fixed default fault seed; a set `GALIOT_FAULT_SEED` is XOR-combined
+/// with it (the same sweep rule as `scenario_seed`) so CI can pin or
+/// sweep the impairment pattern explicitly.
 fn fault_seed() -> u64 {
-    std::env::var("GALIOT_FAULT_SEED")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0xFA57)
+    galiot::channel::fault_seed(0xFA57)
 }
 
 /// A frame reduced to its conformance identity.
