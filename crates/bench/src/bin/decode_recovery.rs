@@ -1,0 +1,298 @@
+//! Decode-pool recovery cost: the same seeded capture decoded by a
+//! supervised cloud pool under injected decode faults — a clean
+//! baseline, sparse panics healed by retry, sparse hangs healed by the
+//! lease watchdog, and strikes sticky enough to exhaust the ladder and
+//! quarantine.
+//!
+//! Reports, per cell: wall time, delivered frames, goodput, the
+//! supervision counters (retries, hangs, replacements, quarantines),
+//! and — from the trace timeline — the ship→first-redispatch and
+//! ship→terminal-fate latencies (p50/p95) of the struck segments, i.e.
+//! how long a hang holds a segment hostage before the watchdog frees
+//! it and how long until the segment reaches a fate.
+//!
+//! Writes `BENCH_pr10.json`, prints a TSV summary.
+//! Usage: `decode_recovery [--trials packet_pairs] [--seed S]`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use galiot_bench::{parse_args, tsv_row};
+use galiot_channel::{compose, decode_fault_seed, snr_to_noise_power, TxEvent};
+use galiot_core::{DecodeFaultKind, DecodeFaultSpec, GaliotConfig, StreamingGaliot};
+use galiot_dsp::Cf32;
+use galiot_phy::registry::Registry;
+use galiot_phy::TechId;
+use galiot_trace::{EventKind, TraceSession};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const FS: f64 = 1_000_000.0;
+const WORKERS: usize = 4;
+/// Long enough that an honest decode never trips it on a contended
+/// single-core box; every hang costs exactly this before recovery.
+const DEADLINE_S: f64 = 2.0;
+/// Every `PERIOD`-th segment is struck (sparse faults, dense enough
+/// that a small capture still yields latency samples).
+const PERIOD: u64 = 3;
+
+/// Well-separated two-technology traffic, each packet decodable alone.
+fn workload(pairs: usize, seed: u64) -> Vec<Cf32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let registry = Registry::prototype();
+    let zwave = registry.get(TechId::ZWave).unwrap().clone();
+    let xbee = registry.get(TechId::XBee).unwrap().clone();
+    let events: Vec<TxEvent> = (0..pairs)
+        .flat_map(|i| {
+            [
+                TxEvent::new(
+                    zwave.clone(),
+                    vec![0x31 + i as u8; 6],
+                    120_000 + i * 700_000,
+                ),
+                TxEvent::new(xbee.clone(), vec![0x41 + i as u8; 6], 450_000 + i * 700_000),
+            ]
+        })
+        .collect();
+    let n = 250_000 + pairs * 700_000;
+    let np = snr_to_noise_power(20.0, 0.0);
+    compose(&events, n, FS, np, &mut rng).samples
+}
+
+struct Cell {
+    name: &'static str,
+    elapsed_s: f64,
+    frames: usize,
+    payload_bits: usize,
+    retried: usize,
+    hung: usize,
+    replaced: usize,
+    quarantined: usize,
+    poisoned: usize,
+    /// Ship→first-Retried latency of struck segments, sorted, ns.
+    redispatch_ns: Vec<u64>,
+    /// Ship→terminal-fate latency of struck segments, sorted, ns.
+    settle_ns: Vec<u64>,
+}
+
+impl Cell {
+    fn goodput_kbps(&self) -> f64 {
+        self.payload_bits as f64 / self.elapsed_s / 1e3
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx] as f64
+}
+
+fn ms(ns: f64) -> String {
+    format!("{:.1}", ns / 1e6)
+}
+
+fn run_cell(name: &'static str, samples: &[Cf32], faults: Option<DecodeFaultSpec>) -> Cell {
+    let mut config = GaliotConfig::prototype()
+        .with_cloud_workers(WORKERS)
+        .with_decode_deadline(DEADLINE_S);
+    config.edge_decoding = false; // every frame must cross the pool
+    if let Some(spec) = faults {
+        config = config.with_decode_faults(spec);
+    }
+
+    let session = TraceSession::start();
+    let t0 = Instant::now();
+    let system = StreamingGaliot::start(config, Registry::prototype());
+    let metrics = system.metrics().clone();
+    for c in samples.chunks(65_536) {
+        system.push_chunk(c.to_vec());
+    }
+    let frames = system.finish();
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let trace = session.finish();
+    let m = metrics.snapshot();
+
+    // Recovery latencies from the timeline: for every segment that was
+    // ever re-dispatched, how long from Ship to the first Retried
+    // (watchdog/panic reaction) and from Ship to its terminal fate.
+    let mut shipped: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut first_retry: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut terminal: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in &trace.events {
+        match e.kind {
+            EventKind::Ship => {
+                shipped.entry(e.seq).or_insert(e.t_ns);
+            }
+            EventKind::Retried => {
+                first_retry.entry(e.seq).or_insert(e.t_ns);
+            }
+            EventKind::Decode | EventKind::Quarantined => {
+                terminal.entry(e.seq).or_insert(e.t_ns);
+            }
+            EventKind::Shed | EventKind::Lost => {}
+        }
+    }
+    let mut redispatch_ns: Vec<u64> = first_retry
+        .iter()
+        .filter_map(|(seq, t)| shipped.get(seq).map(|s| t.saturating_sub(*s)))
+        .collect();
+    let mut settle_ns: Vec<u64> = first_retry
+        .keys()
+        .filter_map(|seq| {
+            terminal
+                .get(seq)
+                .and_then(|t| shipped.get(seq).map(|s| t.saturating_sub(*s)))
+        })
+        .collect();
+    redispatch_ns.sort_unstable();
+    settle_ns.sort_unstable();
+
+    Cell {
+        name,
+        elapsed_s,
+        frames: frames.len(),
+        payload_bits: frames.iter().map(|f| f.frame.payload.len() * 8).sum(),
+        retried: m.decode_retried,
+        hung: m.decode_hung,
+        replaced: m.workers_replaced,
+        quarantined: m.decode_quarantined,
+        poisoned: m.decode_poisoned,
+        redispatch_ns,
+        settle_ns,
+    }
+}
+
+fn main() {
+    // The injected panics unwind through catch_unwind by design; keep
+    // their backtraces out of the TSV-on-stdout / notes-on-stderr flow.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.contains("injected decode fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    let (pairs, seed) = parse_args(3, 1010);
+    let samples = workload(pairs, seed);
+    let fseed = decode_fault_seed(seed ^ 0xDEC0);
+    let spec = |kind, sticky| DecodeFaultSpec {
+        kind,
+        period: PERIOD,
+        sticky_attempts: sticky,
+        seed: fseed,
+    };
+
+    println!(
+        "# Decode-pool recovery ({} samples, {WORKERS} workers, {DEADLINE_S}s deadline, \
+         1-in-{PERIOD} segments struck, seed {seed})",
+        samples.len()
+    );
+    tsv_row(&[
+        "cell",
+        "elapsed_s",
+        "frames",
+        "goodput_kbps",
+        "retried",
+        "hung",
+        "replaced",
+        "quarantined",
+        "redispatch_p50_ms",
+        "redispatch_p95_ms",
+        "settle_p50_ms",
+        "settle_p95_ms",
+    ]);
+    let cells = [
+        run_cell("baseline", &samples, None),
+        run_cell(
+            "panic_healed",
+            &samples,
+            Some(spec(DecodeFaultKind::Panic, 1)),
+        ),
+        run_cell(
+            "hang_healed",
+            &samples,
+            Some(spec(DecodeFaultKind::Hang, 1)),
+        ),
+        run_cell(
+            "panic_quarantine",
+            &samples,
+            Some(spec(DecodeFaultKind::Panic, 3)),
+        ),
+    ];
+    for c in &cells {
+        tsv_row(&[
+            c.name.to_string(),
+            format!("{:.3}", c.elapsed_s),
+            c.frames.to_string(),
+            format!("{:.2}", c.goodput_kbps()),
+            c.retried.to_string(),
+            c.hung.to_string(),
+            c.replaced.to_string(),
+            c.quarantined.to_string(),
+            ms(percentile(&c.redispatch_ns, 0.50)),
+            ms(percentile(&c.redispatch_ns, 0.95)),
+            ms(percentile(&c.settle_ns, 0.50)),
+            ms(percentile(&c.settle_ns, 0.95)),
+        ]);
+    }
+
+    // Healed cells must deliver everything the baseline did; only the
+    // quarantine cell may lose (exactly its quarantined segments).
+    let baseline = cells[0].frames;
+    for c in &cells[1..3] {
+        assert_eq!(
+            c.frames, baseline,
+            "{}: healed delivery lost frames ({} vs {baseline})",
+            c.name, c.frames
+        );
+        assert_eq!(c.quarantined, 0, "{}: unexpected quarantine", c.name);
+    }
+    assert!(
+        cells[3].quarantined > 0,
+        "quarantine cell quarantined nothing — fault plan dead?"
+    );
+
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"cell\": \"{}\", \"elapsed_s\": {:.4}, \"frames\": {}, \
+                 \"goodput_kbps\": {:.3}, \"retried\": {}, \"hung\": {}, \
+                 \"workers_replaced\": {}, \"quarantined\": {}, \"poisoned\": {}, \
+                 \"redispatch_p50_ms\": {}, \"redispatch_p95_ms\": {}, \
+                 \"settle_p50_ms\": {}, \"settle_p95_ms\": {}}}",
+                c.name,
+                c.elapsed_s,
+                c.frames,
+                c.goodput_kbps(),
+                c.retried,
+                c.hung,
+                c.replaced,
+                c.quarantined,
+                c.poisoned,
+                ms(percentile(&c.redispatch_ns, 0.50)),
+                ms(percentile(&c.redispatch_ns, 0.95)),
+                ms(percentile(&c.settle_ns, 0.50)),
+                ms(percentile(&c.settle_ns, 0.95)),
+            )
+        })
+        .collect();
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"decode_recovery\",\n  \"samples\": {},\n  \"packet_pairs\": {pairs},\n  \
+         \"workers\": {WORKERS},\n  \"decode_deadline_s\": {DEADLINE_S},\n  \
+         \"strike_period\": {PERIOD},\n  \"seed\": {seed},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        samples.len(),
+        rows.join(",\n")
+    );
+    std::fs::write("BENCH_pr10.json", &json).expect("write BENCH_pr10.json");
+    println!("# wrote BENCH_pr10.json");
+}

@@ -11,11 +11,13 @@
 #![warn(missing_docs)]
 
 pub mod collide;
+pub mod decode_faults;
 pub mod impair;
 pub mod noise;
 pub mod traffic;
 
 pub use collide::{compose, random_payload, snr_to_noise_power, Capture, TruthRecord, TxEvent};
+pub use decode_faults::{DecodeFaultKind, DecodeFaultSpec};
 pub use impair::Impairments;
 pub use noise::{add_awgn, add_awgn_snr, awgn};
 pub use traffic::{forced_collision, generate, TrafficParams};
@@ -40,6 +42,16 @@ pub fn scenario_seed(default: u64) -> u64 {
 /// EXPERIMENTS.md.
 pub fn fault_seed(default: u64) -> u64 {
     sweep_seed("GALIOT_FAULT_SEED", default)
+}
+
+/// The seed a decode-fault pattern ([`DecodeFaultSpec`]) should use:
+/// its fixed `default`, unless `GALIOT_DECODE_FAULTS` is set — XOR
+/// combined exactly like [`scenario_seed`], so one environment value
+/// sweeps every injected panic/hang/slow pattern while distinct specs
+/// stay decorrelated. Used by the failure-injection suite and
+/// `galiot-sim`; see EXPERIMENTS.md.
+pub fn decode_fault_seed(default: u64) -> u64 {
+    sweep_seed("GALIOT_DECODE_FAULTS", default)
 }
 
 /// Shared sweep rule for the seed knobs: an unset (or unparseable)

@@ -1,6 +1,7 @@
 //! End-to-end GalioT configuration.
 
 use crate::transport::TransportConfig;
+use galiot_channel::DecodeFaultSpec;
 use galiot_cloud::CloudParams;
 use galiot_gateway::{FrontEndParams, LinkFaults};
 use std::fmt;
@@ -63,6 +64,10 @@ pub enum ConfigError {
         /// The session whose crash could never be reaped.
         session: usize,
     },
+    /// An enabled [`DecodeFaultSpec`] whose sticky window is zero: the
+    /// spec would strike no attempt and the scenario silently tests
+    /// nothing.
+    DecodeFaultsWithoutAttempts,
 }
 
 impl fmt::Display for ConfigError {
@@ -91,6 +96,11 @@ impl fmt::Display for ConfigError {
                 f,
                 "session {session} crashes without restart while liveness_horizon = 0 \
                  (eviction disabled): the fleet would wedge on its unfinalized watermark"
+            ),
+            ConfigError::DecodeFaultsWithoutAttempts => write!(
+                f,
+                "decode_faults is enabled (period > 0) with sticky_attempts = 0: \
+                 no attempt would ever be struck"
             ),
         }
     }
@@ -197,6 +207,19 @@ pub struct GaliotConfig {
     /// finalized, and its credits are reclaimed. `0` disables
     /// liveness-driven eviction.
     pub liveness_horizon: u64,
+    /// Per-segment decode lease deadline, seconds: a worker that has
+    /// held one segment longer than this is declared hung by the pool
+    /// supervisor, replaced, and the segment is re-dispatched. Must be
+    /// positive; generous by default so healthy decodes never trip it.
+    pub decode_deadline_s: f64,
+    /// How many times the pool supervisor re-dispatches a failed
+    /// (panicked or hung) decode before quarantining the segment to the
+    /// dead-letter record. `0` quarantines on the first failure.
+    pub decode_retries: usize,
+    /// Deterministic decode-fault injection (panic/hang/slow) for
+    /// supervisor testing. Disabled (`period == 0`) in production
+    /// configurations; see [`galiot_channel::DecodeFaultSpec`].
+    pub decode_faults: DecodeFaultSpec,
 }
 
 impl Default for GaliotConfig {
@@ -222,6 +245,9 @@ impl Default for GaliotConfig {
             ingest_shards: 0,
             crashes: Vec::new(),
             liveness_horizon: 64,
+            decode_deadline_s: 5.0,
+            decode_retries: 2,
+            decode_faults: DecodeFaultSpec::disabled(),
         }
     }
 }
@@ -307,6 +333,27 @@ impl GaliotConfig {
         self
     }
 
+    /// Returns the configuration with an explicit decode lease
+    /// deadline (seconds; must be positive to validate).
+    pub fn with_decode_deadline(mut self, deadline_s: f64) -> Self {
+        self.decode_deadline_s = deadline_s;
+        self
+    }
+
+    /// Returns the configuration with an explicit decode retry budget
+    /// (re-dispatches before quarantine; `0` quarantines immediately).
+    pub fn with_decode_retries(mut self, retries: usize) -> Self {
+        self.decode_retries = retries;
+        self
+    }
+
+    /// Returns the configuration with deterministic decode-fault
+    /// injection enabled (see [`galiot_channel::DecodeFaultSpec`]).
+    pub fn with_decode_faults(mut self, faults: DecodeFaultSpec) -> Self {
+        self.decode_faults = faults;
+        self
+    }
+
     /// The shard count the fleet ingest will actually route over:
     /// `ingest_shards`, with `0` resolved to one shard per effective
     /// worker.
@@ -373,6 +420,10 @@ impl GaliotConfig {
                 return Err(ConfigError::CrashWithoutEviction { session: c.session });
             }
         }
+        positive("decode_deadline_s", self.decode_deadline_s)?;
+        if self.decode_faults.enabled() && self.decode_faults.sticky_attempts == 0 {
+            return Err(ConfigError::DecodeFaultsWithoutAttempts);
+        }
         Ok(())
     }
 
@@ -415,6 +466,19 @@ impl GaliotConfig {
             });
         }
         Ok(self.with_liveness_horizon(horizon))
+    }
+
+    /// [`GaliotConfig::with_decode_deadline`], rejecting a deadline
+    /// that is not finite and strictly positive (a zero or negative
+    /// lease would declare every worker hung on dispatch).
+    pub fn try_with_decode_deadline(self, deadline_s: f64) -> Result<Self, ConfigError> {
+        if !(deadline_s.is_finite() && deadline_s > 0.0) {
+            return Err(ConfigError::NonPositive {
+                field: "decode_deadline_s",
+                value: deadline_s,
+            });
+        }
+        Ok(self.with_decode_deadline(deadline_s))
     }
 
     /// [`GaliotConfig::with_crash`], rejecting a session index outside
@@ -599,6 +663,53 @@ mod tests {
                 restart: false
             }]
         );
+        c.validated().unwrap();
+    }
+
+    #[test]
+    fn decode_supervision_knobs_validate() {
+        use galiot_channel::{DecodeFaultKind, DecodeFaultSpec};
+
+        let c = GaliotConfig::prototype();
+        assert_eq!(c.decode_retries, 2);
+        assert!(c.decode_deadline_s > 0.0);
+        assert!(!c.decode_faults.enabled());
+
+        // A non-positive lease deadline is degenerate.
+        let mut c = GaliotConfig::prototype();
+        c.decode_deadline_s = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::NonPositive {
+                field: "decode_deadline_s",
+                ..
+            })
+        ));
+        assert!(GaliotConfig::prototype()
+            .try_with_decode_deadline(f64::NAN)
+            .is_err());
+        let c = GaliotConfig::prototype()
+            .try_with_decode_deadline(0.25)
+            .unwrap()
+            .with_decode_retries(1);
+        assert_eq!(c.decode_deadline_s, 0.25);
+        assert_eq!(c.decode_retries, 1);
+
+        // An enabled fault spec with an empty sticky window tests
+        // nothing and is rejected.
+        let c = GaliotConfig::prototype().with_decode_faults(DecodeFaultSpec {
+            kind: DecodeFaultKind::Panic,
+            period: 2,
+            sticky_attempts: 0,
+            seed: 7,
+        });
+        assert_eq!(c.validate(), Err(ConfigError::DecodeFaultsWithoutAttempts));
+        let c = GaliotConfig::prototype().with_decode_faults(DecodeFaultSpec {
+            kind: DecodeFaultKind::Slow,
+            period: 3,
+            sticky_attempts: 1,
+            seed: 7,
+        });
         c.validated().unwrap();
     }
 

@@ -8,10 +8,11 @@
 //!
 //! ```text
 //!              chunks (broadcast)          per-session inbox
-//!  push_chunk ──▶ session 1 ─[transport 1]─▶ mux 1 ─┐ shard_for(gw,seq)
-//!             ──▶ session 2 ─[transport 2]─▶ mux 2 ─┼─▶ worker 0..W ─┐
-//!             ──▶   ...                       ...   ┘ (FairnessGate) │
-//!                                                                    ▼
+//!  push_chunk ──▶ session 1 ─[transport 1]─▶ mux 1 ─┐  supervised pool
+//!             ──▶ session 2 ─[transport 2]─▶ mux 2 ─┼─▶ shard_for(gw,seq)
+//!             ──▶   ...                       ...   ┘  ─▶ worker 0..W ─┐
+//!                                                      (FairnessGate)  │
+//!                                                                      ▼
 //!        frames ◀── FleetMerge (dedup, capture order) ◀── per-session
 //!                                                         reassembly
 //! ```
@@ -42,6 +43,14 @@
 //! at the mux (registry epoch check) and at the merge (lane epoch
 //! floor) and accounted as `crash_lost_*`.
 //!
+//! The shared decode pool is supervised the same way (see
+//! [`crate::streaming`] §supervised pool and DESIGN.md §17): every
+//! dispatched segment holds a deadline lease, hung workers are
+//! replaced in place, panicked and hung decodes are re-dispatched up
+//! to `decode_retries` times, and a segment that exhausts the ladder
+//! is quarantined to a dead-letter record while an empty watermarked
+//! result keeps capture-order release and the liveness reaper moving.
+//!
 //! Ingest-side fleet mechanics — [`SessionRegistry`],
 //! [`galiot_cloud::shard_for`], [`galiot_cloud::FairnessGate`],
 //! [`galiot_cloud::FleetMerge`] — live in `galiot-cloud`; this module
@@ -49,7 +58,7 @@
 //! [`crate::transport`].
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use galiot_cloud::{shard_for, FairnessGate, FleetMerge, SessionInfo, SessionRegistry};
+use galiot_cloud::{FairnessGate, FleetMerge, SessionInfo, SessionRegistry};
 use galiot_dsp::Cf32;
 use galiot_gateway::{GatewayId, LinkFaults};
 use galiot_phy::registry::Registry;
@@ -61,9 +70,10 @@ use std::thread;
 use crate::config::{CrashSpec, GaliotConfig};
 use crate::metrics::SharedMetrics;
 use crate::pipeline::PipelineFrame;
+use crate::spawn::spawn_thread;
 use crate::streaming::{
-    run_gateway, spawn_worker, PoolItem, ResultMsg, SegmentResult, SessionStart, ShipMode, Shipper,
-    DEDUP_SLACK,
+    run_gateway, spawn_supervised_pool, PoolItem, ResultMsg, SegmentResult, SessionStart, ShipMode,
+    Shipper, DEDUP_SLACK,
 };
 use crate::transport::{spawn_arq_receiver, spawn_arq_sender, SendQueue, SendQueueTx};
 
@@ -121,7 +131,6 @@ impl FleetGaliot {
         if let Err(e) = config.validate() {
             panic!("invalid GaliotConfig: {e}");
         }
-        let fs = config.fs;
         let n_gateways = config.gateways.max(1);
         let n_workers = config.effective_cloud_workers();
         let n_shards = config.effective_ingest_shards();
@@ -138,24 +147,23 @@ impl FleetGaliot {
         let (result_tx, result_rx) = unbounded::<ResultMsg>();
         let (frames_tx, frames_rx) = unbounded::<PipelineFrame>();
 
-        // Shared worker pool, one bounded channel per worker so shard
-        // routing is deterministic (an MPMC free-for-all would let
-        // scheduling decide who decodes what).
-        let mut worker_txs: Vec<Sender<PoolItem>> = Vec::with_capacity(n_workers);
-        let mut workers = Vec::with_capacity(n_workers);
-        for wid in 0..n_workers {
-            let (tx, rx) = bounded::<PoolItem>(2 * n_gateways.max(4));
-            worker_txs.push(tx);
-            workers.push(spawn_worker(
-                wid,
-                phy_registry.clone(),
-                &config,
-                fs,
-                rx,
-                result_tx.clone(),
-                metrics.clone(),
-            ));
-        }
+        // Shared supervised decode pool. The supervisor owns shard
+        // routing ((gateway, seq) → shard → worker stays deterministic
+        // — an MPMC free-for-all would let scheduling decide who
+        // decodes what) and the hang/retry/quarantine ladder. Intake
+        // capacity scales with the fleet so every session keeps the
+        // queue depth it had with per-worker channels.
+        let pool = spawn_supervised_pool(
+            &config,
+            phy_registry.clone(),
+            n_workers,
+            2 * n_gateways.max(4) * n_workers,
+            n_shards,
+            result_tx.clone(),
+            metrics.clone(),
+        );
+        let pool_tx = pool.intake;
+        let workers = vec![pool.supervisor];
 
         let send_queues: Arc<Mutex<Vec<Arc<SendQueue>>>> = Arc::new(Mutex::new(Vec::new()));
         let mut chunk_txs = Vec::with_capacity(n_gateways);
@@ -169,10 +177,9 @@ impl FleetGaliot {
                 config: config.clone(),
                 phy_registry: phy_registry.clone(),
                 chunk_rx,
-                worker_txs: worker_txs.clone(),
+                pool_tx: pool_tx.clone(),
                 gate: gate.clone(),
                 registry: registry.clone(),
-                n_shards,
                 result_tx: result_tx.clone(),
                 send_queues: send_queues.clone(),
                 crash,
@@ -180,9 +187,9 @@ impl FleetGaliot {
             }));
         }
         // Disconnection must propagate down the dataflow: session
-        // supervisors hold the only worker senders, workers +
+        // supervisors hold the only pool senders, the pool + session
         // supervisors the only result senders.
-        drop(worker_txs);
+        drop(pool_tx);
         drop(result_tx);
 
         let merge = spawn_merge(
@@ -237,8 +244,8 @@ impl FleetGaliot {
         // Join order follows the dataflow: each supervisor's gateway
         // instance closes its send queue / inbox, ending its uplink,
         // ingress, and mux (joined inside the supervisor); exited
-        // supervisors drop the worker senders, ending the pool; the
-        // pool drops the result senders, ending the merge.
+        // supervisors drop the pool senders, ending the decode pool;
+        // the pool drops the result senders, ending the merge.
         for s in self.sessions.drain(..) {
             let _ = s.join();
         }
@@ -277,10 +284,9 @@ struct SessionSupervisor {
     config: GaliotConfig,
     phy_registry: Registry,
     chunk_rx: Receiver<Vec<Cf32>>,
-    worker_txs: Vec<Sender<PoolItem>>,
+    pool_tx: Sender<PoolItem>,
     gate: Arc<FairnessGate>,
     registry: Arc<SessionRegistry>,
-    n_shards: usize,
     result_tx: Sender<ResultMsg>,
     send_queues: Arc<Mutex<Vec<Arc<SendQueue>>>>,
     crash: Option<CrashSpec>,
@@ -316,73 +322,71 @@ impl SessionIo {
 /// never overlaps its past self on the wire.
 fn spawn_session(sup: SessionSupervisor) -> thread::JoinHandle<()> {
     let gw = GatewayId(sup.index as u16 + 1);
-    thread::Builder::new()
-        .name(format!("galiot-session-{}", gw.0))
-        .spawn(move || {
-            let mut capture_offset = 0usize;
-            let mut instance = 0u64;
-            loop {
-                let epoch = sup.registry.register(gw);
-                let seq_base = instance << galiot_trace::EPOCH_SHIFT;
-                if instance > 0 {
-                    sup.metrics.with(|m| m.sessions_restarted += 1);
-                    // Announced on the supervisor's own sender BEFORE
-                    // any of the new instance's IO exists: channel FIFO
-                    // then orders the revival ahead of every new-epoch
-                    // result at the merge.
-                    if sup
-                        .result_tx
-                        .send(ResultMsg::SessionRestarted {
-                            gateway: gw,
-                            seq_base,
-                        })
-                        .is_err()
-                    {
-                        return;
-                    }
-                }
-                // Each spec fires once, on the session's first life.
-                let crash_after = if instance == 0 {
-                    sup.crash.map(|c| c.after_segments)
-                } else {
-                    None
-                };
-                let (shipper, io) = build_session_io(&sup, gw, epoch, instance);
-                let run = run_gateway(
-                    &sup.config,
-                    &sup.phy_registry,
-                    &sup.chunk_rx,
-                    shipper,
-                    &sup.result_tx,
-                    &sup.metrics,
-                    SessionStart {
-                        capture_offset,
+    spawn_thread(&format!("galiot-session-{}", gw.0), move || {
+        let mut capture_offset = 0usize;
+        let mut instance = 0u64;
+        loop {
+            let epoch = sup.registry.register(gw);
+            let seq_base = instance << galiot_trace::EPOCH_SHIFT;
+            if instance > 0 {
+                sup.metrics.with(|m| m.sessions_restarted += 1);
+                // Announced on the supervisor's own sender BEFORE
+                // any of the new instance's IO exists: channel FIFO
+                // then orders the revival ahead of every new-epoch
+                // result at the merge.
+                if sup
+                    .result_tx
+                    .send(ResultMsg::SessionRestarted {
+                        gateway: gw,
                         seq_base,
-                        crash_after,
-                    },
-                );
-                // The instance is over; its shipper is dropped, which
-                // closes the send queue / inbox. Drain and join its IO
-                // (a graceful-drain crash model: segments already in
-                // the transport complete their ARQ journey).
-                io.join();
-                if run.crashed {
-                    sup.metrics.with(|m| m.sessions_crashed += 1);
-                    if sup.crash.is_some_and(|c| c.restart) {
-                        instance += 1;
-                        capture_offset = run.consumed;
-                        continue;
-                    }
-                    // No restart: the slot stays dead. The liveness
-                    // reaper will notice the silence, reclaim credits,
-                    // and finalize the merge watermark; dropping
-                    // chunk_rx makes push_chunk discard this session's
-                    // chunks from here on.
+                    })
+                    .is_err()
+                {
+                    return;
                 }
-                return;
             }
-        })
-        .expect("spawn fleet session supervisor")
+            // Each spec fires once, on the session's first life.
+            let crash_after = if instance == 0 {
+                sup.crash.map(|c| c.after_segments)
+            } else {
+                None
+            };
+            let (shipper, io) = build_session_io(&sup, gw, epoch, instance);
+            let run = run_gateway(
+                &sup.config,
+                &sup.phy_registry,
+                &sup.chunk_rx,
+                shipper,
+                &sup.result_tx,
+                &sup.metrics,
+                SessionStart {
+                    capture_offset,
+                    seq_base,
+                    crash_after,
+                },
+            );
+            // The instance is over; its shipper is dropped, which
+            // closes the send queue / inbox. Drain and join its IO
+            // (a graceful-drain crash model: segments already in
+            // the transport complete their ARQ journey).
+            io.join();
+            if run.crashed {
+                sup.metrics.with(|m| m.sessions_crashed += 1);
+                if sup.crash.is_some_and(|c| c.restart) {
+                    instance += 1;
+                    capture_offset = run.consumed;
+                    continue;
+                }
+                // No restart: the slot stays dead. The liveness
+                // reaper will notice the silence, reclaim credits,
+                // and finalize the merge watermark; dropping
+                // chunk_rx makes push_chunk discard this session's
+                // chunks from here on.
+            }
+            return;
+        }
+    })
+    .unwrap_or_else(|e| panic!("fleet session startup: {e}"))
 }
 
 /// Builds one gateway instance's IO: inbox, transport stack (faulty
@@ -396,9 +400,9 @@ fn build_session_io(
 ) -> (Shipper, SessionIo) {
     let config = &sup.config;
     let transport = config.transport;
-    let n_workers = sup.worker_txs.len();
+    let n_workers = config.effective_cloud_workers();
     // The session inbox: segments that survived this instance's
-    // backhaul, awaiting shard routing.
+    // backhaul, awaiting the fence + fairness credit.
     let (inbox_tx, inbox_rx) = bounded::<PoolItem>(2 * n_workers.max(4));
 
     let mut uplink = None;
@@ -478,11 +482,10 @@ fn build_session_io(
 
     let mux = spawn_mux(
         inbox_rx,
-        sup.worker_txs.clone(),
+        sup.pool_tx.clone(),
         sup.gate.clone(),
         sup.registry.clone(),
         epoch,
-        sup.n_shards,
         sup.metrics.clone(),
     );
     (
@@ -496,51 +499,45 @@ fn build_session_io(
 }
 
 /// Per-instance mux: fences stale traffic against the session
-/// registry, takes a fairness credit, and routes each surviving
-/// segment to its shard's worker with the credit attached. The
-/// credit's guard returns it wherever the segment is dropped.
+/// registry, takes a fairness credit, and hands each surviving segment
+/// to the supervised pool with the credit attached (the supervisor
+/// does the deterministic shard routing). The credit's guard returns
+/// it wherever the segment is dropped.
 fn spawn_mux(
     inbox_rx: Receiver<PoolItem>,
-    worker_txs: Vec<Sender<PoolItem>>,
+    pool_tx: Sender<PoolItem>,
     gate: Arc<FairnessGate>,
     registry: Arc<SessionRegistry>,
     epoch: u64,
-    n_shards: usize,
     metrics: SharedMetrics,
 ) -> thread::JoinHandle<()> {
-    thread::Builder::new()
-        .name("galiot-mux".into())
-        .spawn(move || {
-            let n_workers = worker_txs.len().max(1);
-            while let Ok(mut item) = inbox_rx.recv() {
-                let gw = item.seg.gateway;
-                // Epoch fence: traffic of a dead or superseded
-                // instance stops here, before it can consume a credit
-                // or a worker. A fenced segment gets a Lost terminal
-                // and is accounted to the crash, never to
-                // per_gateway_segments.
-                if !registry.touch_current(gw, epoch) {
-                    metrics.with(|m| m.crash_lost_segments += 1);
-                    galiot_trace::event(
-                        galiot_trace::EventKind::Lost,
-                        galiot_trace::tag_seq(gw.0, item.seg.seq),
-                    );
-                    continue;
-                }
-                metrics.with(|m| *m.per_gateway_segments.entry(gw.0).or_default() += 1);
-                let Some(credit) = gate.acquire_guard(gw) else {
-                    return; // gate closed: fleet is tearing down
-                };
-                item.credit = Some(credit);
-                // Two-level routing keeps the shard map stable across
-                // worker-count changes: (gateway, seq) → shard → worker.
-                let wid = shard_for(gw, item.seg.seq, n_shards) % n_workers;
-                if worker_txs[wid].send(item).is_err() {
-                    return; // pool gone; the in-item guard frees the credit
-                }
+    spawn_thread("galiot-mux", move || {
+        while let Ok(mut item) = inbox_rx.recv() {
+            let gw = item.seg.gateway;
+            // Epoch fence: traffic of a dead or superseded
+            // instance stops here, before it can consume a credit
+            // or a worker. A fenced segment gets a Lost terminal
+            // and is accounted to the crash, never to
+            // per_gateway_segments.
+            if !registry.touch_current(gw, epoch) {
+                metrics.with(|m| m.crash_lost_segments += 1);
+                galiot_trace::event(
+                    galiot_trace::EventKind::Lost,
+                    galiot_trace::tag_seq(gw.0, item.seg.seq),
+                );
+                continue;
             }
-        })
-        .expect("spawn fleet mux thread")
+            metrics.with(|m| *m.per_gateway_segments.entry(gw.0).or_default() += 1);
+            let Some(credit) = gate.acquire_guard(gw) else {
+                return; // gate closed: fleet is tearing down
+            };
+            item.credit = Some(credit);
+            if pool_tx.send(item).is_err() {
+                return; // pool gone; the in-item guard frees the credit
+            }
+        }
+    })
+    .unwrap_or_else(|e| panic!("fleet mux startup: {e}"))
 }
 
 /// Per-session in-order reassembly state feeding the fleet merge.
@@ -745,71 +742,69 @@ fn spawn_merge(
     liveness_horizon: u64,
     metrics: SharedMetrics,
 ) -> thread::JoinHandle<()> {
-    thread::Builder::new()
-        .name("galiot-fleet-merge".into())
-        .spawn(move || {
-            let mut core = MergeCore::new(n_gateways, metrics.clone());
+    spawn_thread("galiot-fleet-merge", move || {
+        let mut core = MergeCore::new(n_gateways, metrics.clone());
 
-            let emit = |released: Vec<PipelineFrame>, merge_suppressed: u64| -> bool {
-                metrics.with(|m| {
-                    m.dedup_suppressed = merge_suppressed as usize;
-                    m.fleet_delivered += released.len();
-                    for pf in &released {
-                        m.record_frame(&pf.frame, pf.at_edge, pf.via_kill);
-                    }
-                });
-                for pf in released {
-                    if frames_tx.send(pf).is_err() {
-                        return false;
-                    }
+        let emit = |released: Vec<PipelineFrame>, merge_suppressed: u64| -> bool {
+            metrics.with(|m| {
+                m.dedup_suppressed = merge_suppressed as usize;
+                m.fleet_delivered += released.len();
+                for pf in &released {
+                    m.record_frame(&pf.frame, pf.at_edge, pf.via_kill);
                 }
-                true
-            };
-
-            while let Ok(msg) = result_rx.recv() {
-                let released = match msg {
-                    ResultMsg::Segment(result) => {
-                        // Proof of life: a result reaching the merge
-                        // means the session's pipeline is flowing.
-                        registry.heartbeat(result.gateway);
-                        let mut rel = core.on_result(result);
-                        // The liveness reaper piggybacks on result
-                        // traffic: silence is only measurable while
-                        // the rest of the fleet advances the logical
-                        // clock, which is exactly when a stalled
-                        // watermark blocks survivors. A session still
-                        // holding pool credits has results on the way
-                        // (the credit is dropped only after the result
-                        // is queued here) — only quiesced silence is
-                        // death.
-                        if liveness_horizon > 0 {
-                            for gw in registry.stale(liveness_horizon) {
-                                if gate.held(gw) == 0
-                                    && registry.mark_dead_if_stale(gw, liveness_horizon)
-                                {
-                                    gate.revoke(gw);
-                                    rel.extend(core.on_dead(gw));
-                                }
-                            }
-                        }
-                        rel
-                    }
-                    ResultMsg::SessionRestarted { gateway, seq_base } => {
-                        registry.heartbeat(gateway);
-                        core.on_restart(gateway, seq_base)
-                    }
-                };
-                if !emit(released, core.suppressed()) {
-                    return;
+            });
+            for pf in released {
+                if frames_tx.send(pf).is_err() {
+                    return false;
                 }
             }
+            true
+        };
 
-            // Producers are gone: flush the stragglers and retire
-            // every session so the last groups become final.
-            let released = core.finish();
-            let _ = emit(released, core.suppressed());
-        })
-        .expect("spawn fleet merge thread")
+        while let Ok(msg) = result_rx.recv() {
+            let released = match msg {
+                ResultMsg::Segment(result) => {
+                    // Proof of life: a result reaching the merge
+                    // means the session's pipeline is flowing.
+                    registry.heartbeat(result.gateway);
+                    let mut rel = core.on_result(result);
+                    // The liveness reaper piggybacks on result
+                    // traffic: silence is only measurable while
+                    // the rest of the fleet advances the logical
+                    // clock, which is exactly when a stalled
+                    // watermark blocks survivors. A session still
+                    // holding pool credits has results on the way
+                    // (the credit is dropped only after the result
+                    // is queued here) — only quiesced silence is
+                    // death.
+                    if liveness_horizon > 0 {
+                        for gw in registry.stale(liveness_horizon) {
+                            if gate.held(gw) == 0
+                                && registry.mark_dead_if_stale(gw, liveness_horizon)
+                            {
+                                gate.revoke(gw);
+                                rel.extend(core.on_dead(gw));
+                            }
+                        }
+                    }
+                    rel
+                }
+                ResultMsg::SessionRestarted { gateway, seq_base } => {
+                    registry.heartbeat(gateway);
+                    core.on_restart(gateway, seq_base)
+                }
+            };
+            if !emit(released, core.suppressed()) {
+                return;
+            }
+        }
+
+        // Producers are gone: flush the stragglers and retire
+        // every session so the last groups become final.
+        let released = core.finish();
+        let _ = emit(released, core.suppressed());
+    })
+    .unwrap_or_else(|e| panic!("fleet merge startup: {e}"))
 }
 
 #[cfg(test)]
@@ -871,7 +866,7 @@ mod tests {
         let offered: usize = m.per_gateway_decoded.values().sum();
         assert_eq!(
             offered,
-            m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames,
+            m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames + m.quarantined_frames,
             "{m:?}"
         );
         assert_eq!(m.sessions_crashed, 0, "{m:?}");
@@ -896,7 +891,7 @@ mod tests {
         let offered: usize = m.per_gateway_decoded.values().sum();
         assert_eq!(
             offered,
-            m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames,
+            m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames + m.quarantined_frames,
             "{m:?}"
         );
     }
@@ -1081,7 +1076,7 @@ mod tests {
         let offered: usize = m.per_gateway_decoded.values().sum();
         assert_eq!(
             offered,
-            delivered + core.suppressed() as usize + m.crash_lost_frames,
+            delivered + core.suppressed() as usize + m.crash_lost_frames + m.quarantined_frames,
             "{m:?}"
         );
     }

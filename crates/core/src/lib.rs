@@ -36,16 +36,22 @@ pub mod fleet;
 pub mod metrics;
 pub mod pipeline;
 pub mod sensing;
+pub mod spawn;
 pub mod streaming;
 pub mod transport;
 
 pub use config::{ConfigError, CrashSpec, DetectorKind, GaliotConfig};
 pub use fleet::FleetGaliot;
+/// Re-export of the decode-fault injection spec so downstream users can
+/// configure the supervised pool without depending on `galiot-channel`
+/// directly.
+pub use galiot_channel::{DecodeFaultKind, DecodeFaultSpec};
 /// Re-export of the observability layer so downstream users can start
 /// trace sessions without depending on `galiot-trace` directly.
 pub use galiot_trace as trace;
-pub use metrics::{Metrics, SharedMetrics};
+pub use metrics::{Metrics, QuarantineRecord, SharedMetrics};
 pub use pipeline::{Galiot, PipelineFrame, RunReport};
+pub use spawn::{spawn_thread, SpawnError};
 pub use streaming::StreamingGaliot;
 pub use transport::{
     degraded_bits, ArqClock, ArqParams, QueuedSegment, SendQueue, SendQueueTx, TransportConfig,

@@ -19,6 +19,31 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
+/// Dead-letter record for a segment the decode-pool supervisor
+/// quarantined after exhausting its retry budget (DESIGN.md §17):
+/// everything needed to reproduce the failing decode offline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Gateway the segment was captured by.
+    pub gateway: u16,
+    /// Epoch-tagged shipping sequence number.
+    pub seq: u64,
+    /// Capture-sample offset of the segment.
+    pub start: u64,
+    /// Segment length in samples — the quarantine-aware delivery oracle
+    /// treats `[start, start + len)` as the window whose frames may be
+    /// missing.
+    pub len: usize,
+    /// Per-attempt failure names, oldest first (`"panic"` or `"hung"`).
+    pub attempts: Vec<&'static str>,
+    /// FNV-1a hash of the shipped payload bytes, for matching the
+    /// segment against a capture replay.
+    pub payload_hash: u64,
+    /// The decode-fault pattern seed in effect (the
+    /// `GALIOT_DECODE_FAULTS` repro knob; 0 when injection was off).
+    pub fault_seed: u64,
+}
+
 /// Counters accumulated over a run. Shared across pipeline threads via
 /// [`SharedMetrics`].
 ///
@@ -162,6 +187,32 @@ pub struct Metrics {
     /// because the session was already dead or superseded when they
     /// reported — the crash term closing the fleet delivery identity.
     pub crash_lost_frames: usize,
+    /// Segment decode attempts the pool supervisor re-dispatched after
+    /// a panic or lease expiry (one per `Retried` trace event).
+    pub decode_retried: usize,
+    /// Segments quarantined to a dead-letter record after exhausting
+    /// `decode_retries` re-dispatches (one per `Quarantined` trace
+    /// event; equals `quarantine_records.len()`).
+    pub decode_quarantined: usize,
+    /// Hung workers the supervisor abandoned and replaced with a
+    /// fresh incarnation.
+    pub workers_replaced: usize,
+    /// Lease deadlines that expired — the supervisor declared the
+    /// holding worker hung.
+    pub decode_hung: usize,
+    /// Frames decoded by late/stale attempts of already-quarantined
+    /// segments: counted into `per_gateway_decoded` by the pool but
+    /// never delivered, so they close the fleet identity
+    /// `Σ per_gateway_decoded == fleet_delivered + dedup_suppressed +
+    /// crash_lost_frames + quarantined_frames`.
+    pub quarantined_frames: usize,
+    /// Decode attempts that completed after their lease was already
+    /// resolved (a replacement attempt won, or the segment was
+    /// quarantined); their results were fenced off.
+    pub decode_stale_results: usize,
+    /// Dead-letter records, one per quarantined segment, in quarantine
+    /// order.
+    pub quarantine_records: Vec<QuarantineRecord>,
     /// Name of the SIMD kernel backend the DSP hot loops dispatched to
     /// (`scalar`, `sse4.1`, `avx2` or `fma` — see
     /// `galiot_dsp::kernels`), stamped whenever engine stats are
@@ -269,6 +320,13 @@ impl Metrics {
             sessions_restarted,
             crash_lost_segments,
             crash_lost_frames,
+            decode_retried,
+            decode_quarantined,
+            workers_replaced,
+            decode_hung,
+            quarantined_frames,
+            decode_stale_results,
+            quarantine_records,
             dsp_backend,
         } = other;
         self.detections += detections;
@@ -335,6 +393,14 @@ impl Metrics {
         self.sessions_restarted += sessions_restarted;
         self.crash_lost_segments += crash_lost_segments;
         self.crash_lost_frames += crash_lost_frames;
+        self.decode_retried += decode_retried;
+        self.decode_quarantined += decode_quarantined;
+        self.workers_replaced += workers_replaced;
+        self.decode_hung += decode_hung;
+        self.quarantined_frames += quarantined_frames;
+        self.decode_stale_results += decode_stale_results;
+        self.quarantine_records
+            .extend(quarantine_records.iter().cloned());
         // A tag, not a counter: take the other side's backend if this
         // side hasn't recorded one (backends agree within a process).
         if self.dsp_backend.is_empty() {
@@ -371,7 +437,11 @@ impl Metrics {
              \"fleet_gateways\":{},\"ingest_shards\":{},\"fleet_delivered\":{},\
              \"dedup_suppressed\":{},\"sessions_crashed\":{},\
              \"sessions_restarted\":{},\"crash_lost_segments\":{},\
-             \"crash_lost_frames\":{},\"dsp_backend\":\"{}\",\"stages\":{{",
+             \"crash_lost_frames\":{},\"decode_retried\":{},\
+             \"decode_quarantined\":{},\"workers_replaced\":{},\
+             \"decode_hung\":{},\"quarantined_frames\":{},\
+             \"decode_stale_results\":{},\"dsp_backend\":\"{}\",\
+             \"quarantines\":{},\"stages\":{{",
             self.detections,
             self.segments,
             self.edge_decoded,
@@ -398,7 +468,14 @@ impl Metrics {
             self.sessions_restarted,
             self.crash_lost_segments,
             self.crash_lost_frames,
+            self.decode_retried,
+            self.decode_quarantined,
+            self.workers_replaced,
+            self.decode_hung,
+            self.quarantined_frames,
+            self.decode_stale_results,
             self.dsp_backend,
+            quarantines_json(&self.quarantine_records),
         );
         let mut first = true;
         for (name, h) in &self.stage_ns {
@@ -439,6 +516,14 @@ impl Metrics {
         self.plan_cache_misses += d.plan_misses;
         self.template_bank_builds += d.bank_builds;
         self.template_bank_hits += d.bank_hits;
+    }
+
+    /// Records a quarantine: bumps the counter and appends the
+    /// dead-letter record so `decode_quarantined ==
+    /// quarantine_records.len()` holds by construction.
+    pub fn record_quarantine(&mut self, record: QuarantineRecord) {
+        self.decode_quarantined += 1;
+        self.quarantine_records.push(record);
     }
 
     /// Frames decoded across the worker pool, pre-deduplication — can
@@ -505,6 +590,13 @@ impl fmt::Display for Metrics {
             sessions_restarted,
             crash_lost_segments,
             crash_lost_frames,
+            decode_retried,
+            decode_quarantined,
+            workers_replaced,
+            decode_hung,
+            quarantined_frames,
+            decode_stale_results,
+            quarantine_records,
             dsp_backend,
         } = self;
         writeln!(
@@ -564,6 +656,22 @@ impl fmt::Display for Metrics {
              crash_lost_segments={crash_lost_segments} \
              crash_lost_frames={crash_lost_frames}"
         )?;
+        writeln!(
+            f,
+            "supervision: decode_retried={decode_retried} \
+             decode_quarantined={decode_quarantined} \
+             workers_replaced={workers_replaced} decode_hung={decode_hung} \
+             quarantined_frames={quarantined_frames} \
+             decode_stale_results={decode_stale_results}"
+        )?;
+        for q in quarantine_records {
+            writeln!(
+                f,
+                "  quarantine_records: gw={} seq={} start={} len={} \
+                 attempts={:?} payload_hash={:#018x} fault_seed={}",
+                q.gateway, q.seq, q.start, q.len, q.attempts, q.payload_hash, q.fault_seed
+            )?;
+        }
         writeln!(f, "payload_bits: {payload_bits:?}")?;
         if stage_ns.is_empty() {
             writeln!(f, "stage_ns: (no trace recorded)")?;
@@ -580,6 +688,32 @@ impl fmt::Display for Metrics {
         }
         Ok(())
     }
+}
+
+/// Renders the dead-letter records as a JSON array (for
+/// [`Metrics::stats_json`]).
+fn quarantines_json(records: &[QuarantineRecord]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("[");
+    for (i, q) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let attempts = q
+            .attempts
+            .iter()
+            .map(|a| format!("\"{a}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = write!(
+            out,
+            "{{\"gateway\":{},\"seq\":{},\"start\":{},\"len\":{},\
+             \"attempts\":[{}],\"payload_hash\":{},\"fault_seed\":{}}}",
+            q.gateway, q.seq, q.start, q.len, attempts, q.payload_hash, q.fault_seed
+        );
+    }
+    out.push(']');
+    out
 }
 
 /// Thread-shared metrics handle for the streaming pipeline.
@@ -789,6 +923,21 @@ mod tests {
             sessions_restarted: 47,
             crash_lost_segments: 48,
             crash_lost_frames: 49,
+            decode_retried: 50,
+            decode_quarantined: 51,
+            workers_replaced: 52,
+            decode_hung: 53,
+            quarantined_frames: 54,
+            decode_stale_results: 55,
+            quarantine_records: vec![QuarantineRecord {
+                gateway: 2,
+                seq: 56,
+                start: 57,
+                len: 58,
+                attempts: vec!["panic", "hung"],
+                payload_hash: 59,
+                fault_seed: 60,
+            }],
             dsp_backend: "avx2".to_string(),
         }
     }
@@ -821,6 +970,17 @@ mod tests {
         assert_eq!(twice.sessions_restarted, 2 * full.sessions_restarted);
         assert_eq!(twice.crash_lost_segments, 2 * full.crash_lost_segments);
         assert_eq!(twice.crash_lost_frames, 2 * full.crash_lost_frames);
+        assert_eq!(twice.decode_retried, 2 * full.decode_retried);
+        assert_eq!(twice.decode_quarantined, 2 * full.decode_quarantined);
+        assert_eq!(twice.workers_replaced, 2 * full.workers_replaced);
+        assert_eq!(twice.decode_hung, 2 * full.decode_hung);
+        assert_eq!(twice.quarantined_frames, 2 * full.quarantined_frames);
+        assert_eq!(twice.decode_stale_results, 2 * full.decode_stale_results);
+        // Dead-letter records merge by concatenation.
+        assert_eq!(
+            twice.quarantine_records.len(),
+            2 * full.quarantine_records.len()
+        );
         assert_eq!(
             twice.per_gateway_decoded[&1],
             2 * full.per_gateway_decoded[&1]
@@ -895,6 +1055,13 @@ mod tests {
             "sessions_restarted",
             "crash_lost_segments",
             "crash_lost_frames",
+            "decode_retried",
+            "decode_quarantined",
+            "workers_replaced",
+            "decode_hung",
+            "quarantined_frames",
+            "decode_stale_results",
+            "quarantine_records",
             "dsp_backend",
         ] {
             assert!(text.contains(label), "Display output missing {label:?}");
@@ -922,6 +1089,30 @@ mod tests {
         let json = m.stats_json();
         assert!(json.contains("\"worker_decode\""), "{json}");
         assert!(json.contains("\"sic_rounds\":0"), "{json}");
+    }
+
+    #[test]
+    fn quarantine_records_round_trip_to_json() {
+        let mut m = Metrics::default();
+        m.record_quarantine(QuarantineRecord {
+            gateway: 3,
+            seq: 9,
+            start: 1024,
+            len: 512,
+            attempts: vec!["hung", "panic", "panic"],
+            payload_hash: 0xDEAD,
+            fault_seed: 77,
+        });
+        assert_eq!(m.decode_quarantined, m.quarantine_records.len());
+        let json = m.stats_json();
+        assert!(json.contains("\"quarantines\":[{\"gateway\":3"), "{json}");
+        assert!(
+            json.contains("\"attempts\":[\"hung\",\"panic\",\"panic\"]"),
+            "{json}"
+        );
+        assert!(json.contains("\"decode_quarantined\":1"), "{json}");
+        assert!(json.contains("\"decode_retried\":0"), "{json}");
+        assert!(json.contains("\"workers_replaced\":0"), "{json}");
     }
 
     #[test]

@@ -14,22 +14,37 @@
 //! ```text
 //!                 chunks            segments (seq-tagged,
 //!                (bounded)           compressed, bounded)
-//!  push_chunk ──▶ gateway ─┬──────▶ worker 0 ─┐
-//!                          │──────▶ worker 1 ─┤   results
-//!                          │  ...             ├─▶ reassembly ─▶ frames
-//!                          │──────▶ worker N ─┘   (seq order,
-//!                          └─ edge decodes ──────▶  dedup)
+//!  push_chunk ──▶ gateway ─┬──▶ supervisor ─▶ worker 0 ─┐
+//!                          │     (leases,  ─▶ worker 1 ─┤   results
+//!                          │      retries,    ...       ├─▶ reassembly
+//!                          │      deadlines) ─▶ worker N ┘   ─▶ frames
+//!                          └─ edge decodes ──────────────▶ (seq order,
+//!                                                            dedup)
 //! ```
 //!
 //! The paper's bet is that "cloud computational resources are elastic":
 //! the gateway stays dumb and cheap while the cloud absorbs the
 //! expensive kill-filter/SIC work. That only pays off if the cloud tier
 //! actually scales, so each worker owns a private [`CloudDecoder`] and
-//! segments fan out over an MPMC channel. Decode order inside the pool
-//! is nondeterministic; the reassembly stage restores gateway emission
+//! segments fan out across the pool. Decode order inside the pool is
+//! nondeterministic; the reassembly stage restores gateway emission
 //! order via per-segment sequence numbers before anything reaches the
 //! output channel, so the observable frame stream is identical for any
 //! worker count (the conformance tests pin this).
+//!
+//! # The supervised pool
+//!
+//! Workers are not trusted to come back: every dispatched segment
+//! holds a *lease* whose deadline is [`GaliotConfig::decode_deadline_s`].
+//! The supervisor (DESIGN.md §17) detects a hung worker when its lease
+//! expires, abandons and replaces the thread (same `wid` lineage,
+//! bumped incarnation in the thread name), and re-dispatches the
+//! segment to a healthy worker; panicked decodes are re-dispatched
+//! too. After `decode_retries` re-dispatches fail, the segment is
+//! quarantined to a dead-letter [`QuarantineRecord`] and an empty
+//! result carrying its watermark is synthesized, so in-order delivery
+//! (and the fleet's liveness reaper) never stalls behind a poison
+//! segment.
 //!
 //! # Parity with the batch pipeline
 //!
@@ -43,8 +58,9 @@
 //! equal to batch segmentation for captures whose collision clusters
 //! fit within one flush window.
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use galiot_cloud::{CloudDecoder, Recovery};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use galiot_channel::{DecodeFaultKind, DecodeFaultSpec};
+use galiot_cloud::{shard_for, CloudDecoder, CloudParams, Recovery};
 use galiot_dsp::Cf32;
 use galiot_gateway::{
     extract, EdgeDecoder, EdgeOutcome, ExtractParams, GatewayId, PacketDetector, RtlSdrFrontEnd,
@@ -52,14 +68,16 @@ use galiot_gateway::{
 };
 use galiot_phy::registry::Registry;
 use galiot_phy::TechId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::config::GaliotConfig;
-use crate::metrics::SharedMetrics;
+use crate::metrics::{QuarantineRecord, SharedMetrics};
 use crate::pipeline::PipelineFrame;
+use crate::spawn::{spawn_thread, SpawnError};
 use crate::transport::{
     degraded_bits, spawn_arq_receiver, spawn_arq_sender, QueuedSegment, SendQueue, SendQueueTx,
 };
@@ -158,21 +176,33 @@ impl StreamingGaliot {
         if let Err(e) = config.validate() {
             panic!("invalid GaliotConfig: {e}");
         }
-        let fs = config.fs;
         let n_workers = config.effective_cloud_workers();
         let engine_before = galiot_dsp::engine::stats();
         let metrics = SharedMetrics::new();
         metrics.with(|m| m.cloud_workers = n_workers);
 
         let (chunk_tx, chunk_rx) = bounded::<Vec<Cf32>>(8);
-        // Enough queue to keep every worker busy without unbounded
-        // buffering of multi-hundred-kilobyte segments.
-        let (seg_tx, seg_rx) = bounded::<PoolItem>(2 * n_workers.max(4));
         let (result_tx, result_rx) = unbounded::<ResultMsg>();
         // Unbounded on purpose: `finish`/`Drop` join the workers before
         // draining, so a bounded frame channel could deadlock a run
         // that decodes more frames than the bound.
         let (frames_tx, frames_rx) = unbounded::<PipelineFrame>();
+
+        // The supervised decode pool: its intake replaces the old
+        // direct worker channel (same capacity — enough queue to keep
+        // every worker busy without unbounded buffering of
+        // multi-hundred-kilobyte segments). `n_shards == 0`: a single
+        // gateway has no affinity to preserve, any idle worker serves.
+        let pool = spawn_supervised_pool(
+            &config,
+            registry.clone(),
+            n_workers,
+            2 * n_workers.max(4),
+            0,
+            result_tx.clone(),
+            metrics.clone(),
+        );
+        let seg_tx = pool.intake;
 
         // Route the gateway→pool segment flow. Passthrough (perfect
         // links, no ARQ — the default) hands segments straight to the
@@ -255,22 +285,11 @@ impl StreamingGaliot {
             metrics.clone(),
         );
 
-        let workers: Vec<thread::JoinHandle<()>> = (0..n_workers)
-            .map(|wid| {
-                spawn_worker(
-                    wid,
-                    registry.clone(),
-                    &config,
-                    fs,
-                    seg_rx.clone(),
-                    result_tx.clone(),
-                    metrics.clone(),
-                )
-            })
-            .collect();
-        // Reassembly must observe disconnection once the gateway and
-        // every worker are done — drop the original handles.
-        drop(seg_rx);
+        // The supervisor thread stands in for the worker handles: it
+        // joins its own workers on shutdown. Reassembly must observe
+        // disconnection once the gateway and the pool are done — drop
+        // the original result handle.
+        let workers: Vec<thread::JoinHandle<()>> = vec![pool.supervisor];
         drop(result_tx);
 
         let reassembly = spawn_reassembly(result_rx, frames_tx, metrics.clone());
@@ -587,20 +606,18 @@ pub(crate) fn spawn_gateway(
 ) -> thread::JoinHandle<()> {
     let config = config.clone();
     let registry = registry.clone();
-    thread::Builder::new()
-        .name("galiot-gateway".into())
-        .spawn(move || {
-            run_gateway(
-                &config,
-                &registry,
-                &chunk_rx,
-                shipper,
-                &result_tx,
-                &metrics,
-                SessionStart::clean(),
-            );
-        })
-        .expect("spawn gateway thread")
+    spawn_thread("galiot-gateway", move || {
+        run_gateway(
+            &config,
+            &registry,
+            &chunk_rx,
+            shipper,
+            &result_tx,
+            &metrics,
+            SessionStart::clean(),
+        );
+    })
+    .unwrap_or_else(|e| panic!("gateway startup: {e}"))
 }
 
 /// Where the gateway's compressed segments go.
@@ -740,105 +757,709 @@ fn ship(
     true
 }
 
-/// One cloud decode worker: decompress, run Algorithm 1, forward the
-/// result tagged with the segment's session and sequence number. A
-/// panicking decode is contained — the worker reports an empty result
-/// for that segment and keeps serving the pool.
-///
-/// In fleet mode the segment carries its session's in-flight credit as
-/// a [`CreditGuard`](galiot_cloud::CreditGuard); the worker drops it
-/// after the decode (whatever the outcome — including a panic, since
-/// the guard lives on the worker's stack), so a poisoned decode can
-/// never leak the emitting session's quota.
-pub(crate) fn spawn_worker(
+// ---------------------------------------------------------------------
+// The supervised decode pool (DESIGN.md §17)
+// ---------------------------------------------------------------------
+
+/// Attempt-history names recorded in lease histories and dead-letter
+/// records.
+const FAIL_PANIC: &str = "panic";
+const FAIL_HUNG: &str = "hung";
+
+/// One dispatch of a segment lease to a worker incarnation.
+struct Attempt {
+    lease: u64,
+    attempt: u32,
+    seg: ShippedSegment,
+}
+
+/// What a completed decode attempt produced.
+enum Outcome {
+    Decoded {
+        frames: Vec<PipelineFrame>,
+        power: f32,
+        rounds: u64,
+        kills: u64,
+    },
+    Panicked,
+}
+
+/// A worker's report for one *completed* attempt. A hung attempt never
+/// reports — the supervisor's lease deadline is the only recovery.
+struct Done {
     wid: usize,
-    registry: Registry,
+    incarnation: u64,
+    lease: u64,
+    attempt: u32,
+    outcome: Outcome,
+    busy_ns: u64,
+}
+
+/// Supervisor-side state for one worker slot: a `wid` lineage whose
+/// thread is replaced (incarnation bumped) when it wedges.
+struct WorkerSlot {
+    incarnation: u64,
+    tx: Sender<Attempt>,
+    /// Set when the supervisor abandons this incarnation; an injected
+    /// hang polls it so abandoned fault threads exit instead of
+    /// leaking.
+    abandoned: Arc<AtomicBool>,
+    /// Lease currently dispatched to this incarnation, with its decode
+    /// deadline.
+    busy: Option<(u64, Instant)>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+/// An in-flight segment lease: the segment (kept for re-dispatch), its
+/// fairness credit, and the retry ladder's position.
+struct Lease {
+    seg: ShippedSegment,
+    credit: Option<galiot_cloud::CreditGuard>,
+    /// 0-based attempt currently dispatched (or queued for dispatch).
+    attempt: u32,
+    /// Failure names of every spent attempt, oldest first.
+    history: Vec<&'static str>,
+}
+
+/// Terminal fate of a resolved lease, kept to fence the results of
+/// attempts that were still running when the lease resolved.
+struct ResolvedLease {
+    gateway: u16,
+    quarantined: bool,
+}
+
+/// A running supervised decode pool: ship [`PoolItem`]s into `intake`;
+/// results (including synthesized quarantine gap notices) come out on
+/// the `result_tx` the pool was built with. Dropping every intake
+/// sender drains and stops the pool.
+pub(crate) struct SupervisedPool {
+    pub(crate) intake: Sender<PoolItem>,
+    pub(crate) supervisor: thread::JoinHandle<()>,
+}
+
+/// Spawns the decode-pool supervisor and its initial workers.
+///
+/// The supervisor owns dispatch: workers get private rendezvous
+/// channels and only ever hold one attempt, so every in-flight decode
+/// has a lease with a deadline (`config.decode_deadline_s`). On lease
+/// expiry the holding worker is declared hung, abandoned, and replaced
+/// (same `wid`, bumped incarnation in the thread name); the segment is
+/// re-dispatched — as are panicked decodes — up to
+/// `config.decode_retries` times before it is quarantined to a
+/// dead-letter record and replaced by an empty result carrying its
+/// watermark, so capture-order delivery never stalls.
+///
+/// `n_shards == 0` disables shard affinity (single-gateway streaming:
+/// any idle worker takes the next segment); with shards, first
+/// attempts keep the fleet's deterministic `(gateway, seq) → shard →
+/// worker` mapping and only retries roam.
+pub(crate) fn spawn_supervised_pool(
     config: &GaliotConfig,
-    fs: f64,
-    seg_rx: Receiver<PoolItem>,
+    registry: Registry,
+    n_workers: usize,
+    intake_cap: usize,
+    n_shards: usize,
     result_tx: Sender<ResultMsg>,
     metrics: SharedMetrics,
-) -> thread::JoinHandle<()> {
-    let cloud_params = config.cloud;
-    let hop_latency = config
-        .emulate_backhaul
-        .then(|| Duration::from_secs_f64(config.backhaul_latency_s));
-    thread::Builder::new()
-        .name(format!("galiot-cloud-{wid}"))
-        .spawn(move || {
-            let decoder = CloudDecoder::with_params(registry, cloud_params);
-            while let Ok(PoolItem { seg, credit }) = seg_rx.recv() {
-                // The hop to a remote elastic cloud instance: latency
-                // is per segment and overlaps across workers — this is
-                // the wait the pool exists to hide.
-                if let Some(lat) = hop_latency {
-                    thread::sleep(lat);
-                }
-                let tag = galiot_trace::tag_seq(seg.gateway.0, seg.seq);
-                let t0 = Instant::now();
-                let decode_span = galiot_trace::span(galiot_trace::Stage::WorkerDecode, tag);
-                let decoded = catch_unwind(AssertUnwindSafe(|| {
-                    let samples = seg.unpack();
-                    let power = samples.iter().map(|c| c.norm_sqr()).sum::<f32>()
-                        / samples.len().max(1) as f32;
-                    (power, decoder.decode(&samples, fs))
-                }));
-                drop(decode_span);
-                let busy = t0.elapsed().as_nanos() as u64;
-                let (frames, power, rounds, kills) = match decoded {
-                    Ok((power, result)) => {
-                        let rounds = result.rounds as u64;
-                        let kills = result.kills as u64;
-                        let frames: Vec<PipelineFrame> = result
-                            .frames
-                            .into_iter()
-                            .map(|(mut frame, how)| {
-                                frame.start += seg.start;
-                                let via_kill = matches!(how, Recovery::AfterKill { .. });
-                                PipelineFrame {
-                                    frame,
-                                    at_edge: false,
-                                    via_kill,
-                                }
-                            })
-                            .collect();
-                        (frames, power, rounds, kills)
-                    }
-                    Err(_) => {
-                        metrics.with(|m| m.decode_poisoned += 1);
-                        (Vec::new(), 0.0, 0, 0)
-                    }
+) -> SupervisedPool {
+    let (intake_tx, intake_rx) = bounded::<PoolItem>(intake_cap);
+    let (done_tx, done_rx) = unbounded::<Done>();
+    let n_workers = n_workers.max(1);
+    let sup = Supervisor {
+        deadline: Duration::from_secs_f64(config.decode_deadline_s),
+        retries: config.decode_retries,
+        faults: config.decode_faults,
+        fs: config.fs,
+        cloud_params: config.cloud,
+        hop_latency: config
+            .emulate_backhaul
+            .then(|| Duration::from_secs_f64(config.backhaul_latency_s)),
+        registry,
+        n_shards,
+        n_workers,
+        intake_cap: intake_cap.max(1),
+        result_tx,
+        metrics,
+        done_tx,
+        done_rx,
+        slots: Vec::with_capacity(n_workers),
+        runq: VecDeque::new(),
+        prefq: (0..n_workers).map(|_| VecDeque::new()).collect(),
+        leases: HashMap::new(),
+        resolved: HashMap::new(),
+        next_lease: 0,
+    };
+    let supervisor = spawn_thread("galiot-pool-supervisor", move || sup.run(intake_rx))
+        .unwrap_or_else(|e| panic!("decode pool startup: {e}"));
+    SupervisedPool {
+        intake: intake_tx,
+        supervisor,
+    }
+}
+
+/// The decode-pool supervisor: owns the worker slots, the lease table,
+/// and the retry/quarantine ladder. Runs on its own thread.
+struct Supervisor {
+    deadline: Duration,
+    retries: usize,
+    faults: DecodeFaultSpec,
+    fs: f64,
+    cloud_params: CloudParams,
+    hop_latency: Option<Duration>,
+    registry: Registry,
+    n_shards: usize,
+    n_workers: usize,
+    intake_cap: usize,
+    result_tx: Sender<ResultMsg>,
+    metrics: SharedMetrics,
+    /// Kept so `done_rx` never disconnects while slots churn.
+    done_tx: Sender<Done>,
+    done_rx: Receiver<Done>,
+    /// Indexed by `wid`; `None` once a slot's replacement failed for
+    /// good (the pool then runs degraded).
+    slots: Vec<Option<WorkerSlot>>,
+    /// Leases awaiting (re-)dispatch to any idle worker.
+    runq: VecDeque<u64>,
+    /// Shard-affine first attempts awaiting their preferred worker.
+    prefq: Vec<VecDeque<u64>>,
+    leases: HashMap<u64, Lease>,
+    resolved: HashMap<u64, ResolvedLease>,
+    next_lease: u64,
+}
+
+impl Supervisor {
+    fn run(mut self, intake_rx: Receiver<PoolItem>) {
+        for wid in 0..self.n_workers {
+            match self.spawn_slot(wid, 0) {
+                Ok(slot) => self.slots.push(Some(slot)),
+                // A machine that cannot spawn one worker cannot run.
+                Err(e) => panic!("decode pool startup: {e}"),
+            }
+        }
+        let mut intake_open = true;
+        loop {
+            self.dispatch();
+            if !intake_open && self.leases.is_empty() && self.queued() == 0 {
+                break;
+            }
+            // One blocking wait per iteration, on whichever channel is
+            // actionable. With an idle worker and queue room the next
+            // useful event is an intake arrival; otherwise only worker
+            // completions (or a lease deadline) can make progress.
+            let accepting = intake_open && self.queued() < self.intake_cap;
+            let idle_any = self.slots.iter().flatten().any(|s| s.busy.is_none());
+            let busy_any = self.slots.iter().flatten().any(|s| s.busy.is_some());
+            let timeout = self.next_timeout();
+            if accepting && idle_any {
+                // While decodes are also in flight, tick fast so their
+                // completions (drained below) free workers promptly.
+                let wait = if busy_any {
+                    timeout.min(Duration::from_millis(25))
+                } else {
+                    timeout
                 };
-                metrics.with(|m| {
-                    m.cloud_busy_ns += busy;
-                    m.sic_rounds += rounds;
-                    m.kill_applications += kills;
-                    *m.per_worker_segments.entry(wid).or_default() += 1;
-                    *m.per_worker_decoded.entry(wid).or_default() += frames.len();
-                });
-                // Terminal mark: the segment's journey ends here even
-                // when the decode yielded nothing (or panicked).
-                galiot_trace::event(galiot_trace::EventKind::Decode, tag);
-                // Send before returning the credit: the liveness
-                // reaper exempts credit-holding sessions, so the
-                // credit must cover the segment until its result is
-                // queued at the merge.
-                let sent = result_tx
-                    .send(ResultMsg::Segment(SegmentResult {
-                        gateway: seg.gateway,
-                        seq: seg.seq,
-                        frames,
-                        watermark: Some(seg.start as u64),
-                        power,
-                    }))
-                    .is_ok();
-                drop(credit);
-                if !sent {
-                    return;
+                match intake_rx.recv_timeout(wait) {
+                    Ok(item) => self.admit(item),
+                    Err(RecvTimeoutError::Disconnected) => intake_open = false,
+                    Err(RecvTimeoutError::Timeout) => {}
+                }
+            } else {
+                // Timeout and (unreachable — the supervisor holds a
+                // done sender) disconnect both just fall through to
+                // the deadline check.
+                if let Ok(done) = self.done_rx.recv_timeout(timeout) {
+                    self.on_done(done);
                 }
             }
+            // Drain completions before judging deadlines, so an
+            // attempt that finished inside its lease is never declared
+            // hung however late the supervisor wakes.
+            while let Ok(done) = self.done_rx.try_recv() {
+                self.on_done(done);
+            }
+            self.check_deadlines();
+        }
+        // Retire the current incarnations: dropping the attempt
+        // senders ends their recv loops; all are idle here.
+        for slot in std::mem::take(&mut self.slots).into_iter().flatten() {
+            drop(slot.tx);
+            if let Some(h) = slot.handle {
+                let _ = h.join();
+            }
+        }
+    }
+
+    /// Segments queued but not yet dispatched — the admission gate
+    /// mirrors the bounded worker channel the pool replaced.
+    fn queued(&self) -> usize {
+        self.runq.len() + self.prefq.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    /// Sleep until the earliest in-flight lease deadline (min 1 ms so
+    /// an already-late deadline still yields to channel traffic), or a
+    /// coarse idle tick.
+    fn next_timeout(&self) -> Duration {
+        let now = Instant::now();
+        self.slots
+            .iter()
+            .flatten()
+            .filter_map(|s| s.busy.map(|(_, d)| d))
+            .min()
+            .map(|d| {
+                d.saturating_duration_since(now)
+                    .max(Duration::from_millis(1))
+            })
+            .unwrap_or(Duration::from_millis(200))
+    }
+
+    /// Opens a lease for an admitted segment and queues its first
+    /// attempt (shard-affine in fleet mode).
+    fn admit(&mut self, item: PoolItem) {
+        let PoolItem { seg, credit } = item;
+        let id = self.next_lease;
+        self.next_lease += 1;
+        let pref = (self.n_shards > 0)
+            .then(|| shard_for(seg.gateway, seg.seq, self.n_shards) % self.n_workers)
+            .filter(|&w| self.slots[w].is_some());
+        self.leases.insert(
+            id,
+            Lease {
+                seg,
+                credit,
+                attempt: 0,
+                history: Vec::new(),
+            },
+        );
+        match pref {
+            Some(w) => self.prefq[w].push_back(id),
+            None => self.runq.push_back(id),
+        }
+    }
+
+    /// Hands queued leases to idle workers: each slot serves its
+    /// affinity queue first, then the global (retry) queue.
+    fn dispatch(&mut self) {
+        for wid in 0..self.slots.len() {
+            let idle = matches!(&self.slots[wid], Some(s) if s.busy.is_none());
+            if !idle {
+                continue;
+            }
+            let Some(id) = self.prefq[wid]
+                .pop_front()
+                .or_else(|| self.runq.pop_front())
+            else {
+                continue;
+            };
+            self.dispatch_to(wid, id);
+        }
+    }
+
+    fn dispatch_to(&mut self, wid: usize, id: u64) {
+        let (attempt_no, seg) = {
+            let lease = self.leases.get(&id).expect("queued lease exists");
+            (lease.attempt, lease.seg.clone())
+        };
+        let sent = self.slots[wid]
+            .as_ref()
+            .expect("dispatch to a live slot")
+            .tx
+            .send(Attempt {
+                lease: id,
+                attempt: attempt_no,
+                seg,
+            })
+            .is_ok();
+        if !sent {
+            // The worker died outside a decode (its channel closed
+            // without a Done) — requeue and replace the incarnation.
+            self.runq.push_front(id);
+            self.replace_worker(wid);
+            return;
+        }
+        let deadline = Instant::now() + self.deadline;
+        self.slots[wid].as_mut().expect("slot just used").busy = Some((id, deadline));
+    }
+
+    /// Declares workers whose lease deadline has passed hung: abandon
+    /// and replace the thread, then walk the lease down the retry
+    /// ladder (unless a stale attempt already resolved it).
+    fn check_deadlines(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<(usize, u64)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(wid, s)| {
+                let (id, deadline) = s.as_ref()?.busy?;
+                (deadline <= now).then_some((wid, id))
+            })
+            .collect();
+        for (wid, id) in expired {
+            self.metrics.with(|m| m.decode_hung += 1);
+            self.replace_worker(wid);
+            if self.leases.contains_key(&id) {
+                self.fail_attempt(id, FAIL_HUNG);
+            }
+            // else: a stale attempt of an already-resolved lease hung;
+            // replacing the worker is the whole remedy.
+        }
+    }
+
+    /// Abandons a slot's current incarnation and spawns its successor.
+    /// The wedged thread is parked detached — the abandoned flag tells
+    /// an *injected* hang to exit; a genuinely wedged decode can never
+    /// be joined anyway.
+    fn replace_worker(&mut self, wid: usize) {
+        let Some(old) = self.slots[wid].take() else {
+            return;
+        };
+        old.abandoned.store(true, Ordering::Release);
+        drop(old.tx);
+        drop(old.handle);
+        match self.spawn_slot(wid, old.incarnation + 1) {
+            Ok(slot) => {
+                self.slots[wid] = Some(slot);
+                self.metrics.with(|m| m.workers_replaced += 1);
+            }
+            Err(e) => {
+                // Degraded but alive: the lineage ends, its affinity
+                // queue drains to the survivors.
+                let orphans = std::mem::take(&mut self.prefq[wid]);
+                self.runq.extend(orphans);
+                if self.slots.iter().all(Option::is_none) {
+                    panic!("decode pool lost every worker: {e}");
+                }
+            }
+        }
+    }
+
+    fn spawn_slot(&self, wid: usize, incarnation: u64) -> Result<WorkerSlot, SpawnError> {
+        // Rendezvous-sized: the supervisor only dispatches to idle
+        // incarnations, so this send never blocks and a worker never
+        // buffers a second segment it could wedge on.
+        let (tx, rx) = bounded::<Attempt>(1);
+        let abandoned = Arc::new(AtomicBool::new(false));
+        let flag = abandoned.clone();
+        let done_tx = self.done_tx.clone();
+        let registry = self.registry.clone();
+        let cloud_params = self.cloud_params;
+        let fs = self.fs;
+        let hop_latency = self.hop_latency;
+        let faults = self.faults;
+        let deadline = self.deadline;
+        let handle = spawn_thread(&format!("galiot-cloud-{wid}.{incarnation}"), move || {
+            run_pool_worker(
+                wid,
+                incarnation,
+                registry,
+                cloud_params,
+                fs,
+                hop_latency,
+                faults,
+                deadline,
+                rx,
+                done_tx,
+                flag,
+            )
+        })?;
+        Ok(WorkerSlot {
+            incarnation,
+            tx,
+            abandoned,
+            busy: None,
+            handle: Some(handle),
         })
-        .expect("spawn cloud worker thread")
+    }
+
+    fn on_done(&mut self, done: Done) {
+        // Per-attempt accounting first: every completed attempt is one
+        // pool segment whatever its fate, so the WorkerDecode span
+        // histogram, per_worker_segments, and the SIC/kill counters
+        // reconcile even for stale and poisoned attempts.
+        let (rounds, kills) = match &done.outcome {
+            Outcome::Decoded { rounds, kills, .. } => (*rounds, *kills),
+            Outcome::Panicked => (0, 0),
+        };
+        self.metrics.with(|m| {
+            *m.per_worker_segments.entry(done.wid).or_default() += 1;
+            m.cloud_busy_ns += done.busy_ns;
+            m.sic_rounds += rounds;
+            m.kill_applications += kills;
+        });
+        // Free the slot — only if the report is from its current
+        // incarnation (a replaced worker's late Done must not clear
+        // its successor's lease).
+        if let Some(slot) = self.slots[done.wid].as_mut() {
+            if slot.incarnation == done.incarnation
+                && slot.busy.map(|(id, _)| id) == Some(done.lease)
+            {
+                slot.busy = None;
+            }
+        }
+        match done.outcome {
+            Outcome::Panicked => {
+                self.metrics.with(|m| m.decode_poisoned += 1);
+                // Only the current attempt of a live lease drives the
+                // ladder; a stale panic is already accounted against
+                // the attempt that superseded it.
+                let current = self
+                    .leases
+                    .get(&done.lease)
+                    .is_some_and(|l| l.attempt == done.attempt);
+                if current {
+                    self.fail_attempt(done.lease, FAIL_PANIC);
+                }
+            }
+            Outcome::Decoded { frames, power, .. } => {
+                if self.leases.contains_key(&done.lease) {
+                    // First success wins, whatever its attempt number
+                    // (a slow attempt may beat its own replacement).
+                    self.win(done.lease, done.wid, frames, power);
+                } else {
+                    self.stale_success(done.lease, frames.len());
+                }
+            }
+        }
+    }
+
+    /// Terminal success: emit the `Decode` trace terminal, deliver the
+    /// result, then release the fairness credit (the liveness reaper
+    /// exempts credit-holding sessions, so the credit must cover the
+    /// segment until its result is queued at the merge).
+    fn win(&mut self, id: u64, wid: usize, frames: Vec<PipelineFrame>, power: f32) {
+        let Lease { seg, credit, .. } = self.leases.remove(&id).expect("winning lease exists");
+        galiot_trace::event(
+            galiot_trace::EventKind::Decode,
+            galiot_trace::tag_seq(seg.gateway.0, seg.seq),
+        );
+        self.metrics
+            .with(|m| *m.per_worker_decoded.entry(wid).or_default() += frames.len());
+        let _ = self.result_tx.send(ResultMsg::Segment(SegmentResult {
+            gateway: seg.gateway,
+            seq: seg.seq,
+            frames,
+            watermark: Some(seg.start as u64),
+            power,
+        }));
+        self.resolved.insert(
+            id,
+            ResolvedLease {
+                gateway: seg.gateway.0,
+                quarantined: false,
+            },
+        );
+        drop(credit);
+    }
+
+    /// One attempt failed (panic or hang): re-dispatch while the
+    /// ladder has rungs, else quarantine.
+    fn fail_attempt(&mut self, id: u64, how: &'static str) {
+        let exhausted = {
+            let lease = self.leases.get_mut(&id).expect("failing a live lease");
+            lease.history.push(how);
+            lease.attempt += 1;
+            lease.attempt as usize > self.retries
+        };
+        if exhausted {
+            self.quarantine(id);
+            return;
+        }
+        let lease = &self.leases[&id];
+        galiot_trace::event(
+            galiot_trace::EventKind::Retried,
+            galiot_trace::tag_seq(lease.seg.gateway.0, lease.seg.seq),
+        );
+        self.metrics.with(|m| m.decode_retried += 1);
+        // Retries go to whoever frees up first — the preferred worker
+        // may be the very one that wedged on it.
+        self.runq.push_back(id);
+    }
+
+    /// Dead-letters a lease after its last attempt failed and
+    /// synthesizes the empty result that keeps capture-order delivery
+    /// (and the fleet liveness reaper) moving past it.
+    fn quarantine(&mut self, id: u64) {
+        let Lease {
+            seg,
+            credit,
+            history,
+            ..
+        } = self.leases.remove(&id).expect("quarantining a live lease");
+        galiot_trace::event(
+            galiot_trace::EventKind::Quarantined,
+            galiot_trace::tag_seq(seg.gateway.0, seg.seq),
+        );
+        self.metrics.with(|m| {
+            m.record_quarantine(QuarantineRecord {
+                gateway: seg.gateway.0,
+                seq: seg.seq,
+                start: seg.start as u64,
+                len: seg.compressed.len,
+                attempts: history,
+                payload_hash: fnv1a(&seg.compressed.data),
+                fault_seed: if self.faults.enabled() {
+                    self.faults.seed
+                } else {
+                    0
+                },
+            });
+        });
+        let _ = self.result_tx.send(ResultMsg::Segment(SegmentResult {
+            gateway: seg.gateway,
+            seq: seg.seq,
+            frames: Vec::new(),
+            watermark: Some(seg.start as u64),
+            power: 0.0,
+        }));
+        self.resolved.insert(
+            id,
+            ResolvedLease {
+                gateway: seg.gateway.0,
+                quarantined: true,
+            },
+        );
+        drop(credit);
+    }
+
+    /// A completed attempt of an already-resolved lease. Its frames
+    /// were decoded but go nowhere; if the lease was quarantined they
+    /// are accounted into both `per_gateway_decoded` and
+    /// `quarantined_frames` (mirroring the merge's dead-lane
+    /// crash-loss arm) so the fleet identity stays closed.
+    fn stale_success(&mut self, id: u64, n_frames: usize) {
+        self.metrics.with(|m| m.decode_stale_results += 1);
+        let Some(r) = self.resolved.get(&id) else {
+            return;
+        };
+        if r.quarantined && n_frames > 0 {
+            let gw = r.gateway;
+            self.metrics.with(|m| {
+                *m.per_gateway_decoded.entry(gw).or_default() += n_frames;
+                m.quarantined_frames += n_frames;
+            });
+        }
+    }
+}
+
+/// One cloud decode worker incarnation: decompress, run Algorithm 1,
+/// report the outcome to the supervisor. A panicking decode is
+/// contained and reported as [`Outcome::Panicked`]; an injected hang
+/// reports nothing and waits (parked) to be abandoned.
+#[allow(clippy::too_many_arguments)]
+fn run_pool_worker(
+    wid: usize,
+    incarnation: u64,
+    registry: Registry,
+    cloud_params: CloudParams,
+    fs: f64,
+    hop_latency: Option<Duration>,
+    faults: DecodeFaultSpec,
+    deadline: Duration,
+    attempt_rx: Receiver<Attempt>,
+    done_tx: Sender<Done>,
+    abandoned: Arc<AtomicBool>,
+) {
+    let decoder = CloudDecoder::with_params(registry, cloud_params);
+    while let Ok(Attempt {
+        lease,
+        attempt,
+        seg,
+    }) = attempt_rx.recv()
+    {
+        // The hop to a remote elastic cloud instance: latency is per
+        // segment and overlaps across workers — this is the wait the
+        // pool exists to hide.
+        if let Some(lat) = hop_latency {
+            thread::sleep(lat);
+        }
+        let strike = faults.strikes(seg.gateway.0, seg.seq, attempt);
+        if strike && faults.kind == DecodeFaultKind::Hang {
+            // A wedged decode: no span, no Done — the supervisor can
+            // only learn of it through the lease deadline. The thread
+            // exits once abandoned so test processes don't leak it.
+            while !abandoned.load(Ordering::Acquire) {
+                thread::park_timeout(Duration::from_millis(5));
+            }
+            return;
+        }
+        if strike && faults.kind == DecodeFaultKind::Slow {
+            // Pathologically slow: sleep well past the lease deadline.
+            // By wake-up the supervisor has (almost) always declared
+            // this incarnation hung and abandoned it — exit silently
+            // then, before writing a span or Done that would race the
+            // replacement's accounting and a drained trace. In the
+            // rare schedule where the deadline check hasn't fired yet,
+            // fall through and decode: the lease is still live, so the
+            // late result simply wins.
+            thread::sleep(deadline * 2);
+            if abandoned.load(Ordering::Acquire) {
+                return;
+            }
+        }
+        let tag = galiot_trace::tag_seq(seg.gateway.0, seg.seq);
+        let t0 = Instant::now();
+        let decode_span = galiot_trace::span(galiot_trace::Stage::WorkerDecode, tag);
+        let decoded = catch_unwind(AssertUnwindSafe(|| {
+            if strike && faults.kind == DecodeFaultKind::Panic {
+                panic!("injected decode fault");
+            }
+            let samples = seg.unpack();
+            let power =
+                samples.iter().map(|c| c.norm_sqr()).sum::<f32>() / samples.len().max(1) as f32;
+            (power, decoder.decode(&samples, fs))
+        }));
+        drop(decode_span);
+        let busy_ns = t0.elapsed().as_nanos() as u64;
+        let outcome = match decoded {
+            Ok((power, result)) => {
+                let rounds = result.rounds as u64;
+                let kills = result.kills as u64;
+                let frames: Vec<PipelineFrame> = result
+                    .frames
+                    .into_iter()
+                    .map(|(mut frame, how)| {
+                        frame.start += seg.start;
+                        let via_kill = matches!(how, Recovery::AfterKill { .. });
+                        PipelineFrame {
+                            frame,
+                            at_edge: false,
+                            via_kill,
+                        }
+                    })
+                    .collect();
+                Outcome::Decoded {
+                    frames,
+                    power,
+                    rounds,
+                    kills,
+                }
+            }
+            Err(_) => Outcome::Panicked,
+        };
+        if done_tx
+            .send(Done {
+                wid,
+                incarnation,
+                lease,
+                attempt,
+                outcome,
+                busy_ns,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// FNV-1a over the compressed payload bytes, for dead-letter records.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// Reassembly stage: restore gateway emission order across workers,
@@ -849,78 +1470,76 @@ fn spawn_reassembly(
     frames_tx: Sender<PipelineFrame>,
     metrics: SharedMetrics,
 ) -> thread::JoinHandle<()> {
-    thread::Builder::new()
-        .name("galiot-reassembly".into())
-        .spawn(move || {
-            let mut pending: BTreeMap<u64, Vec<PipelineFrame>> = BTreeMap::new();
-            let mut next_seq = 0u64;
-            // Overlapping segment emissions can decode the same frame
-            // twice; drop repeats by (tech, payload, ~start). Processing
-            // strictly in seq order makes the surviving set independent
-            // of worker count and scheduling.
-            let mut seen: Vec<(TechId, Vec<u8>, usize)> = Vec::new();
-            let mut emit = |mut frames: Vec<PipelineFrame>| -> bool {
-                // Algorithm 1 yields a segment's frames in SIC power
-                // order; re-sort by position so delivery is capture
-                // order end to end (segments already arrive in
-                // ascending-start order via `seq`).
-                frames.sort_by_key(|pf| pf.frame.start);
-                for pf in frames {
-                    let dup = seen.iter().any(|(t, p, s)| {
-                        *t == pf.frame.tech
-                            && *p == pf.frame.payload
-                            && s.abs_diff(pf.frame.start) < DEDUP_SLACK
-                    });
-                    if dup {
-                        continue;
-                    }
-                    seen.push((pf.frame.tech, pf.frame.payload.clone(), pf.frame.start));
-                    if seen.len() > 256 {
-                        seen.remove(0);
-                    }
-                    metrics.with(|m| m.record_frame(&pf.frame, pf.at_edge, pf.via_kill));
-                    if frames_tx.send(pf).is_err() {
-                        return false;
-                    }
-                }
-                true
-            };
-            while let Ok(msg) = result_rx.recv() {
-                let result = match msg {
-                    ResultMsg::Segment(r) => r,
-                    // Session control traffic only concerns the fleet
-                    // merge; the single-session reassembler never
-                    // restarts anything.
-                    ResultMsg::SessionRestarted { .. } => continue,
-                };
-                // A sequence number can report twice under the faulty
-                // transport: a segment declared lost by the ARQ (empty
-                // gap notice) can still be delivered late by a
-                // reordering link and decoded. The first report wins;
-                // anything at an already-emitted seq is dropped so the
-                // final flush cannot replay it out of order.
-                if result.seq < next_seq {
+    spawn_thread("galiot-reassembly", move || {
+        let mut pending: BTreeMap<u64, Vec<PipelineFrame>> = BTreeMap::new();
+        let mut next_seq = 0u64;
+        // Overlapping segment emissions can decode the same frame
+        // twice; drop repeats by (tech, payload, ~start). Processing
+        // strictly in seq order makes the surviving set independent
+        // of worker count and scheduling.
+        let mut seen: Vec<(TechId, Vec<u8>, usize)> = Vec::new();
+        let mut emit = |mut frames: Vec<PipelineFrame>| -> bool {
+            // Algorithm 1 yields a segment's frames in SIC power
+            // order; re-sort by position so delivery is capture
+            // order end to end (segments already arrive in
+            // ascending-start order via `seq`).
+            frames.sort_by_key(|pf| pf.frame.start);
+            for pf in frames {
+                let dup = seen.iter().any(|(t, p, s)| {
+                    *t == pf.frame.tech
+                        && *p == pf.frame.payload
+                        && s.abs_diff(pf.frame.start) < DEDUP_SLACK
+                });
+                if dup {
                     continue;
                 }
-                pending.entry(result.seq).or_insert(result.frames);
-                metrics.with(|m| m.reassembly_hwm = m.reassembly_hwm.max(pending.len()));
-                while let Some(frames) = pending.remove(&next_seq) {
-                    let _span = galiot_trace::span(galiot_trace::Stage::Reassembly, next_seq);
-                    next_seq += 1;
-                    if !emit(frames) {
-                        return;
-                    }
+                seen.push((pf.frame.tech, pf.frame.payload.clone(), pf.frame.start));
+                if seen.len() > 256 {
+                    seen.remove(0);
+                }
+                metrics.with(|m| m.record_frame(&pf.frame, pf.at_edge, pf.via_kill));
+                if frames_tx.send(pf).is_err() {
+                    return false;
                 }
             }
-            // Producers are gone; flush whatever remains in order.
-            for (seq, frames) in std::mem::take(&mut pending) {
-                let _span = galiot_trace::span(galiot_trace::Stage::Reassembly, seq);
+            true
+        };
+        while let Ok(msg) = result_rx.recv() {
+            let result = match msg {
+                ResultMsg::Segment(r) => r,
+                // Session control traffic only concerns the fleet
+                // merge; the single-session reassembler never
+                // restarts anything.
+                ResultMsg::SessionRestarted { .. } => continue,
+            };
+            // A sequence number can report twice under the faulty
+            // transport: a segment declared lost by the ARQ (empty
+            // gap notice) can still be delivered late by a
+            // reordering link and decoded. The first report wins;
+            // anything at an already-emitted seq is dropped so the
+            // final flush cannot replay it out of order.
+            if result.seq < next_seq {
+                continue;
+            }
+            pending.entry(result.seq).or_insert(result.frames);
+            metrics.with(|m| m.reassembly_hwm = m.reassembly_hwm.max(pending.len()));
+            while let Some(frames) = pending.remove(&next_seq) {
+                let _span = galiot_trace::span(galiot_trace::Stage::Reassembly, next_seq);
+                next_seq += 1;
                 if !emit(frames) {
                     return;
                 }
             }
-        })
-        .expect("spawn reassembly thread")
+        }
+        // Producers are gone; flush whatever remains in order.
+        for (seq, frames) in std::mem::take(&mut pending) {
+            let _span = galiot_trace::span(galiot_trace::Stage::Reassembly, seq);
+            if !emit(frames) {
+                return;
+            }
+        }
+    })
+    .unwrap_or_else(|e| panic!("reassembly startup: {e}"))
 }
 
 #[cfg(test)]

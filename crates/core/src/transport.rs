@@ -45,6 +45,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::metrics::SharedMetrics;
+use crate::spawn::spawn_thread;
 
 /// Automatic-repeat-request knobs of the segment transport.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -439,140 +440,138 @@ pub fn spawn_arq_sender(
     metrics: SharedMetrics,
     on_lost: impl Fn(u64) -> bool + Send + 'static,
 ) -> thread::JoinHandle<()> {
-    thread::Builder::new()
-        .name("galiot-uplink".into())
-        .spawn(move || {
-            let mut link = FaultyLink::new(faults);
-            let mut rng = StdRng::seed_from_u64(arq.seed);
-            let mut clock = SenderClock::new(arq.clock);
-            // Keyed by (gateway, seq): sequence numbers are dense per
-            // session, so a shared wire must never let one session's
-            // ack retire another's in-flight datagram.
-            let mut in_flight: BTreeMap<(GatewayId, u64), Flight> = BTreeMap::new();
-            let max_timeout = Duration::from_secs_f64(arq.max_timeout_s.max(arq.base_timeout_s));
+    spawn_thread("galiot-uplink", move || {
+        let mut link = FaultyLink::new(faults);
+        let mut rng = StdRng::seed_from_u64(arq.seed);
+        let mut clock = SenderClock::new(arq.clock);
+        // Keyed by (gateway, seq): sequence numbers are dense per
+        // session, so a shared wire must never let one session's
+        // ack retire another's in-flight datagram.
+        let mut in_flight: BTreeMap<(GatewayId, u64), Flight> = BTreeMap::new();
+        let max_timeout = Duration::from_secs_f64(arq.max_timeout_s.max(arq.base_timeout_s));
 
-            'run: loop {
-                // Top the window up (ARQ off: everything is
-                // fire-and-forget, the window stays empty).
-                while !arq.enabled || in_flight.len() < arq.window.max(1) {
-                    let item = if in_flight.is_empty() {
-                        match queue.pop() {
-                            Some(item) => item,
-                            None => break 'run, // closed and drained
-                        }
-                    } else {
-                        match queue.try_pop() {
-                            Some(item) => item,
-                            None => break,
-                        }
-                    };
-                    let send_span = galiot_trace::span(
-                        galiot_trace::Stage::ArqSend,
-                        galiot_trace::tag_seq(item.seg.gateway.0, item.seg.seq),
+        'run: loop {
+            // Top the window up (ARQ off: everything is
+            // fire-and-forget, the window stays empty).
+            while !arq.enabled || in_flight.len() < arq.window.max(1) {
+                let item = if in_flight.is_empty() {
+                    match queue.pop() {
+                        Some(item) => item,
+                        None => break 'run, // closed and drained
+                    }
+                } else {
+                    match queue.try_pop() {
+                        Some(item) => item,
+                        None => break,
+                    }
+                };
+                let send_span = galiot_trace::span(
+                    galiot_trace::Stage::ArqSend,
+                    galiot_trace::tag_seq(item.seg.gateway.0, item.seg.seq),
+                );
+                let bytes = encode_segment(&item.seg);
+                if let Some(bps) = serialize_bps {
+                    thread::sleep(Duration::from_secs_f64(bytes.len() as f64 * 8.0 / bps));
+                }
+                if !push_link(&mut link, &bytes, &wire_tx, &metrics) {
+                    break 'run;
+                }
+                drop(send_span);
+                if arq.enabled {
+                    let timeout = Duration::from_secs_f64(
+                        arq.base_timeout_s * (1.0 + arq.jitter * rng.gen::<f64>()),
                     );
-                    let bytes = encode_segment(&item.seg);
-                    if let Some(bps) = serialize_bps {
-                        thread::sleep(Duration::from_secs_f64(bytes.len() as f64 * 8.0 / bps));
-                    }
-                    if !push_link(&mut link, &bytes, &wire_tx, &metrics) {
-                        break 'run;
-                    }
-                    drop(send_span);
-                    if arq.enabled {
-                        let timeout = Duration::from_secs_f64(
-                            arq.base_timeout_s * (1.0 + arq.jitter * rng.gen::<f64>()),
-                        );
-                        in_flight.insert(
-                            (item.seg.gateway, item.seg.seq),
-                            Flight {
-                                bytes,
-                                retries: 0,
-                                timeout,
-                                deadline: clock.now() + timeout,
-                            },
-                        );
-                    }
-                }
-                if in_flight.is_empty() {
-                    continue;
-                }
-
-                // Wait for acks until the earliest retransmit deadline.
-                let deadline = in_flight
-                    .values()
-                    .map(|f| f.deadline)
-                    .min()
-                    .expect("in_flight is non-empty");
-                match clock.await_ack(&ack_rx, deadline) {
-                    Ok(bytes) => match decode_ack(&bytes) {
-                        Ok((gw, seq)) => {
-                            // An ack for another session's (gateway,
-                            // seq) — e.g. on a shared wire — must not
-                            // retire this one's flight.
-                            if in_flight.remove(&(gw, seq)).is_some() {
-                                metrics.with(|m| m.arq_acked += 1);
-                            }
-                        }
-                        Err(_) => metrics.with(|m| m.wire_decode_errors += 1),
-                    },
-                    Err(RecvTimeoutError::Timeout) => {
-                        let now = clock.now();
-                        let expired: Vec<(GatewayId, u64)> = in_flight
-                            .iter()
-                            .filter(|(_, f)| f.deadline <= now)
-                            .map(|(k, _)| *k)
-                            .collect();
-                        for key in expired {
-                            let f = in_flight.get_mut(&key).expect("expired seq is in flight");
-                            if f.retries >= arq.max_retries {
-                                in_flight.remove(&key);
-                                metrics.with(|m| m.arq_lost += 1);
-                                if !on_lost(key.1) {
-                                    break 'run;
-                                }
-                            } else {
-                                f.retries += 1;
-                                f.timeout = f
-                                    .timeout
-                                    .mul_f64(arq.backoff * (1.0 + arq.jitter * rng.gen::<f64>()))
-                                    .min(max_timeout);
-                                f.deadline = now + f.timeout;
-                                let bytes = f.bytes.clone();
-                                metrics.with(|m| m.arq_retransmits += 1);
-                                let send_span = galiot_trace::span(
-                                    galiot_trace::Stage::ArqSend,
-                                    galiot_trace::tag_seq(key.0 .0, key.1),
-                                );
-                                if let Some(bps) = serialize_bps {
-                                    thread::sleep(Duration::from_secs_f64(
-                                        bytes.len() as f64 * 8.0 / bps,
-                                    ));
-                                }
-                                if !push_link(&mut link, &bytes, &wire_tx, &metrics) {
-                                    break 'run;
-                                }
-                                drop(send_span);
-                            }
-                        }
-                    }
-                    Err(RecvTimeoutError::Disconnected) => {
-                        // Receiver is gone (pool shutdown): nothing
-                        // will ever be acked again.
-                        break 'run;
-                    }
+                    in_flight.insert(
+                        (item.seg.gateway, item.seg.seq),
+                        Flight {
+                            bytes,
+                            retries: 0,
+                            timeout,
+                            deadline: clock.now() + timeout,
+                        },
+                    );
                 }
             }
+            if in_flight.is_empty() {
+                continue;
+            }
 
-            // Traffic over: flush delay-jittered copies still inside
-            // the link model.
-            for d in link.drain() {
-                if wire_tx.send(d).is_err() {
-                    break;
+            // Wait for acks until the earliest retransmit deadline.
+            let deadline = in_flight
+                .values()
+                .map(|f| f.deadline)
+                .min()
+                .expect("in_flight is non-empty");
+            match clock.await_ack(&ack_rx, deadline) {
+                Ok(bytes) => match decode_ack(&bytes) {
+                    Ok((gw, seq)) => {
+                        // An ack for another session's (gateway,
+                        // seq) — e.g. on a shared wire — must not
+                        // retire this one's flight.
+                        if in_flight.remove(&(gw, seq)).is_some() {
+                            metrics.with(|m| m.arq_acked += 1);
+                        }
+                    }
+                    Err(_) => metrics.with(|m| m.wire_decode_errors += 1),
+                },
+                Err(RecvTimeoutError::Timeout) => {
+                    let now = clock.now();
+                    let expired: Vec<(GatewayId, u64)> = in_flight
+                        .iter()
+                        .filter(|(_, f)| f.deadline <= now)
+                        .map(|(k, _)| *k)
+                        .collect();
+                    for key in expired {
+                        let f = in_flight.get_mut(&key).expect("expired seq is in flight");
+                        if f.retries >= arq.max_retries {
+                            in_flight.remove(&key);
+                            metrics.with(|m| m.arq_lost += 1);
+                            if !on_lost(key.1) {
+                                break 'run;
+                            }
+                        } else {
+                            f.retries += 1;
+                            f.timeout = f
+                                .timeout
+                                .mul_f64(arq.backoff * (1.0 + arq.jitter * rng.gen::<f64>()))
+                                .min(max_timeout);
+                            f.deadline = now + f.timeout;
+                            let bytes = f.bytes.clone();
+                            metrics.with(|m| m.arq_retransmits += 1);
+                            let send_span = galiot_trace::span(
+                                galiot_trace::Stage::ArqSend,
+                                galiot_trace::tag_seq(key.0 .0, key.1),
+                            );
+                            if let Some(bps) = serialize_bps {
+                                thread::sleep(Duration::from_secs_f64(
+                                    bytes.len() as f64 * 8.0 / bps,
+                                ));
+                            }
+                            if !push_link(&mut link, &bytes, &wire_tx, &metrics) {
+                                break 'run;
+                            }
+                            drop(send_span);
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Receiver is gone (pool shutdown): nothing
+                    // will ever be acked again.
+                    break 'run;
                 }
             }
-            metrics.with(|m| m.record_link_stats(&link.stats));
-        })
-        .expect("spawn ARQ sender thread")
+        }
+
+        // Traffic over: flush delay-jittered copies still inside
+        // the link model.
+        for d in link.drain() {
+            if wire_tx.send(d).is_err() {
+                break;
+            }
+        }
+        metrics.with(|m| m.record_link_stats(&link.stats));
+    })
+    .unwrap_or_else(|e| panic!("ARQ sender startup: {e}"))
 }
 
 /// Duplicate seqs the receiver still recognizes behind the newest seq
@@ -669,49 +668,47 @@ pub fn spawn_arq_receiver<T: From<ShippedSegment> + Send + 'static>(
     ack_faults: LinkFaults,
     metrics: SharedMetrics,
 ) -> thread::JoinHandle<()> {
-    thread::Builder::new()
-        .name("galiot-ingress".into())
-        .spawn(move || {
-            let mut ack_link = FaultyLink::new(ack_faults);
-            // Sliding-window dedup keyed per session: sequence spaces
-            // are dense *per gateway*, so with a global key gateway
-            // 2's seq 0 would be swallowed as a "duplicate" of
-            // gateway 1's.
-            let mut seen = DedupWindow::new(ARQ_DEDUP_WINDOW);
-            while let Ok(bytes) = wire_rx.recv() {
-                // One span per datagram handled, tagged with the seq
-                // once (and if) the wire bytes decode.
-                let mut recv_span =
-                    galiot_trace::span(galiot_trace::Stage::ArqRecv, galiot_trace::NO_SEQ);
-                match decode_segment(&bytes) {
-                    Ok(seg) => {
-                        recv_span.set_seq(galiot_trace::tag_seq(seg.gateway.0, seg.seq));
-                        // Ack first, even for duplicates: the original
-                        // ack may have been the casualty.
-                        for d in ack_link.transmit(&encode_ack(seg.gateway, seg.seq)) {
-                            let _ = ack_tx.send(d);
-                        }
-                        if !seen.insert(seg.gateway, seg.seq) {
-                            metrics.with(|m| m.dup_segments_dropped += 1);
-                            continue;
-                        }
-                        if seg_tx.send(T::from(seg)).is_err() {
-                            break; // pool is gone
-                        }
-                        let depth = seg_tx.len();
-                        metrics.with(|m| m.seg_queue_hwm = m.seg_queue_hwm.max(depth));
+    spawn_thread("galiot-ingress", move || {
+        let mut ack_link = FaultyLink::new(ack_faults);
+        // Sliding-window dedup keyed per session: sequence spaces
+        // are dense *per gateway*, so with a global key gateway
+        // 2's seq 0 would be swallowed as a "duplicate" of
+        // gateway 1's.
+        let mut seen = DedupWindow::new(ARQ_DEDUP_WINDOW);
+        while let Ok(bytes) = wire_rx.recv() {
+            // One span per datagram handled, tagged with the seq
+            // once (and if) the wire bytes decode.
+            let mut recv_span =
+                galiot_trace::span(galiot_trace::Stage::ArqRecv, galiot_trace::NO_SEQ);
+            match decode_segment(&bytes) {
+                Ok(seg) => {
+                    recv_span.set_seq(galiot_trace::tag_seq(seg.gateway.0, seg.seq));
+                    // Ack first, even for duplicates: the original
+                    // ack may have been the casualty.
+                    for d in ack_link.transmit(&encode_ack(seg.gateway, seg.seq)) {
+                        let _ = ack_tx.send(d);
                     }
-                    Err(_) => metrics.with(|m| m.wire_decode_errors += 1),
+                    if !seen.insert(seg.gateway, seg.seq) {
+                        metrics.with(|m| m.dup_segments_dropped += 1);
+                        continue;
+                    }
+                    if seg_tx.send(T::from(seg)).is_err() {
+                        break; // pool is gone
+                    }
+                    let depth = seg_tx.len();
+                    metrics.with(|m| m.seg_queue_hwm = m.seg_queue_hwm.max(depth));
                 }
+                Err(_) => metrics.with(|m| m.wire_decode_errors += 1),
             }
-            // Late acks for traffic the sender no longer waits on are
-            // harmless; flush the ack link's jitter buffer anyway.
-            for d in ack_link.drain() {
-                let _ = ack_tx.send(d);
-            }
-            metrics.with(|m| m.record_link_stats(&ack_link.stats));
-        })
-        .expect("spawn ARQ receiver thread")
+        }
+        // Late acks for traffic the sender no longer waits on are
+        // harmless; flush the ack link's jitter buffer anyway.
+        for d in ack_link.drain() {
+            let _ = ack_tx.send(d);
+        }
+        metrics.with(|m| m.record_link_stats(&ack_link.stats));
+    })
+    .unwrap_or_else(|e| panic!("ARQ receiver startup: {e}"))
 }
 
 #[cfg(test)]

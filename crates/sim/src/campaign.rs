@@ -159,7 +159,7 @@ impl CampaignReport {
     }
 
     /// The self-contained repro bundle for one failure. Prints the
-    /// scenario seed, both scenario JSONs, all three environment
+    /// scenario seed, both scenario JSONs, all four environment
     /// knobs, and the exact replay command — a failure must replay
     /// from this text alone.
     pub fn render_repro(&self, f: &Failure) -> String {
@@ -240,7 +240,7 @@ impl CampaignReport {
         format!(
             "{{\"campaign_seed\":{},\"cli_seed\":{},\"spec\":\"{}\",\
              \"env\":{{\"GALIOT_TEST_SEED\":{},\"GALIOT_FAULT_SEED\":{},\
-             \"GALIOT_DSP_BACKEND\":{}}},\
+             \"GALIOT_DECODE_FAULTS\":{},\"GALIOT_DSP_BACKEND\":{}}},\
              \"tally\":{{\"pass\":{pass},\"fail\":{fail},\"skip\":{skip}}},\
              \"scenarios\":[{}],\"failures\":[{}]}}",
             self.campaign_seed,
@@ -248,6 +248,7 @@ impl CampaignReport {
             json_escape(&self.spec.render()),
             json_opt(&self.env.test_seed),
             json_opt(&self.env.fault_seed),
+            json_opt(&self.env.decode_fault_seed),
             json_opt(&self.env.dsp_backend),
             scenarios,
             failures
@@ -404,6 +405,7 @@ mod tests {
             "\"campaign_seed\":",
             "\"GALIOT_TEST_SEED\":",
             "\"GALIOT_FAULT_SEED\":",
+            "\"GALIOT_DECODE_FAULTS\":",
             "\"GALIOT_DSP_BACKEND\":",
             "\"tally\":",
             "\"scenarios\":[",

@@ -19,11 +19,12 @@
 //! enabled. [`generate`] ends with a `debug_assert` that the sample
 //! passes [`Scenario::validate`].
 
+use galiot_core::DecodeFaultKind;
 use galiot_phy::registry::Registry;
 use galiot_phy::TechId;
 
 use crate::rng::SplitMix64;
-use crate::scenario::{CrashPlan, Scenario, TxSpec};
+use crate::scenario::{CrashPlan, DecodeFaultPlan, Scenario, TxSpec};
 use crate::spec::CampaignSpec;
 
 /// Chunk sizes scenarios stream their capture in: a small power of
@@ -66,6 +67,29 @@ pub fn generate(spec: &CampaignSpec, seed: u64) -> Scenario {
             session: topo.range_usize(0, gateways - 1),
             after_segments: topo.range_usize(0, 4) as u64,
             restart: topo.chance(0.5),
+        })
+    } else {
+        None
+    };
+    // Decode-pool faults draw from their own stream (fork 4): adding
+    // the dimension leaves every other field of pre-existing seeds
+    // byte-identical, so old repro bundles stay valid.
+    let mut dfr = root.fork(4);
+    let decode_faults = if dfr.chance(spec.decode_fault_prob) {
+        let kind = *dfr.pick(&[
+            DecodeFaultKind::Panic,
+            DecodeFaultKind::Hang,
+            DecodeFaultKind::Slow,
+        ]);
+        Some(DecodeFaultPlan {
+            kind,
+            period: dfr.range_usize(1, 3) as u64,
+            // 1..=2 strikes heal on a retry; 3..=4 exhaust the ladder
+            // (retries = 2) and exercise quarantine.
+            sticky_attempts: dfr.range_usize(1, 4) as u32,
+            // Fold the GALIOT_DECODE_FAULTS sweep in exactly once,
+            // mirroring the link-fault seed rule below.
+            seed: galiot_channel::decode_fault_seed(dfr.next_u64()),
         })
     } else {
         None
@@ -174,6 +198,7 @@ pub fn generate(spec: &CampaignSpec, seed: u64) -> Scenario {
         // same rule every conformance suite applies to its fault seeds.
         fault_seed: galiot_channel::fault_seed(seeds.next_u64()),
         crash,
+        decode_faults,
         liveness_horizon,
         deadline_s: spec.deadline_s,
     };
@@ -211,6 +236,26 @@ mod tests {
         assert!(scenarios.iter().any(|s| s.loss > 0.0), "no faulty links");
         assert!(scenarios.iter().any(|s| s.loss == 0.0), "no clean links");
         assert!(scenarios.iter().any(|s| s.crash.is_some()), "no crashes");
+        assert!(
+            scenarios.iter().any(|s| s.decode_faults.is_some()),
+            "no decode faults"
+        );
+        assert!(
+            scenarios.iter().any(|s| s.decode_faults.is_none()),
+            "no healthy pools"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.decode_faults.is_some_and(|d| d.quarantines())),
+            "no quarantining plans"
+        );
+        assert!(
+            scenarios
+                .iter()
+                .any(|s| s.decode_faults.is_some_and(|d| !d.quarantines())),
+            "no retry-healable plans"
+        );
         assert!(scenarios.iter().any(|s| s.txs.len() >= 2), "no multi-tx");
         assert!(
             scenarios

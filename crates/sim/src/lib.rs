@@ -18,11 +18,11 @@
 //! `tests/sim_campaign.rs` pins a small seeded campaign into tier 1.
 //!
 //! Everything here is deterministic given (spec, seed, environment):
-//! the generator folds `GALIOT_TEST_SEED` / `GALIOT_FAULT_SEED` in
-//! through the same XOR sweep rule the conformance suites use, and the
-//! repro bundle echoes all three knobs (including
-//! `GALIOT_DSP_BACKEND`) so a failure replays from its printed seed
-//! alone.
+//! the generator folds `GALIOT_TEST_SEED` / `GALIOT_FAULT_SEED` /
+//! `GALIOT_DECODE_FAULTS` in through the same XOR sweep rule the
+//! conformance suites use, and the repro bundle echoes all four knobs
+//! (including `GALIOT_DSP_BACKEND`) so a failure replays from its
+//! printed seed alone.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

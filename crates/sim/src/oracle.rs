@@ -166,14 +166,25 @@ pub fn registry() -> Vec<Oracle> {
         Oracle {
             name: "streaming_batch",
             describe: "streaming delivers exactly the batch frame set, in capture order",
-            applies: |_| true,
+            // A quarantining fault plan is *allowed* to drop frames
+            // (the decode_quarantine oracle bounds which ones);
+            // healable plans must still deliver the full set through
+            // the retry ladder.
+            applies: |s| !s.decode_faults.is_some_and(|d| d.quarantines()),
             check: check_streaming_batch,
         },
         Oracle {
             name: "fleet_batch",
             describe: "the fleet delivers the single-gateway set exactly once, accounting closed",
-            applies: |s| s.gateways >= 2,
+            applies: |s| s.gateways >= 2 && !s.decode_faults.is_some_and(|d| d.quarantines()),
             check: check_fleet_batch,
+        },
+        Oracle {
+            name: "decode_quarantine",
+            describe:
+                "quarantine loses only the quarantined windows' frames, with closed accounting",
+            applies: |s| s.decode_faults.is_some_and(|d| d.quarantines()),
+            check: check_decode_quarantine,
         },
         Oracle {
             name: "backend_scalar",
@@ -232,12 +243,16 @@ fn check_no_panic(scenario: &Scenario, built: &Built) -> Result<(), String> {
     }
     let _ = sys.finish();
     let m = metrics.snapshot();
-    err_if(m.decode_poisoned != 0, || {
-        format!(
-            "{} cloud workers panicked and were poisoned",
-            m.decode_poisoned
-        )
-    })?;
+    // Injected panic faults poison attempts on purpose; only a
+    // fault-free scenario may demand a spotless pool.
+    if scenario.decode_faults.is_none() {
+        err_if(m.decode_poisoned != 0, || {
+            format!(
+                "{} cloud workers panicked and were poisoned",
+                m.decode_poisoned
+            )
+        })?;
+    }
     err_if(m.samples_processed != built.samples.len() as u64, || {
         format!(
             "gateway consumed {} of {} samples",
@@ -284,10 +299,11 @@ fn check_fleet_batch(scenario: &Scenario, built: &Built) -> Result<(), String> {
     capture_order(&delivered, FLEET_TOLERANCE, "fleet")?;
     same_frames(&delivered, &built.batch, FLEET_TOLERANCE, "fleet vs batch")?;
 
-    // The dedup/crash accounting identity.
+    // The dedup/crash/quarantine accounting identity.
     let offered: usize = m.per_gateway_decoded.values().sum();
     err_if(
-        offered != m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames,
+        offered
+            != m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames + m.quarantined_frames,
         || format!("fleet decode accounting leaks: {m:?}"),
     )?;
     err_if(m.fleet_delivered != frames.len(), || {
@@ -327,9 +343,18 @@ fn check_fleet_batch(scenario: &Scenario, built: &Built) -> Result<(), String> {
     err_if(shipped != m.shipped_segments as u64, || {
         format!("trace shipped {shipped} vs metrics {}", m.shipped_segments)
     })?;
-    err_if(decoded != pool as u64, || {
-        format!("trace decodes {decoded} vs pool segments {pool}")
-    })?;
+    // Every completed pool attempt is a trace decode terminal (a win),
+    // a poisoned attempt, or a stale result fenced after resolution;
+    // hung attempts never complete and appear in none of them.
+    err_if(
+        decoded + (m.decode_poisoned + m.decode_stale_results) as u64 != pool as u64,
+        || {
+            format!(
+                "trace decodes {decoded} + poisoned {} + stale {} vs pool attempts {pool}",
+                m.decode_poisoned, m.decode_stale_results
+            )
+        },
+    )?;
     err_if(shed != m.segments_shed as u64, || {
         format!("trace shed {shed} vs metrics {}", m.segments_shed)
     })?;
@@ -349,6 +374,119 @@ fn check_fleet_batch(scenario: &Scenario, built: &Built) -> Result<(), String> {
     err_if(scenario.loss > 0.0 && m.arq_lost != 0, || {
         format!("ARQ gave a segment up under repairable faults: {m:?}")
     })
+}
+
+/// `decode_quarantine` (cf. `failure_injection.rs`): under a fault
+/// plan that exhausts the retry ladder, delivery is allowed to lose
+/// frames — but only frames whose capture position falls inside a
+/// quarantined segment's window, everything delivered still matches
+/// the batch reference in capture order, and the quarantine
+/// bookkeeping closes (`decode_quarantined == quarantine_records`,
+/// every record carries a full attempt history, and the fleet decode
+/// identity balances with `quarantined_frames`).
+fn check_decode_quarantine(scenario: &Scenario, built: &Built) -> Result<(), String> {
+    let retries = scenario.config().decode_retries;
+
+    let sys = StreamingGaliot::start(scenario.config(), built.registry.clone());
+    let metrics = sys.metrics().clone();
+    for c in built.samples.chunks(scenario.chunk) {
+        sys.push_chunk(c.to_vec());
+    }
+    let streamed = frame_ids(&sys.finish());
+    let m = metrics.snapshot();
+    capture_order(&streamed, STREAM_TOLERANCE, "quarantined streaming")?;
+    lost_only_to_quarantine(&streamed, &built.batch, STREAM_TOLERANCE, &m, "streaming")?;
+    quarantine_bookkeeping(&m, retries)?;
+
+    if scenario.gateways >= 2 {
+        let fleet = FleetGaliot::start(scenario.config(), built.registry.clone());
+        let metrics = fleet.metrics().clone();
+        for c in built.samples.chunks(scenario.chunk) {
+            fleet.push_chunk(c.to_vec());
+        }
+        let delivered = frame_ids(&fleet.finish());
+        let m = metrics.snapshot();
+        capture_order(&delivered, FLEET_TOLERANCE, "quarantined fleet")?;
+        lost_only_to_quarantine(&delivered, &built.batch, FLEET_TOLERANCE, &m, "fleet")?;
+        quarantine_bookkeeping(&m, retries)?;
+        let offered: usize = m.per_gateway_decoded.values().sum();
+        err_if(
+            offered
+                != m.fleet_delivered
+                    + m.dedup_suppressed
+                    + m.crash_lost_frames
+                    + m.quarantined_frames,
+            || format!("fleet decode accounting leaks under quarantine: {m:?}"),
+        )?;
+    }
+    Ok(())
+}
+
+/// Matches `got` 1:1 into `want` (no spurious deliveries), then
+/// demands every *undelivered* reference frame start inside some
+/// quarantined segment's `[start, start + len)` window: quarantine may
+/// cost exactly its own windows, never a healthy segment's frames.
+fn lost_only_to_quarantine(
+    got: &[FrameId],
+    want: &[FrameId],
+    tol: usize,
+    m: &Metrics,
+    ctx: &str,
+) -> Result<(), String> {
+    let mut missing: Vec<&FrameId> = want.iter().collect();
+    for f in got {
+        match missing
+            .iter()
+            .position(|b| b.0 == f.0 && b.1 == f.1 && b.2.abs_diff(f.2) <= tol)
+        {
+            Some(i) => {
+                missing.remove(i);
+            }
+            None => {
+                return Err(format!(
+                    "{ctx}: delivered frame {f:?} has no batch counterpart"
+                ))
+            }
+        }
+    }
+    for f in missing {
+        let covered = m.quarantine_records.iter().any(|r| {
+            let lo = (r.start as usize).saturating_sub(tol);
+            let hi = r.start as usize + r.len + tol;
+            (lo..hi).contains(&f.2)
+        });
+        err_if(!covered, || {
+            format!(
+                "{ctx}: frame {f:?} lost outside every quarantined window: {:?}",
+                m.quarantine_records
+            )
+        })?;
+    }
+    Ok(())
+}
+
+/// The quarantine ledger invariants shared by both topologies.
+fn quarantine_bookkeeping(m: &Metrics, retries: usize) -> Result<(), String> {
+    err_if(m.decode_quarantined != m.quarantine_records.len(), || {
+        format!(
+            "decode_quarantined {} vs {} dead-letter records",
+            m.decode_quarantined,
+            m.quarantine_records.len()
+        )
+    })?;
+    for r in &m.quarantine_records {
+        err_if(r.attempts.len() != retries + 1, || {
+            format!(
+                "quarantine record for gw{} seq {} shows {} attempts, \
+                 expected the full ladder of {}",
+                r.gateway,
+                r.seq,
+                r.attempts.len(),
+                retries + 1
+            )
+        })?;
+    }
+    Ok(())
 }
 
 /// `backend_scalar` (cf. `backend_conformance.rs`): kernels are
@@ -401,8 +539,33 @@ fn reconcile(trace: &Trace, m: &Metrics) -> Result<(), String> {
             acc.shipped, m.shipped_segments
         )
     })?;
-    err_if(acc.decoded != pool as u64, || {
-        format!("decode events {} vs pool segments {pool}", acc.decoded)
+    err_if(
+        acc.decoded + (m.decode_poisoned + m.decode_stale_results) as u64 != pool as u64,
+        || {
+            format!(
+                "decode events {} + poisoned {} + stale {} vs pool attempts {pool}",
+                acc.decoded, m.decode_poisoned, m.decode_stale_results
+            )
+        },
+    )?;
+    err_if(acc.retried != m.decode_retried as u64, || {
+        format!(
+            "retried events {} vs decode_retried {}",
+            acc.retried, m.decode_retried
+        )
+    })?;
+    err_if(acc.quarantined != m.decode_quarantined as u64, || {
+        format!(
+            "quarantined events {} vs decode_quarantined {}",
+            acc.quarantined, m.decode_quarantined
+        )
+    })?;
+    err_if(m.decode_quarantined != m.quarantine_records.len(), || {
+        format!(
+            "decode_quarantined {} vs {} dead-letter records",
+            m.decode_quarantined,
+            m.quarantine_records.len()
+        )
     })?;
     err_if(acc.shed != m.segments_shed as u64, || {
         format!(
@@ -505,6 +668,7 @@ mod tests {
             loss: 0.0,
             fault_seed: 5,
             crash: None,
+            decode_faults: None,
             liveness_horizon: 64,
             deadline_s: 60.0,
         }
@@ -532,6 +696,36 @@ mod tests {
     fn tiny_scenario_passes_streaming_and_trace_oracles() {
         let s = tiny();
         s.validate().expect("valid");
+        let built = Arc::new(build(&s));
+        assert!(!built.batch.is_empty(), "vacuous capture");
+        for oracle in registry() {
+            if !(oracle.applies)(&s) {
+                continue;
+            }
+            guarded_check(&oracle, &s, &built).unwrap_or_else(|e| panic!("{}: {e}", oracle.name));
+        }
+    }
+
+    #[test]
+    fn quarantining_plan_swaps_equality_oracles_for_the_quarantine_oracle() {
+        use crate::scenario::DecodeFaultPlan;
+        use galiot_core::DecodeFaultKind;
+
+        let mut s = tiny();
+        // Strike every segment, persistently past the retry ladder:
+        // the run must quarantine rather than deliver, and every
+        // applicable oracle must still pass.
+        s.decode_faults = Some(DecodeFaultPlan {
+            kind: DecodeFaultKind::Panic,
+            period: 1,
+            sticky_attempts: 4,
+            seed: 3,
+        });
+        s.validate().expect("valid");
+        assert!(!(find("streaming_batch").expect("oracle").applies)(&s));
+        assert!(!(find("fleet_batch").expect("oracle").applies)(&s));
+        assert!((find("decode_quarantine").expect("oracle").applies)(&s));
+
         let built = Arc::new(build(&s));
         assert!(!built.batch.is_empty(), "vacuous capture");
         for oracle in registry() {

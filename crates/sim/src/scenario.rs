@@ -8,7 +8,7 @@
 //! through parsing, which keeps the bundle format free of a vendored
 //! JSON parser while staying human-diffable.
 
-use galiot_core::{ConfigError, GaliotConfig, TransportConfig};
+use galiot_core::{ConfigError, DecodeFaultKind, DecodeFaultSpec, GaliotConfig, TransportConfig};
 use galiot_gateway::LinkFaults;
 use galiot_phy::registry::Registry;
 use galiot_phy::TechId;
@@ -50,6 +50,52 @@ pub struct CrashPlan {
     pub restart: bool,
 }
 
+/// Injected decode-pool misbehavior (mirrors
+/// `galiot_core::DecodeFaultSpec` plus the supervision knobs the
+/// scenario pins, so the JSON shape stays self-describing).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeFaultPlan {
+    /// What a struck decode attempt does: panic, hang, or stale-slow.
+    pub kind: DecodeFaultKind,
+    /// Roughly one in `period` segments strikes.
+    pub period: u64,
+    /// Attempts (0-based) that keep striking; `>= retries + 1` drives
+    /// struck segments all the way to quarantine.
+    pub sticky_attempts: u32,
+    /// Fault-pattern seed (after the `GALIOT_DECODE_FAULTS` sweep
+    /// fold).
+    pub seed: u64,
+}
+
+impl DecodeFaultPlan {
+    /// The per-segment decode deadline fault scenarios run under —
+    /// short enough that hang recovery fits the oracle watchdog
+    /// budget, long enough that honest decodes never trip it even on a
+    /// single-core box where every worker contends for the same CPU (a
+    /// false hang on a clean attempt would quarantine real work and
+    /// fail the equality oracles).
+    pub const DEADLINE_S: f64 = 2.0;
+    /// Re-dispatches before quarantine (the core default, pinned so
+    /// repro bundles don't float with the default).
+    pub const RETRIES: usize = 2;
+
+    /// The core-facing spec this plan injects.
+    pub fn spec(&self) -> DecodeFaultSpec {
+        DecodeFaultSpec {
+            kind: self.kind,
+            period: self.period,
+            sticky_attempts: self.sticky_attempts,
+            seed: self.seed,
+        }
+    }
+
+    /// Whether struck segments exhaust the retry ladder and quarantine
+    /// (vs. succeeding on a later attempt).
+    pub fn quarantines(&self) -> bool {
+        self.sticky_attempts as usize > Self::RETRIES
+    }
+}
+
 /// One fully-specified randomized experiment.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Scenario {
@@ -82,6 +128,8 @@ pub struct Scenario {
     pub fault_seed: u64,
     /// Injected gateway crash, if any (only generated for fleets).
     pub crash: Option<CrashPlan>,
+    /// Injected decode-pool faults (panic/hang/slow), if any.
+    pub decode_faults: Option<DecodeFaultPlan>,
     /// Fleet liveness horizon (registry events; 0 disables eviction).
     pub liveness_horizon: u64,
     /// Watchdog deadline for any single oracle check, seconds.
@@ -110,6 +158,12 @@ impl Scenario {
         }
         if let Some(crash) = self.crash {
             c = c.with_crash(crash.session, crash.after_segments, crash.restart);
+        }
+        if let Some(df) = self.decode_faults {
+            c = c
+                .with_decode_faults(df.spec())
+                .with_decode_deadline(DecodeFaultPlan::DEADLINE_S)
+                .with_decode_retries(DecodeFaultPlan::RETRIES);
         }
         c
     }
@@ -190,11 +244,21 @@ impl Scenario {
             ),
             None => "null".into(),
         };
+        let decode_faults = match self.decode_faults {
+            Some(d) => format!(
+                "{{\"kind\":\"{}\",\"period\":{},\"sticky_attempts\":{},\"seed\":{}}}",
+                d.kind.name(),
+                d.period,
+                d.sticky_attempts,
+                d.seed
+            ),
+            None => "null".into(),
+        };
         format!(
             "{{\"seed\":{},\"capture_len\":{},\"snr_db\":{},\"noise_seed\":{},\
              \"txs\":[{}],\"edge_decoding\":{},\"workers\":{},\"chunk\":{},\
              \"gateways\":{},\"shards\":{},\"loss\":{},\"fault_seed\":{},\
-             \"crash\":{},\"liveness_horizon\":{},\"deadline_s\":{}}}",
+             \"crash\":{},\"decode_faults\":{},\"liveness_horizon\":{},\"deadline_s\":{}}}",
             self.seed,
             self.capture_len,
             self.snr_db,
@@ -208,13 +272,14 @@ impl Scenario {
             self.loss,
             self.fault_seed,
             crash,
+            decode_faults,
             self.liveness_horizon,
             self.deadline_s
         )
     }
 }
 
-/// The three environment knobs that shape a campaign, captured at
+/// The four environment knobs that shape a campaign, captured at
 /// run time so a repro bundle can state the *exact* environment a
 /// failure needs (see EXPERIMENTS.md for the sweep semantics).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -223,6 +288,8 @@ pub struct EnvKnobs {
     pub test_seed: Option<String>,
     /// `GALIOT_FAULT_SEED` — XOR-swept into every link-fault seed.
     pub fault_seed: Option<String>,
+    /// `GALIOT_DECODE_FAULTS` — XOR-swept into every decode-fault seed.
+    pub decode_fault_seed: Option<String>,
     /// `GALIOT_DSP_BACKEND` — forces the SIMD kernel backend.
     pub dsp_backend: Option<String>,
 }
@@ -233,12 +300,13 @@ impl EnvKnobs {
         EnvKnobs {
             test_seed: std::env::var("GALIOT_TEST_SEED").ok(),
             fault_seed: std::env::var("GALIOT_FAULT_SEED").ok(),
+            decode_fault_seed: std::env::var("GALIOT_DECODE_FAULTS").ok(),
             dsp_backend: std::env::var("GALIOT_DSP_BACKEND").ok(),
         }
     }
 
     /// One line per knob, `<unset>` when absent — the repro bundle
-    /// must echo all three so a failure replays from the bundle alone.
+    /// must echo all four so a failure replays from the bundle alone.
     pub fn render(&self) -> String {
         fn line(name: &str, v: &Option<String>) -> String {
             match v {
@@ -247,9 +315,10 @@ impl EnvKnobs {
             }
         }
         format!(
-            "{}\n{}\n{}",
+            "{}\n{}\n{}\n{}",
             line("GALIOT_TEST_SEED", &self.test_seed),
             line("GALIOT_FAULT_SEED", &self.fault_seed),
+            line("GALIOT_DECODE_FAULTS", &self.decode_fault_seed),
             line("GALIOT_DSP_BACKEND", &self.dsp_backend),
         )
     }
@@ -281,6 +350,7 @@ mod tests {
             loss: 0.0,
             fault_seed: 3,
             crash: None,
+            decode_faults: None,
             liveness_horizon: 64,
             deadline_s: 60.0,
         }
@@ -296,9 +366,34 @@ mod tests {
             "\"txs\":[",
             "\"tech\":\"XBee\"",
             "\"crash\":null",
+            "\"decode_faults\":null",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn decode_fault_plan_threads_into_config_and_json() {
+        let mut s = tiny();
+        s.decode_faults = Some(DecodeFaultPlan {
+            kind: DecodeFaultKind::Hang,
+            period: 2,
+            sticky_attempts: 3,
+            seed: 77,
+        });
+        s.validate().expect("valid with decode faults");
+        let c = s.config();
+        assert_eq!(c.decode_faults.kind, DecodeFaultKind::Hang);
+        assert_eq!(c.decode_faults.period, 2);
+        assert_eq!(c.decode_retries, DecodeFaultPlan::RETRIES);
+        assert!((c.decode_deadline_s - DecodeFaultPlan::DEADLINE_S).abs() < 1e-12);
+        assert!(s.decode_faults.unwrap().quarantines());
+        let json = s.to_json();
+        assert!(
+            json.contains("\"decode_faults\":{\"kind\":\"hang\""),
+            "{json}"
+        );
+        assert!(json.contains("\"sticky_attempts\":3"), "{json}");
     }
 
     #[test]
@@ -322,15 +417,17 @@ mod tests {
     }
 
     #[test]
-    fn env_knobs_render_all_three() {
+    fn env_knobs_render_all_four() {
         let k = EnvKnobs {
             test_seed: Some("7".into()),
             fault_seed: None,
+            decode_fault_seed: Some("13".into()),
             dsp_backend: Some("scalar".into()),
         };
         let r = k.render();
         assert!(r.contains("GALIOT_TEST_SEED=7"));
         assert!(r.contains("GALIOT_FAULT_SEED=<unset>"));
+        assert!(r.contains("GALIOT_DECODE_FAULTS=13"));
         assert!(r.contains("GALIOT_DSP_BACKEND=scalar"));
     }
 

@@ -3,7 +3,8 @@
 //! When an oracle fails, the raw scenario is rarely the story — the
 //! story is the smallest scenario that still fails. The shrinker walks
 //! a fixed candidate ladder (cheapest structural deletions first:
-//! drop the crash, clean the link, collapse the fleet, then
+//! drop the crash, drop the decode faults, clean the link, collapse
+//! the fleet, then
 //! delta-debug the transmissions, then zero the analog knobs), accepts
 //! any candidate on which the *same oracle* still fails — re-checked
 //! through the full panic/deadline fence — and restarts the ladder
@@ -77,6 +78,9 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
     // Structural deletions.
     if s.crash.is_some() {
         push(&|c| c.crash = None);
+    }
+    if s.decode_faults.is_some() {
+        push(&|c| c.decode_faults = None);
     }
     if s.loss > 0.0 {
         push(&|c| c.loss = 0.0);

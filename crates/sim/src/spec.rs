@@ -27,6 +27,9 @@ pub struct CampaignSpec {
     pub max_loss: f64,
     /// Probability a fleet scenario (gateways >= 2) injects a crash.
     pub crash_prob: f64,
+    /// Probability a scenario injects decode-pool faults
+    /// (panic/hang/slow workers under the supervised pool).
+    pub decode_fault_prob: f64,
     /// Probability a scenario allows collisions between transmissions.
     pub collision_prob: f64,
     /// Maximum capture length in samples (caps per-scenario cost).
@@ -48,6 +51,7 @@ impl Default for CampaignSpec {
             fault_prob: 0.3,
             max_loss: 0.05,
             crash_prob: 0.25,
+            decode_fault_prob: 0.25,
             collision_prob: 0.4,
             max_capture: 900_000,
             max_payload: 8,
@@ -67,6 +71,7 @@ impl CampaignSpec {
             fault_prob: 0.25,
             max_loss: 0.02,
             crash_prob: 0.2,
+            decode_fault_prob: 0.2,
             max_capture: 500_000,
             deadline_s: 120.0,
             ..Default::default()
@@ -99,6 +104,7 @@ impl CampaignSpec {
                 "fault_prob" => spec.fault_prob = num(key, value)?,
                 "max_loss" => spec.max_loss = num(key, value)?,
                 "crash_prob" => spec.crash_prob = num(key, value)?,
+                "decode_fault_prob" => spec.decode_fault_prob = num(key, value)?,
                 "collision_prob" => spec.collision_prob = num(key, value)?,
                 "max_capture" => spec.max_capture = num(key, value)?,
                 "max_payload" => spec.max_payload = num(key, value)?,
@@ -139,6 +145,7 @@ impl CampaignSpec {
         for (name, p) in [
             ("fault_prob", self.fault_prob),
             ("crash_prob", self.crash_prob),
+            ("decode_fault_prob", self.decode_fault_prob),
             ("collision_prob", self.collision_prob),
         ] {
             if !(0.0..=1.0).contains(&p) {
@@ -160,8 +167,8 @@ impl CampaignSpec {
     pub fn render(&self) -> String {
         format!(
             "max_txs={},min_snr_db={},max_snr_db={},max_gateways={},max_workers={},\
-             fault_prob={},max_loss={},crash_prob={},collision_prob={},\
-             max_capture={},max_payload={},deadline_s={}",
+             fault_prob={},max_loss={},crash_prob={},decode_fault_prob={},\
+             collision_prob={},max_capture={},max_payload={},deadline_s={}",
             self.max_txs,
             self.min_snr_db,
             self.max_snr_db,
@@ -170,6 +177,7 @@ impl CampaignSpec {
             self.fault_prob,
             self.max_loss,
             self.crash_prob,
+            self.decode_fault_prob,
             self.collision_prob,
             self.max_capture,
             self.max_payload,
@@ -206,6 +214,7 @@ mod tests {
         assert!(CampaignSpec::parse("min_snr_db=20,max_snr_db=10").is_err());
         assert!(CampaignSpec::parse("max_loss=0.9").is_err());
         assert!(CampaignSpec::parse("crash_prob=1.5").is_err());
+        assert!(CampaignSpec::parse("decode_fault_prob=-0.1").is_err());
         assert!(CampaignSpec::parse("max_capture=1000").is_err());
     }
 

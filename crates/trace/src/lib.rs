@@ -182,8 +182,11 @@ impl Stage {
 }
 
 /// An instantaneous segment-lifecycle mark. `Ship` must eventually be
-/// matched by a terminal `Decode`, `Shed`, or `Lost` for the same
-/// sequence number — the core conformance invariant.
+/// matched by a terminal `Decode`, `Shed`, `Lost`, or `Quarantined`
+/// for the same sequence number — the core conformance invariant.
+/// `Retried` is the one non-terminal fate mark: it records a decode
+/// attempt the pool supervisor gave up on and re-dispatched, so a
+/// retried segment still needs a terminal event later.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[repr(u8)]
 pub enum EventKind {
@@ -195,15 +198,23 @@ pub enum EventKind {
     Shed = 2,
     /// Segment was declared lost by the ARQ sender (terminal).
     Lost = 3,
+    /// A decode attempt failed (panic or lease expiry) and the pool
+    /// supervisor re-dispatched the segment (non-terminal).
+    Retried = 4,
+    /// Segment exhausted its decode retries and was quarantined to the
+    /// dead-letter record (terminal).
+    Quarantined = 5,
 }
 
 impl EventKind {
     /// All event kinds, in discriminant order.
-    pub const ALL: [EventKind; 4] = [
+    pub const ALL: [EventKind; 6] = [
         EventKind::Ship,
         EventKind::Decode,
         EventKind::Shed,
         EventKind::Lost,
+        EventKind::Retried,
+        EventKind::Quarantined,
     ];
 
     /// Stable name used in exporters and reports.
@@ -213,6 +224,8 @@ impl EventKind {
             EventKind::Decode => "decode",
             EventKind::Shed => "shed",
             EventKind::Lost => "lost",
+            EventKind::Retried => "retried",
+            EventKind::Quarantined => "quarantined",
         }
     }
 

@@ -7,8 +7,10 @@
 //!
 //! 1. **Terminal accounting** ([`check_ship_terminals`]): every
 //!    shipped segment's journey must end — a `ship` event with no
-//!    `decode`/`shed`/`lost` for the same seq means the pipeline
-//!    silently swallowed a segment.
+//!    `decode`/`shed`/`lost`/`quarantined` for the same seq means the
+//!    pipeline silently swallowed a segment. `retried` marks are
+//!    counted but deliberately non-terminal: a retried segment still
+//!    owes the trace a real ending.
 //! 2. **Well-formed nesting** ([`check_nesting`]): within one thread,
 //!    spans must be properly nested (a SIC round entirely inside its
 //!    worker-decode span, never straddling it) — partial overlap
@@ -33,11 +35,16 @@ pub struct ShipAccounting {
     pub shed: u64,
     /// Total `lost` events.
     pub lost: u64,
+    /// Total `retried` events (non-terminal re-dispatch marks).
+    pub retried: u64,
+    /// Total `quarantined` events.
+    pub quarantined: u64,
 }
 
 /// Check that every `ship` event's seq reaches at least one terminal
-/// event (`decode`, `shed`, or `lost`), and that no terminal event
-/// refers to a seq that was never shipped. Returns per-kind totals.
+/// event (`decode`, `shed`, `lost`, or `quarantined`), and that no
+/// terminal event refers to a seq that was never shipped. Returns
+/// per-kind totals.
 pub fn check_ship_terminals(trace: &Trace) -> Result<ShipAccounting, String> {
     let mut acc = ShipAccounting::default();
     // seq -> (shipped?, terminal count)
@@ -63,6 +70,13 @@ pub fn check_ship_terminals(trace: &Trace) -> Result<ShipAccounting, String> {
                 entry.1 += 1;
                 acc.lost += 1;
             }
+            EventKind::Retried => {
+                acc.retried += 1;
+            }
+            EventKind::Quarantined => {
+                entry.1 += 1;
+                acc.quarantined += 1;
+            }
         }
     }
     for (seq, (shipped, terminals)) in &by_seq {
@@ -70,7 +84,8 @@ pub fn check_ship_terminals(trace: &Trace) -> Result<ShipAccounting, String> {
             acc.shipped += 1;
             if *terminals == 0 {
                 return Err(format!(
-                    "segment seq {seq} was shipped but has no terminal decode/shed/lost event"
+                    "segment seq {seq} was shipped but has no terminal \
+                     decode/shed/lost/quarantined event"
                 ));
             }
         } else {
@@ -120,6 +135,13 @@ pub fn check_gateway_terminals(trace: &Trace) -> Result<BTreeMap<u16, ShipAccoun
                 entry.1 += 1;
                 acc.lost += 1;
             }
+            EventKind::Retried => {
+                acc.retried += 1;
+            }
+            EventKind::Quarantined => {
+                entry.1 += 1;
+                acc.quarantined += 1;
+            }
         }
     }
     for (gw, by_seq) in &by_gw {
@@ -130,7 +152,7 @@ pub fn check_gateway_terminals(trace: &Trace) -> Result<BTreeMap<u16, ShipAccoun
                 if *terminals == 0 {
                     return Err(format!(
                         "gateway {gw}: segment seq {seq} was shipped but has no \
-                         terminal decode/shed/lost event"
+                         terminal decode/shed/lost/quarantined event"
                     ));
                 }
             } else {
@@ -185,6 +207,13 @@ pub fn check_epoch_terminals(
                 entry.1 += 1;
                 acc.lost += 1;
             }
+            EventKind::Retried => {
+                acc.retried += 1;
+            }
+            EventKind::Quarantined => {
+                entry.1 += 1;
+                acc.quarantined += 1;
+            }
         }
     }
     for ((gw, epoch), by_seq) in &by_life {
@@ -197,7 +226,7 @@ pub fn check_epoch_terminals(
                 if *terminals == 0 {
                     return Err(format!(
                         "gateway {gw} epoch {epoch}: segment seq {seq} was shipped \
-                         but has no terminal decode/shed/lost event"
+                         but has no terminal decode/shed/lost/quarantined event"
                     ));
                 }
             } else {
@@ -301,9 +330,66 @@ mod tests {
                 shipped: 3,
                 decoded: 1,
                 shed: 1,
-                lost: 1
+                lost: 1,
+                ..Default::default()
             }
         );
+    }
+
+    #[test]
+    fn retried_is_counted_but_not_terminal() {
+        // A retried segment that eventually decodes is complete…
+        let trace = Trace {
+            events: vec![
+                event(EventKind::Ship, 0, 10),
+                event(EventKind::Retried, 0, 15),
+                event(EventKind::Decode, 0, 20),
+            ],
+            ..Default::default()
+        };
+        let acc = check_ship_terminals(&trace).unwrap();
+        assert_eq!(acc.retried, 1);
+        assert_eq!(acc.decoded, 1);
+
+        // …but a retry mark alone leaves the journey unfinished.
+        let trace = Trace {
+            events: vec![
+                event(EventKind::Ship, 0, 10),
+                event(EventKind::Retried, 0, 15),
+            ],
+            ..Default::default()
+        };
+        let err = check_ship_terminals(&trace).unwrap_err();
+        assert!(err.contains("no terminal"), "{err}");
+    }
+
+    #[test]
+    fn quarantined_terminates_a_shipped_segment() {
+        let trace = Trace {
+            events: vec![
+                event(EventKind::Ship, 0, 10),
+                event(EventKind::Retried, 0, 15),
+                event(EventKind::Retried, 0, 18),
+                event(EventKind::Quarantined, 0, 20),
+            ],
+            ..Default::default()
+        };
+        let acc = check_ship_terminals(&trace).unwrap();
+        assert_eq!(
+            acc,
+            ShipAccounting {
+                shipped: 1,
+                retried: 2,
+                quarantined: 1,
+                ..Default::default()
+            }
+        );
+        // Quarantine without a ship is still rejected.
+        let trace = Trace {
+            events: vec![event(EventKind::Quarantined, 9, 20)],
+            ..Default::default()
+        };
+        assert!(check_ship_terminals(&trace).is_err());
     }
 
     #[test]
@@ -359,7 +445,8 @@ mod tests {
                 shipped: 2,
                 decoded: 0,
                 shed: 1,
-                lost: 1
+                lost: 1,
+                ..Default::default()
             }
         );
         assert_eq!(by_gw[&0].decoded, 1);
@@ -408,7 +495,8 @@ mod tests {
                 shipped: 2,
                 decoded: 1,
                 shed: 0,
-                lost: 1
+                lost: 1,
+                ..Default::default()
             }
         );
         assert_eq!(
@@ -417,7 +505,8 @@ mod tests {
                 shipped: 1,
                 decoded: 1,
                 shed: 0,
-                lost: 0
+                lost: 0,
+                ..Default::default()
             }
         );
     }

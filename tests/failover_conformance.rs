@@ -6,7 +6,7 @@
 //! > exactly once, in capture order, without waiting for teardown —
 //! > and the crash is fully accounted:
 //! > `Σ per_gateway_decoded == fleet_delivered + dedup_suppressed +
-//! > crash_lost_frames`.
+//! > crash_lost_frames + quarantined_frames`.
 //!
 //! The matrix injects a crash into session 0 (wire gateway 1) at a
 //! configured segment index, with and without restart, over clean and
@@ -23,7 +23,7 @@
 //! `GALIOT_TEST_SEED` — see EXPERIMENTS.md.
 
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -57,6 +57,18 @@ const HORIZON: u64 = 12;
 /// Hard per-cell wall-clock budget. A stalled release gate or a
 /// deadlocked teardown trips this rather than hanging the suite.
 const CELL_DEADLINE: Duration = Duration::from_secs(180);
+
+/// Serializes the suite: every test here runs a full multi-gateway
+/// fleet (channelizer + mux + decode pool + merge, all CPU-bound) and
+/// two of them record a process-global [`TraceSession`]. On a small
+/// box, letting them contend turns the wall-clock budgets above into
+/// lottery tickets — the cells are timing assertions, so they run one
+/// at a time.
+static SUITE: Mutex<()> = Mutex::new(());
+
+fn suite_lock() -> MutexGuard<'static, ()> {
+    SUITE.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 fn fault_seed() -> u64 {
     galiot::channel::fault_seed(0xF1EE7)
@@ -278,12 +290,19 @@ fn assert_failover_cell(out: &CellOutcome, cell: Cell, batch: &[FrameId]) {
     );
 
     // Closed loss accounting: every frame decoded anywhere was
-    // delivered, suppressed as a duplicate, or charged to the crash.
+    // delivered, suppressed as a duplicate, charged to the crash, or
+    // quarantined (no cell here injects decode faults, so the last
+    // term must stay zero — asserted below — but the identity is the
+    // full four-way fleet invariant).
     let offered: usize = m.per_gateway_decoded.values().sum();
     assert_eq!(
         offered,
-        m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames,
+        m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames + m.quarantined_frames,
         "{ctx}: fleet decode accounting leaks: {m:?}"
+    );
+    assert_eq!(
+        m.quarantined_frames, 0,
+        "{ctx}: quarantine fired without injected decode faults: {m:?}"
     );
     assert_eq!(
         m.fleet_delivered,
@@ -398,6 +417,7 @@ fn assert_failover_cell(out: &CellOutcome, cell: Cell, batch: &[FrameId]) {
 /// this pins the *reason* a future capture tweak breaks the matrix.)
 #[test]
 fn capture_supports_the_crash_points() {
+    let _serial = suite_lock();
     let samples = fleet_capture();
     let mut config = GaliotConfig::prototype().with_gateways(1);
     config.edge_decoding = false;
@@ -422,6 +442,7 @@ fn capture_supports_the_crash_points() {
 /// (before segment 3, lossy link).
 #[test]
 fn fleet_survives_the_crash_matrix() {
+    let _serial = suite_lock();
     let samples = fleet_capture();
     let registry = Registry::prototype();
     let batch = batch_reference(&samples, &registry);
@@ -498,11 +519,15 @@ impl Technology for PanickingPhy {
 
 /// Satellite regression: every poisoned decode must return its
 /// fairness credit. Each session ships more segments than its pool
-/// quota (8) and every one of them detonates inside a worker; a single
-/// leaked credit per blast would exhaust the quota and wedge the mux —
+/// quota (8) and every one of them detonates inside a worker, on
+/// every attempt of the retry ladder — so each shipped segment runs
+/// the full `1 + decode_retries` attempts and is then quarantined,
+/// which is where the credit comes back. A single leaked credit per
+/// exhausted segment would exhaust the quota and wedge the mux —
 /// tripping the cell deadline instead of finishing.
 #[test]
 fn poisoned_decodes_do_not_leak_fairness_credits() {
+    let _serial = suite_lock();
     let mut rng = StdRng::seed_from_u64(scenario_seed(62));
     let real = Registry::prototype();
     let xbee = real.get(TechId::XBee).unwrap().clone();
@@ -549,10 +574,30 @@ fn poisoned_decodes_do_not_leak_fairness_credits() {
         );
     }
     assert!(m.decode_poisoned >= 2 * 9, "too few blasts: {m:?}");
+    // Every attempt panicked, so each shipped segment walked the whole
+    // ladder: `1 + decode_retries` recorded pool attempts, the last
+    // two of which were re-dispatches, ending in quarantine (which is
+    // what returned the credit).
+    let shipped: usize = m.per_gateway_segments.values().sum();
+    let attempts = 1 + GaliotConfig::prototype().decode_retries;
     assert_eq!(
         m.per_worker_segments.values().sum::<usize>(),
-        m.per_gateway_segments.values().sum::<usize>(),
-        "pool dropped admitted segments after a panic: {m:?}"
+        attempts * shipped,
+        "pool attempts diverge from the retry ladder: {m:?}"
+    );
+    assert_eq!(
+        m.decode_retried,
+        (attempts - 1) * shipped,
+        "re-dispatch accounting: {m:?}"
+    );
+    assert_eq!(
+        m.decode_quarantined, shipped,
+        "every exhausted segment must be quarantined: {m:?}"
+    );
+    assert_eq!(
+        m.quarantine_records.len(),
+        shipped,
+        "dead-letter records diverge from quarantines: {m:?}"
     );
 }
 
@@ -561,6 +606,7 @@ fn poisoned_decodes_do_not_leak_fairness_credits() {
 /// timeout schedule still converges and conforms.
 #[test]
 fn virtual_clock_failover_cell_conforms() {
+    let _serial = suite_lock();
     let samples = fleet_capture();
     let registry = Registry::prototype();
     let batch = batch_reference(&samples, &registry);

@@ -1,8 +1,9 @@
 //! Failure injection: hostile, malformed and degenerate inputs must
 //! produce errors (or empty results), never panics or wrong frames.
 
-use galiot::channel::{compose, scenario_seed, snr_to_noise_power, TxEvent};
+use galiot::channel::{compose, decode_fault_seed, scenario_seed, snr_to_noise_power, TxEvent};
 use galiot::cloud::{cancel_frame, sic_decode, SicParams};
+use galiot::core::{DecodeFaultKind, DecodeFaultSpec, Metrics, PipelineFrame};
 use galiot::dsp::spectral::Band;
 use galiot::dsp::Cf32;
 use galiot::gateway::{compress, decompress, CompressedSegment, EnergyDetector, PacketDetector};
@@ -10,14 +11,30 @@ use galiot::phy::common::KillRecipe;
 use galiot::phy::registry::TechHandle;
 use galiot::phy::{DecodedFrame, ModClass, PhyError};
 use galiot::prelude::*;
+use galiot::trace::verify::{check_gateway_terminals, check_ship_terminals};
+use galiot::trace::TraceSession;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
 
 const FS: f64 = 1_000_000.0;
 
+/// Serializes the decode-running tests in this binary. The recovery
+/// matrix records a [`TraceSession`] — a process-global recorder — so
+/// any concurrently running pipeline or DSP stage would bleed spans
+/// into its trace and break the reconciliation it asserts.
+static PIPELINE: Mutex<()> = Mutex::new(());
+
+fn pipeline_lock() -> MutexGuard<'static, ()> {
+    PIPELINE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[test]
 fn truncated_frames_error_cleanly_for_every_phy() {
+    let _serial = pipeline_lock();
     let reg = Registry::extended();
     for tech in reg.techs() {
         let fs = if tech.id() == TechId::SigFox {
@@ -41,6 +58,7 @@ fn truncated_frames_error_cleanly_for_every_phy() {
 
 #[test]
 fn degenerate_samples_do_not_panic_detectors_or_demods() {
+    let _serial = pipeline_lock();
     let reg = Registry::prototype();
     let nasty: Vec<Cf32> = (0..50_000)
         .map(|i| match i % 5 {
@@ -64,6 +82,7 @@ fn degenerate_samples_do_not_panic_detectors_or_demods() {
 
 #[test]
 fn empty_and_tiny_captures_flow_through_the_pipeline() {
+    let _serial = pipeline_lock();
     let system = Galiot::new(GaliotConfig::prototype(), Registry::prototype());
     for n in [0usize, 1, 7, 100, 1000] {
         let report = system.process_capture(&vec![Cf32::ZERO; n]);
@@ -73,6 +92,7 @@ fn empty_and_tiny_captures_flow_through_the_pipeline() {
 
 #[test]
 fn corrupted_compressed_segments_decompress_without_panic() {
+    let _serial = pipeline_lock();
     let mut rng = StdRng::seed_from_u64(scenario_seed(1));
     let reg = Registry::prototype();
     let xbee = reg.get(TechId::XBee).unwrap().clone();
@@ -106,6 +126,7 @@ fn corrupted_compressed_segments_decompress_without_panic() {
 
 #[test]
 fn cancellation_with_a_lying_frame_does_not_panic_or_amplify() {
+    let _serial = pipeline_lock();
     // A frame whose payload does NOT match what's on the air: the
     // block gains should fit poorly and the subtraction stay bounded.
     let mut rng = StdRng::seed_from_u64(scenario_seed(2));
@@ -131,6 +152,7 @@ fn cancellation_with_a_lying_frame_does_not_panic_or_amplify() {
 
 #[test]
 fn sic_handles_captures_full_of_preamble_lookalikes() {
+    let _serial = pipeline_lock();
     // A capture that is nothing but repeated preamble patterns (no
     // valid frames) must terminate and return nothing.
     let reg = Registry::prototype();
@@ -146,6 +168,7 @@ fn sic_handles_captures_full_of_preamble_lookalikes() {
 
 #[test]
 fn zero_power_capture_is_quiet_everywhere() {
+    let _serial = pipeline_lock();
     let reg = Registry::prototype();
     let silence = vec![Cf32::ZERO; 200_000];
     assert!(UniversalDetector::auto(&reg, FS)
@@ -206,6 +229,7 @@ impl Technology for PanickingPhy {
 
 #[test]
 fn poisoned_segment_does_not_take_down_the_worker_pool() {
+    let _serial = pipeline_lock();
     // The cloud registry decodes with a PHY whose demodulator panics,
     // so every shipped segment detonates inside a worker. The pool must
     // contain each blast, count it, keep the remaining segments
@@ -242,16 +266,33 @@ fn poisoned_segment_does_not_take_down_the_worker_pool() {
         frames.is_empty(),
         "poisoned decode produced frames: {frames:?}"
     );
-    assert!(m.decode_poisoned >= 1, "no poison recorded: {m:?}");
+    // Every segment detonates on every attempt, so the supervisor
+    // walks each one down the full retry ladder (attempt 0 plus
+    // `decode_retries` = 2 retries) and then quarantines it.
+    let shipped = m.shipped_segments;
+    assert!(shipped >= 1, "nothing shipped: {m:?}");
+    assert_eq!(
+        m.decode_poisoned,
+        3 * shipped,
+        "every attempt should have been poisoned: {m:?}"
+    );
+    assert_eq!(m.decode_retried, 2 * shipped, "retry ladder: {m:?}");
+    assert_eq!(m.decode_quarantined, shipped, "quarantine count: {m:?}");
+    assert_eq!(
+        m.quarantine_records.len(),
+        shipped,
+        "dead-letter records: {m:?}"
+    );
     assert_eq!(
         m.per_worker_segments.values().sum::<usize>(),
-        m.shipped_segments,
-        "pool dropped segments after a panic: {m:?}"
+        3 * shipped,
+        "pool attempt accounting: {m:?}"
     );
 }
 
 #[test]
 fn nan_burst_between_packets_does_not_stop_the_stream() {
+    let _serial = pipeline_lock();
     // Clean packet, then a burst of NaN/Inf garbage samples, then
     // another clean packet: both packets must decode and the pipeline
     // must terminate normally.
@@ -303,6 +344,7 @@ fn nan_burst_between_packets_does_not_stop_the_stream() {
 
 #[test]
 fn malformed_length_fields_are_rejected() {
+    let _serial = pipeline_lock();
     // Craft an XBee frame, then decode with a registry whose XBee
     // expects the same framing — but corrupt only the PHR so the
     // length points past the capture.
@@ -322,5 +364,299 @@ fn malformed_length_fields_are_rejected() {
     match xbee.demodulate(&bad, FS) {
         Err(_) => {}
         Ok(frame) => assert_ne!(frame.payload, vec![5; 4], "corrupt PHR accepted"),
+    }
+}
+
+// ------------------------------------------------------------------
+// The decode-recovery keystone matrix: workers {2,4} × fault kind
+// {panic, hang, slow} × topology {streaming, fleet}, each cell under a
+// hard wall-clock deadline. A quarantine-regime pass (strikes outlast
+// the retry ladder) proves delivery loses *only* the quarantined
+// windows' frames with closed per-fate accounting; a healing-regime
+// pass (strikes the ladder absorbs) proves delivery stays lossless.
+
+type Fid = (TechId, Vec<u8>, usize);
+
+fn fids(frames: &[PipelineFrame]) -> Vec<Fid> {
+    frames
+        .iter()
+        .map(|f| (f.frame.tech, f.frame.payload.clone(), f.frame.start))
+        .collect()
+}
+
+struct RecoveryFixture {
+    capture: Vec<Cf32>,
+    /// The lossless batch reference every cell's delivery is judged
+    /// against.
+    batch: Vec<Fid>,
+}
+
+fn recovery_fixture() -> &'static RecoveryFixture {
+    static FIX: OnceLock<RecoveryFixture> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(scenario_seed(31));
+        let reg = Registry::prototype();
+        let xbee = reg.get(TechId::XBee).unwrap().clone();
+        let events: Vec<TxEvent> = (0..3)
+            .map(|i| {
+                TxEvent::new(
+                    xbee.clone(),
+                    vec![0x40 + i as u8; 5],
+                    60_000 + i as usize * 400_000,
+                )
+            })
+            .collect();
+        let np = snr_to_noise_power(18.0, 0.0);
+        let cap = compose(&events, 1_300_000, FS, np, &mut rng);
+        let mut config = GaliotConfig::prototype();
+        config.edge_decoding = false;
+        let batch = fids(
+            &Galiot::new(config, reg)
+                .process_capture(&cap.samples)
+                .frames,
+        );
+        assert_eq!(batch.len(), 3, "fixture must decode all three packets");
+        RecoveryFixture {
+            capture: cap.samples,
+            batch,
+        }
+    })
+}
+
+/// Runs `f` on its own thread and panics if it has not finished within
+/// `secs` — the matrix's "a hung worker must never stall delivery"
+/// guarantee, enforced with wall clock rather than trust.
+fn with_hard_deadline(name: &str, secs: u64, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    std::thread::Builder::new()
+        .name(format!("cell-{name}"))
+        .spawn(move || {
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(f)));
+        })
+        .expect("spawn matrix cell");
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(Ok(())) => {}
+        Ok(Err(p)) => resume_unwind(p),
+        Err(_) => panic!("recovery cell `{name}` blew its {secs}s hard deadline: delivery stalled"),
+    }
+}
+
+/// Delivered frames must 1:1-match into the reference (within start
+/// tolerance), and every reference frame left unmatched must start
+/// inside some quarantined segment's `[start, start + len)` window.
+fn assert_lost_only_to_quarantine(got: &[Fid], want: &[Fid], m: &Metrics, ctx: &str) {
+    let mut missing: Vec<&Fid> = want.iter().collect();
+    for f in got {
+        let i = missing
+            .iter()
+            .position(|b| b.0 == f.0 && b.1 == f.1 && b.2.abs_diff(f.2) <= 32)
+            .unwrap_or_else(|| panic!("{ctx}: delivered {f:?} has no reference counterpart"));
+        missing.remove(i);
+    }
+    for f in missing {
+        let covered = m.quarantine_records.iter().any(|r| {
+            let lo = (r.start as usize).saturating_sub(32);
+            (lo..r.start as usize + r.len + 32).contains(&f.2)
+        });
+        assert!(
+            covered,
+            "{ctx}: frame {f:?} lost outside every quarantined window: {:?}",
+            m.quarantine_records
+        );
+    }
+}
+
+/// One matrix cell: run the topology under the fault plan, then check
+/// delivery, capture order, per-fate trace reconciliation, and the
+/// supervision counters.
+fn run_recovery_cell(workers: usize, kind: DecodeFaultKind, fleet: bool, sticky: u32) {
+    let fix = recovery_fixture();
+    let spec = DecodeFaultSpec {
+        kind,
+        period: 1, // strike every segment: no dependence on the seed sweep
+        sticky_attempts: sticky,
+        seed: decode_fault_seed(0x51C0),
+    };
+    // 2 s: long enough that an honest decode never trips it even with
+    // every worker contending for one CPU, short enough that the full
+    // hang ladder (3 attempts/segment) stays well inside the cell's
+    // hard deadline.
+    let mut config = GaliotConfig::prototype()
+        .with_cloud_workers(workers)
+        .with_decode_deadline(2.0)
+        .with_decode_faults(spec);
+    config.edge_decoding = false; // every frame must cross the pool
+    if fleet {
+        config = config.with_gateways(2);
+    }
+    let ctx = format!(
+        "{workers}w/{}/{}/sticky{sticky}",
+        kind.name(),
+        if fleet { "fleet" } else { "streaming" }
+    );
+
+    let session = TraceSession::start();
+    let (frames, m) = if fleet {
+        let sys = FleetGaliot::start(config, Registry::prototype());
+        let metrics = sys.metrics().clone();
+        for chunk in fix.capture.chunks(65_536) {
+            sys.push_chunk(chunk.to_vec());
+        }
+        (sys.finish(), metrics.snapshot())
+    } else {
+        let sys = StreamingGaliot::start(config, Registry::prototype());
+        let metrics = sys.metrics().clone();
+        for chunk in fix.capture.chunks(65_536) {
+            sys.push_chunk(chunk.to_vec());
+        }
+        (sys.finish(), metrics.snapshot())
+    };
+    let trace = session.finish();
+
+    // Delivery: capture order, and nothing lost outside quarantine.
+    let delivered = fids(&frames);
+    let starts: Vec<usize> = delivered.iter().map(|f| f.2).collect();
+    assert!(
+        starts.windows(2).all(|w| w[1] + 32 >= w[0]),
+        "{ctx}: frames out of capture order: {starts:?}"
+    );
+    assert_lost_only_to_quarantine(&delivered, &fix.batch, &m, &ctx);
+
+    // Per-fate trace ↔ metrics reconciliation.
+    let acc = check_ship_terminals(&trace).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    let pool: usize = m.per_worker_segments.values().sum();
+    assert_eq!(acc.shipped as usize, m.shipped_segments, "{ctx}: {m:?}");
+    assert_eq!(acc.retried as usize, m.decode_retried, "{ctx}: {m:?}");
+    assert_eq!(
+        acc.quarantined as usize, m.decode_quarantined,
+        "{ctx}: {m:?}"
+    );
+    assert_eq!(m.quarantine_records.len(), m.decode_quarantined, "{ctx}");
+    assert_eq!(
+        acc.decoded as usize + m.decode_poisoned + m.decode_stale_results,
+        pool,
+        "{ctx}: completed pool attempts must be wins, poisons or stales: {m:?}"
+    );
+    assert_eq!(
+        acc.decoded + acc.quarantined,
+        acc.shipped,
+        "{ctx}: every shipped segment needs exactly one fate"
+    );
+    let by_gw = check_gateway_terminals(&trace).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+    assert_eq!(
+        by_gw.len(),
+        if fleet { 2 } else { 1 },
+        "{ctx}: gateway sessions in trace"
+    );
+    for (gw, a) in &by_gw {
+        assert_eq!(
+            a.decoded + a.quarantined,
+            a.shipped,
+            "{ctx}: gw{gw} fates leak"
+        );
+    }
+    if fleet {
+        let offered: usize = m.per_gateway_decoded.values().sum();
+        assert_eq!(
+            offered,
+            m.fleet_delivered + m.dedup_suppressed + m.crash_lost_frames + m.quarantined_frames,
+            "{ctx}: fleet decode identity: {m:?}"
+        );
+    }
+
+    let shipped = m.shipped_segments;
+    assert!(
+        shipped >= if fleet { 2 } else { 1 },
+        "{ctx}: nothing shipped"
+    );
+    if sticky as usize > 2 {
+        // Quarantine regime: every strike pattern outlasts the ladder.
+        for r in &m.quarantine_records {
+            assert_eq!(
+                r.attempts.len(),
+                3,
+                "{ctx}: record {r:?} short of the full ladder"
+            );
+        }
+        match kind {
+            DecodeFaultKind::Panic => {
+                assert_eq!(m.decode_quarantined, shipped, "{ctx}: {m:?}");
+                assert_eq!(m.decode_poisoned, 3 * shipped, "{ctx}: {m:?}");
+                assert_eq!(m.decode_retried, 2 * shipped, "{ctx}: {m:?}");
+            }
+            DecodeFaultKind::Hang => {
+                assert_eq!(m.decode_quarantined, shipped, "{ctx}: {m:?}");
+                assert_eq!(m.decode_hung, 3 * shipped, "{ctx}: {m:?}");
+                assert_eq!(m.decode_retried, 2 * shipped, "{ctx}: {m:?}");
+                assert!(m.workers_replaced >= m.decode_hung, "{ctx}: {m:?}");
+            }
+            DecodeFaultKind::Slow => {
+                // A slow attempt normally blows the deadline and walks
+                // the same ladder as a hang, but a late scheduler wake
+                // can legitimately let it win before the deadline
+                // check fires — so bound rather than pin the counts.
+                assert!(m.decode_hung >= m.decode_quarantined, "{ctx}: {m:?}");
+                assert!(m.decode_quarantined <= shipped, "{ctx}: {m:?}");
+            }
+        }
+    } else {
+        // Healing regime: the ladder absorbs every strike; delivery is
+        // lossless.
+        assert_eq!(m.decode_quarantined, 0, "{ctx}: {m:?}");
+        assert_eq!(m.quarantined_frames, 0, "{ctx}: {m:?}");
+        assert_eq!(
+            delivered.len(),
+            fix.batch.len(),
+            "{ctx}: healed delivery lost frames: {delivered:?}"
+        );
+        match kind {
+            DecodeFaultKind::Panic => {
+                assert_eq!(m.decode_poisoned, 2 * shipped, "{ctx}: {m:?}");
+                assert_eq!(m.decode_retried, 2 * shipped, "{ctx}: {m:?}");
+            }
+            DecodeFaultKind::Hang => {
+                assert_eq!(m.decode_hung, 2 * shipped, "{ctx}: {m:?}");
+                assert_eq!(m.decode_retried, 2 * shipped, "{ctx}: {m:?}");
+            }
+            DecodeFaultKind::Slow => {}
+        }
+    }
+}
+
+#[test]
+fn decode_pool_quarantines_exhausted_segments_across_the_matrix() {
+    let _serial = pipeline_lock();
+    for fleet in [false, true] {
+        for kind in [
+            DecodeFaultKind::Panic,
+            DecodeFaultKind::Hang,
+            DecodeFaultKind::Slow,
+        ] {
+            for workers in [2usize, 4] {
+                let name = format!("{workers}w-{}-{}-q", kind.name(), fleet);
+                with_hard_deadline(&name, 90, move || {
+                    run_recovery_cell(workers, kind, fleet, 3)
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn decode_pool_heals_transient_faults_across_the_matrix() {
+    let _serial = pipeline_lock();
+    for fleet in [false, true] {
+        for kind in [
+            DecodeFaultKind::Panic,
+            DecodeFaultKind::Hang,
+            DecodeFaultKind::Slow,
+        ] {
+            for workers in [2usize, 4] {
+                let name = format!("{workers}w-{}-{}-h", kind.name(), fleet);
+                with_hard_deadline(&name, 90, move || {
+                    run_recovery_cell(workers, kind, fleet, 2)
+                });
+            }
+        }
     }
 }
